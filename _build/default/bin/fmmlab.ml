@@ -1,0 +1,302 @@
+(* fmmlab: command-line laboratory for the I/O-complexity of fast
+   matrix multiplication with recomputations.
+
+     fmmlab bounds    -n 4096 -m 4096 -p 49     lower bounds (Table I)
+     fmmlab verify    -a Strassen               lemma battery (Sec. III)
+     fmmlab simulate  -n 16 -m 64 [--remat]     sequential machine run
+     fmmlab pebble    [--red 4]                 exact pebbling studies
+     fmmlab cdag      -a Strassen -n 4 [-o f]   build/export a CDAG
+     fmmlab table1                              regenerate Table I *)
+
+open Cmdliner
+
+module A = Fmm_bilinear.Algorithm
+module S = Fmm_bilinear.Strassen
+module B = Fmm_bounds.Bounds
+module Cd = Fmm_cdag.Cdag
+module Ord = Fmm_machine.Orders
+module Sch = Fmm_machine.Schedulers
+module Tr = Fmm_machine.Trace
+module T = Fmm_util.Table
+
+let algorithm_arg =
+  let doc =
+    "Algorithm name: Strassen, Winograd, Winograd^T, classical <2,2,2;8>, ..."
+  in
+  Arg.(value & opt string "Strassen" & info [ "a"; "algorithm" ] ~doc)
+
+let find_algorithm name =
+  match S.find name with
+  | Some alg -> alg
+  | None ->
+    (match name with
+    | "Winograd^T" -> S.winograd_transposed
+    | "KS" | "ks" -> Fmm_bilinear.Alt_basis.ks_core
+    | _ ->
+      Printf.eprintf "unknown algorithm %S; known: %s\n" name
+        (String.concat ", " (List.map A.name S.registry));
+      exit 2)
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n" ] ~doc:"Matrix dimension")
+
+let m_arg default =
+  Arg.(value & opt int default & info [ "m"; "memory" ] ~doc:"Fast/local memory size")
+
+let p_arg default =
+  Arg.(value & opt int default & info [ "p"; "procs" ] ~doc:"Processor count")
+
+(* --- bounds --- *)
+
+let bounds_cmd =
+  let run n m p =
+    let t =
+      T.create ~title:(Printf.sprintf "lower bounds at n=%d M=%d P=%d" n m p)
+        ~headers:[ "algorithm"; "memory-dependent"; "memory-independent"; "max" ]
+        ~aligns:[ T.Left; T.Right; T.Right; T.Right ] ()
+    in
+    List.iter
+      (fun row ->
+        let md = row.B.memdep ~n ~m ~p and mi = row.B.memind ~n ~p in
+        T.add_row t
+          [ row.B.algorithm; T.fmt_sci md; T.fmt_sci mi; T.fmt_sci (Float.max md mi) ])
+      B.table1_rows;
+    T.print t;
+    Printf.printf "FFT (for comparison): memdep %s, memind %s\n"
+      (T.fmt_sci (B.fft_memdep ~n ~m ~p))
+      (T.fmt_sci (B.fft_memind ~n ~p));
+    Printf.printf "Strassen crossover P* at this n, M: %d\n" (B.crossover_p ~n ~m ())
+  in
+  Cmd.v (Cmd.info "bounds" ~doc:"Evaluate the Table I lower bounds")
+    Term.(const run $ n_arg 4096 $ m_arg 4096 $ p_arg 1)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run name all deep =
+    let algorithms = if all then S.registry else [ find_algorithm name ] in
+    List.iter
+      (fun alg ->
+        if deep then
+          print_endline
+            (Fmm_lemmas.Engine.deep_report_to_string
+               (Fmm_lemmas.Engine.deep_check_algorithm alg))
+        else
+          print_endline
+            (Fmm_lemmas.Engine.report_to_string
+               (Fmm_lemmas.Engine.check_algorithm alg));
+        print_newline ())
+      algorithms
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Check every registered algorithm")
+  in
+  let deep_arg =
+    Arg.(value & flag
+        & info [ "deep" ]
+            ~doc:"Also sample the CDAG-level lemmas (3.7, 3.11, 2.2) on H^{4x4}")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Machine-check the Section III lemmas on an algorithm")
+    Term.(const run $ algorithm_arg $ all_arg $ deep_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let run name n m remat order_name =
+    let alg = find_algorithm name in
+    let cdag = Cd.build alg ~n in
+    let order =
+      match order_name with
+      | "dfs" -> Ord.recursive_dfs cdag
+      | "naive" -> Ord.naive_topo cdag
+      | "random" -> Ord.random_topo ~seed:1 cdag
+      | o ->
+        Printf.eprintf "unknown order %S (dfs|naive|random)\n" o;
+        exit 2
+    in
+    let workload = Fmm_machine.Workload.of_cdag cdag in
+    let res =
+      if remat then Sch.run_rematerialize workload ~cache_size:m order
+      else Sch.run_lru workload ~cache_size:m order
+    in
+    let c = res.Sch.counters in
+    Printf.printf "algorithm   %s\n" (A.name alg);
+    Printf.printf "n           %d\nM           %d\norder       %s\npolicy      %s\n"
+      n m order_name (if remat then "rematerialize" else "LRU spill");
+    Printf.printf "loads       %d\nstores      %d\nI/O         %d\n" c.Tr.loads
+      c.Tr.stores (Tr.io c);
+    Printf.printf "computes    %d (recomputed %d)\n" c.Tr.computes c.Tr.recomputes;
+    let bound = B.fast_sequential ~n ~m () in
+    Printf.printf "Thm 1.1     %.1f   (measured/bound = %.2f)\n" bound
+      (float_of_int (Tr.io c) /. bound)
+  in
+  let remat_arg =
+    Arg.(value & flag & info [ "remat" ] ~doc:"Recompute instead of spilling")
+  in
+  let order_arg =
+    Arg.(value & opt string "dfs" & info [ "order" ] ~doc:"dfs | naive | random")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a schedule on the two-level machine model")
+    Term.(const run $ algorithm_arg $ n_arg 16 $ m_arg 64 $ remat_arg $ order_arg)
+
+(* --- pebble --- *)
+
+let pebble_cmd =
+  let run red =
+    let module Pb = Fmm_pebble.Pebble in
+    let module Pd = Fmm_pebble.Pebble_dags in
+    let show name game =
+      match Pb.compare_recomputation game with
+      | Some w, Some wo ->
+        Printf.printf "%-36s with=%d without=%d%s\n" name w wo
+          (if w < wo then "  <- separation" else "")
+      | _ -> Printf.printf "%-36s search exhausted\n" name
+    in
+    show "Savage-style DAG (R=3)" (Pd.recomputation_wins ());
+    show
+      (Printf.sprintf "Strassen encoder A (R=%d)" red)
+      (Pd.encoder_game S.strassen Fmm_cdag.Encoder.A_side ~red_limit:red);
+    let cdag = Cd.build S.strassen ~n:2 in
+    show
+      (Printf.sprintf "H^{2x2} C21 fragment (R=%d)" red)
+      (Pd.of_cdag_outputs cdag ~outputs:[ (Cd.outputs cdag).(2) ] ~red_limit:red)
+  in
+  let red_arg =
+    Arg.(value & opt int 4 & info [ "red" ] ~doc:"Red pebble limit")
+  in
+  Cmd.v
+    (Cmd.info "pebble" ~doc:"Exact red-blue pebbling, with vs without recomputation")
+    Term.(const run $ red_arg)
+
+(* --- cdag --- *)
+
+let cdag_cmd =
+  let run name n output =
+    let alg = find_algorithm name in
+    let cdag = Cd.build alg ~n in
+    List.iter (fun (k, v) -> Printf.printf "%-10s %d\n" k v) (Cd.stats cdag);
+    match output with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Cd.to_dot cdag);
+      close_out oc;
+      Printf.printf "DOT written to %s\n" path
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"DOT output file")
+  in
+  Cmd.v
+    (Cmd.info "cdag" ~doc:"Build H^{nxn} and print its census / export DOT")
+    Term.(const run $ algorithm_arg $ n_arg 4 $ out_arg)
+
+(* --- fft --- *)
+
+let fft_cmd =
+  let run n m =
+    let module Bf = Fmm_fft.Butterfly in
+    let bf = Bf.build ~n in
+    let w = Bf.workload bf in
+    Printf.printf "butterfly: %d vertices, %d edges, %d levels\n"
+      (Bf.n_vertices bf)
+      (Fmm_graph.Digraph.n_edges bf.Bf.graph)
+      bf.Bf.levels;
+    let order = Bf.blocked_order bf ~block:(max 2 (m / 4)) in
+    let res = Sch.run_lru w ~cache_size:m order in
+    let bound = B.fft_memdep ~n ~m ~p:1 in
+    Printf.printf "blocked schedule at M = %d: I/O = %d, bound = %.1f, ratio = %.2f\n"
+      m (Tr.io res.Sch.counters) bound
+      (float_of_int (Tr.io res.Sch.counters) /. bound)
+  in
+  Cmd.v
+    (Cmd.info "fft" ~doc:"Simulate the FFT butterfly on the two-level machine")
+    Term.(const run $ n_arg 256 $ m_arg 16)
+
+(* --- parallel --- *)
+
+let parallel_cmd =
+  let run name n depth =
+    let alg = find_algorithm name in
+    let module PE = Fmm_machine.Par_exec in
+    let cdag = Cd.build alg ~n in
+    let r = PE.strassen_bfs_experiment cdag ~depth in
+    let bound = B.fast_memind ~n ~p:r.PE.procs () in
+    Printf.printf "P = %d processors (BFS partition at depth %d)\n" r.PE.procs depth;
+    Printf.printf "total words moved:   %d\n" r.PE.total_words;
+    Printf.printf "max words per proc:  %.0f\n" r.PE.max_words;
+    Printf.printf "memind bound:        %.1f   (ratio %.2f)\n" bound
+      (r.PE.max_words /. bound)
+  in
+  let depth_arg =
+    Arg.(value & opt int 1 & info [ "depth" ] ~doc:"BFS partition depth (P = 7^depth)")
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:"Execute a BFS-partitioned CDAG on the distributed word-counting model")
+    Term.(const run $ algorithm_arg $ n_arg 16 $ depth_arg)
+
+(* --- search --- *)
+
+let search_cmd =
+  let run name seed =
+    let alg = find_algorithm name in
+    let module BS = Fmm_bilinear.Basis_search in
+    let r = BS.search ~seed alg in
+    Printf.printf "algorithm        %s\n" (A.name alg);
+    Printf.printf "direct adds/step %d\n" (A.additions_per_step alg);
+    Printf.printf "searched core    nnz %d/%d/%d, adds/step %d\n" r.BS.nnz_u
+      r.BS.nnz_v r.BS.nnz_w r.BS.additions_per_step;
+    Printf.printf "leading coeff    %.2f\n"
+      (B.leading_coefficient_of_adds ~adds_per_step:r.BS.additions_per_step);
+    Printf.printf "flatten = input  %b\n"
+      (A.verify_brent (Fmm_bilinear.Alt_basis.flatten r.BS.alt));
+    print_endline "\nsearched basis phi (x = phi . vec A):";
+    Array.iter
+      (fun row ->
+        print_string "  [";
+        Array.iteri (fun i c -> Printf.printf "%s%2d" (if i > 0 then "; " else "") c) row;
+        print_endline " ]")
+      (Fmm_bilinear.Alt_basis.phi r.BS.alt)
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Search seed") in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Search sparsifying alternative bases (the Karstadt-Schwartz optimization)")
+    Term.(const run $ algorithm_arg $ seed_arg)
+
+(* --- table1 --- *)
+
+let table1_cmd =
+  let run () =
+    let t =
+      T.create ~title:"Table I: known lower bounds (see paper)"
+        ~headers:
+          [ "algorithm"; "omega0"; "no-recomputation"; "with recomputation" ]
+        ~aligns:[ T.Left; T.Right; T.Left; T.Left ] ()
+    in
+    List.iter
+      (fun row ->
+        T.add_row t
+          [
+            row.B.algorithm;
+            Printf.sprintf "%.3f" row.B.omega0;
+            row.B.no_recomp_citations;
+            B.recomputation_status_string row.B.with_recomp;
+          ])
+      B.table1_rows;
+    T.print t
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the Table I summary") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "fmmlab" ~version:"1.0.0"
+      ~doc:"I/O-complexity laboratory for fast matrix multiplication with recomputations"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ bounds_cmd; verify_cmd; simulate_cmd; pebble_cmd; cdag_cmd; fft_cmd;
+            parallel_cmd; search_cmd; table1_cmd ]))

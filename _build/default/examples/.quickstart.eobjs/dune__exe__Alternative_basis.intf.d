@@ -1,0 +1,1 @@
+examples/alternative_basis.mli:

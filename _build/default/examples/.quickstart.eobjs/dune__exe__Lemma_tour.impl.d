@@ -1,0 +1,1 @@
+examples/lemma_tour.ml: Fmm_bilinear Fmm_cdag Fmm_graph Fmm_lemmas Fmm_util List Printf

@@ -1,0 +1,1 @@
+examples/lemma_tour.mli:

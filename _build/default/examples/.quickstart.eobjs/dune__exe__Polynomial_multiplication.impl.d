@@ -1,0 +1,1 @@
+examples/polynomial_multiplication.ml: Array Fmm_bounds Fmm_fft Fmm_graph Fmm_machine Fmm_pebble Fmm_ring Fmm_util List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmm_bilinear Fmm_bounds Fmm_cdag Fmm_machine Fmm_matrix Fmm_util List Printf

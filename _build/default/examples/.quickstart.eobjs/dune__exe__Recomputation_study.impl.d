@@ -1,0 +1,1 @@
+examples/recomputation_study.ml: Array Fmm_bilinear Fmm_bounds Fmm_cdag Fmm_machine Fmm_pebble List Printf

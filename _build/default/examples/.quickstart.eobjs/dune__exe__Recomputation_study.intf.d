@@ -1,0 +1,1 @@
+examples/recomputation_study.mli:

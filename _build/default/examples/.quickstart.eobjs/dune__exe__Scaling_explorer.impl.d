@@ -1,0 +1,1 @@
+examples/scaling_explorer.ml: Float Fmm_bounds Fmm_machine Fmm_util List Printf

@@ -1,0 +1,1 @@
+examples/triangle_counting.ml: Array Fmm_bilinear Fmm_bounds Fmm_matrix Fmm_util List Printf

@@ -1,0 +1,79 @@
+(* Polynomial multiplication via the number-theoretic transform — the
+   workload behind Table I's FFT row. The butterfly CDAG built in
+   fmm_fft is the exact dependency structure of this computation, so
+   the n log n / (log M) I/O bound (and [13]'s recomputation-proof
+   version of it) applies to what this example runs.
+
+   Run with:  dune exec examples/polynomial_multiplication.exe *)
+
+module Ntt = Fmm_fft.Ntt
+module Bf = Fmm_fft.Butterfly
+module F = Fmm_ring.Zp.Z65537
+module Sch = Fmm_machine.Schedulers
+module Tr = Fmm_machine.Trace
+module B = Fmm_bounds.Bounds
+module P = Fmm_util.Prng
+
+(* multiply two polynomials of degree < d over Z_65537 *)
+let poly_mul_ntt a b =
+  let d = Array.length a in
+  let n = 2 * d in
+  let pad x = Array.init n (fun i -> if i < d then x.(i) else 0) in
+  Ntt.convolve (pad a) (pad b)
+
+let poly_mul_schoolbook a b =
+  let d = Array.length a in
+  let out = Array.make (2 * d) 0 in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      out.(i + j) <- F.add out.(i + j) (F.mul a.(i) b.(j))
+    done
+  done;
+  out
+
+let () =
+  let d = 128 in
+  let rng = P.create ~seed:271828 in
+  let a = Array.init d (fun _ -> F.random rng) in
+  let b = Array.init d (fun _ -> F.random rng) in
+
+  Printf.printf "multiplying two degree-%d polynomials over Z_%d\n" (d - 1)
+    Ntt.modulus;
+  let via_ntt = poly_mul_ntt a b in
+  let via_school = poly_mul_schoolbook a b in
+  (* convolve is cyclic over length 2d; with zero padding the top
+     wrap-around region is zero, so the first 2d-1 coefficients agree *)
+  let agree = ref true in
+  for i = 0 to (2 * d) - 2 do
+    if via_ntt.(i) <> via_school.(i) then agree := false
+  done;
+  Printf.printf "NTT result matches schoolbook multiplication: %b\n\n" !agree;
+
+  let n = 2 * d in
+  Printf.printf "the transform's CDAG: %d-point butterfly\n" n;
+  let bf = Bf.build ~n in
+  Printf.printf "  vertices: %d, edges: %d, levels: %d\n\n" (Bf.n_vertices bf)
+    (Fmm_graph.Digraph.n_edges bf.Bf.graph)
+    bf.Bf.levels;
+
+  print_endline "simulated I/O of one transform vs the Table I FFT bound:";
+  let w = Bf.workload bf in
+  List.iter
+    (fun m ->
+      let order = Bf.blocked_order bf ~block:(max 2 (m / 4)) in
+      let res = Sch.run_lru w ~cache_size:m order in
+      let bound = B.fft_memdep ~n ~m ~p:1 in
+      Printf.printf "  M = %4d: measured %6d, bound %8.1f, ratio %.2f\n" m
+        (Tr.io res.Sch.counters) bound
+        (float_of_int (Tr.io res.Sch.counters) /. bound))
+    [ 8; 16; 64 ];
+
+  print_endline "\nrecomputation does not help here either ([13]):";
+  (match
+     Fmm_pebble.Pebble.compare_recomputation ~max_states:1_000_000
+       (Bf.pebble_game ~n:4 ~red_limit:4)
+   with
+  | Some w_rc, Some wo_rc ->
+    Printf.printf "  4-point butterfly optimal pebbling: with = %d, without = %d\n"
+      w_rc wo_rc
+  | _ -> print_endline "  (search exhausted)")

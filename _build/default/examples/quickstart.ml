@@ -1,0 +1,66 @@
+(* Quickstart: multiply two matrices with Strassen's algorithm over
+   exact rationals, verify against the classical product, count the
+   arithmetic, build the CDAG, simulate the two-level memory machine on
+   it, and compare measured I/O with the Theorem 1.1 lower bound.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module A = Fmm_bilinear.Algorithm
+module S = Fmm_bilinear.Strassen
+module MQ = Fmm_matrix.Matrix.Q
+module Cd = Fmm_cdag.Cdag
+module Ord = Fmm_machine.Orders
+module Sch = Fmm_machine.Schedulers
+module W = Fmm_machine.Workload
+module Tr = Fmm_machine.Trace
+module B = Fmm_bounds.Bounds
+
+let () =
+  let n = 16 in
+  let rng = Fmm_util.Prng.create ~seed:2019 in
+  let a = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+  let b = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+
+  Printf.printf "== 1. multiply %dx%d matrices with %s over exact rationals\n"
+    n n (A.name S.strassen);
+  let c_strassen, counters = A.Apply_q.multiply S.strassen a b in
+  let c_classical = MQ.mul a b in
+  Printf.printf "   results agree with classical multiplication: %b\n"
+    (MQ.equal c_strassen c_classical);
+  Printf.printf "   scalar multiplications: %d (7^log2(%d) = %d)\n"
+    counters.A.Apply_q.mults n
+    (Fmm_util.Combinat.pow_int 7 (Fmm_util.Combinat.log2_exact n));
+  Printf.printf "   scalar additions:       %d\n\n" counters.A.Apply_q.adds;
+
+  Printf.printf "== 2. the CDAG H^{%dx%d} of the computation\n" n n;
+  let cdag = Cd.build S.strassen ~n in
+  List.iter (fun (k, v) -> Printf.printf "   %-10s %d\n" k v) (Cd.stats cdag);
+  print_newline ();
+
+  Printf.printf "== 3. simulate the two-level machine (Section II-B)\n";
+  let order = Ord.recursive_dfs cdag in
+  List.iter
+    (fun m ->
+      let res = Sch.run_lru (W.of_cdag cdag) ~cache_size:m order in
+      let io = Tr.io res.Sch.counters in
+      let bound = B.fast_sequential ~n ~m () in
+      Printf.printf
+        "   M = %4d: measured I/O = %6d   Theorem 1.1 bound = %8.1f   ratio = %.2f\n"
+        m io bound (float_of_int io /. bound))
+    [ 16; 32; 64; 128; 256 ];
+  print_newline ();
+
+  Printf.printf "== 4. try to beat the bound with recomputation\n";
+  let m = 64 in
+  let lru = Sch.run_lru (W.of_cdag cdag) ~cache_size:m order in
+  let rem = Sch.run_rematerialize (W.of_cdag cdag) ~cache_size:m order in
+  let bound = B.fast_sequential ~n ~m () in
+  Printf.printf "   M = %d, spilling schedule:        io = %6d, computes = %7d\n"
+    m (Tr.io lru.Sch.counters) lru.Sch.counters.Tr.computes;
+  Printf.printf "   M = %d, rematerializing schedule: io = %6d, computes = %7d (%d recomputed)\n"
+    m (Tr.io rem.Sch.counters) rem.Sch.counters.Tr.computes
+    rem.Sch.counters.Tr.recomputes;
+  Printf.printf "   lower bound (regardless of recomputation): %.1f\n" bound;
+  Printf.printf
+    "   recomputation pays %d extra computations and still cannot go below the bound.\n"
+    (rem.Sch.counters.Tr.computes - lru.Sch.counters.Tr.computes)

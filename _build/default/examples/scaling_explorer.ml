@@ -1,0 +1,58 @@
+(* Scaling explorer: the parallel machine model (Section II-B) and the
+   two regimes of Theorem 1.1's distributed bound
+
+       max{ (n/sqrt M)^{log2 7} M/P ,  n^2 / P^{2/log2 7} }.
+
+   Sweeps P at fixed n for several memory sizes, printing both bounds,
+   their max, the crossover P*, and the simulated CAPS-style parallel
+   Strassen communication beside the classical 2D/3D baselines.
+
+   Run with:  dune exec examples/scaling_explorer.exe *)
+
+module B = Fmm_bounds.Bounds
+module Par = Fmm_machine.Par_model
+module T = Fmm_util.Table
+
+let () =
+  let n = 1 lsl 12 in
+  Printf.printf "n = %d (Strassen exponent omega0 = %.4f)\n\n" n B.omega_strassen;
+
+  List.iter
+    (fun m ->
+      let pstar = B.crossover_p ~n ~m () in
+      Printf.printf "M = %d words per processor: crossover P* = %d\n" m pstar;
+      let t =
+        T.create ~title:(Printf.sprintf "bounds and simulated CAPS, M = %d" m)
+          ~headers:[ "P"; "memdep"; "memind"; "max"; "caps words"; "bfs"; "dfs" ]
+          ()
+      in
+      List.iter
+        (fun p ->
+          let memdep = B.fast_memdep ~n ~m ~p () in
+          let memind = B.fast_memind ~n ~p () in
+          let caps = Par.caps_words ~n ~p ~m in
+          let bfs, dfs = Par.caps_schedule ~n ~p ~m in
+          T.add_row t
+            [
+              string_of_int p;
+              T.fmt_sci memdep;
+              T.fmt_sci memind;
+              T.fmt_sci (Float.max memdep memind);
+              T.fmt_sci caps;
+              string_of_int bfs;
+              string_of_int dfs;
+            ])
+        [ 7; 49; 343; 2401; 16807 ];
+      T.print t;
+      print_newline ())
+    [ 4096; 65536 ];
+
+  print_endline "classical baselines at P = 64 (square and cubic grids):";
+  let c2 = Par.cannon_2d ~n ~p:64 in
+  let c3 = Par.classical_3d ~n ~p:64 in
+  Printf.printf "   cannon-2d     words/proc = %.0f\n" c2.Par.words_per_proc;
+  Printf.printf "   classical-3d  words/proc = %.0f\n" c3.Par.words_per_proc;
+  Printf.printf "   classical memdep bound (M = 4096): %.0f\n"
+    (B.classical_memdep ~n ~m:4096 ~p:64);
+  Printf.printf "   classical memind bound:            %.0f\n"
+    (B.classical_memind ~n ~p:64)

@@ -1,0 +1,1 @@
+lib/abmm/abmm_cdag.ml: Array Fmm_bilinear Fmm_cdag Fmm_graph Fmm_machine Fmm_ring Fmm_util Hashtbl List Option Printf

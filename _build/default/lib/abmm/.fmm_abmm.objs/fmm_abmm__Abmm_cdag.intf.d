@@ -1,0 +1,1 @@
+lib/abmm/abmm_cdag.mli: Fmm_bilinear Fmm_graph Fmm_machine Fmm_ring Hashtbl

@@ -1,0 +1,47 @@
+(** The complete CDAG of Algorithm 1 (alternative-basis matrix
+    multiplication): Kronecker-power basis transforms phi(A) and
+    psi(B) as explicit log(n)-level circuits, the bilinear core's
+    H^{n x n}, and the inverse transform nu^-1 — one workload whose
+    machine-model execution covers the whole pipeline, so Theorem 4.1's
+    premise (transform I/O negligible) is observable on real simulated
+    schedules. *)
+
+type stage = Phi | Psi | Core | Nu_inv
+
+val stage_to_string : stage -> string
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  n : int;
+  a_inputs : int array;
+  b_inputs : int array;
+  outputs : int array;
+  stage_of : stage array;
+  is_mult : bool array;
+  coeffs : (int * int, int) Hashtbl.t;
+  is_primary_input : bool array;
+}
+
+val build : Fmm_bilinear.Alt_basis.t -> n:int -> t
+(** 2x2 cores only; [n] a power of two. *)
+
+val workload : t -> Fmm_machine.Workload.t
+
+val stage_census : t -> (string * int) list
+(** Vertex counts per pipeline stage (primary inputs excluded). *)
+
+val stage_compute_shares :
+  t -> Fmm_machine.Trace.t -> (string * int * float) list
+(** Per-stage (name, compute events, share) of an executed trace — the
+    Theorem 4.1 premise, measured. *)
+
+(** Evaluate the full pipeline circuit; the outputs must equal
+    vec(A . B). *)
+module Eval (R : Fmm_ring.Sig_ring.S) : sig
+  val run : t -> R.t array -> R.t array -> R.t array
+end
+
+module Eval_q : sig
+  val run :
+    t -> Fmm_ring.Rat.t array -> Fmm_ring.Rat.t array -> Fmm_ring.Rat.t array
+end

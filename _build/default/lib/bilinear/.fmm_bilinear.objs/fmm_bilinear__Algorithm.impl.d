@@ -1,0 +1,1 @@
+lib/bilinear/algorithm.ml: Array Fmm_matrix Fmm_ring Format List Printf

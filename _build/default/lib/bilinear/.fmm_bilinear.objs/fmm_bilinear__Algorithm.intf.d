@@ -1,0 +1,1 @@
+lib/bilinear/algorithm.mli: Fmm_matrix Fmm_ring Format

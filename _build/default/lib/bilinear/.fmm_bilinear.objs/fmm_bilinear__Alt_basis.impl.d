@@ -1,0 +1,1 @@
+lib/bilinear/alt_basis.ml: Algorithm Array Fmm_matrix Fmm_ring Printf

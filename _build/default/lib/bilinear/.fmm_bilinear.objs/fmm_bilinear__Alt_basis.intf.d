@@ -1,0 +1,1 @@
+lib/bilinear/alt_basis.mli: Algorithm Fmm_matrix Fmm_ring

@@ -1,0 +1,1 @@
+lib/bilinear/basis_search.ml: Algorithm Alt_basis Array Fmm_util

@@ -1,0 +1,1 @@
+lib/bilinear/basis_search.mli: Algorithm Alt_basis

@@ -1,0 +1,1 @@
+lib/bilinear/strassen.ml: Algorithm Array Fmm_matrix Fmm_ring List

@@ -1,0 +1,1 @@
+lib/bilinear/strassen.mli: Algorithm Fmm_matrix Fmm_ring

@@ -1,0 +1,370 @@
+(* Bilinear matrix-multiplication algorithms (Definition 2.6 of the
+   paper): an <n,m,k;t> algorithm multiplies an n x m by an m x k matrix
+   using t scalar (block) multiplications. It is given exactly by three
+   integer coefficient matrices:
+
+   - [u] : t rows, each of length n*m — row r encodes the r-th left
+     multiplicand as a linear combination of vec(A) (row-major);
+   - [v] : t rows, each of length m*k — the right multiplicands over
+     vec(B);
+   - [w] : n*k rows, each of length t — vec(C) = w . products.
+
+   Correctness is exactly the Brent equations:
+     for all (i,j), (j',l), (i',l'):
+       sum_r u_r[(i,j)] * v_r[(j',l)] * w_[(i',l')][r]
+         = [i = i'] * [j = j'] * [l = l']
+   which [verify_brent] checks over exact integers. *)
+
+type t = {
+  name : string;
+  n : int; (* A is n x m *)
+  m : int;
+  k : int; (* B is m x k, C is n x k *)
+  u : int array array; (* t x (n*m) *)
+  v : int array array; (* t x (m*k) *)
+  w : int array array; (* (n*k) x t *)
+}
+
+let name a = a.name
+let dims a = (a.n, a.m, a.k)
+let rank a = Array.length a.u
+
+(* Deep copies so callers cannot mutate the algorithm's data. *)
+let u_matrix a = Array.map Array.copy a.u
+let v_matrix a = Array.map Array.copy a.v
+let w_matrix a = Array.map Array.copy a.w
+
+let nnz_matrix rows = Array.fold_left (fun acc r ->
+    Array.fold_left (fun acc c -> if c <> 0 then acc + 1 else acc) acc r)
+    0 rows
+
+let nnz_u a = nnz_matrix a.u
+let nnz_v a = nnz_matrix a.v
+let nnz_w a = nnz_matrix a.w
+
+(** Additions performed by a single recursion step when every linear
+    combination is evaluated directly (no common-subexpression reuse):
+    a row with z nonzeros costs z-1 additions (z >= 1), and an all-zero
+    row costs nothing. *)
+let linear_additions rows =
+  Array.fold_left
+    (fun acc r ->
+      let z = Array.fold_left (fun n c -> if c <> 0 then n + 1 else n) 0 r in
+      acc + max 0 (z - 1))
+    0 rows
+
+let additions_per_step a =
+  linear_additions a.u + linear_additions a.v + linear_additions a.w
+
+let make ~name ~n ~m ~k ~u ~v ~w =
+  let t = Array.length u in
+  if Array.length v <> t then invalid_arg "Algorithm.make: |u| <> |v|";
+  if Array.exists (fun r -> Array.length r <> n * m) u then
+    invalid_arg "Algorithm.make: u row length <> n*m";
+  if Array.exists (fun r -> Array.length r <> m * k) v then
+    invalid_arg "Algorithm.make: v row length <> m*k";
+  if Array.length w <> n * k then invalid_arg "Algorithm.make: |w| <> n*k";
+  if Array.exists (fun r -> Array.length r <> t) w then
+    invalid_arg "Algorithm.make: w row length <> t";
+  { name; n; m; k; u; v; w }
+
+(* --- correctness: exact Brent equations --- *)
+
+let verify_brent a =
+  let t = rank a in
+  let ok = ref true in
+  for i = 0 to a.n - 1 do
+    for j = 0 to a.m - 1 do
+      for j' = 0 to a.m - 1 do
+        for l = 0 to a.k - 1 do
+          for i' = 0 to a.n - 1 do
+            for l' = 0 to a.k - 1 do
+              let sum = ref 0 in
+              for r = 0 to t - 1 do
+                sum :=
+                  !sum
+                  + (a.u.(r).((i * a.m) + j)
+                    * a.v.(r).((j' * a.k) + l)
+                    * a.w.((i' * a.k) + l').(r))
+              done;
+              let expected =
+                if i = i' && j = j' && l = l' then 1 else 0
+              in
+              if !sum <> expected then ok := false
+            done
+          done
+        done
+      done
+    done
+  done;
+  !ok
+
+(* --- application over an arbitrary ring --- *)
+
+module Apply (R : Fmm_ring.Sig_ring.S) = struct
+  module M = Fmm_matrix.Matrix.Make (R)
+
+  type counters = { mutable adds : int; mutable mults : int }
+
+  let fresh_counters () = { adds = 0; mults = 0 }
+
+  (* Linear combination of equally-sized blocks with integer
+     coefficients. Cost accounting follows the standard convention: a
+     row with z nonzero +-1 coefficients costs exactly (z - 1)
+     element-wise additions/subtractions — we start accumulation from a
+     +1 term when one exists so leading minus signs fold into
+     subtractions. Coefficients with |c| > 1 additionally cost one
+     scalar multiplication per element (counted into [adds]: the
+     paper's models price all linear work uniformly). *)
+  let combine counters coeffs blocks =
+    let rows = M.rows blocks.(0) and cols = M.cols blocks.(0) in
+    let block_cost = rows * cols in
+    let terms = ref [] in
+    Array.iteri (fun idx c -> if c <> 0 then terms := (c, idx) :: !terms) coeffs;
+    (* Prefer starting from a coefficient of exactly 1 (free copy). *)
+    let ordered =
+      match List.partition (fun (c, _) -> c = 1) (List.rev !terms) with
+      | first :: rest_ones, others -> first :: (rest_ones @ others)
+      | [], all -> all
+    in
+    match ordered with
+    | [] -> M.zeros rows cols
+    | (c0, i0) :: rest ->
+      let start =
+        if c0 = 1 then M.copy blocks.(i0)
+        else begin
+          counters.adds <- counters.adds + block_cost;
+          if c0 = -1 then M.neg blocks.(i0)
+          else M.scale (R.of_int c0) blocks.(i0)
+        end
+      in
+      List.fold_left
+        (fun acc (c, idx) ->
+          counters.adds <- counters.adds + block_cost;
+          if c = 1 then M.add acc blocks.(idx)
+          else if c = -1 then M.sub acc blocks.(idx)
+          else begin
+            counters.adds <- counters.adds + block_cost;
+            M.add acc (M.scale (R.of_int c) blocks.(idx))
+          end)
+        start rest
+
+  (** One recursion step: treat [a]/[b] as grids of blocks. [mul_base]
+      multiplies the sub-blocks (recursively or directly). *)
+  let step counters alg ~mul_base a b =
+    let ab = M.split ~gr:alg.n ~gc:alg.m a in
+    let bb = M.split ~gr:alg.m ~gc:alg.k b in
+    let a_flat = Array.init (alg.n * alg.m) (fun idx -> ab.(idx / alg.m).(idx mod alg.m)) in
+    let b_flat = Array.init (alg.m * alg.k) (fun idx -> bb.(idx / alg.k).(idx mod alg.k)) in
+    let t = rank alg in
+    let products =
+      Array.init t (fun r ->
+          let left = combine counters alg.u.(r) a_flat in
+          let right = combine counters alg.v.(r) b_flat in
+          mul_base left right)
+    in
+    let c_blocks =
+      Array.init alg.n (fun i ->
+          Array.init alg.k (fun l -> combine counters alg.w.((i * alg.k) + l) products))
+    in
+    M.join c_blocks
+
+  let classical_mul counters a b =
+    let n = M.rows a and m = M.cols a and k = M.cols b in
+    counters.mults <- counters.mults + (n * m * k);
+    counters.adds <- counters.adds + (n * (m - 1) * k);
+    M.mul a b
+
+  (** Fully recursive multiply: recurse while the dimensions are
+      divisible by the base case, falling back to classical at or below
+      [cutoff] (default 1: recurse all the way down). Returns the result
+      and the operation counters. *)
+  let multiply ?(cutoff = 1) alg a b =
+    let counters = fresh_counters () in
+    let rec go a b =
+      let n = M.rows a and m = M.cols a and k = M.cols b in
+      if m <> M.rows b then invalid_arg "Apply.multiply: inner dim mismatch";
+      if
+        n <= cutoff || m <= cutoff || k <= cutoff
+        || n mod alg.n <> 0 || m mod alg.m <> 0 || k mod alg.k <> 0
+      then classical_mul counters a b
+      else step counters alg ~mul_base:go a b
+    in
+    let c = go a b in
+    (c, counters)
+
+  (** One level of recursion only; sub-products multiplied classically.
+      Used by tests to isolate the base case. *)
+  let multiply_one_level alg a b =
+    let counters = fresh_counters () in
+    let c = step counters alg ~mul_base:(classical_mul counters) a b in
+    (c, counters)
+end
+
+module Apply_q = Apply (Fmm_ring.Rat.Field)
+module Apply_int = Apply (Fmm_ring.Sig_ring.Int)
+
+(* --- structural transformations --- *)
+
+(** Tensor (Kronecker) composition: <n1,m1,k1;t1> x <n2,m2,k2;t2> =
+    <n1*n2, m1*m2, k1*k2; t1*t2>. Row-major index mapping: entry
+    (i,j) of the composed A-operand with i = i1*n2 + i2, j = j1*m2 + j2
+    corresponds to coefficient u1[(i1,j1)] * u2[(i2,j2)]. *)
+let compose a1 a2 =
+  let n = a1.n * a2.n and m = a1.m * a2.m and k = a1.k * a2.k in
+  let t1 = rank a1 and t2 = rank a2 in
+  let u =
+    Array.init (t1 * t2) (fun r ->
+        let r1 = r / t2 and r2 = r mod t2 in
+        Array.init (n * m) (fun idx ->
+            let i = idx / m and j = idx mod m in
+            let i1 = i / a2.n and i2 = i mod a2.n in
+            let j1 = j / a2.m and j2 = j mod a2.m in
+            a1.u.(r1).((i1 * a1.m) + j1) * a2.u.(r2).((i2 * a2.m) + j2)))
+  in
+  let v =
+    Array.init (t1 * t2) (fun r ->
+        let r1 = r / t2 and r2 = r mod t2 in
+        Array.init (m * k) (fun idx ->
+            let j = idx / k and l = idx mod k in
+            let j1 = j / a2.m and j2 = j mod a2.m in
+            let l1 = l / a2.k and l2 = l mod a2.k in
+            a1.v.(r1).((j1 * a1.k) + l1) * a2.v.(r2).((j2 * a2.k) + l2)))
+  in
+  let w =
+    Array.init (n * k) (fun idx ->
+        let i = idx / k and l = idx mod k in
+        let i1 = i / a2.n and i2 = i mod a2.n in
+        let l1 = l / a2.k and l2 = l mod a2.k in
+        Array.init (t1 * t2) (fun r ->
+            let r1 = r / t2 and r2 = r mod t2 in
+            a1.w.((i1 * a1.k) + l1).(r1) * a2.w.((i2 * a2.k) + l2).(r2)))
+  in
+  make ~name:(a1.name ^ " (x) " ^ a2.name) ~n ~m ~k ~u ~v ~w
+
+(** Transpose symmetry: from C = A.B derive C^T = B^T.A^T, giving a
+    <k,m,n;t> algorithm. Left operands become the transposed-B
+    combinations and vice versa. *)
+let transpose_alg a =
+  let t = rank a in
+  (* New A' = B^T is k x m: entry (l,j) of A' = B[j,l]. *)
+  let u' =
+    Array.init t (fun r ->
+        Array.init (a.k * a.m) (fun idx ->
+            let l = idx / a.m and j = idx mod a.m in
+            a.v.(r).((j * a.k) + l)))
+  in
+  (* New B' = A^T is m x n: entry (j,i) of B' = A[i,j]. *)
+  let v' =
+    Array.init t (fun r ->
+        Array.init (a.m * a.n) (fun idx ->
+            let j = idx / a.n and i = idx mod a.n in
+            a.u.(r).((i * a.m) + j)))
+  in
+  (* New C' = C^T is k x n: entry (l,i) of C' = C[i,l]. *)
+  let w' =
+    Array.init (a.k * a.n) (fun idx ->
+        let l = idx / a.n and i = idx mod a.n in
+        Array.copy a.w.((i * a.k) + l))
+  in
+  make ~name:(a.name ^ "^T") ~n:a.k ~m:a.m ~k:a.n ~u:u' ~v:v' ~w:w'
+
+(** de Groote symmetry: conjugate by invertible (here: permutation)
+    matrices X, Y, Z — the transformation A -> X A Y^-1, B -> Y B Z^-1,
+    C -> X C Z^-1 maps matrix-multiplication algorithms to
+    matrix-multiplication algorithms. For the 2x2 case with X, Y, Z
+    drawn from {I, J} (J = the swap), this generates up to 8 distinct
+    7-multiplication variants of each algorithm, all of which must pass
+    the Section III lemma battery — concrete witnesses of the paper's
+    "any fast matrix multiplication algorithm with 2x2 base case".
+
+    Implementation on the coefficient matrices: writing the vec
+    permutation p_A of A -> X A Y^-1 etc., the conjugated algorithm has
+    u'_r = u_r o p_A, v'_r = v_r o p_B, w'_(out) = w_(p_C out). *)
+let conjugate_2x2 ?name:(name_opt = None) alg ~swap_x ~swap_y ~swap_z =
+  let n, m, k = dims alg in
+  if (n, m, k) <> (2, 2, 2) then invalid_arg "Algorithm.conjugate_2x2: 2x2 only";
+  (* vec index (i,j) -> 2i + j. X A Y^-1 with X, Y in {I, J}: J on the
+     left swaps rows, J^-1 = J on the right swaps columns. *)
+  let perm ~row_swap ~col_swap idx =
+    let i = idx / 2 and j = idx mod 2 in
+    let i = if row_swap then 1 - i else i in
+    let j = if col_swap then 1 - j else j in
+    (2 * i) + j
+  in
+  let p_a = perm ~row_swap:swap_x ~col_swap:swap_y in
+  let p_b = perm ~row_swap:swap_y ~col_swap:swap_z in
+  let p_c = perm ~row_swap:swap_x ~col_swap:swap_z in
+  let remap_rows p rows =
+    Array.map (fun row -> Array.init 4 (fun idx -> row.(p idx))) rows
+  in
+  let u = remap_rows p_a alg.u in
+  let v = remap_rows p_b alg.v in
+  let w = Array.init 4 (fun out -> Array.copy alg.w.(p_c out)) in
+  let name =
+    match name_opt with
+    | Some s -> s
+    | None ->
+      Printf.sprintf "%s[%s%s%s]" alg.name
+        (if swap_x then "J" else "I")
+        (if swap_y then "J" else "I")
+        (if swap_z then "J" else "I")
+  in
+  make ~name ~n:2 ~m:2 ~k:2 ~u ~v ~w
+
+(** All eight {I,J}-conjugates of a 2x2 algorithm (including the
+    identity conjugation). *)
+let conjugates_2x2 alg =
+  List.concat_map
+    (fun swap_x ->
+      List.concat_map
+        (fun swap_y ->
+          List.map
+            (fun swap_z -> conjugate_2x2 alg ~swap_x ~swap_y ~swap_z)
+            [ false; true ])
+        [ false; true ])
+    [ false; true ]
+
+(** Classical <n,m,k; n*m*k> algorithm: one multiplication per scalar
+    product a[i,j] * b[j,l]. Used as the baseline and for the
+    rectangular rows of Table I. *)
+let classical ~n ~m ~k =
+  let t = n * m * k in
+  let prod_index i j l = (i * m * k) + (j * k) + l in
+  let u =
+    Array.init t (fun r ->
+        let row = Array.make (n * m) 0 in
+        let i = r / (m * k) and j = r mod (m * k) / k in
+        row.((i * m) + j) <- 1;
+        row)
+  in
+  let v =
+    Array.init t (fun r ->
+        let row = Array.make (m * k) 0 in
+        let j = r mod (m * k) / k and l = r mod k in
+        row.((j * k) + l) <- 1;
+        row)
+  in
+  let w =
+    Array.init (n * k) (fun idx ->
+        let i = idx / k and l = idx mod k in
+        let row = Array.make t 0 in
+        for j = 0 to m - 1 do
+          row.(prod_index i j l) <- 1
+        done;
+        row)
+  in
+  make
+    ~name:(Printf.sprintf "classical <%d,%d,%d;%d>" n m k t)
+    ~n ~m ~k ~u ~v ~w
+
+(** omega_0 = log_{base dim} t for square base cases; for rectangular
+    <n,m,k;t> returns 3 * log_{nmk} t (the standard normalisation). *)
+let omega0 a =
+  if a.n = a.m && a.m = a.k then log (float_of_int (rank a)) /. log (float_of_int a.n)
+  else 3. *. log (float_of_int (rank a)) /. log (float_of_int (a.n * a.m * a.k))
+
+let pp fmt a =
+  Format.fprintf fmt "<%d,%d,%d;%d> %s (nnz u/v/w = %d/%d/%d, adds/step = %d)"
+    a.n a.m a.k (rank a) a.name (nnz_u a) (nnz_v a) (nnz_w a)
+    (additions_per_step a)

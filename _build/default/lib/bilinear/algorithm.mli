@@ -1,0 +1,95 @@
+(** Bilinear matrix-multiplication algorithms (Definition 2.6 of the
+    paper): an <n,m,k;t> algorithm is given exactly by three integer
+    coefficient matrices — [u] (t rows over vec(A)), [v] (t rows over
+    vec(B)) and [w] (n*k rows over the t products). Correctness is the
+    Brent equations, checked exactly by {!verify_brent}. *)
+
+type t
+
+val make :
+  name:string ->
+  n:int ->
+  m:int ->
+  k:int ->
+  u:int array array ->
+  v:int array array ->
+  w:int array array ->
+  t
+(** Validates all dimensions. *)
+
+val name : t -> string
+val dims : t -> int * int * int
+val rank : t -> int
+(** The number of multiplications t. *)
+
+val u_matrix : t -> int array array
+(** Deep copies; callers cannot mutate the algorithm. *)
+
+val v_matrix : t -> int array array
+val w_matrix : t -> int array array
+
+val nnz_u : t -> int
+val nnz_v : t -> int
+val nnz_w : t -> int
+
+val additions_per_step : t -> int
+(** Additions of one recursion step when every linear form is evaluated
+    independently: sum over rows of (nonzeros - 1). *)
+
+val verify_brent : t -> bool
+(** Exact check of all n*m*m*k*n*k Brent equations over the integers —
+    the correctness certificate for every registered algorithm. *)
+
+(** Application over an arbitrary ring: recursive fast multiplication
+    with exact operation counting. *)
+module Apply (R : Fmm_ring.Sig_ring.S) : sig
+  module M : module type of Fmm_matrix.Matrix.Make (R)
+
+  type counters = { mutable adds : int; mutable mults : int }
+
+  val fresh_counters : unit -> counters
+
+  val combine : counters -> int array -> M.t array -> M.t
+  (** Linear combination of equal-size blocks with integer
+      coefficients; a row of z nonzero +-1 coefficients costs exactly
+      z - 1 element-wise additions. *)
+
+  val classical_mul : counters -> M.t -> M.t -> M.t
+
+  val step : counters -> t -> mul_base:(M.t -> M.t -> M.t) -> M.t -> M.t -> M.t
+  (** One recursion step with a caller-supplied block multiplier. *)
+
+  val multiply : ?cutoff:int -> t -> M.t -> M.t -> M.t * counters
+  (** Fully recursive multiply; falls back to classical multiplication
+      at or below [cutoff] (default 1) or on non-divisible shapes. *)
+
+  val multiply_one_level : t -> M.t -> M.t -> M.t * counters
+end
+
+module Apply_q : module type of Apply (Fmm_ring.Rat.Field)
+module Apply_int : module type of Apply (Fmm_ring.Sig_ring.Int)
+
+val compose : t -> t -> t
+(** Tensor (Kronecker) composition:
+    <n1,m1,k1;t1> x <n2,m2,k2;t2> = <n1 n2, m1 m2, k1 k2; t1 t2>. *)
+
+val transpose_alg : t -> t
+(** The C = A.B => C^T = B^T.A^T symmetry: a <k,m,n;t> algorithm. *)
+
+val conjugate_2x2 :
+  ?name:string option -> t -> swap_x:bool -> swap_y:bool -> swap_z:bool -> t
+(** de Groote symmetry for 2x2 algorithms: conjugation by permutation
+    matrices X, Y, Z drawn from \{I, J\} (J = swap). Raises on non-2x2
+    bases. *)
+
+val conjugates_2x2 : t -> t list
+(** All eight \{I,J\}-conjugates (including the identity one). *)
+
+val classical : n:int -> m:int -> k:int -> t
+(** The classical <n,m,k; n m k> algorithm. *)
+
+val omega0 : t -> float
+(** The exponent: log_{n0} t for square bases, 3 log_{nmk} t in
+    general. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,190 @@
+(* Alternative-basis matrix multiplication (Definition 2.7, Algorithm 1
+   of the paper; Karstadt-Schwartz [20]). An alternative-basis algorithm
+   is a recursive-bilinear <n,m,k;t>_{phi,psi,nu} core together with
+   three basis automorphisms:
+
+     ABMM(A, B) = nu^-1 (CORE (phi A) (psi B))
+
+   where phi/psi/nu act recursively (Kronecker powers of a fixed base
+   linear map), so the transforms cost Theta(n^2 log n) — negligible
+   against the Theta(n^omega0) multiplication, which is exactly the
+   premise of Theorem 4.1.
+
+   The instance [ks_winograd] below is a Karstadt-Schwartz-style
+   sparsification of Winograd's algorithm derived by choosing bases that
+   absorb the S/T operand chains: the bilinear core performs only 12
+   additions per step (vs Winograd's 15), giving the arithmetic leading
+   coefficient 5 claimed in the paper's introduction. The exact bases
+   differ from the published KS ones but achieve the same counts, which
+   is what the reproduction tracks. *)
+
+type t = {
+  name : string;
+  core : Algorithm.t;
+  phi : int array array; (* (n*m) x (n*m): x = phi . vec(A) *)
+  psi : int array array; (* (m*k) x (m*k): y = psi . vec(B) *)
+  nu : int array array; (* (n*k) x (n*k): z = nu . vec(C) *)
+  nu_inv : int array array; (* integer inverse of nu *)
+}
+
+let name t = t.name
+let core t = t.core
+let phi t = Array.map Array.copy t.phi
+let psi t = Array.map Array.copy t.psi
+let nu t = Array.map Array.copy t.nu
+let nu_inv t = Array.map Array.copy t.nu_inv
+
+let int_matrix_to_q rows =
+  Fmm_matrix.Matrix.Q.init (Array.length rows)
+    (Array.length rows.(0))
+    (fun i j -> Fmm_ring.Rat.of_int rows.(i).(j))
+
+(** Exact integer inverse of a unimodular integer matrix; raises
+    [Failure] if the matrix is singular or the inverse is not integral
+    (then it is not an automorphism usable for fast transforms). *)
+let integer_inverse rows =
+  let q = int_matrix_to_q rows in
+  let inv = Fmm_matrix.Linalg.Q.inverse q in
+  let n = Fmm_matrix.Matrix.Q.rows inv and m = Fmm_matrix.Matrix.Q.cols inv in
+  Array.init n (fun i ->
+      Array.init m (fun j ->
+          let x = Fmm_matrix.Matrix.Q.get inv i j in
+          if not (Fmm_ring.Rat.is_integer x) then
+            failwith "Alt_basis: inverse is not integral";
+          Fmm_ring.Bigint.to_int_exn (Fmm_ring.Rat.num x)))
+
+let make ~name ~core ~phi ~psi ~nu =
+  let n, m, k = Algorithm.dims core in
+  let check label rows dim =
+    if Array.length rows <> dim || Array.exists (fun r -> Array.length r <> dim) rows
+    then invalid_arg (Printf.sprintf "Alt_basis.make: %s must be %dx%d" label dim dim)
+  in
+  check "phi" phi (n * m);
+  check "psi" psi (m * k);
+  check "nu" nu (n * k);
+  let nu_inv = integer_inverse nu in
+  { name; core; phi; psi; nu; nu_inv }
+
+(* Integer matrix product, used to flatten the composite algorithm. *)
+let mat_mul a b =
+  let n = Array.length a and m = Array.length b.(0) in
+  let inner = Array.length b in
+  Array.init n (fun i ->
+      Array.init m (fun j ->
+          let acc = ref 0 in
+          for l = 0 to inner - 1 do
+            acc := !acc + (a.(i).(l) * b.(l).(j))
+          done;
+          !acc))
+
+(** Flatten into an equivalent standard-basis bilinear algorithm:
+    U = U_core . phi, V = V_core . psi, W = nu^-1 . W_core.
+    The result must satisfy the Brent equations — that is the
+    correctness statement for the alternative-basis algorithm, and the
+    test suite checks it. *)
+let flatten t =
+  let n, m, k = Algorithm.dims t.core in
+  let u = mat_mul (Algorithm.u_matrix t.core) t.phi in
+  let v = mat_mul (Algorithm.v_matrix t.core) t.psi in
+  let w = mat_mul t.nu_inv (Algorithm.w_matrix t.core) in
+  Algorithm.make ~name:(t.name ^ " (flattened)") ~n ~m ~k ~u ~v ~w
+
+(* --- recursive fast basis transforms --- *)
+
+module Transform (R : Fmm_ring.Sig_ring.S) = struct
+  module M = Fmm_matrix.Matrix.Make (R)
+  module App = Algorithm.Apply (R)
+
+  (** Apply the Kronecker-power transform of the base map [base]
+      (acting on the gr x gc block grid, row-major) to matrix [mat],
+      recursing while the dimensions divide. Counts additions into
+      [counters]. *)
+  let rec apply counters ~base ~gr ~gc mat =
+    let rows = M.rows mat and cols = M.cols mat in
+    if rows mod gr <> 0 || cols mod gc <> 0 || rows < gr || cols < gc
+       || (rows = 1 && cols = 1)
+    then mat
+    else begin
+      let blocks = M.split ~gr ~gc mat in
+      let flat =
+        Array.init (gr * gc) (fun idx -> blocks.(idx / gc).(idx mod gc))
+      in
+      let transformed_children =
+        Array.map (fun b -> apply counters ~base ~gr ~gc b) flat
+      in
+      let out_flat =
+        Array.init (gr * gc) (fun idx ->
+            App.combine counters base.(idx) transformed_children)
+      in
+      M.join
+        (Array.init gr (fun i -> Array.init gc (fun j -> out_flat.((i * gc) + j))))
+    end
+
+  (** Full ABMM multiply (Algorithm 1): transform, run the core
+      recursively, untransform. Returns result and counters covering
+      the whole pipeline, plus the counters of just the transform
+      stages (for the Theorem 4.1 negligibility experiment). *)
+  let multiply ?(cutoff = 1) t a b =
+    let n, m, k = Algorithm.dims t.core in
+    let transform_counters = App.fresh_counters () in
+    let a' = apply transform_counters ~base:t.phi ~gr:n ~gc:m a in
+    let b' = apply transform_counters ~base:t.psi ~gr:m ~gc:k b in
+    let c', mul_counters = App.multiply ~cutoff t.core a' b' in
+    let c = apply transform_counters ~base:t.nu_inv ~gr:n ~gc:k c' in
+    (c, mul_counters, transform_counters)
+end
+
+module Transform_q = Transform (Fmm_ring.Rat.Field)
+module Transform_int = Transform (Fmm_ring.Sig_ring.Int)
+
+(* --- the Karstadt-Schwartz-style instance --- *)
+
+(* Bases chosen to absorb Winograd's operand chains:
+   x = phi(vec A):  x1 = A11, x2 = A12, x3 = A21+A22-A11, x4 = A11-A21
+   y = psi(vec B):  y1 = B11, y2 = B21, y3 = B11-B12+B22, y4 = B12-B11
+   z = nu(vec C):   z1 = C11, z2 = C12-C22, z3 = C22-C21, z4 = C22 *)
+let ks_phi = [| [| 1; 0; 0; 0 |]; [| 0; 1; 0; 0 |]; [| -1; 0; 1; 1 |]; [| 1; 0; -1; 0 |] |]
+let ks_psi = [| [| 1; 0; 0; 0 |]; [| 0; 0; 1; 0 |]; [| 1; -1; 0; 1 |]; [| -1; 1; 0; 0 |] |]
+let ks_nu = [| [| 1; 0; 0; 0 |]; [| 0; 1; 0; -1 |]; [| 0; 0; -1; 1 |]; [| 0; 0; 0; 1 |] |]
+
+(* The bilinear core in the new bases: 7 multiplications, 12 additions
+   per step (nnz 10/10/10). Operands in x/y coordinates:
+     M1 = x1*y1   M2 = x2*y2          M3 = (x2-x3)*(y3+y4)
+     M4 = (x3+x4)*(y3-y2)             M5 = (x1+x3)*y4
+     M6 = x3*y3   M7 = x4*(y3-y1)
+   Outputs: z1 = M1+M2, z2 = M3-M7, z3 = M4+M5, z4 = M1+M5+M6+M7. *)
+let ks_core =
+  Algorithm.make ~name:"KS-Winograd core" ~n:2 ~m:2 ~k:2
+    ~u:
+      [|
+        [| 1; 0; 0; 0 |];
+        [| 0; 1; 0; 0 |];
+        [| 0; 1; -1; 0 |];
+        [| 0; 0; 1; 1 |];
+        [| 1; 0; 1; 0 |];
+        [| 0; 0; 1; 0 |];
+        [| 0; 0; 0; 1 |];
+      |]
+    ~v:
+      [|
+        [| 1; 0; 0; 0 |];
+        [| 0; 1; 0; 0 |];
+        [| 0; 0; 1; 1 |];
+        [| 0; -1; 1; 0 |];
+        [| 0; 0; 0; 1 |];
+        [| 0; 0; 1; 0 |];
+        [| -1; 0; 1; 0 |];
+      |]
+    ~w:
+      [|
+        [| 1; 1; 0; 0; 0; 0; 0 |];
+        [| 0; 0; 1; 0; 0; 0; -1 |];
+        [| 0; 0; 0; 1; 1; 0; 0 |];
+        [| 1; 0; 0; 0; 1; 1; 1 |];
+      |]
+
+let ks_winograd =
+  make ~name:"Karstadt-Schwartz (Winograd basis)" ~core:ks_core ~phi:ks_phi
+    ~psi:ks_psi ~nu:ks_nu
+
+let registry = [ ks_winograd ]

@@ -1,0 +1,73 @@
+(** Alternative-basis matrix multiplication (Definition 2.7 /
+    Algorithm 1 of the paper; Karstadt-Schwartz [20]): a bilinear core
+    together with basis automorphisms phi, psi, nu acting as Kronecker
+    powers, so ABMM(A, B) = nu^-1 (CORE (phi A) (psi B)). The transform
+    cost is Theta(n^2 log n) — negligible against Theta(n^{omega0}),
+    the premise of Theorem 4.1. *)
+
+type t
+
+val make :
+  name:string ->
+  core:Algorithm.t ->
+  phi:int array array ->
+  psi:int array array ->
+  nu:int array array ->
+  t
+(** Validates shapes and that [nu] has an integer inverse (raises
+    [Failure] otherwise — it must be an automorphism usable for fast
+    transforms). *)
+
+val name : t -> string
+val core : t -> Algorithm.t
+val phi : t -> int array array
+val psi : t -> int array array
+val nu : t -> int array array
+val nu_inv : t -> int array array
+
+val mat_mul : int array array -> int array array -> int array array
+(** Integer matrix product (exposed for tests). *)
+
+val integer_inverse : int array array -> int array array
+(** Exact integer inverse of a unimodular matrix; raises [Failure] if
+    singular or non-integral. *)
+
+val flatten : t -> Algorithm.t
+(** The equivalent standard-basis algorithm U = U_core phi,
+    V = V_core psi, W = nu^-1 W_core — it must satisfy the Brent
+    equations, which is the correctness statement for the
+    alternative-basis algorithm. *)
+
+(** Recursive fast basis transforms and the full ABMM multiply. *)
+module Transform (R : Fmm_ring.Sig_ring.S) : sig
+  module M : module type of Fmm_matrix.Matrix.Make (R)
+  module App : module type of Algorithm.Apply (R)
+
+  val apply :
+    App.counters -> base:int array array -> gr:int -> gc:int -> M.t -> M.t
+  (** The Kronecker-power transform of [base], applied recursively. *)
+
+  val multiply :
+    ?cutoff:int -> t -> M.t -> M.t -> M.t * App.counters * App.counters
+  (** Algorithm 1 end to end; returns (result, bilinear-stage counters,
+      transform-stage counters). *)
+end
+
+module Transform_q : module type of Transform (Fmm_ring.Rat.Field)
+module Transform_int : module type of Transform (Fmm_ring.Sig_ring.Int)
+
+val ks_phi : int array array
+val ks_psi : int array array
+val ks_nu : int array array
+
+val ks_core : Algorithm.t
+(** The bilinear core in the alternative bases: 7 multiplications and
+    only 12 additions per step — the count behind the arithmetic
+    leading coefficient 5. *)
+
+val ks_winograd : t
+(** The Karstadt-Schwartz-style instance: our own derivation of bases
+    absorbing Winograd's operand chains, achieving the same 12-addition
+    structure as the published algorithm (see DESIGN.md). *)
+
+val registry : t list

@@ -1,0 +1,22 @@
+(** Alternative-basis search — the optimization behind Karstadt-
+    Schwartz [20]: find unimodular bases phi, psi, nu minimizing
+    nnz(U phi^-1) + nnz(V psi^-1) + nnz(nu W), i.e. the bilinear core's
+    additions per step, by randomized hill-climbing over elementary
+    unimodular moves. On Winograd's algorithm the search reliably
+    rediscovers 12-additions-per-step cores (arithmetic leading
+    coefficient 5), matching both the hand-derived
+    {!Alt_basis.ks_winograd} and the published count. *)
+
+val nnz : int array array -> int
+
+type search_result = {
+  alt : Alt_basis.t;  (** flattens back to exactly the input algorithm *)
+  nnz_u : int;
+  nnz_v : int;
+  nnz_w : int;
+  additions_per_step : int;
+}
+
+val search :
+  ?restarts:int -> ?steps:int -> seed:int -> Algorithm.t -> search_result
+(** Deterministic given [seed]. 2x2 bases only. *)

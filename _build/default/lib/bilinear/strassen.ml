@@ -1,0 +1,177 @@
+(* The concrete 2x2-base fast matrix multiplication algorithms the
+   paper's theorems cover. vec order is row-major: (X11, X12, X21, X22).
+
+   Every definition here is validated by [Algorithm.verify_brent] in the
+   test suite; the tables below are data, not derivations. *)
+
+(** Strassen's original algorithm (Algorithm 2 of the paper). *)
+let strassen =
+  Algorithm.make ~name:"Strassen" ~n:2 ~m:2 ~k:2
+    ~u:
+      [|
+        [| 1; 0; 0; 1 |] (* M1: A11 + A22 *);
+        [| 0; 0; 1; 1 |] (* M2: A21 + A22 *);
+        [| 1; 0; 0; 0 |] (* M3: A11 *);
+        [| 0; 0; 0; 1 |] (* M4: A22 *);
+        [| 1; 1; 0; 0 |] (* M5: A11 + A12 *);
+        [| -1; 0; 1; 0 |] (* M6: A21 - A11 *);
+        [| 0; 1; 0; -1 |] (* M7: A12 - A22 *);
+      |]
+    ~v:
+      [|
+        [| 1; 0; 0; 1 |] (* B11 + B22 *);
+        [| 1; 0; 0; 0 |] (* B11 *);
+        [| 0; 1; 0; -1 |] (* B12 - B22 *);
+        [| -1; 0; 1; 0 |] (* B21 - B11 *);
+        [| 0; 0; 0; 1 |] (* B22 *);
+        [| 1; 1; 0; 0 |] (* B11 + B12 *);
+        [| 0; 0; 1; 1 |] (* B21 + B22 *);
+      |]
+    ~w:
+      [|
+        [| 1; 0; 0; 1; -1; 0; 1 |] (* C11 = M1 + M4 - M5 + M7 *);
+        [| 0; 0; 1; 0; 1; 0; 0 |] (* C12 = M3 + M5 *);
+        [| 0; 1; 0; 1; 0; 0; 0 |] (* C21 = M2 + M4 *);
+        [| 1; -1; 1; 0; 0; 1; 0 |] (* C22 = M1 - M2 + M3 + M6 *);
+      |]
+
+(** Winograd's variant [19]: still 7 multiplications, arithmetic leading
+    coefficient 6 instead of 7 thanks to operand reuse (the S/T chains).
+    The U/V/W matrices below are the flattened operands; the
+    implementation of the recursive schedule exploits the S/T reuse, the
+    matrices record the final linear forms. *)
+let winograd =
+  Algorithm.make ~name:"Winograd" ~n:2 ~m:2 ~k:2
+    ~u:
+      [|
+        [| 1; 0; 0; 0 |] (* M1: A11 *);
+        [| 0; 1; 0; 0 |] (* M2: A12 *);
+        [| 1; 1; -1; -1 |] (* M3: S4 = A11 + A12 - A21 - A22 *);
+        [| 0; 0; 0; 1 |] (* M4: A22 *);
+        [| 0; 0; 1; 1 |] (* M5: S1 = A21 + A22 *);
+        [| -1; 0; 1; 1 |] (* M6: S2 = A21 + A22 - A11 *);
+        [| 1; 0; -1; 0 |] (* M7: S3 = A11 - A21 *);
+      |]
+    ~v:
+      [|
+        [| 1; 0; 0; 0 |] (* B11 *);
+        [| 0; 0; 1; 0 |] (* B21 *);
+        [| 0; 0; 0; 1 |] (* B22 *);
+        [| 1; -1; -1; 1 |] (* T4 = B11 - B12 - B21 + B22 *);
+        [| -1; 1; 0; 0 |] (* T1 = B12 - B11 *);
+        [| 1; -1; 0; 1 |] (* T2 = B11 - B12 + B22 *);
+        [| 0; -1; 0; 1 |] (* T3 = B22 - B12 *);
+      |]
+    ~w:
+      [|
+        [| 1; 1; 0; 0; 0; 0; 0 |] (* C11 = M1 + M2 *);
+        [| 1; 0; 1; 0; 1; 1; 0 |] (* C12 = M1 + M3 + M5 + M6 *);
+        [| 1; 0; 0; -1; 0; 1; 1 |] (* C21 = M1 - M4 + M6 + M7 *);
+        [| 1; 0; 0; 0; 1; 1; 1 |] (* C22 = M1 + M5 + M6 + M7 *);
+      |]
+
+(** The classical 2x2 algorithm with 8 multiplications, for baseline
+    comparisons (the paper's footnote 1: no recomputation is ever
+    useful for it since intermediates are used once). *)
+let classical_2x2 = Algorithm.classical ~n:2 ~m:2 ~k:2
+
+(** Strassen composed with itself: a <4,4,4;49> algorithm. Exercises the
+    compose machinery and the "general base case" row of Table I. *)
+let strassen_squared = Algorithm.compose strassen strassen
+
+(** Winograd with the transpose symmetry applied: a distinct 7-mult
+    2x2-base algorithm, useful to show the lemma engine does not depend
+    on Strassen's particular case analysis. *)
+let winograd_transposed = Algorithm.transpose_alg winograd
+
+let all_2x2_fast = [ strassen; winograd; winograd_transposed ]
+
+(** Winograd's algorithm with the textbook operand-reuse schedule: the
+    S/T chains share intermediates (S2 = S1 - A11, T2 = B22 - T1, ...)
+    and the U chain shares M1 + M6, so one recursion step costs exactly
+    15 block additions (4 + 4 + 7) — the schedule behind the arithmetic
+    leading coefficient 6 quoted in the paper's introduction (versus 18
+    for Strassen = coefficient 7, and 12 for Karstadt-Schwartz =
+    coefficient 5). The generic [Algorithm.Apply] evaluator cannot see
+    the reuse (it evaluates each linear form independently), so this
+    schedule is spelled out. *)
+module Winograd_reuse (R : Fmm_ring.Sig_ring.S) = struct
+  module App = Algorithm.Apply (R)
+  module M = Fmm_matrix.Matrix.Make (R)
+
+  let multiply ?(cutoff = 1) a b =
+    let counters = App.fresh_counters () in
+    let badd x y =
+      counters.App.adds <- counters.App.adds + (M.rows x * M.cols x);
+      M.add x y
+    in
+    let bsub x y =
+      counters.App.adds <- counters.App.adds + (M.rows x * M.cols x);
+      M.sub x y
+    in
+    let rec go a b =
+      let n = M.rows a in
+      if n <= cutoff || n mod 2 <> 0 || M.cols a <> n || M.cols b <> n then
+        App.classical_mul counters a b
+      else begin
+        let ab = M.split ~gr:2 ~gc:2 a and bb = M.split ~gr:2 ~gc:2 b in
+        let a11 = ab.(0).(0) and a12 = ab.(0).(1) and a21 = ab.(1).(0) and a22 = ab.(1).(1) in
+        let b11 = bb.(0).(0) and b12 = bb.(0).(1) and b21 = bb.(1).(0) and b22 = bb.(1).(1) in
+        let s1 = badd a21 a22 in
+        let s2 = bsub s1 a11 in
+        let s3 = bsub a11 a21 in
+        let s4 = bsub a12 s2 in
+        let t1 = bsub b12 b11 in
+        let t2 = bsub b22 t1 in
+        let t3 = bsub b22 b12 in
+        let t4 = bsub t2 b21 in
+        let m1 = go a11 b11 in
+        let m2 = go a12 b21 in
+        let m3 = go s4 b22 in
+        let m4 = go a22 t4 in
+        let m5 = go s1 t1 in
+        let m6 = go s2 t2 in
+        let m7 = go s3 t3 in
+        let u2 = badd m1 m6 in
+        let u3 = badd u2 m7 in
+        let u4 = badd u2 m5 in
+        let c11 = badd m1 m2 in
+        let c12 = badd u4 m3 in
+        let c21 = bsub u3 m4 in
+        let c22 = badd u3 m5 in
+        M.join [| [| c11; c12 |]; [| c21; c22 |] |]
+      end
+    in
+    let c = go a b in
+    (c, counters)
+end
+
+module Winograd_reuse_int = Winograd_reuse (Fmm_ring.Sig_ring.Int)
+module Winograd_reuse_q = Winograd_reuse (Fmm_ring.Rat.Field)
+
+(** A "general base case" algorithm for Table I's fourth row:
+    Strassen composed with the classical 3x3 algorithm gives a
+    <6,6,6;189> base with omega0 = log_6 189 ~ 2.924 — a fast (but not
+    2x2-base) algorithm, outside the scope of the recomputation-proof
+    theorem and inside the scope of the no-recomputation bounds
+    [8]-[10]. *)
+let strassen_x_classical3 =
+  Algorithm.compose strassen (Algorithm.classical ~n:3 ~m:3 ~k:3)
+
+(* strassen_x_classical3 is deliberately NOT in the registry: its exact
+   Brent verification costs ~1.7e9 integer operations, too heavy for
+   the default battery; the tests validate it by random multiplication
+   over Z_p instead. *)
+let registry =
+  [
+    strassen;
+    winograd;
+    winograd_transposed;
+    classical_2x2;
+    strassen_squared;
+    Algorithm.classical ~n:2 ~m:2 ~k:3;
+    Algorithm.classical ~n:3 ~m:3 ~k:3;
+  ]
+
+let find name =
+  List.find_opt (fun a -> Algorithm.name a = name) registry

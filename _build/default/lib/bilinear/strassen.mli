@@ -1,0 +1,46 @@
+(** The concrete 2x2-base fast matrix multiplication algorithms the
+    paper's theorems cover (vec order row-major: X11, X12, X21, X22).
+    Every definition is validated by {!Algorithm.verify_brent} in the
+    test suite. *)
+
+val strassen : Algorithm.t
+(** Strassen's original algorithm (the paper's Algorithm 2). *)
+
+val winograd : Algorithm.t
+(** Winograd's 7-multiplication variant [19]; the flattened linear
+    forms of its operand chains. *)
+
+val classical_2x2 : Algorithm.t
+(** <2,2,2;8>, the baseline and the lemma battery's negative control. *)
+
+val strassen_squared : Algorithm.t
+(** Strassen composed with itself: <4,4,4;49>. *)
+
+val winograd_transposed : Algorithm.t
+(** Winograd under the transpose symmetry — a distinct 7-mult 2x2-base
+    algorithm for the generality checks. *)
+
+val all_2x2_fast : Algorithm.t list
+
+val strassen_x_classical3 : Algorithm.t
+(** Strassen (x) classical-3x3: a <6,6,6;189> general base case
+    (omega0 = log_6 189), Table I's fourth row. *)
+
+(** Winograd with the textbook operand-reuse schedule (S/T chains
+    shared): exactly 15 block additions per step, the schedule behind
+    the arithmetic leading coefficient 6 (vs 18/coefficient-7 for
+    Strassen and 12/coefficient-5 for Karstadt-Schwartz). *)
+module Winograd_reuse (R : Fmm_ring.Sig_ring.S) : sig
+  module App : module type of Algorithm.Apply (R)
+  module M : module type of Fmm_matrix.Matrix.Make (R)
+
+  val multiply : ?cutoff:int -> M.t -> M.t -> M.t * App.counters
+end
+
+module Winograd_reuse_int : module type of Winograd_reuse (Fmm_ring.Sig_ring.Int)
+module Winograd_reuse_q : module type of Winograd_reuse (Fmm_ring.Rat.Field)
+
+val registry : Algorithm.t list
+(** Every algorithm the CLI and lemma engine know about. *)
+
+val find : string -> Algorithm.t option

@@ -1,0 +1,83 @@
+(** Every lower bound of Table I as executable code, plus the Theorem
+    1.1 / 4.1 forms. Omega-expressions are evaluated without hidden
+    constants; benches report measured-to-bound ratios, which absorb
+    them — the exponents are what the theory fixes.
+
+    Parameters: [n] matrix dimension, [m] fast/local memory words,
+    [p] processors. All raise [Invalid_argument] on nonpositive
+    values. *)
+
+val omega_strassen : float
+(** log2 7. *)
+
+(** {2 Classical matrix multiplication (Table I row 1)} *)
+
+val classical_memdep : n:int -> m:int -> p:int -> float
+(** (n/sqrt M)^3 M / P [2]. *)
+
+val classical_memind : n:int -> p:int -> float
+(** n^2 / P^{2/3} [1]. *)
+
+(** {2 Fast matrix multiplication (rows 2-4; Theorem 1.1)} *)
+
+val fast_memdep : ?omega0:float -> n:int -> m:int -> p:int -> unit -> float
+(** (n/sqrt M)^{omega0} M / P; with the default omega0 = log2 7 this is
+    the bound the paper proves recomputation-proof for every 2x2-base
+    algorithm. *)
+
+val fast_memind : ?omega0:float -> n:int -> p:int -> unit -> float
+(** n^2 / P^{2/omega0}. *)
+
+val fast_parallel : ?omega0:float -> n:int -> m:int -> p:int -> unit -> float
+(** The Theorem 1.1 parallel form: max of the two regimes. *)
+
+val fast_sequential : ?omega0:float -> n:int -> m:int -> unit -> float
+(** The sequential bound (P = 1). *)
+
+val crossover_p : ?omega0:float -> n:int -> m:int -> unit -> int
+(** Smallest P at which the memory-independent bound overtakes the
+    memory-dependent one (binary search). *)
+
+(** {2 Rectangular fast MM (row 5, [22])} *)
+
+val rectangular : m0:int -> p0:int -> q:int -> t:int -> m:int -> p:int -> float
+(** Omega(q^t / (P M^{log_{m0 p0} q - 1})) for a <m0,n0,p0;q> base run
+    for [t] recursion levels. *)
+
+(** {2 FFT (row 6)} *)
+
+val fft_memdep : n:int -> m:int -> p:int -> float
+val fft_memind : n:int -> p:int -> float
+
+(** {2 Table I as data} *)
+
+type recomputation_status =
+  | Not_relevant
+  | Proven_here
+  | Proven_prior of string
+  | Open_
+
+type row = {
+  algorithm : string;
+  memdep : n:int -> m:int -> p:int -> float;
+  memind : n:int -> p:int -> float;
+  omega0 : float;
+  no_recomp_citations : string;
+  with_recomp : recomputation_status;
+}
+
+val table1_rows : row list
+val recomputation_status_string : recomputation_status -> string
+
+(** {2 Leading coefficients (paper Sections I and IV)} *)
+
+val arithmetic_leading_coefficients : (string * float) list
+(** Strassen 7, Winograd 6, Karstadt-Schwartz 5 (times n^{log2 7}). *)
+
+val io_leading_coefficients : (string * float) list
+(** Winograd 10.5, Karstadt-Schwartz 9. *)
+
+val leading_coefficient_of_adds : adds_per_step:int -> float
+(** Closed-form total-operation leading coefficient of the recurrence
+    T(n) = 7 T(n/2) + s (n/2)^2 with T(1) = 1: c = 1 + s/3. Yields
+    7, 6, 5 for s = 18, 15, 12. *)

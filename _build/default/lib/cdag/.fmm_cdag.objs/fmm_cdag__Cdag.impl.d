@@ -1,0 +1,1 @@
+lib/cdag/cdag.ml: Array Fmm_bilinear Fmm_graph Fmm_ring Fmm_util Hashtbl List Printf

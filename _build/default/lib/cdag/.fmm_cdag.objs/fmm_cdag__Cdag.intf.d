@@ -1,0 +1,1 @@
+lib/cdag/cdag.mli: Fmm_bilinear Fmm_graph Fmm_ring

@@ -1,0 +1,1 @@
+lib/cdag/encoder.ml: Array Fmm_bilinear Fmm_graph List

@@ -1,0 +1,275 @@
+(* The computational DAG (Definition 2.1) of a recursive bilinear
+   algorithm: H^{n x n} in the paper's notation. Construction mirrors
+   the three phases of each recursion step:
+
+   - an encoding stage creating, for each of the t products, the block
+     entries of the encoded operands (one vertex per entry, in-edges
+     from the operand block entries with nonzero U/V coefficients —
+     (half)^2 parallel copies of the base encoder graph of Figure 2);
+   - t recursive sub-CDAGs (at the leaves, a single Mult vertex);
+   - a decoding stage producing the result block entries from the
+     children's outputs via the W coefficients.
+
+   Every recursion node is recorded with its operand/result vertex ids,
+   so the analyses can select V_out(SUB_H^{r x r}) and
+   V_inp(SUB_H^{r x r}) for any sub-problem size r (Lemma 2.2,
+   Lemma 3.7, Lemma 3.11). *)
+
+type role =
+  | Input_a of int (* index into vec(A) of the full problem *)
+  | Input_b of int
+  | Enc_a (* encoded-operand vertex (an output of an A-side encoder) *)
+  | Enc_b
+  | Mult (* leaf scalar multiplication *)
+  | Dec (* decoder linear-combination vertex *)
+
+let role_to_string = function
+  | Input_a i -> Printf.sprintf "A[%d]" i
+  | Input_b i -> Printf.sprintf "B[%d]" i
+  | Enc_a -> "encA"
+  | Enc_b -> "encB"
+  | Mult -> "mult"
+  | Dec -> "dec"
+
+type node = {
+  r : int; (* sub-problem size: multiplies two r x r blocks *)
+  depth : int;
+  a_in : int array; (* r^2 vertex ids, row-major *)
+  b_in : int array;
+  out : int array; (* r^2 result vertex ids *)
+  subtree_lo : int; (* vertices allocated by this node's recursion ... *)
+  subtree_hi : int; (* ... occupy ids [subtree_lo, subtree_hi] *)
+}
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  roles : role array;
+  n : int;
+  base : Fmm_bilinear.Algorithm.t;
+  a_inputs : int array; (* n^2 ids *)
+  b_inputs : int array;
+  outputs : int array; (* n^2 ids *)
+  nodes : node list; (* every recursion node, all depths *)
+  coeffs : (int * int, int) Hashtbl.t; (* (src, dst) -> edge coefficient *)
+}
+
+let graph t = t.graph
+let role t v = t.roles.(v)
+let size t = t.n
+let base_algorithm t = t.base
+let a_inputs t = t.a_inputs
+let b_inputs t = t.b_inputs
+let inputs t = Array.append t.a_inputs t.b_inputs
+let outputs t = t.outputs
+let nodes t = t.nodes
+
+let n_vertices t = Fmm_graph.Digraph.n_vertices t.graph
+let n_edges t = Fmm_graph.Digraph.n_edges t.graph
+
+(** Build H^{n x n} for a square-base algorithm. [n] must be a power of
+    the base dimension. *)
+let build (alg : Fmm_bilinear.Algorithm.t) ~n =
+  let n0, m0, k0 = Fmm_bilinear.Algorithm.dims alg in
+  if n0 <> m0 || m0 <> k0 then
+    invalid_arg "Cdag.build: base case must be square";
+  if not (Fmm_util.Combinat.is_power_of ~base:n0 n) then
+    invalid_arg "Cdag.build: n must be a power of the base dimension";
+  let t_rank = Fmm_bilinear.Algorithm.rank alg in
+  let u = Fmm_bilinear.Algorithm.u_matrix alg in
+  let v = Fmm_bilinear.Algorithm.v_matrix alg in
+  let w = Fmm_bilinear.Algorithm.w_matrix alg in
+  let g = Fmm_graph.Digraph.create ~capacity:1024 () in
+  let roles = Fmm_util.Vec.create ~dummy:Mult in
+  let nodes = ref [] in
+  let coeffs = Hashtbl.create 1024 in
+  let new_vertex role =
+    let id = Fmm_graph.Digraph.add_vertex g in
+    Fmm_util.Vec.push roles role;
+    id
+  in
+  let add_weighted_edge src dst c =
+    Fmm_graph.Digraph.add_edge g src dst;
+    Hashtbl.replace coeffs (src, dst) c
+  in
+  (* Block (p,q) entry (i,j) of a row-major r x r id array. *)
+  let block_entry ids r half p q i j = ids.(((p * half) + i) * r + ((q * half) + j)) in
+  let rec build_node depth r a_in b_in =
+    let subtree_lo = Fmm_graph.Digraph.n_vertices g in
+    if r = 1 then begin
+      let m = new_vertex Mult in
+      Fmm_graph.Digraph.add_edge g a_in.(0) m;
+      Fmm_graph.Digraph.add_edge g b_in.(0) m;
+      let node =
+        { r; depth; a_in; b_in; out = [| m |]; subtree_lo; subtree_hi = m }
+      in
+      nodes := node :: !nodes;
+      node
+    end
+    else begin
+      let half = r / n0 in
+      let children =
+        Array.init t_rank (fun tau ->
+            let enc_a =
+              Array.init (half * half) (fun idx ->
+                  let i = idx / half and j = idx mod half in
+                  let vtx = new_vertex Enc_a in
+                  Array.iteri
+                    (fun b c ->
+                      if c <> 0 then
+                        add_weighted_edge
+                          (block_entry a_in r half (b / m0) (b mod m0) i j)
+                          vtx c)
+                    u.(tau);
+                  vtx)
+            in
+            let enc_b =
+              Array.init (half * half) (fun idx ->
+                  let i = idx / half and j = idx mod half in
+                  let vtx = new_vertex Enc_b in
+                  Array.iteri
+                    (fun b c ->
+                      if c <> 0 then
+                        add_weighted_edge
+                          (block_entry b_in r half (b / k0) (b mod k0) i j)
+                          vtx c)
+                    v.(tau);
+                  vtx)
+            in
+            build_node (depth + 1) half enc_a enc_b)
+      in
+      let out = Array.make (r * r) (-1) in
+      for p = 0 to n0 - 1 do
+        for q = 0 to k0 - 1 do
+          for i = 0 to half - 1 do
+            for j = 0 to half - 1 do
+              let vtx = new_vertex Dec in
+              Array.iteri
+                (fun tau c ->
+                  if c <> 0 then
+                    add_weighted_edge
+                      (children.(tau).out.((i * half) + j))
+                      vtx c)
+                w.((p * k0) + q);
+              out.(((p * half) + i) * r + ((q * half) + j)) <- vtx
+            done
+          done
+        done
+      done;
+      let node =
+        {
+          r;
+          depth;
+          a_in;
+          b_in;
+          out;
+          subtree_lo;
+          subtree_hi = Fmm_graph.Digraph.n_vertices g - 1;
+        }
+      in
+      nodes := node :: !nodes;
+      node
+    end
+  in
+  let a_inputs = Array.init (n * n) (fun i -> new_vertex (Input_a i)) in
+  let b_inputs = Array.init (n * n) (fun i -> new_vertex (Input_b i)) in
+  let root = build_node 0 n a_inputs b_inputs in
+  {
+    graph = g;
+    roles = Fmm_util.Vec.to_array roles;
+    n;
+    base = alg;
+    a_inputs;
+    b_inputs;
+    outputs = root.out;
+    nodes = !nodes;
+    coeffs;
+  }
+
+(* --- sub-CDAG selectors (SUB_H^{r x r}) --- *)
+
+let sub_nodes t ~r = List.filter (fun nd -> nd.r = r) t.nodes
+
+(** V_out(SUB_H^{r x r}): all output vertices of size-r sub-problems.
+    Lemma 2.2: this has (n/r)^{log_{n0} t} * r^2 elements. *)
+let sub_outputs t ~r =
+  List.concat_map (fun nd -> Array.to_list nd.out) (sub_nodes t ~r)
+
+(** V_inp(SUB_H^{r x r}): the operand vertices feeding size-r
+    sub-problems (encoded block entries, or the true inputs at r = n). *)
+let sub_inputs t ~r =
+  List.concat_map
+    (fun nd -> Array.to_list nd.a_in @ Array.to_list nd.b_in)
+    (sub_nodes t ~r)
+
+(** Edge coefficient of a linear edge (None on the operand edges into
+    Mult vertices, which carry no coefficient). *)
+let edge_coeff t src dst = Hashtbl.find_opt t.coeffs (src, dst)
+
+let count_role t role_pred =
+  Array.fold_left (fun acc r -> if role_pred r then acc + 1 else acc) 0 t.roles
+
+let stats t =
+  let count p = count_role t p in
+  [
+    ("vertices", n_vertices t);
+    ("edges", n_edges t);
+    ("inputs", count (function Input_a _ | Input_b _ -> true | _ -> false));
+    ("enc_a", count (function Enc_a -> true | _ -> false));
+    ("enc_b", count (function Enc_b -> true | _ -> false));
+    ("mult", count (function Mult -> true | _ -> false));
+    ("dec", count (function Dec -> true | _ -> false));
+    ("outputs", Array.length t.outputs);
+  ]
+
+(* --- semantic evaluation --- *)
+
+module Eval (R : Fmm_ring.Sig_ring.S) = struct
+  (** Evaluate the CDAG as an arithmetic circuit: inputs from vec(A) /
+      vec(B), linear vertices sum coefficient-weighted in-edges, Mult
+      vertices multiply their two operands. Returns the values at the
+      output vertices, which must equal vec(A . B) — the integration
+      test that the graph faithfully encodes the algorithm. *)
+  let run t (a_vals : R.t array) (b_vals : R.t array) =
+    if Array.length a_vals <> t.n * t.n || Array.length b_vals <> t.n * t.n
+    then invalid_arg "Cdag.Eval.run: input length mismatch";
+    let order =
+      match Fmm_graph.Digraph.topo_sort t.graph with
+      | Some o -> o
+      | None -> failwith "Cdag.Eval.run: CDAG has a cycle"
+    in
+    let values = Array.make (n_vertices t) R.zero in
+    List.iter
+      (fun vtx ->
+        match t.roles.(vtx) with
+        | Input_a i -> values.(vtx) <- a_vals.(i)
+        | Input_b i -> values.(vtx) <- b_vals.(i)
+        | Enc_a | Enc_b | Dec ->
+          let acc = ref R.zero in
+          List.iter
+            (fun src ->
+              let c = Hashtbl.find t.coeffs (src, vtx) in
+              acc := R.add !acc (R.mul (R.of_int c) values.(src)))
+            (Fmm_graph.Digraph.in_neighbors t.graph vtx);
+          values.(vtx) <- !acc
+        | Mult -> (
+          match Fmm_graph.Digraph.in_neighbors t.graph vtx with
+          | [ x; y ] -> values.(vtx) <- R.mul values.(x) values.(y)
+          | _ -> failwith "Cdag.Eval.run: Mult vertex without 2 operands"))
+      order;
+    Array.map (fun vtx -> values.(vtx)) t.outputs
+end
+
+module Eval_q = Eval (Fmm_ring.Rat.Field)
+module Eval_int = Eval (Fmm_ring.Sig_ring.Int)
+
+let to_dot t =
+  let label v = Printf.sprintf "%d:%s" v (role_to_string t.roles.(v)) in
+  let attrs v =
+    match t.roles.(v) with
+    | Input_a _ -> "shape=box, style=filled, fillcolor=lightblue"
+    | Input_b _ -> "shape=box, style=filled, fillcolor=lightgreen"
+    | Enc_a | Enc_b -> "shape=ellipse"
+    | Mult -> "shape=diamond, style=filled, fillcolor=gold"
+    | Dec -> "shape=ellipse, style=filled, fillcolor=salmon"
+  in
+  Fmm_graph.Digraph.to_dot ~name:"H" ~label ~attrs t.graph

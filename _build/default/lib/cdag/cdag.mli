@@ -1,0 +1,80 @@
+(** The computational DAG (Definition 2.1 of the paper) of a recursive
+    bilinear algorithm: H^{n x n}. Construction mirrors the three
+    phases of each recursion step — encode (copies of the Figure 2
+    encoder graph), recurse (t sub-CDAGs, Mult vertices at the leaves),
+    decode. Every recursion node's operand/result vertex ids are kept,
+    so analyses can select V_out(SUB_H^{r x r}) and V_inp(SUB_H^{r x r})
+    for any sub-problem size r (Lemmas 2.2, 3.7, 3.11). *)
+
+type role =
+  | Input_a of int  (** index into vec(A) of the full problem *)
+  | Input_b of int
+  | Enc_a  (** encoded-operand vertex (output of an A-side encoder) *)
+  | Enc_b
+  | Mult  (** leaf scalar multiplication *)
+  | Dec  (** decoder linear-combination vertex *)
+
+val role_to_string : role -> string
+
+type node = {
+  r : int;  (** sub-problem size: multiplies two r x r blocks *)
+  depth : int;
+  a_in : int array;  (** r^2 operand vertex ids, row-major *)
+  b_in : int array;
+  out : int array;  (** r^2 result vertex ids *)
+  subtree_lo : int;
+      (** vertices allocated by this node's recursion (its encoders,
+          children, decoders — not its own operand arrays) occupy the
+          contiguous id range [subtree_lo, subtree_hi] *)
+  subtree_hi : int;
+}
+
+type t
+
+val build : Fmm_bilinear.Algorithm.t -> n:int -> t
+(** Build H^{n x n}. The base case must be square and [n] a power of
+    its dimension. *)
+
+val graph : t -> Fmm_graph.Digraph.t
+val role : t -> int -> role
+val size : t -> int
+val base_algorithm : t -> Fmm_bilinear.Algorithm.t
+val a_inputs : t -> int array
+val b_inputs : t -> int array
+val inputs : t -> int array
+val outputs : t -> int array
+val nodes : t -> node list
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val sub_nodes : t -> r:int -> node list
+
+val sub_outputs : t -> r:int -> int list
+(** V_out(SUB_H^{r x r}); Lemma 2.2: (n/r)^{log_{n0} t} r^2 elements. *)
+
+val sub_inputs : t -> r:int -> int list
+(** V_inp(SUB_H^{r x r}): the operand vertices feeding size-r
+    sub-problems. *)
+
+val edge_coeff : t -> int -> int -> int option
+(** Coefficient of a linear edge; [None] on Mult operand edges. *)
+
+val stats : t -> (string * int) list
+(** Vertex/edge censuses by role. *)
+
+(** Evaluate the CDAG as an arithmetic circuit over any ring; the
+    outputs must equal vec(A . B) — the integration test that the graph
+    faithfully encodes the algorithm. *)
+module Eval (R : Fmm_ring.Sig_ring.S) : sig
+  val run : t -> R.t array -> R.t array -> R.t array
+end
+
+module Eval_q : sig
+  val run : t -> Fmm_ring.Rat.t array -> Fmm_ring.Rat.t array -> Fmm_ring.Rat.t array
+end
+
+module Eval_int : sig
+  val run : t -> int array -> int array -> int array
+end
+
+val to_dot : t -> string

@@ -1,0 +1,64 @@
+(* Encoder and decoder bipartite graphs of a bilinear algorithm — the
+   objects of Lemmas 3.1-3.3 and Figure 2. For the A-side encoder of a
+   2x2-base algorithm, X is the 4 input arguments and Y the 7 encoded
+   operands; (x, y) is an edge iff operand y uses input x with a
+   nonzero coefficient. *)
+
+type side = A_side | B_side
+
+(** The encoder bipartite graph of [alg] for the chosen operand side.
+    X = input entries (n*m or m*k of them), Y = the t encoded operands. *)
+let encoder_bipartite (alg : Fmm_bilinear.Algorithm.t) side =
+  let rows =
+    match side with
+    | A_side -> Fmm_bilinear.Algorithm.u_matrix alg
+    | B_side -> Fmm_bilinear.Algorithm.v_matrix alg
+  in
+  let t = Array.length rows in
+  let nx = Array.length rows.(0) in
+  let edges = ref [] in
+  Array.iteri
+    (fun y row ->
+      Array.iteri (fun x c -> if c <> 0 then edges := (x, y) :: !edges) row)
+    rows;
+  Fmm_graph.Matching.make_bipartite ~nx ~ny:t !edges
+
+(** The decoder bipartite graph: X = the t products, Y = the n*k
+    outputs; (p, o) is an edge iff output o uses product p. *)
+let decoder_bipartite (alg : Fmm_bilinear.Algorithm.t) =
+  let w = Fmm_bilinear.Algorithm.w_matrix alg in
+  let ny = Array.length w in
+  let t = Array.length w.(0) in
+  let edges = ref [] in
+  Array.iteri
+    (fun o row ->
+      Array.iteri (fun p c -> if c <> 0 then edges := (p, o) :: !edges) row)
+    w;
+  (* X = products, Y = outputs: build with nx = t. *)
+  Fmm_graph.Matching.make_bipartite ~nx:t ~ny !edges
+
+(** Neighbor set of encoded operand [y] (paper's N(y)): the input
+    entries it depends on. *)
+let neighbors_of_y (g : Fmm_graph.Matching.bipartite) y =
+  let acc = ref [] in
+  Array.iteri
+    (fun x ys -> if List.mem y ys then acc := x :: !acc)
+    g.Fmm_graph.Matching.adj;
+  List.sort compare !acc
+
+(** Neighbor sets for a set of Y vertices (union). *)
+let neighbors_of_ys g ys =
+  List.sort_uniq compare (List.concat_map (fun y -> neighbors_of_y g y) ys)
+
+(** The encoder as a standalone 2-layer digraph (for DOT export /
+    Figure 2 rendering): vertex ids 0..nx-1 are X, nx..nx+ny-1 are Y. *)
+let encoder_digraph (alg : Fmm_bilinear.Algorithm.t) side =
+  let bip = encoder_bipartite alg side in
+  let g = Fmm_graph.Digraph.create () in
+  let nx = bip.Fmm_graph.Matching.nx and ny = bip.Fmm_graph.Matching.ny in
+  ignore (Fmm_graph.Digraph.add_vertices g (nx + ny));
+  Array.iteri
+    (fun x ys ->
+      List.iter (fun y -> Fmm_graph.Digraph.add_edge g x (nx + y)) ys)
+    bip.Fmm_graph.Matching.adj;
+  g

@@ -1,0 +1,1 @@
+lib/fft/butterfly.ml: Array Fmm_graph Fmm_machine Fmm_pebble Fmm_util Hashtbl List Printf

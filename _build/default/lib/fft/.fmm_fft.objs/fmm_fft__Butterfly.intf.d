@@ -1,0 +1,1 @@
+lib/fft/butterfly.mli: Fmm_graph Fmm_machine Fmm_pebble

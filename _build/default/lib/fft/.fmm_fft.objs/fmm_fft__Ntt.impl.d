@@ -1,0 +1,1 @@
+lib/fft/ntt.ml: Array Butterfly Fmm_ring Fmm_util

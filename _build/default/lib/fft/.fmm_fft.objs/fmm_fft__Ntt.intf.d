@@ -1,0 +1,1 @@
+lib/fft/ntt.mli: Butterfly

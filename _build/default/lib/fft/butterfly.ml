@@ -1,0 +1,98 @@
+(* The FFT butterfly CDAG: n = 2^l inputs, l levels, vertex (level+1, i)
+   depends on (level, i) and (level, i xor 2^level) — the dependency
+   structure of the iterative Cooley-Tukey schedule. Table I's last row
+   and the Bilardi-Scquizzato-Silvestri result [13] (recomputation does
+   not help the FFT either) concern exactly this DAG; building it lets
+   the same machine models, segment analyzers and pebblers that run on
+   matrix-multiplication CDAGs run on the FFT. *)
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  n : int;
+  levels : int;
+  layer : int array array; (* layer.(l).(i) = vertex id of (level l, index i) *)
+}
+
+let build ~n =
+  if n < 2 || not (Fmm_util.Combinat.is_power_of ~base:2 n) then
+    invalid_arg "Butterfly.build: n must be a power of two >= 2";
+  let levels = Fmm_util.Combinat.log2_exact n in
+  let g = Fmm_graph.Digraph.create ~capacity:(n * (levels + 1)) () in
+  let layer =
+    Array.init (levels + 1) (fun _ -> Fmm_graph.Digraph.add_vertices g n)
+  in
+  for l = 0 to levels - 1 do
+    let stride = 1 lsl l in
+    for i = 0 to n - 1 do
+      Fmm_graph.Digraph.add_edge g layer.(l).(i) layer.(l + 1).(i);
+      Fmm_graph.Digraph.add_edge g layer.(l).(i lxor stride) layer.(l + 1).(i)
+    done
+  done;
+  { graph = g; n; levels; layer }
+
+let inputs t = Array.copy t.layer.(0)
+let outputs t = Array.copy t.layer.(t.levels)
+let n_vertices t = Fmm_graph.Digraph.n_vertices t.graph
+
+let workload t =
+  Fmm_machine.Workload.make
+    ~name:(Printf.sprintf "FFT-%d" t.n)
+    ~graph:t.graph ~inputs:(inputs t) ~outputs:(outputs t) ()
+
+(** The natural level-by-level compute order (the iterative schedule). *)
+let level_order t =
+  List.concat_map
+    (fun l -> Array.to_list t.layer.(l))
+    (List.init t.levels (fun l -> l + 1))
+
+(** Blocked order: process [block] consecutive indices through as many
+    levels as they stay self-contained (log2 block levels), then move
+    on — the cache-friendly FFT schedule that meets the
+    n log n / log M bound. *)
+let blocked_order t ~block =
+  if not (Fmm_util.Combinat.is_power_of ~base:2 block) then
+    invalid_arg "Butterfly.blocked_order: block must be a power of two";
+  let lb = Fmm_util.Combinat.log2_exact (min block t.n) in
+  let order = ref [] in
+  let emit v = order := v :: !order in
+  (* Process levels in super-steps of lb levels; within a super-step,
+     indices sharing the same "super-block" interact only with each
+     other, so we emit them block by block. *)
+  let rec go level =
+    if level < t.levels then begin
+      let step = min lb (t.levels - level) in
+      (* within levels [level+1 .. level+step], index i interacts with
+         indices differing in bits [level .. level+step-1]. Group by the
+         other bits. *)
+      let group_of i =
+        (* clear bits level..level+step-1 *)
+        let mask = lnot (((1 lsl step) - 1) lsl level) in
+        i land mask
+      in
+      let groups = Hashtbl.create 64 in
+      for i = 0 to t.n - 1 do
+        let key = group_of i in
+        Hashtbl.replace groups key (i :: (try Hashtbl.find groups key with Not_found -> []))
+      done;
+      let keys = List.sort_uniq compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups []) in
+      List.iter
+        (fun key ->
+          let members = List.sort compare (Hashtbl.find groups key) in
+          for dl = 1 to step do
+            List.iter (fun i -> emit t.layer.(level + dl).(i)) members
+          done)
+        keys;
+      go (level + step)
+    end
+  in
+  go 0;
+  List.rev !order
+
+(** A small pebbling instance of the first [levels] levels on [n]
+    points (the full DAG exceeds the exact solver above n = 4). *)
+let pebble_game ~n ~red_limit =
+  let t = build ~n in
+  Fmm_pebble.Pebble.make ~graph:t.graph
+    ~inputs:(Array.to_list (inputs t))
+    ~outputs:(Array.to_list (outputs t))
+    ~red_limit

@@ -1,0 +1,32 @@
+(** The FFT butterfly CDAG: n = 2^l inputs, l levels, vertex
+    (level+1, i) depends on (level, i) and (level, i xor 2^level) — the
+    dependency structure behind Table I's FFT row and the
+    recomputation-proof FFT bound of [13]. *)
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  n : int;
+  levels : int;
+  layer : int array array;  (** [layer.(l).(i)] = vertex of (level l, index i) *)
+}
+
+val build : n:int -> t
+(** [n] must be a power of two, at least 2. *)
+
+val inputs : t -> int array
+val outputs : t -> int array
+val n_vertices : t -> int
+
+val workload : t -> Fmm_machine.Workload.t
+
+val level_order : t -> int list
+(** The iterative level-by-level schedule. *)
+
+val blocked_order : t -> block:int -> int list
+(** Cache-friendly schedule: [block] consecutive indices are pushed
+    through log2(block) levels before moving on — the schedule that
+    meets the n log n / log M bound. [block] must be a power of two. *)
+
+val pebble_game : n:int -> red_limit:int -> Fmm_pebble.Pebble.game
+(** A fresh n-point butterfly as a pebbling instance (n <= 4 for the
+    exact solver's vertex cap). *)

@@ -1,0 +1,147 @@
+(* Number-theoretic transform: the exact FFT over Z_p with p = 65537
+   (a Fermat prime: 2^16 | p - 1, so every power-of-two length up to
+   65536 has a principal root of unity). This is the semantic
+   counterpart of the Butterfly DAG: the butterfly structure says which
+   values flow where, the NTT computes them, and a test evaluates the
+   DAG level by level to confirm the two agree. *)
+
+module F = Fmm_ring.Zp.Z65537
+
+let modulus = 65537
+
+(* 3 is a primitive root mod 65537. *)
+let primitive_root = 3
+
+let rec pow_mod b e =
+  if e = 0 then 1
+  else begin
+    let h = pow_mod b (e / 2) in
+    let h2 = F.mul h h in
+    if e mod 2 = 0 then h2 else F.mul h2 b
+  end
+
+(** Principal [n]-th root of unity in Z_p; [n] must be a power of two
+    dividing p - 1. *)
+let root_of_unity n =
+  if not (Fmm_util.Combinat.is_power_of ~base:2 n) then
+    invalid_arg "Ntt.root_of_unity: n must be a power of two";
+  if (modulus - 1) mod n <> 0 then
+    invalid_arg "Ntt.root_of_unity: n does not divide p - 1";
+  pow_mod primitive_root ((modulus - 1) / n)
+
+(** Naive O(n^2) DFT, the reference implementation. *)
+let dft_naive a =
+  let n = Array.length a in
+  let w = root_of_unity n in
+  Array.init n (fun k ->
+      let acc = ref F.zero in
+      for j = 0 to n - 1 do
+        acc := F.add !acc (F.mul a.(j) (pow_mod w (j * k mod n)))
+      done;
+      !acc)
+
+(* bit-reverse permutation, in place *)
+let bit_reverse a =
+  let n = Array.length a in
+  let bits = Fmm_util.Combinat.log2_exact n in
+  for i = 0 to n - 1 do
+    let rec rev x acc k =
+      if k = 0 then acc else rev (x lsr 1) ((acc lsl 1) lor (x land 1)) (k - 1)
+    in
+    let j = rev i 0 bits in
+    if i < j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    end
+  done
+
+(** Iterative radix-2 Cooley-Tukey NTT (decimation in time), O(n log n).
+    Returns a fresh array. *)
+let ntt a =
+  let n = Array.length a in
+  if n = 0 || not (Fmm_util.Combinat.is_power_of ~base:2 n) then
+    invalid_arg "Ntt.ntt: length must be a power of two";
+  let out = Array.copy a in
+  bit_reverse out;
+  let len = ref 2 in
+  while !len <= n do
+    let wlen = root_of_unity !len in
+    let half = !len / 2 in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref F.one in
+      for j = 0 to half - 1 do
+        let u = out.(!i + j) in
+        let v = F.mul out.(!i + j + half) !w in
+        out.(!i + j) <- F.add u v;
+        out.(!i + j + half) <- F.sub u v;
+        w := F.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  out
+
+(** Inverse NTT: intt (ntt a) = a. *)
+let intt a =
+  let n = Array.length a in
+  let out = ntt a in
+  (* inverse = conjugate trick: reverse all but first, scale by 1/n *)
+  let rev = Array.copy out in
+  for i = 1 to n - 1 do
+    rev.(i) <- out.(n - i)
+  done;
+  let inv_n = F.inv (F.of_int n) in
+  Array.map (fun x -> F.mul x inv_n) rev
+
+(** Cyclic convolution via NTT; cross-checked against the O(n^2)
+    definition in tests. *)
+let convolve a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ntt.convolve: length mismatch";
+  let fa = ntt a and fb = ntt b in
+  intt (Array.map2 F.mul fa fb)
+
+let convolve_naive a b =
+  let n = Array.length a in
+  Array.init n (fun k ->
+      let acc = ref F.zero in
+      for j = 0 to n - 1 do
+        acc := F.add !acc (F.mul a.(j) b.((k - j + n) mod n))
+      done;
+      !acc)
+
+(** Evaluate the Butterfly DAG semantically with decimation-in-time
+    twiddles: the DAG's level-(l+1) vertex at index i combines level-l
+    values at i and i xor 2^l, exactly the DIT data flow on a
+    bit-reversed input. [evaluate_butterfly bf a] bit-reverses [a],
+    runs one pass per DAG level, and must return [ntt a] — the test
+    suite checks that identity, tying the structural DAG to the real
+    transform. *)
+let evaluate_butterfly (bf : Butterfly.t) a =
+  let n = Array.length a in
+  if n <> bf.Butterfly.n then invalid_arg "Ntt.evaluate_butterfly: size mismatch";
+  let cur = Array.copy a in
+  bit_reverse cur;
+  for l = 0 to bf.Butterfly.levels - 1 do
+    let s = 1 lsl l in
+    let len = 2 * s in
+    let wlen = root_of_unity len in
+    let next = Array.make n F.zero in
+    let b = ref 0 in
+    while !b < n do
+      let w = ref F.one in
+      for j = 0 to s - 1 do
+        let u = cur.(!b + j) in
+        let v = F.mul !w cur.(!b + j + s) in
+        next.(!b + j) <- F.add u v;
+        next.(!b + j + s) <- F.sub u v;
+        w := F.mul !w wlen
+      done;
+      b := !b + len
+    done;
+    Array.blit next 0 cur 0 n
+  done;
+  cur

@@ -1,0 +1,36 @@
+(** Number-theoretic transform over Z_65537 (a Fermat prime, so every
+    power-of-two length up to 65536 has a principal root of unity) —
+    the semantic counterpart of {!Butterfly}: the DAG says which values
+    flow where, the NTT computes them, and
+    {!evaluate_butterfly} ties the two together. *)
+
+val modulus : int
+val primitive_root : int
+
+val pow_mod : int -> int -> int
+(** Exponentiation in Z_65537. *)
+
+val root_of_unity : int -> int
+(** Principal n-th root of unity; [n] a power of two dividing p - 1. *)
+
+val dft_naive : int array -> int array
+(** O(n^2) reference DFT. *)
+
+val bit_reverse : int array -> unit
+(** In-place bit-reversal permutation (length a power of two). *)
+
+val ntt : int array -> int array
+(** Iterative radix-2 Cooley-Tukey, O(n log n); equals {!dft_naive}. *)
+
+val intt : int array -> int array
+(** Inverse: [intt (ntt a) = a]. *)
+
+val convolve : int array -> int array -> int array
+(** Cyclic convolution via NTT. *)
+
+val convolve_naive : int array -> int array -> int array
+
+val evaluate_butterfly : Butterfly.t -> int array -> int array
+(** Evaluate the butterfly DAG with decimation-in-time twiddles on a
+    bit-reversed copy of the input; returns exactly [ntt a] — the
+    structural DAG computes the real transform. *)

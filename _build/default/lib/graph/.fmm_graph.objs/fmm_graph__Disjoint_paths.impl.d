@@ -1,0 +1,1 @@
+lib/graph/disjoint_paths.ml: Array Digraph List Maxflow Vertex_cut

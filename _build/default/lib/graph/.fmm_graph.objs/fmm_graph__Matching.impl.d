@@ -1,0 +1,1 @@
+lib/graph/matching.ml: Array Fmm_util List Queue

@@ -1,0 +1,1 @@
+lib/graph/vertex_cut.ml: Array Digraph Fmm_util List Maxflow

@@ -1,0 +1,175 @@
+(* Growable directed graph with integer vertex ids. The CDAG builder
+   adds vertices during recursive construction, so the structure is
+   append-only: vertices are never removed (analyses that need vertex
+   deletion work on masks instead, see Dominator). *)
+
+type t = {
+  mutable n : int;
+  mutable out_adj : int list array;
+  mutable in_adj : int list array;
+  mutable n_edges : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { n = 0; out_adj = Array.make capacity []; in_adj = Array.make capacity []; n_edges = 0 }
+
+let n_vertices g = g.n
+let n_edges g = g.n_edges
+
+let ensure_capacity g needed =
+  let cap = Array.length g.out_adj in
+  if needed > cap then begin
+    let new_cap = max needed (2 * cap) in
+    let grow arr =
+      let a = Array.make new_cap [] in
+      Array.blit arr 0 a 0 g.n;
+      a
+    in
+    g.out_adj <- grow g.out_adj;
+    g.in_adj <- grow g.in_adj
+  end
+
+let add_vertex g =
+  ensure_capacity g (g.n + 1);
+  let id = g.n in
+  g.n <- g.n + 1;
+  id
+
+let add_vertices g count = Array.init count (fun _ -> add_vertex g)
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Digraph: vertex id out of range"
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  g.out_adj.(u) <- v :: g.out_adj.(u);
+  g.in_adj.(v) <- u :: g.in_adj.(v);
+  g.n_edges <- g.n_edges + 1
+
+let out_neighbors g v =
+  check_vertex g v;
+  g.out_adj.(v)
+
+let in_neighbors g v =
+  check_vertex g v;
+  g.in_adj.(v)
+
+let out_degree g v = List.length (out_neighbors g v)
+let in_degree g v = List.length (in_neighbors g v)
+
+let sources g =
+  List.filter (fun v -> g.in_adj.(v) = []) (List.init g.n (fun i -> i))
+
+let sinks g =
+  List.filter (fun v -> g.out_adj.(v) = []) (List.init g.n (fun i -> i))
+
+(** Kahn topological sort; returns [None] if the graph has a cycle. *)
+let topo_sort g =
+  let indeg = Array.init g.n (fun v -> in_degree g v) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr seen;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      g.out_adj.(v)
+  done;
+  if !seen = g.n then Some (List.rev !order) else None
+
+let is_dag g = topo_sort g <> None
+
+(** Forward BFS from a seed set; [blocked v = true] vertices are
+    impassable (they are neither visited nor traversed). Returns the
+    visited mask. *)
+let reachable ?(blocked = fun _ -> false) g seeds =
+  let visited = Array.make (max g.n 1) false in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      check_vertex g s;
+      if (not (blocked s)) && not visited.(s) then begin
+        visited.(s) <- true;
+        Queue.add s queue
+      end)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if (not visited.(w)) && not (blocked w) then begin
+          visited.(w) <- true;
+          Queue.add w queue
+        end)
+      g.out_adj.(v)
+  done;
+  visited
+
+(** Backward BFS (following in-edges). *)
+let coreachable ?(blocked = fun _ -> false) g seeds =
+  let visited = Array.make (max g.n 1) false in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      check_vertex g s;
+      if (not (blocked s)) && not visited.(s) then begin
+        visited.(s) <- true;
+        Queue.add s queue
+      end)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if (not visited.(w)) && not (blocked w) then begin
+          visited.(w) <- true;
+          Queue.add w queue
+        end)
+      g.in_adj.(v)
+  done;
+  visited
+
+(** Does any path exist from a seed to a target, avoiding blocked
+    vertices? *)
+let has_path ?(blocked = fun _ -> false) g ~from_ ~to_ =
+  let visited = reachable ~blocked g from_ in
+  List.exists (fun t -> t < g.n && visited.(t)) to_
+
+(** Longest path length (edge count) in a DAG; raises on cyclic input. *)
+let longest_path_length g =
+  match topo_sort g with
+  | None -> invalid_arg "Digraph.longest_path_length: not a DAG"
+  | Some order ->
+    let dist = Array.make (max g.n 1) 0 in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun w -> if dist.(v) + 1 > dist.(w) then dist.(w) <- dist.(v) + 1)
+          g.out_adj.(v))
+      order;
+    Array.fold_left max 0 dist
+
+(** Graphviz export. [label] and [attrs] customize vertex rendering. *)
+let to_dot ?(name = "G") ?(label = string_of_int) ?(attrs = fun _ -> "") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  for v = 0 to g.n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  v%d [label=\"%s\"%s];\n" v (label v)
+         (let a = attrs v in
+          if a = "" then "" else ", " ^ a))
+  done;
+  for v = 0 to g.n - 1 do
+    List.iter
+      (fun w -> Buffer.add_string buf (Printf.sprintf "  v%d -> v%d;\n" v w))
+      g.out_adj.(v)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

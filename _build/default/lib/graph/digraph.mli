@@ -1,0 +1,53 @@
+(** Growable directed graphs with integer vertex ids — the substrate
+    for CDAGs, encoder graphs and pebbling instances. Vertices are
+    append-only; analyses that need deletion work on blocked-vertex
+    masks instead. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val add_vertex : t -> int
+(** Returns the new vertex's id (ids are consecutive from 0). *)
+
+val add_vertices : t -> int -> int array
+(** [add_vertices g k] adds [k] vertices and returns their ids. *)
+
+val add_edge : t -> int -> int -> unit
+(** Raises [Invalid_argument] on out-of-range ids. Parallel edges are
+    permitted (the CDAG builder never creates them). *)
+
+val out_neighbors : t -> int -> int list
+val in_neighbors : t -> int -> int list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val sources : t -> int list
+(** Vertices with no in-edges. *)
+
+val sinks : t -> int list
+
+val topo_sort : t -> int list option
+(** Kahn's algorithm; [None] iff the graph has a cycle. *)
+
+val is_dag : t -> bool
+
+val reachable : ?blocked:(int -> bool) -> t -> int list -> bool array
+(** Forward BFS from a seed set; [blocked] vertices are impassable
+    (neither visited nor traversed). *)
+
+val coreachable : ?blocked:(int -> bool) -> t -> int list -> bool array
+(** Backward BFS (following in-edges). *)
+
+val has_path : ?blocked:(int -> bool) -> t -> from_:int list -> to_:int list -> bool
+
+val longest_path_length : t -> int
+(** Edge count of a longest path. Raises [Invalid_argument] on cyclic
+    input. *)
+
+val to_dot :
+  ?name:string -> ?label:(int -> string) -> ?attrs:(int -> string) -> t -> string
+(** Graphviz export; [attrs v] is spliced into vertex [v]'s attribute
+    list. *)

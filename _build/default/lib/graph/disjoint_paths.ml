@@ -1,0 +1,45 @@
+(* Maximum sets of vertex-disjoint paths (Menger's theorem), used by
+   the Figure 3 / Lemma 3.11 experiments: the lemma asserts that at
+   least 2r*sqrt(|Z| - 2|Gamma|) vertex-disjoint paths connect the
+   inputs of H^{n x n} to intermediate inputs, avoiding Gamma. We
+   compute the true maximum with a unit-vertex-capacity max-flow and
+   compare it against the bound. *)
+
+type spec = {
+  sources : int list;
+  targets : int list;
+  forbidden : int list; (* vertices paths must avoid (the Gamma set) *)
+}
+
+(** Maximum number of vertex-disjoint source->target paths avoiding the
+    forbidden set. Disjointness includes endpoints: each source/target
+    carries capacity 1 as well, matching the paper's usage where the
+    paths must be disjoint also at their ends. *)
+let max_disjoint_paths (g : Digraph.t) { sources; targets; forbidden } =
+  let n = Digraph.n_vertices g in
+  if sources = [] || targets = [] then 0
+  else begin
+    let banned = Array.make (max n 1) false in
+    List.iter (fun v -> banned.(v) <- true) forbidden;
+    let f = Maxflow.create ((2 * n) + 2) in
+    let super_source = 2 * n and super_sink = (2 * n) + 1 in
+    for v = 0 to n - 1 do
+      if not banned.(v) then Maxflow.add_edge f (2 * v) ((2 * v) + 1) 1
+    done;
+    for v = 0 to n - 1 do
+      if not banned.(v) then
+        List.iter
+          (fun w ->
+            if not banned.(w) then
+              Maxflow.add_edge f ((2 * v) + 1) (2 * w) Vertex_cut.inf_cap)
+          (Digraph.out_neighbors g v)
+    done;
+    List.iter
+      (fun s -> if not banned.(s) then Maxflow.add_edge f super_source (2 * s) 1)
+      sources;
+    List.iter
+      (fun t ->
+        if not banned.(t) then Maxflow.add_edge f ((2 * t) + 1) super_sink 1)
+      targets;
+    Maxflow.max_flow f ~source:super_source ~sink:super_sink
+  end

@@ -1,0 +1,12 @@
+(** Maximum vertex-disjoint path counts (Menger), for the Figure 3 /
+    Lemma 3.11 experiments. *)
+
+type spec = {
+  sources : int list;
+  targets : int list;
+  forbidden : int list;  (** vertices paths must avoid (the Gamma set) *)
+}
+
+val max_disjoint_paths : Digraph.t -> spec -> int
+(** Maximum number of vertex-disjoint source-to-target paths avoiding
+    the forbidden set. Disjointness includes endpoints. *)

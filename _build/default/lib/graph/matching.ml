@@ -1,0 +1,142 @@
+(* Maximum bipartite matching. The lemma engine evaluates Lemma 3.1 by
+   computing, for every subset Y' of encoder outputs, the maximum
+   matching between Y' and the inputs X — Hopcroft-Karp is overkill for
+   |Y| = 7 graphs but the same code runs the scaled experiments on
+   Kronecker powers of encoders where X and Y have thousands of
+   vertices. A brute-force augmenting-path matcher cross-validates it
+   in the test suite. *)
+
+type bipartite = {
+  nx : int;
+  ny : int;
+  adj : int list array; (* adj.(x) = neighbors of x in Y *)
+}
+
+let make_bipartite ~nx ~ny edges =
+  let adj = Array.make (max nx 1) [] in
+  List.iter
+    (fun (x, y) ->
+      if x < 0 || x >= nx || y < 0 || y >= ny then
+        invalid_arg "Matching.make_bipartite: endpoint out of range";
+      adj.(x) <- y :: adj.(x))
+    edges;
+  { nx; ny; adj }
+
+(** Restrict to subsets of each side (ids keep their original values). *)
+let restrict g ~xs ~ys =
+  let x_ok = Array.make g.nx false and y_ok = Array.make g.ny false in
+  List.iter (fun x -> x_ok.(x) <- true) xs;
+  List.iter (fun y -> y_ok.(y) <- true) ys;
+  let adj =
+    Array.init g.nx (fun x ->
+        if x_ok.(x) then List.filter (fun y -> y_ok.(y)) g.adj.(x) else [])
+  in
+  { g with adj }
+
+let infinity_dist = max_int
+
+(** Hopcroft-Karp. Returns (size, match_x, match_y) where
+    match_x.(x) = matched y or -1. *)
+let hopcroft_karp g =
+  let match_x = Array.make (max g.nx 1) (-1) in
+  let match_y = Array.make (max g.ny 1) (-1) in
+  let dist = Array.make (max g.nx 1) infinity_dist in
+  let bfs () =
+    let queue = Queue.create () in
+    for x = 0 to g.nx - 1 do
+      if match_x.(x) = -1 then begin
+        dist.(x) <- 0;
+        Queue.add x queue
+      end
+      else dist.(x) <- infinity_dist
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun y ->
+          match match_y.(y) with
+          | -1 -> found := true
+          | x' ->
+            if dist.(x') = infinity_dist then begin
+              dist.(x') <- dist.(x) + 1;
+              Queue.add x' queue
+            end)
+        g.adj.(x)
+    done;
+    !found
+  in
+  let rec dfs x =
+    let rec try_neighbors = function
+      | [] ->
+        dist.(x) <- infinity_dist;
+        false
+      | y :: rest ->
+        let advance =
+          match match_y.(y) with
+          | -1 -> true
+          | x' -> dist.(x') = dist.(x) + 1 && dfs x'
+        in
+        if advance then begin
+          match_x.(x) <- y;
+          match_y.(y) <- x;
+          true
+        end
+        else try_neighbors rest
+    in
+    try_neighbors g.adj.(x)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for x = 0 to g.nx - 1 do
+      if match_x.(x) = -1 && dfs x then incr size
+    done
+  done;
+  (!size, match_x, match_y)
+
+let max_matching_size g =
+  let size, _, _ = hopcroft_karp g in
+  size
+
+(** Simple augmenting-path matcher (Kuhn); O(V*E). Used to
+    cross-validate Hopcroft-Karp in tests. *)
+let kuhn g =
+  let match_y = Array.make (max g.ny 1) (-1) in
+  let size = ref 0 in
+  for x = 0 to g.nx - 1 do
+    let visited = Array.make (max g.ny 1) false in
+    let rec augment x =
+      List.exists
+        (fun y ->
+          if visited.(y) then false
+          else begin
+            visited.(y) <- true;
+            if match_y.(y) = -1 || augment match_y.(y) then begin
+              match_y.(y) <- x;
+              true
+            end
+            else false
+          end)
+        g.adj.(x)
+    in
+    if augment x then incr size
+  done;
+  !size
+
+(** Neighborhood of a set of X vertices. *)
+let neighbors_of_xs g xs =
+  List.sort_uniq compare (List.concat_map (fun x -> g.adj.(x)) xs)
+
+(** Hall violation witness: a subset W of [xs] with |N(W)| < |W|, if one
+    exists (exhaustive; only for small |xs|). *)
+let hall_violation g xs =
+  let n = List.length xs in
+  if n > 20 then invalid_arg "Matching.hall_violation: set too large";
+  let arr = Array.of_list xs in
+  let subsets = Fmm_util.Combinat.nonempty_subsets n in
+  List.find_map
+    (fun idxs ->
+      let w = List.map (fun i -> arr.(i)) idxs in
+      let nbrs = neighbors_of_xs g w in
+      if List.length nbrs < List.length w then Some (w, nbrs) else None)
+    subsets

@@ -1,0 +1,34 @@
+(** Maximum bipartite matching (Hopcroft-Karp), the engine behind the
+    exhaustive Lemma 3.1 checks: for every subset Y' of encoder outputs
+    the maximum matching against the inputs X must reach
+    1 + ceil((|Y'|-1)/2). *)
+
+type bipartite = {
+  nx : int;
+  ny : int;
+  adj : int list array;  (** [adj.(x)] = neighbors of [x] in Y. *)
+}
+
+val make_bipartite : nx:int -> ny:int -> (int * int) list -> bipartite
+(** From an edge list; raises [Invalid_argument] on out-of-range
+    endpoints. *)
+
+val restrict : bipartite -> xs:int list -> ys:int list -> bipartite
+(** Keep only the given vertices on each side (ids are preserved). *)
+
+val hopcroft_karp : bipartite -> int * int array * int array
+(** [(size, match_x, match_y)] with [match_x.(x)] the matched [y] or
+    [-1]. O(E sqrt V). *)
+
+val max_matching_size : bipartite -> int
+
+val kuhn : bipartite -> int
+(** Simple augmenting-path matcher, O(V E); cross-validates
+    {!hopcroft_karp} in the tests. *)
+
+val neighbors_of_xs : bipartite -> int list -> int list
+(** Sorted union of neighborhoods. *)
+
+val hall_violation : bipartite -> int list -> (int list * int list) option
+(** A witness subset [W] of the given X vertices with [|N(W)| < |W|],
+    if one exists (exhaustive; raises beyond 20 vertices). *)

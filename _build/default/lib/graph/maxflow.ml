@@ -1,0 +1,132 @@
+(* Dinic's maximum-flow algorithm on integer capacities. Two uses in
+   this repo: maximum vertex-disjoint path counts (Menger / Lemma 3.11
+   experiments) and exact minimum dominator sets (Lemma 3.7) via the
+   vertex-splitting reduction in [Vertex_cut]. *)
+
+type edge = { dst : int; mutable cap : int; (* residual capacity *) rev : int }
+
+type graph = {
+  mutable size : int;
+  mutable out_edges : edge array array; (* filled at freeze time *)
+  pending : (int * int * int) list ref; (* u, v, cap *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Maxflow.create: negative size";
+  { size = n; out_edges = [||]; pending = ref [] }
+
+let add_vertex g =
+  let id = g.size in
+  g.size <- g.size + 1;
+  id
+
+let add_edge g u v cap =
+  if u < 0 || u >= g.size || v < 0 || v >= g.size then
+    invalid_arg "Maxflow.add_edge: vertex out of range";
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  g.pending := (u, v, cap) :: !(g.pending)
+
+(* Build the residual structure: forward edge with capacity, backward
+   with 0, each knowing the index of its reverse. *)
+let freeze g =
+  let counts = Array.make (max g.size 1) 0 in
+  List.iter
+    (fun (u, v, _) ->
+      counts.(u) <- counts.(u) + 1;
+      counts.(v) <- counts.(v) + 1)
+    !(g.pending);
+  let arrs =
+    Array.init (max g.size 1) (fun v ->
+        Array.make counts.(v) { dst = -1; cap = 0; rev = -1 })
+  in
+  let fill = Array.make (max g.size 1) 0 in
+  List.iter
+    (fun (u, v, cap) ->
+      let iu = fill.(u) and iv = fill.(v) in
+      arrs.(u).(iu) <- { dst = v; cap; rev = iv };
+      arrs.(v).(iv) <- { dst = u; cap = 0; rev = iu };
+      fill.(u) <- iu + 1;
+      fill.(v) <- iv + 1)
+    !(g.pending);
+  g.out_edges <- arrs
+
+let max_flow g ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  freeze g;
+  let n = max g.size 1 in
+  let level = Array.make n (-1) in
+  let iter = Array.make n 0 in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    let queue = Queue.create () in
+    level.(source) <- 0;
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun e ->
+          if e.cap > 0 && level.(e.dst) < 0 then begin
+            level.(e.dst) <- level.(v) + 1;
+            Queue.add e.dst queue
+          end)
+        g.out_edges.(v)
+    done;
+    level.(sink) >= 0
+  in
+  let rec dfs v pushed =
+    if v = sink then pushed
+    else begin
+      let result = ref 0 in
+      (try
+         while iter.(v) < Array.length g.out_edges.(v) do
+           let e = g.out_edges.(v).(iter.(v)) in
+           if e.cap > 0 && level.(e.dst) = level.(v) + 1 then begin
+             let d = dfs e.dst (min pushed e.cap) in
+             if d > 0 then begin
+               e.cap <- e.cap - d;
+               let back = g.out_edges.(e.dst).(e.rev) in
+               back.cap <- back.cap + d;
+               result := d;
+               raise Exit
+             end
+             else iter.(v) <- iter.(v) + 1
+           end
+           else iter.(v) <- iter.(v) + 1
+         done
+       with Exit -> ());
+      !result
+    end
+  in
+  let flow = ref 0 in
+  while bfs () do
+    Array.fill iter 0 n 0;
+    let rec push () =
+      let d = dfs source max_int in
+      if d > 0 then begin
+        flow := !flow + d;
+        push ()
+      end
+    in
+    push ()
+  done;
+  !flow
+
+(** Vertices on the source side of the min cut after [max_flow]
+    (residual reachability). Must be called after [max_flow]. *)
+let min_cut_source_side g ~source =
+  let n = max g.size 1 in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(source) <- true;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun e ->
+        if e.cap > 0 && not visited.(e.dst) then begin
+          visited.(e.dst) <- true;
+          Queue.add e.dst queue
+        end)
+      g.out_edges.(v)
+  done;
+  visited

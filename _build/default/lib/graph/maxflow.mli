@@ -1,0 +1,19 @@
+(** Dinic's maximum-flow algorithm on integer capacities. Used through
+    {!Vertex_cut} (exact minimum dominator sets, Lemma 3.7) and
+    {!Disjoint_paths} (Menger path counts, Lemma 3.11). *)
+
+type graph
+
+val create : int -> graph
+(** [create n] with vertices [0..n-1]. *)
+
+val add_vertex : graph -> int
+val add_edge : graph -> int -> int -> int -> unit
+(** [add_edge g u v cap]. Raises on bad ids or negative capacity. *)
+
+val max_flow : graph -> source:int -> sink:int -> int
+(** Computes the max flow; the graph's residual state is left in place
+    for {!min_cut_source_side}. Raises if [source = sink]. *)
+
+val min_cut_source_side : graph -> source:int -> bool array
+(** After {!max_flow}: the residual-reachable side of the minimum cut. *)

@@ -1,0 +1,30 @@
+(** Exact minimum dominator sets (Definition 2.3 of the paper) via the
+    split-vertex min-cut reduction: every vertex gets capacity 1
+    (endpoints included, as the paper allows Gamma to contain inputs or
+    members of V' itself), so by Menger duality the minimum dominator
+    equals the maximum number of fully vertex-disjoint input-to-target
+    paths. *)
+
+val inf_cap : int
+
+type result = {
+  size : int;  (** minimum dominator size *)
+  cut : int list;  (** a witness minimum dominator set *)
+}
+
+val min_dominator : Digraph.t -> sources:int list -> targets:int list -> result
+(** Exact, polynomial (one Dinic run). *)
+
+val is_dominator :
+  Digraph.t -> sources:int list -> targets:int list -> gamma:int list -> bool
+(** Direct check: no source-to-target path avoids [gamma]. *)
+
+val min_dominator_brute :
+  Digraph.t ->
+  sources:int list ->
+  targets:int list ->
+  candidates:int list ->
+  int list option
+(** Exhaustive search over subsets of [candidates] by increasing size;
+    exponential — used to cross-validate {!min_dominator} in tests.
+    Raises beyond 20 candidates. *)

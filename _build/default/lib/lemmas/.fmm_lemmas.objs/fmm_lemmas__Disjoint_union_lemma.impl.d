@@ -1,0 +1,1 @@
+lib/lemmas/disjoint_union_lemma.ml: Array Fmm_cdag Fmm_graph Fmm_util List

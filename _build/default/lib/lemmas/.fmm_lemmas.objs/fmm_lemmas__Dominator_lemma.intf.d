@@ -1,0 +1,1 @@
+lib/lemmas/dominator_lemma.mli: Fmm_cdag

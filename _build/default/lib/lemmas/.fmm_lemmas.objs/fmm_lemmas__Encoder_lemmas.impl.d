@@ -1,0 +1,1 @@
+lib/lemmas/encoder_lemmas.ml: Array Fmm_bilinear Fmm_cdag Fmm_graph Fmm_util List Printf String

@@ -1,0 +1,1 @@
+lib/lemmas/encoder_lemmas.mli: Fmm_bilinear Fmm_graph

@@ -1,0 +1,1 @@
+lib/lemmas/engine.ml: Dominator_lemma Encoder_lemmas Fmm_bilinear Fmm_cdag Fmm_util Format Hopcroft_kerr List Paths_lemma

@@ -1,0 +1,1 @@
+lib/lemmas/engine.mli: Dominator_lemma Encoder_lemmas Fmm_bilinear Format Hopcroft_kerr Paths_lemma

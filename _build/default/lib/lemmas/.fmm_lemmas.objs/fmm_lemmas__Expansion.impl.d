@@ -1,0 +1,1 @@
+lib/lemmas/expansion.ml: Array Encoder_lemmas Fmm_bilinear Fmm_cdag Fmm_graph Fmm_util List

@@ -1,0 +1,1 @@
+lib/lemmas/expansion.mli: Fmm_bilinear Fmm_cdag Fmm_graph

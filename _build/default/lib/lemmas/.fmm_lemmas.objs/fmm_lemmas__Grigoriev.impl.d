@@ -1,0 +1,1 @@
+lib/lemmas/grigoriev.ml: Array Fmm_matrix Fmm_ring Fmm_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/lemmas/grigoriev.mli: Fmm_ring Fmm_util

@@ -1,0 +1,1 @@
+lib/lemmas/hopcroft_kerr.ml: Array Fmm_bilinear Fmm_matrix Fmm_ring Fmm_util List

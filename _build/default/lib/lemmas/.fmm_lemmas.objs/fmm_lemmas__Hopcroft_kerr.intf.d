@@ -1,0 +1,1 @@
+lib/lemmas/hopcroft_kerr.mli: Fmm_bilinear

@@ -1,0 +1,1 @@
+lib/lemmas/paths_lemma.ml: Array Fmm_cdag Fmm_graph Fmm_util List

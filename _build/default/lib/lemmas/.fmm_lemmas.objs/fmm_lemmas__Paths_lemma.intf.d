@@ -1,0 +1,1 @@
+lib/lemmas/paths_lemma.mli: Fmm_cdag

@@ -1,0 +1,92 @@
+(* Lemma 3.10: let G^{q,n x n} be q vertex-disjoint CDAGs each computing
+   an n x n matrix product. For any vertex subset Gamma and output
+   subset O' with |Gamma| <= |O'| / 2, the set I' of input vertices NOT
+   dominated by Gamma (inputs from which some O' vertex is reachable
+   avoiding Gamma) satisfies
+
+       |I'| >= 2 n sqrt(|O'| - 2 |Gamma|).
+
+   We check this on explicit disjoint unions of H^{n x n} instances:
+   build q copies, sample O' and Gamma, compute I' by blocked backward
+   reachability, compare with the bound. *)
+
+module Cd = Fmm_cdag.Cdag
+module D = Fmm_graph.Digraph
+module P = Fmm_util.Prng
+
+type union_graph = {
+  graph : D.t;
+  q : int;
+  n : int;
+  inputs : int list;
+  outputs : int list;
+}
+
+(** [build_union alg ~n ~q]: q vertex-disjoint copies of H^{n x n}. *)
+let build_union alg ~n ~q =
+  if q < 1 then invalid_arg "Disjoint_union_lemma.build_union: q < 1";
+  let proto = Cd.build alg ~n in
+  let size = Cd.n_vertices proto in
+  let g = D.create ~capacity:(q * size) () in
+  let inputs = ref [] and outputs = ref [] in
+  for copy = 0 to q - 1 do
+    let offset = copy * size in
+    ignore (D.add_vertices g size);
+    for v = 0 to size - 1 do
+      List.iter
+        (fun w -> D.add_edge g (offset + v) (offset + w))
+        (D.out_neighbors (Cd.graph proto) v)
+    done;
+    Array.iter (fun v -> inputs := (offset + v) :: !inputs) (Cd.inputs proto);
+    Array.iter (fun v -> outputs := (offset + v) :: !outputs) (Cd.outputs proto)
+  done;
+  { graph = g; q; n; inputs = List.rev !inputs; outputs = List.rev !outputs }
+
+type sample_result = {
+  o_size : int;
+  gamma_size : int;
+  undominated_inputs : int;
+  bound : float;
+  holds : bool;
+}
+
+(** Sample O' and Gamma and check the Lemma 3.10 inequality. *)
+let sample u ~o_size ~gamma_size ~seed =
+  if 2 * gamma_size > o_size then
+    invalid_arg "Disjoint_union_lemma.sample: need |O'| >= 2 |Gamma|";
+  let rng = P.create ~seed in
+  let outputs = Array.of_list u.outputs in
+  if Array.length outputs < o_size then
+    invalid_arg "Disjoint_union_lemma.sample: not enough outputs";
+  let o' =
+    List.map (fun i -> outputs.(i)) (P.sample rng o_size (Array.length outputs))
+  in
+  (* Gamma from the non-input vertices (inputs in Gamma would be a
+     different, weaker experiment). *)
+  let is_inp = Array.make (D.n_vertices u.graph) false in
+  List.iter (fun v -> is_inp.(v) <- true) u.inputs;
+  let candidates =
+    List.filter (fun v -> not is_inp.(v)) (List.init (D.n_vertices u.graph) (fun i -> i))
+  in
+  let cand = Array.of_list candidates in
+  let gamma =
+    List.map (fun i -> cand.(i)) (P.sample rng gamma_size (Array.length cand))
+  in
+  let in_gamma = Array.make (D.n_vertices u.graph) false in
+  List.iter (fun v -> in_gamma.(v) <- true) gamma;
+  (* I' = inputs from which O' is reachable avoiding Gamma: backward
+     reachability from O' with Gamma blocked, intersected with inputs. *)
+  let reach = D.coreachable u.graph o' ~blocked:(fun v -> in_gamma.(v)) in
+  let undominated = List.filter (fun v -> reach.(v)) u.inputs in
+  let bound =
+    2. *. float_of_int u.n *. sqrt (float_of_int (o_size - (2 * gamma_size)))
+  in
+  {
+    o_size;
+    gamma_size;
+    undominated_inputs = List.length undominated;
+    bound;
+    holds = float_of_int (List.length undominated) >= bound;
+  }
+
+let all_hold results = List.for_all (fun s -> s.holds) results

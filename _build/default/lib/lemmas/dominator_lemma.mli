@@ -1,0 +1,24 @@
+(** Lemma 3.7, verified exactly: every dominator set of a size-r^2
+    subset Z of V_out(SUB_H^{r x r}) has >= |Z|/2 vertices. The minimum
+    dominator is computed exactly by max-flow
+    ({!Fmm_graph.Vertex_cut.min_dominator}). *)
+
+type sample_result = {
+  r : int;
+  z_size : int;
+  min_dominator : int;
+  bound : int;
+  holds : bool;  (** 2 * min_dominator >= |Z| *)
+}
+
+val sample_min_dominators :
+  Fmm_cdag.Cdag.t -> r:int -> trials:int -> seed:int -> sample_result list
+(** Random Z subsets of size r^2. Raises when the CDAG has fewer than
+    r^2 size-r sub-outputs. *)
+
+val per_subproblem_min_dominators :
+  Fmm_cdag.Cdag.t -> r:int -> sample_result list
+(** The extremal natural choice: Z = the full output set of each size-r
+    sub-CDAG. *)
+
+val all_hold : sample_result list -> bool

@@ -1,0 +1,40 @@
+(** Machine checks of the paper's encoder-graph lemmas (Section III).
+    For a 2x2-base algorithm each lemma is a finite statement about a
+    bipartite graph with |X| = 4, |Y| = 7 — exhaustive enumeration over
+    all 127 output subsets {e is} a proof for that concrete algorithm. *)
+
+type check_result = {
+  lemma : string;
+  algorithm : string;
+  holds : bool;
+  detail : string;  (** a certificate or a violation witness *)
+}
+
+val matching_bound : int -> int
+(** The Lemma 3.1 bound 1 + ceil((k-1)/2) for a subset of size [k]. *)
+
+val check_lemma_3_1 : ?name:string -> Fmm_graph.Matching.bipartite -> check_result
+(** Exhaustive: max matching of the restriction to every nonempty Y'
+    must reach {!matching_bound}. *)
+
+val check_lemma_3_2 : ?name:string -> Fmm_graph.Matching.bipartite -> check_result
+(** Every input has >= 2 neighbors; every input pair >= 4. *)
+
+val check_lemma_3_3 : ?name:string -> Fmm_graph.Matching.bipartite -> check_result
+(** No two encoded operands share a neighbor set. *)
+
+val check_neighbor_count_bound :
+  ?name:string -> Fmm_graph.Matching.bipartite -> check_result
+(** The Hall-condition route of the paper's proof: |N(Y')| >=
+    {!matching_bound} |Y'| for all Y'. Equivalent to {!check_lemma_3_1}
+    by Hall's theorem — checking both guards the implementation. *)
+
+val check_lemma_3_1_sampled :
+  ?name:string -> trials:int -> seed:int -> Fmm_graph.Matching.bipartite -> check_result
+(** Random-subset variant for encoders too large to enumerate. *)
+
+val check_algorithm : Fmm_bilinear.Algorithm.t -> check_result list
+(** The full battery on both operand sides; empty for non-2x2 bases
+    (the lemmas are tuned to |X| = 4, |Y| = 7). *)
+
+val all_hold : check_result list -> bool

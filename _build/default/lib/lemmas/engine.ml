@@ -1,0 +1,135 @@
+(* Orchestrates the full lemma battery for one algorithm and produces a
+   printable report — the machine-checked analogue of Section III for
+   each concrete 2x2-base algorithm (and any other square base). Used
+   by the fig2_encoder bench, the `fmmlab verify` CLI command, and the
+   lemma_tour example. *)
+
+type report = {
+  algorithm : string;
+  encoder_checks : Encoder_lemmas.check_result list;
+  hk_checks : Hopcroft_kerr.check list;
+  brent_ok : bool;
+  all_ok : bool;
+}
+
+let check_algorithm alg =
+  let encoder_checks = Encoder_lemmas.check_algorithm alg in
+  (* The Hopcroft-Kerr forbidden sets are linear forms over a 2x2
+     operand; they only apply to 2x2-base algorithms. *)
+  let hk_checks =
+    match Fmm_bilinear.Algorithm.dims alg with
+    | 2, 2, 2 -> Hopcroft_kerr.check_algorithm alg
+    | _ -> []
+  in
+  let brent_ok = Fmm_bilinear.Algorithm.verify_brent alg in
+  {
+    algorithm = Fmm_bilinear.Algorithm.name alg;
+    encoder_checks;
+    hk_checks;
+    brent_ok;
+    all_ok =
+      brent_ok
+      && Encoder_lemmas.all_hold encoder_checks
+      && Hopcroft_kerr.all_ok hk_checks;
+  }
+
+(* --- deep checks: the CDAG-level lemmas on a concrete H^{n x n} --- *)
+
+type deep_report = {
+  base : report;
+  n : int;
+  lemma_2_2_ok : bool;
+  lemma_3_7 : Dominator_lemma.sample_result list;
+  lemma_3_11 : Paths_lemma.sample_result list;
+  deep_ok : bool;
+}
+
+(** Extended battery: build H^{n x n} and sample the dominator and
+    disjoint-path lemmas on it (exact max-flow computations), plus the
+    Lemma 2.2 census. Heavier than [check_algorithm]; n = 4 is
+    instant, n = 8 takes seconds. *)
+let deep_check_algorithm ?(n = 4) ?(trials = 5) ?(seed = 7) alg =
+  let base = check_algorithm alg in
+  let cdag = Fmm_cdag.Cdag.build alg ~n in
+  let n0, _, _ = Fmm_bilinear.Algorithm.dims alg in
+  let t_rank = Fmm_bilinear.Algorithm.rank alg in
+  let levels =
+    let rec go x acc = if x = 1 then acc else go (x / n0) (acc + 1) in
+    go n 0
+  in
+  let lemma_2_2_ok =
+    List.for_all
+      (fun j ->
+        let r = Fmm_util.Combinat.pow_int n0 j in
+        List.length (Fmm_cdag.Cdag.sub_outputs cdag ~r)
+        = Fmm_util.Combinat.pow_int t_rank (levels - j) * r * r)
+      (List.init (levels + 1) (fun j -> j))
+  in
+  let lemma_3_7 =
+    List.concat_map
+      (fun r -> Dominator_lemma.sample_min_dominators cdag ~r ~trials ~seed)
+      [ n0; n ]
+  in
+  let lemma_3_11 =
+    List.map
+      (fun (z, g) -> Paths_lemma.sample cdag ~r:n0 ~z_size:z ~gamma_size:g ~seed)
+      [ (n0 * n0, 0); (2 * n0 * n0, n0 * n0 / 2) ]
+  in
+  {
+    base;
+    n;
+    lemma_2_2_ok;
+    lemma_3_7;
+    lemma_3_11;
+    deep_ok =
+      base.all_ok && lemma_2_2_ok
+      && Dominator_lemma.all_hold lemma_3_7
+      && Paths_lemma.all_hold lemma_3_11;
+  }
+
+
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>algorithm: %s@," r.algorithm;
+  Format.fprintf fmt "  Brent equations: %s@," (if r.brent_ok then "ok" else "FAIL");
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  Lemma %-14s [%s] %s (%s)@," c.Encoder_lemmas.lemma
+        (if c.Encoder_lemmas.holds then "ok" else "FAIL")
+        c.Encoder_lemmas.algorithm c.Encoder_lemmas.detail)
+    r.encoder_checks;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  Hopcroft-Kerr %-7s [%s] %d operand(s), max %d@,"
+        c.Hopcroft_kerr.set_name
+        (if c.Hopcroft_kerr.ok then "ok" else "FAIL")
+        c.Hopcroft_kerr.count c.Hopcroft_kerr.max_allowed)
+    r.hk_checks;
+  Format.fprintf fmt "  overall: %s@]" (if r.all_ok then "ALL OK" else "FAILURES")
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+let pp_deep_report fmt d =
+  Format.fprintf fmt "@[<v>%a@," pp_report d.base;
+  Format.fprintf fmt "  deep checks on H^{%dx%d}:@," d.n d.n;
+  Format.fprintf fmt "  Lemma 2.2 censuses: %s@,"
+    (if d.lemma_2_2_ok then "ok" else "FAIL");
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  Lemma 3.7 r=%d: min dominator %d >= %d [%s]@,"
+        s.Dominator_lemma.r s.Dominator_lemma.min_dominator
+        s.Dominator_lemma.bound
+        (if s.Dominator_lemma.holds then "ok" else "FAIL"))
+    d.lemma_3_7;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt
+        "  Lemma 3.11 |Z|=%d |Gamma|=%d: %d paths >= %.1f [%s]@,"
+        s.Paths_lemma.z_size s.Paths_lemma.gamma_size
+        s.Paths_lemma.disjoint_paths s.Paths_lemma.bound
+        (if s.Paths_lemma.holds then "ok" else "FAIL"))
+    d.lemma_3_11;
+  Format.fprintf fmt "  deep overall: %s@]"
+    (if d.deep_ok then "ALL OK" else "FAILURES")
+
+let deep_report_to_string d = Format.asprintf "%a" pp_deep_report d

@@ -1,0 +1,35 @@
+(** Orchestrates the full lemma battery for one algorithm — the
+    machine-checked analogue of Section III — and renders a report.
+    Used by [fmmlab verify], the [fig2_encoder] bench, and the
+    lemma_tour example. *)
+
+type report = {
+  algorithm : string;
+  encoder_checks : Encoder_lemmas.check_result list;
+  hk_checks : Hopcroft_kerr.check list;  (** empty for non-2x2 bases *)
+  brent_ok : bool;
+  all_ok : bool;
+}
+
+val check_algorithm : Fmm_bilinear.Algorithm.t -> report
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+(** Extended battery: the CDAG-level lemmas sampled on a concrete
+    H^{n x n} (exact max-flow computations) on top of the encoder
+    checks. *)
+type deep_report = {
+  base : report;
+  n : int;
+  lemma_2_2_ok : bool;
+  lemma_3_7 : Dominator_lemma.sample_result list;
+  lemma_3_11 : Paths_lemma.sample_result list;
+  deep_ok : bool;
+}
+
+val deep_check_algorithm :
+  ?n:int -> ?trials:int -> ?seed:int -> Fmm_bilinear.Algorithm.t -> deep_report
+
+val pp_deep_report : Format.formatter -> deep_report -> unit
+val deep_report_to_string : deep_report -> string

@@ -1,0 +1,71 @@
+(* Encoder-graph expansion: the quantity behind the Ballard-Demmel-
+   Holtz-Schwartz route to the same bounds ([8], cited in Table I).
+   For the bipartite encoder G = (X, Y, E) we tabulate, per subset size
+   k, the worst-case neighborhood |N(Y')| over all Y' with |Y'| = k —
+   the small-set expansion profile. Lemma 3.1's matching bound
+   1 + ceil((k-1)/2) is exactly a lower bound on this profile (via
+   Hall), so the profile makes the two proof routes comparable on
+   concrete algorithms. *)
+
+module M = Fmm_graph.Matching
+module C = Fmm_util.Combinat
+
+type profile = {
+  algorithm : string;
+  side : string;
+  (* worst-case |N(Y')| and worst-case max-matching per subset size,
+     index 0 unused *)
+  min_neighbors : int array;
+  min_matching : int array;
+}
+
+let profile_of_bipartite ~algorithm ~side (g : M.bipartite) =
+  if g.M.ny > 16 then invalid_arg "Expansion.profile_of_bipartite: Y too large";
+  let nbr_sets = Array.make g.M.ny [] in
+  Array.iteri
+    (fun x ys -> List.iter (fun y -> nbr_sets.(y) <- x :: nbr_sets.(y)) ys)
+    g.M.adj;
+  let min_neighbors = Array.make (g.M.ny + 1) max_int in
+  let min_matching = Array.make (g.M.ny + 1) max_int in
+  let xs = List.init g.M.nx (fun i -> i) in
+  List.iter
+    (fun ys ->
+      let k = List.length ys in
+      let nbrs =
+        List.length
+          (List.sort_uniq compare (List.concat_map (fun y -> nbr_sets.(y)) ys))
+      in
+      if nbrs < min_neighbors.(k) then min_neighbors.(k) <- nbrs;
+      let matching = M.max_matching_size (M.restrict g ~xs ~ys) in
+      if matching < min_matching.(k) then min_matching.(k) <- matching)
+    (C.nonempty_subsets g.M.ny);
+  min_neighbors.(0) <- 0;
+  min_matching.(0) <- 0;
+  { algorithm; side; min_neighbors; min_matching }
+
+let profile (alg : Fmm_bilinear.Algorithm.t) side =
+  let g = Fmm_cdag.Encoder.encoder_bipartite alg side in
+  profile_of_bipartite
+    ~algorithm:(Fmm_bilinear.Algorithm.name alg)
+    ~side:(match side with Fmm_cdag.Encoder.A_side -> "A" | Fmm_cdag.Encoder.B_side -> "B")
+    g
+
+(** On bipartite graphs the worst-case neighborhood and worst-case
+    matching per size coincide exactly when Hall's condition is tight
+    level by level; for the encoder graphs of 7-multiplication
+    algorithms both must sit on or above the Lemma 3.1 curve. *)
+let dominates_lemma_3_1 p =
+  let ok = ref true in
+  for k = 1 to Array.length p.min_matching - 1 do
+    if p.min_matching.(k) < Encoder_lemmas.matching_bound k then ok := false
+  done;
+  !ok
+
+(** The expansion profile as printable rows (k, min |N|, min matching,
+    Lemma 3.1 bound). *)
+let rows p =
+  List.init
+    (Array.length p.min_matching - 1)
+    (fun i ->
+      let k = i + 1 in
+      (k, p.min_neighbors.(k), p.min_matching.(k), Encoder_lemmas.matching_bound k))

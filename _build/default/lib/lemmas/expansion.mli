@@ -1,0 +1,23 @@
+(** Encoder-graph small-set expansion — the quantity behind the
+    graph-expansion route to the same bounds ([8], Table I). The
+    profile tabulates worst-case neighborhoods and matchings per subset
+    size; Lemma 3.1's curve 1 + ceil((k-1)/2) lower-bounds it on every
+    7-multiplication encoder (and is tight on Strassen's). *)
+
+type profile = {
+  algorithm : string;
+  side : string;
+  min_neighbors : int array;  (** index k: worst |N(Y')| over |Y'| = k *)
+  min_matching : int array;  (** index k: worst max-matching over |Y'| = k *)
+}
+
+val profile_of_bipartite :
+  algorithm:string -> side:string -> Fmm_graph.Matching.bipartite -> profile
+(** Exhaustive; raises beyond |Y| = 16. *)
+
+val profile : Fmm_bilinear.Algorithm.t -> Fmm_cdag.Encoder.side -> profile
+
+val dominates_lemma_3_1 : profile -> bool
+
+val rows : profile -> (int * int * int * int) list
+(** (k, min neighbors, min matching, Lemma 3.1 bound) per size. *)

@@ -1,0 +1,105 @@
+(* Grigoriev information flow of the matrix-multiplication function
+   (Definition 2.8, Lemma 3.8) and the dominator consequence
+   (Lemma 3.9).
+
+   Lemma 3.8: f_{nxn} : R^{2n^2} -> R^{n^2} has flow
+     w(u, v) >= (v - (2n^2 - u)^2 / (4 n^2)) / 2
+   for 0 <= u <= 2n^2 and 0 <= v <= n^2.
+
+   The closed form is used by the bound calculators; the empirical
+   witness enumerates assignments over a small prime field and counts
+   distinct output projections, demonstrating the claimed sub-function
+   image sizes on concrete (u, v). *)
+
+(** The paper's closed-form lower bound on the flow (can be negative,
+    in which case it is vacuous). Exact rational. *)
+let flow_bound ~n ~u ~v =
+  if u < 0 || u > 2 * n * n || v < 0 || v > n * n then
+    invalid_arg "Grigoriev.flow_bound: (u,v) out of range";
+  let q = Fmm_ring.Rat.of_int in
+  let open Fmm_ring.Rat in
+  let slack = q ((2 * n * n) - u) in
+  div (sub (q v) (div (mul slack slack) (q (4 * n * n)))) (q 2)
+
+let flow_bound_float ~n ~u ~v = Fmm_ring.Rat.to_float (flow_bound ~n ~u ~v)
+
+(** Lemma 3.9 consequence: any dominator set of a subset O' of outputs
+    with respect to free inputs I' has size >= w(|I'|, |O'|). *)
+let dominator_lower_bound ~n ~free_inputs ~outputs =
+  flow_bound_float ~n ~u:free_inputs ~v:outputs
+
+(* --- empirical witness over Z_p --- *)
+
+module type WITNESS_FIELD = sig
+  include Fmm_ring.Sig_ring.Field with type t = int
+
+  val p : int
+  val all : unit -> t list
+  val random : Fmm_util.Prng.t -> t
+end
+
+module Witness (F : WITNESS_FIELD) = struct
+  module M = Fmm_matrix.Matrix.Make (F)
+
+  (** For the n x n matrix product over F: free the input entries in
+      [x1] (indices into the concatenated vec(A) @ vec(B) of length
+      2n^2), keep the output entries in [y1] (indices into vec(C)),
+      fix the remaining inputs randomly, and count the number of
+      distinct Y1-projections over all |F|^|X1| assignments. Returns
+      the best (max) count over [trials] random fixings.
+
+      Exponential in |X1| — intended for n = 2, |X1| <= 8ish. *)
+  let max_image_count ~n ~x1 ~y1 ~trials ~seed =
+    let total_inputs = 2 * n * n in
+    List.iter
+      (fun i ->
+        if i < 0 || i >= total_inputs then
+          invalid_arg "Grigoriev.Witness: bad input index")
+      x1;
+    let rng = Fmm_util.Prng.create ~seed in
+    let free = Array.of_list x1 in
+    let nfree = Array.length free in
+    let field = Array.of_list (F.all ()) in
+    let nf = Array.length field in
+    let best = ref 0 in
+    for _ = 1 to trials do
+      let fixed = Array.init total_inputs (fun _ -> F.random rng) in
+      let images = Hashtbl.create 64 in
+      (* enumerate all |F|^nfree assignments via counting in base |F| *)
+      let assignment = Array.make nfree 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let inputs = Array.copy fixed in
+        Array.iteri (fun idx pos -> inputs.(pos) <- field.(assignment.(idx))) free;
+        let a = M.of_vec n n (Array.sub inputs 0 (n * n)) in
+        let b = M.of_vec n n (Array.sub inputs (n * n) (n * n)) in
+        let c = M.vec_of (M.mul a b) in
+        let projection = List.map (fun o -> c.(o)) y1 in
+        Hashtbl.replace images projection ();
+        (* increment base-|F| counter *)
+        let rec bump i =
+          if i >= nfree then continue_ := false
+          else if assignment.(i) + 1 < nf then assignment.(i) <- assignment.(i) + 1
+          else begin
+            assignment.(i) <- 0;
+            bump (i + 1)
+          end
+        in
+        bump 0
+      done;
+      best := max !best (Hashtbl.length images)
+    done;
+    !best
+
+  (** Check Lemma 3.8 empirically: the max image count must be at least
+      |F|^w(u,v) for the given index choices. *)
+  let check ~n ~x1 ~y1 ~trials ~seed =
+    let u = List.length x1 and v = List.length y1 in
+    let bound = flow_bound_float ~n ~u ~v in
+    let needed = int_of_float (ceil (float_of_int F.p ** bound)) in
+    let got = max_image_count ~n ~x1 ~y1 ~trials ~seed in
+    (got, needed, got >= needed)
+end
+
+module Witness_z2 = Witness (Fmm_ring.Zp.Z2)
+module Witness_z3 = Witness (Fmm_ring.Zp.Z3)

@@ -1,0 +1,39 @@
+(** Grigoriev information flow of matrix multiplication (Definition
+    2.8, Lemma 3.8) and its dominator consequence (Lemma 3.9). *)
+
+val flow_bound : n:int -> u:int -> v:int -> Fmm_ring.Rat.t
+(** The paper's closed form (v - (2n^2 - u)^2 / 4n^2) / 2, exact; may
+    be nonpositive (vacuous). Raises on (u, v) out of range. *)
+
+val flow_bound_float : n:int -> u:int -> v:int -> float
+
+val dominator_lower_bound : n:int -> free_inputs:int -> outputs:int -> float
+(** Lemma 3.9: any dominator of [outputs] output vertices w.r.t.
+    [free_inputs] free inputs has at least this size. *)
+
+(** Empirical witness over a small prime field: enumerate all
+    assignments of the freed inputs and count distinct output
+    projections — Lemma 3.8 promises at least |F|^flow of them for the
+    best sub-function. Exponential in |x1|; intended for n = 2. *)
+module type WITNESS_FIELD = sig
+  include Fmm_ring.Sig_ring.Field with type t = int
+
+  val p : int
+  val all : unit -> t list
+  val random : Fmm_util.Prng.t -> t
+end
+
+module Witness (F : WITNESS_FIELD) : sig
+  val max_image_count :
+    n:int -> x1:int list -> y1:int list -> trials:int -> seed:int -> int
+  (** Max distinct-projection count over [trials] random fixings of the
+      non-free inputs. *)
+
+  val check :
+    n:int -> x1:int list -> y1:int list -> trials:int -> seed:int ->
+    int * int * bool
+  (** (attained, required, attained >= required). *)
+end
+
+module Witness_z2 : module type of Witness (Fmm_ring.Zp.Z2)
+module Witness_z3 : module type of Witness (Fmm_ring.Zp.Z3)

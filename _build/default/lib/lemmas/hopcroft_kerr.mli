@@ -1,0 +1,28 @@
+(** Hopcroft-Kerr checks (Lemma 3.4 and Corollary 3.5): nine 3-element
+    sets of linear forms such that any 2x2 algorithm with k left
+    operands from one set needs >= 6 + k multiplications — hence 7 is
+    minimal, the fact underpinning Lemma 3.3. *)
+
+val forbidden_sets : (string * int array list) list
+(** The nine sets, as coefficient vectors over (A11, A12, A21, A22). *)
+
+val count_left_operands_in : Fmm_bilinear.Algorithm.t -> int array list -> int
+(** Operands matching a set member up to overall sign. *)
+
+type check = { set_name : string; count : int; max_allowed : int; ok : bool }
+
+val check_algorithm : Fmm_bilinear.Algorithm.t -> check list
+(** A t-multiplication algorithm may have at most t - 6 left operands
+    per forbidden set. *)
+
+val all_ok : check list -> bool
+
+val random_6mult_search : trials:int -> seed:int -> int * bool
+(** Minimality evidence: random <2,2,2;6> candidates with coefficients
+    in [{-1,0,1}] never satisfy the Brent equations. Returns
+    (trials run, found-one?). *)
+
+val strassen_minus_one_is_unrepairable : unit -> bool
+(** Deleting any one product from Strassen leaves a decoder linear
+    system with no solution over Q — the remaining 6 products cannot
+    express the 2x2 product. *)

@@ -1,0 +1,103 @@
+(* Lemma 3.11 (the Figure 3 construction): for Gamma a subset of
+   V_int(SUB_H^{r x r}) and Z a subset of V_out(SUB_H^{r x r}) with
+   |Z| >= 2 |Gamma|, there are at least 2 r sqrt(|Z| - 2 |Gamma|)
+   vertex-disjoint paths from V_inp(H^{n x n}) to sub-problem input
+   vertices from which Z remains reachable without touching Gamma.
+
+   The empirical check computes the true maximum number of such
+   disjoint paths with unit-vertex-capacity max-flow and compares it to
+   the bound:
+
+   1. eligible Y = { y in V_inp(SUB_H^{r x r}) : y reaches Z avoiding
+      Gamma } (forward BFS with Gamma blocked);
+   2. max vertex-disjoint paths from the CDAG inputs to eligible Y.
+
+   Paths from the top inputs descend exclusively through encoder
+   vertices of recursion levels above r, so they cannot meet Gamma
+   (which lies strictly inside size-r sub-CDAGs); the two stages
+   together realize exactly the lemma's object. *)
+
+module Cd = Fmm_cdag.Cdag
+module D = Fmm_graph.Digraph
+module DP = Fmm_graph.Disjoint_paths
+module P = Fmm_util.Prng
+
+type sample_result = {
+  r : int;
+  z_size : int;
+  gamma_size : int;
+  disjoint_paths : int;
+  bound : float; (* 2 r sqrt(|Z| - 2 |Gamma|) *)
+  holds : bool;
+}
+
+(** Internal vertices of the size-r sub-CDAGs: everything created inside
+    them (their own encoders, multiplications, decoders below r), i.e.
+    vertices of sub-nodes with size < r, plus the size-r decode stage,
+    excluding the size-r operand vertices themselves. We approximate
+    this set as: vertices of every node of size r' <= r that are
+    outputs or operands of strictly smaller nodes. For sampling Gamma
+    the exact boundary matters little; we use the outputs of nodes of
+    size < r plus operand (encoded) vertices of nodes of size < r. *)
+let internal_vertices cdag ~r =
+  List.concat_map
+    (fun node ->
+      if node.Cd.r < r then
+        Array.to_list node.Cd.a_in @ Array.to_list node.Cd.b_in
+        @ Array.to_list node.Cd.out
+      else [])
+    (Cd.nodes cdag)
+  |> List.sort_uniq compare
+
+(** One experiment: sample Z (size z_size) from V_out(SUB_H^{r x r}) and
+    Gamma (size gamma_size <= z_size/2) from the internal vertices;
+    measure the maximum disjoint-path count against the bound. *)
+let sample cdag ~r ~z_size ~gamma_size ~seed =
+  if 2 * gamma_size > z_size then
+    invalid_arg "Paths_lemma.sample: need |Z| >= 2 |Gamma|";
+  let rng = P.create ~seed in
+  let outputs = Array.of_list (Cd.sub_outputs cdag ~r) in
+  let internals = Array.of_list (internal_vertices cdag ~r) in
+  if Array.length outputs < z_size then
+    invalid_arg "Paths_lemma.sample: not enough sub-outputs";
+  let z =
+    List.map (fun i -> outputs.(i)) (P.sample rng z_size (Array.length outputs))
+  in
+  let gamma =
+    if gamma_size = 0 || Array.length internals = 0 then []
+    else
+      List.map
+        (fun i -> internals.(i))
+        (P.sample rng (min gamma_size (Array.length internals)) (Array.length internals))
+  in
+  let gamma_size = List.length gamma in
+  let g = Cd.graph cdag in
+  (* Stage 1: eligible sub-problem inputs. *)
+  let in_gamma = Array.make (D.n_vertices g) false in
+  List.iter (fun v -> in_gamma.(v) <- true) gamma;
+  let reaches_z = D.coreachable g z ~blocked:(fun v -> in_gamma.(v)) in
+  let eligible =
+    List.filter (fun y -> reaches_z.(y)) (Cd.sub_inputs cdag ~r)
+  in
+  (* Stage 2: disjoint paths from the true inputs to eligible Y. *)
+  let disjoint =
+    DP.max_disjoint_paths g
+      {
+        DP.sources = Array.to_list (Cd.inputs cdag);
+        targets = eligible;
+        forbidden = gamma;
+      }
+  in
+  let bound =
+    2. *. float_of_int r *. sqrt (float_of_int (z_size - (2 * gamma_size)))
+  in
+  {
+    r;
+    z_size;
+    gamma_size;
+    disjoint_paths = disjoint;
+    bound;
+    holds = float_of_int disjoint >= bound;
+  }
+
+let all_hold results = List.for_all (fun s -> s.holds) results

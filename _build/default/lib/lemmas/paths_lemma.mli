@@ -1,0 +1,28 @@
+(** Lemma 3.11 (the Figure 3 construction), verified by max-flow: at
+    least 2 r sqrt(|Z| - 2|Gamma|) vertex-disjoint paths connect
+    V_inp(H^{n x n}) to sub-problem inputs from which Z stays reachable
+    without touching Gamma. *)
+
+type sample_result = {
+  r : int;
+  z_size : int;
+  gamma_size : int;
+  disjoint_paths : int;  (** the true maximum (Menger / Dinic) *)
+  bound : float;
+  holds : bool;
+}
+
+val internal_vertices : Fmm_cdag.Cdag.t -> r:int -> int list
+(** Vertices strictly inside size-r sub-CDAGs — the pool Gamma is
+    sampled from. *)
+
+val sample :
+  Fmm_cdag.Cdag.t ->
+  r:int ->
+  z_size:int ->
+  gamma_size:int ->
+  seed:int ->
+  sample_result
+(** One experiment. Raises unless |Z| >= 2 |Gamma|. *)
+
+val all_hold : sample_result list -> bool

@@ -1,0 +1,1 @@
+lib/lu/lu_cdag.mli: Fmm_graph Fmm_machine Fmm_matrix Fmm_pebble Fmm_ring

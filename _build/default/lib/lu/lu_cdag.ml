@@ -1,0 +1,117 @@
+(* The CDAG of unpivoted LU factorization (right-looking Gaussian
+   elimination) — the testbed for the paper's closing conjecture
+   (Section V): "recomputation cannot reduce communication cost
+   (asymptotically) ... for direct linear algebra algorithms".
+
+   Dataflow, for k = 0 .. n-2:
+     l[i][k]      = a^{(k)}[i][k] / a^{(k)}[k][k]          (i > k)
+     a^{(k+1)}[i][j] = a^{(k)}[i][j] - l[i][k] * a^{(k)}[k][j]   (i, j > k)
+
+   Each update vertex depends on three values (the running entry, the
+   multiplier, the pivot-row entry); each multiplier vertex on two.
+   Outputs are the n(n+1)/2 final U entries and the n(n-1)/2
+   multipliers (the L entries). |V| = Theta(n^3): the classic
+   Omega(n^3 / sqrt M) direct-linear-algebra communication regime. *)
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  n : int;
+  inputs : int array; (* the n^2 original entries *)
+  outputs : int array; (* L (strict lower) and U (upper) entries *)
+  l_vertices : int array array; (* l_vertices.(i).(k), i > k *)
+}
+
+let build ~n =
+  if n < 2 then invalid_arg "Lu_cdag.build: n must be >= 2";
+  let g = Fmm_graph.Digraph.create ~capacity:(n * n * n) () in
+  (* current.(i).(j) = vertex currently holding a^{(k)}[i][j] *)
+  let inputs = Array.init (n * n) (fun _ -> Fmm_graph.Digraph.add_vertex g) in
+  let current = Array.init n (fun i -> Array.init n (fun j -> inputs.((i * n) + j))) in
+  let l_vertices = Array.make_matrix n n (-1) in
+  for k = 0 to n - 2 do
+    for i = k + 1 to n - 1 do
+      (* multiplier l[i][k] = a[i][k] / a[k][k] *)
+      let l = Fmm_graph.Digraph.add_vertex g in
+      Fmm_graph.Digraph.add_edge g current.(i).(k) l;
+      Fmm_graph.Digraph.add_edge g current.(k).(k) l;
+      l_vertices.(i).(k) <- l;
+      for j = k + 1 to n - 1 do
+        let upd = Fmm_graph.Digraph.add_vertex g in
+        Fmm_graph.Digraph.add_edge g current.(i).(j) upd;
+        Fmm_graph.Digraph.add_edge g l upd;
+        Fmm_graph.Digraph.add_edge g current.(k).(j) upd;
+        current.(i).(j) <- upd
+      done
+    done
+  done;
+  let outputs = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j >= i then outputs := current.(i).(j) :: !outputs (* U entries *)
+      else outputs := l_vertices.(i).(j) :: !outputs (* L entries *)
+    done
+  done;
+  { graph = g; n; inputs; outputs = Array.of_list (List.rev !outputs); l_vertices }
+
+let n_vertices t = Fmm_graph.Digraph.n_vertices t.graph
+
+let workload t =
+  Fmm_machine.Workload.make
+    ~name:(Printf.sprintf "LU %dx%d" t.n t.n)
+    ~graph:t.graph ~inputs:t.inputs ~outputs:t.outputs ()
+
+(** The natural right-looking elimination order. *)
+let elimination_order t =
+  match Fmm_graph.Digraph.topo_sort t.graph with
+  | Some o ->
+    let inp = Array.make (n_vertices t) false in
+    Array.iter (fun v -> inp.(v) <- true) t.inputs;
+    List.filter (fun v -> not inp.(v)) o
+  | None -> failwith "Lu_cdag.elimination_order: cycle"
+
+(** The direct-linear-algebra lower bound Omega(n^3 / sqrt M) (Ballard
+    et al. [6], quoted in the paper's introduction), constant-free. *)
+let io_lower_bound ~n ~m =
+  if n <= 0 || m <= 0 then invalid_arg "Lu_cdag.io_lower_bound";
+  float_of_int (n * n * n) /. sqrt (float_of_int m)
+
+(** Small pebbling instance for the recomputation question on LU. *)
+let pebble_game ~n ~red_limit =
+  let t = build ~n in
+  Fmm_pebble.Pebble.make ~graph:t.graph
+    ~inputs:(Array.to_list t.inputs)
+    ~outputs:(Array.to_list t.outputs)
+    ~red_limit
+
+(* --- semantic check: the DAG computes the LU factorization --- *)
+
+module Eval (F : Fmm_ring.Sig_ring.Field) = struct
+  module M = Fmm_matrix.Matrix.Make (F)
+
+  (** Evaluate the elimination circuit and return (L, U); the test
+      suite checks L * U = A (for matrices with nonzero leading
+      minors). *)
+  let run t (a : M.t) =
+    let n = t.n in
+    if M.rows a <> n || M.cols a <> n then invalid_arg "Lu_cdag.Eval.run: shape";
+    (* replay the same recurrence the builder encoded *)
+    let current = Array.init n (fun i -> Array.init n (fun j -> M.get a i j)) in
+    let l = Array.make_matrix n n F.zero in
+    for k = 0 to n - 2 do
+      for i = k + 1 to n - 1 do
+        l.(i).(k) <- F.div current.(i).(k) current.(k).(k);
+        for j = k + 1 to n - 1 do
+          current.(i).(j) <-
+            F.sub current.(i).(j) (F.mul l.(i).(k) current.(k).(j))
+        done
+      done
+    done;
+    let lmat =
+      M.init n n (fun i j ->
+          if i = j then F.one else if j < i then l.(i).(j) else F.zero)
+    in
+    let umat = M.init n n (fun i j -> if j >= i then current.(i).(j) else F.zero) in
+    (lmat, umat)
+end
+
+module Eval_q = Eval (Fmm_ring.Rat.Field)

@@ -1,0 +1,45 @@
+(** The CDAG of unpivoted LU factorization — the testbed for the
+    paper's closing conjecture (Section V): recomputation cannot reduce
+    communication for direct linear algebra either. Built from the
+    right-looking elimination recurrence; Theta(n^3) vertices; runs on
+    the same machine models and pebbler as the multiplication CDAGs. *)
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  n : int;
+  inputs : int array;
+  outputs : int array;  (** the L (strict lower) and U (upper) entries *)
+  l_vertices : int array array;  (** [l_vertices.(i).(k)], i > k *)
+}
+
+val build : n:int -> t
+(** Raises for [n < 2]. *)
+
+val n_vertices : t -> int
+val workload : t -> Fmm_machine.Workload.t
+
+val elimination_order : t -> int list
+(** The natural right-looking order. *)
+
+val io_lower_bound : n:int -> m:int -> float
+(** The direct-linear-algebra bound Omega(n^3 / sqrt M) [6],
+    constant-free. *)
+
+val pebble_game : n:int -> red_limit:int -> Fmm_pebble.Pebble.game
+(** Update vertices have in-degree 3, so [red_limit >= 4] is required
+    for solvability. *)
+
+(** Evaluate the elimination circuit over a field; returns (L, U) with
+    L unit lower triangular and L U = A (nonzero leading minors
+    assumed). *)
+module Eval (F : Fmm_ring.Sig_ring.Field) : sig
+  module M : module type of Fmm_matrix.Matrix.Make (F)
+
+  val run : t -> M.t -> M.t * M.t
+end
+
+module Eval_q : sig
+  module M : module type of Fmm_matrix.Matrix.Make (Fmm_ring.Rat.Field)
+
+  val run : t -> M.t -> M.t * M.t
+end

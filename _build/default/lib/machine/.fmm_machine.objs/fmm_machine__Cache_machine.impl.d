@@ -1,0 +1,1 @@
+lib/machine/cache_machine.ml: Array Fmm_graph List Printf Trace Workload

@@ -1,0 +1,1 @@
+lib/machine/cache_machine.mli: Trace Workload

@@ -1,0 +1,1 @@
+lib/machine/orders.ml: Array Fmm_cdag Fmm_graph Fmm_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/machine/orders.mli: Fmm_cdag

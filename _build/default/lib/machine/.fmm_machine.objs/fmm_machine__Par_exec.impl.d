@@ -1,0 +1,1 @@
+lib/machine/par_exec.ml: Array Fmm_bilinear Fmm_cdag Fmm_graph Fmm_util Hashtbl Int List Map Workload

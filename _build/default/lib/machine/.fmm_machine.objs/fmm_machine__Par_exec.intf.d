@@ -1,0 +1,1 @@
+lib/machine/par_exec.mli: Fmm_cdag Workload

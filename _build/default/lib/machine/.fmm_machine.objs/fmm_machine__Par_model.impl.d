@@ -1,0 +1,1 @@
+lib/machine/par_model.ml: Float List

@@ -1,0 +1,1 @@
+lib/machine/schedulers.ml: Array Fmm_graph Int List Map Printf Trace Workload

@@ -1,0 +1,1 @@
+lib/machine/schedulers.mli: Trace Workload

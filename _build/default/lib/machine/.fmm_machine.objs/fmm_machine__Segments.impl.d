@@ -1,0 +1,1 @@
+lib/machine/segments.ml: Array Fmm_cdag List Trace

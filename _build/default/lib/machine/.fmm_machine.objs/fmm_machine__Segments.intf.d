@@ -1,0 +1,1 @@
+lib/machine/segments.mli: Fmm_cdag Trace

@@ -1,0 +1,1 @@
+lib/machine/workload.ml: Array Fmm_bilinear Fmm_cdag Fmm_graph List Printf

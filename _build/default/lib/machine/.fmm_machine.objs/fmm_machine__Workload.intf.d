@@ -1,0 +1,1 @@
+lib/machine/workload.mli: Fmm_cdag Fmm_graph

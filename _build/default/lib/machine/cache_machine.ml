@@ -1,0 +1,121 @@
+(* The sequential machine model of Section II-B: a fast memory of M
+   words and an unbounded slow memory. Inputs start in slow memory;
+   computations require every operand in fast memory and leave their
+   result in fast memory; each Load/Store is one I/O operation.
+
+   [replay] validates a trace against the model (the legality oracle
+   every scheduler is tested against) and returns the I/O counters.
+   Recomputation is legal: a vertex may be Computed any number of
+   times, each time its operands are resident — this is precisely the
+   freedom whose uselessness (for fast MM) the paper proves. *)
+
+exception Illegal of string
+
+type config = {
+  cache_size : int;
+  allow_recompute : bool; (* when false, a second Compute of a vertex is rejected *)
+}
+
+type state = {
+  cfg : config;
+  work : Workload.t;
+  input_mask : int -> bool;
+  in_cache : bool array;
+  in_slow : bool array;
+  computed : bool array;
+  mutable occupancy : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable computes : int;
+  mutable recomputes : int;
+}
+
+let illegal fmt = Printf.ksprintf (fun s -> raise (Illegal s)) fmt
+
+let init cfg work =
+  if cfg.cache_size <= 0 then invalid_arg "Cache_machine: cache_size <= 0";
+  let n = Workload.n_vertices work in
+  let st =
+    {
+      cfg;
+      work;
+      input_mask = Workload.is_input work;
+      in_cache = Array.make n false;
+      in_slow = Array.make n false;
+      computed = Array.make n false;
+      occupancy = 0;
+      loads = 0;
+      stores = 0;
+      computes = 0;
+      recomputes = 0;
+    }
+  in
+  Array.iter (fun v -> st.in_slow.(v) <- true) work.Workload.inputs;
+  st
+
+let is_input st v = st.input_mask v
+
+let apply st event =
+  match event with
+  | Trace.Load v ->
+    if not st.in_slow.(v) then illegal "load %d: not in slow memory" v;
+    if st.in_cache.(v) then illegal "load %d: already in cache" v;
+    if st.occupancy >= st.cfg.cache_size then
+      illegal "load %d: cache full (M = %d)" v st.cfg.cache_size;
+    st.in_cache.(v) <- true;
+    st.occupancy <- st.occupancy + 1;
+    st.loads <- st.loads + 1
+  | Trace.Store v ->
+    if not st.in_cache.(v) then illegal "store %d: not in cache" v;
+    st.in_slow.(v) <- true;
+    st.stores <- st.stores + 1
+  | Trace.Evict v ->
+    if not st.in_cache.(v) then illegal "evict %d: not in cache" v;
+    st.in_cache.(v) <- false;
+    st.occupancy <- st.occupancy - 1
+  | Trace.Compute v ->
+    if is_input st v then illegal "compute %d: inputs are not computable" v;
+    if st.computed.(v) && not st.cfg.allow_recompute then
+      illegal "compute %d: recomputation disabled" v;
+    List.iter
+      (fun p ->
+        if not st.in_cache.(p) then illegal "compute %d: operand %d not in cache" v p)
+      (Fmm_graph.Digraph.in_neighbors st.work.Workload.graph v);
+    if not st.in_cache.(v) then begin
+      if st.occupancy >= st.cfg.cache_size then
+        illegal "compute %d: cache full (M = %d)" v st.cfg.cache_size;
+      st.in_cache.(v) <- true;
+      st.occupancy <- st.occupancy + 1
+    end;
+    if st.computed.(v) then st.recomputes <- st.recomputes + 1;
+    st.computed.(v) <- true;
+    st.computes <- st.computes + 1
+
+let counters st =
+  {
+    Trace.loads = st.loads;
+    stores = st.stores;
+    computes = st.computes;
+    recomputes = st.recomputes;
+  }
+
+(** Validate the final state: every CDAG output must have been computed
+    and be available in slow memory. *)
+let check_final st =
+  Array.iter
+    (fun v ->
+      (* an output that is itself an input (e.g. LU's untouched first
+         row of U) is available in slow memory from the start *)
+      if not (is_input st v) then begin
+        if not st.computed.(v) then illegal "output %d never computed" v;
+        if not st.in_slow.(v) then illegal "output %d not stored to slow memory" v
+      end)
+    st.work.Workload.outputs
+
+(** Replay a full trace and return the counters; raises [Illegal] on
+    any model violation. *)
+let replay cfg work (trace : Trace.t) =
+  let st = init cfg work in
+  List.iter (apply st) trace;
+  check_final st;
+  counters st

@@ -1,0 +1,139 @@
+(* Compute orders: the sequence in which a scheduler visits the CDAG's
+   computable vertices (each exactly once, topologically sorted). The
+   cache executor turns an order into a legal trace; locality of the
+   order is what separates a naive schedule from the cache-oblivious
+   recursive one. *)
+
+module Cd = Fmm_cdag.Cdag
+module D = Fmm_graph.Digraph
+
+let is_input cdag v =
+  match Cd.role cdag v with
+  | Cd.Input_a _ | Cd.Input_b _ -> true
+  | _ -> false
+
+(** Plain topological order (Kahn), inputs removed. Level-ish order:
+    poor temporal locality at scale — the pessimistic baseline. *)
+let naive_topo cdag =
+  match D.topo_sort (Cd.graph cdag) with
+  | None -> failwith "Orders.naive_topo: CDAG not acyclic"
+  | Some order -> List.filter (fun v -> not (is_input cdag v)) order
+
+(** The depth-first recursive schedule of Algorithm 2: for each
+    recursion node, per product tau: compute the encoded operands of
+    child tau, recurse into it, and only then move to the next product;
+    decode after all children. This is the cache-oblivious order whose
+    I/O matches the upper bound O((n / sqrt M)^{omega0} M). *)
+let recursive_dfs cdag =
+  let g = Cd.graph cdag in
+  let order = ref [] in
+  let emitted = Array.make (Cd.n_vertices cdag) false in
+  let emit v =
+    if not (emitted.(v) || is_input cdag v) then begin
+      emitted.(v) <- true;
+      order := v :: !order
+    end
+  in
+  (* Reconstruct the recursion tree: each node is indexed by its first
+     a-operand vertex; the children of [nd] are found among the
+     out-neighbors of nd's a-operands (the encoder vertices nd created
+     feed its children). Children are visited in product order, which
+     coincides with ascending operand vertex id (the builder creates
+     them product by product). *)
+  let nodes = Cd.nodes cdag in
+  let node_by_first_operand = Hashtbl.create 256 in
+  List.iter
+    (fun nd ->
+      if Array.length nd.Cd.a_in > 0 then
+        Hashtbl.replace node_by_first_operand nd.Cd.a_in.(0) nd)
+    nodes;
+  let root =
+    match List.find_opt (fun nd -> nd.Cd.depth = 0) nodes with
+    | Some nd -> nd
+    | None -> failwith "Orders.recursive_dfs: no root node"
+  in
+  let rec visit (nd : Cd.node) =
+    if nd.Cd.r = 1 then emit nd.Cd.out.(0)
+    else begin
+      let seen_children = Hashtbl.create 8 in
+      Array.iter
+        (fun a ->
+          List.iter
+            (fun y ->
+              match Hashtbl.find_opt node_by_first_operand y with
+              | Some c when c.Cd.depth = nd.Cd.depth + 1 ->
+                Hashtbl.replace seen_children c.Cd.a_in.(0) c
+              | _ -> ())
+            (D.out_neighbors g a))
+        nd.Cd.a_in;
+      let children =
+        List.sort
+          (fun (a : Cd.node) b -> compare a.Cd.a_in.(0) b.Cd.a_in.(0))
+          (Hashtbl.fold (fun _ c acc -> c :: acc) seen_children [])
+      in
+      List.iter
+        (fun child ->
+          Array.iter emit child.Cd.a_in;
+          Array.iter emit child.Cd.b_in;
+          visit child)
+        children;
+      Array.iter emit nd.Cd.out
+    end
+  in
+  visit root;
+  let result = List.rev !order in
+  (* Safety: the order must be a permutation of all non-input vertices. *)
+  let expected = Cd.n_vertices cdag - Array.length (Cd.inputs cdag) in
+  if List.length result <> expected then
+    failwith
+      (Printf.sprintf "Orders.recursive_dfs: emitted %d of %d vertices"
+         (List.length result) expected);
+  result
+
+(** Random (but valid) topological order: repeatedly pick a random
+    ready vertex. Stresses the executor and gives a locality-free
+    baseline. *)
+let random_topo ~seed cdag =
+  let g = Cd.graph cdag in
+  let rng = Fmm_util.Prng.create ~seed in
+  let n = Cd.n_vertices cdag in
+  let indeg = Array.init n (fun v -> D.in_degree g v) in
+  let ready = ref [] in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready := v :: !ready
+  done;
+  let order = ref [] in
+  let rec go () =
+    match !ready with
+    | [] -> ()
+    | l ->
+      let arr = Array.of_list l in
+      let pick = arr.(Fmm_util.Prng.int rng (Array.length arr)) in
+      ready := List.filter (fun v -> v <> pick) l;
+      if not (is_input cdag pick) then order := pick :: !order;
+      List.iter
+        (fun w ->
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then ready := w :: !ready)
+        (D.out_neighbors g pick);
+      go ()
+  in
+  go ();
+  List.rev !order
+
+(** Check that an order is a valid topological enumeration of the
+    non-input vertices. *)
+let is_valid_order cdag order =
+  let g = Cd.graph cdag in
+  let n = Cd.n_vertices cdag in
+  let seen = Array.make n false in
+  Array.iter (fun v -> seen.(v) <- true) (Cd.inputs cdag);
+  let ok =
+    List.for_all
+      (fun v ->
+        let ready = List.for_all (fun p -> seen.(p)) (D.in_neighbors g v) in
+        seen.(v) <- true;
+        ready && not (is_input cdag v))
+      order
+  in
+  ok && Array.for_all (fun b -> b) seen

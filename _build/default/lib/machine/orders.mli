@@ -1,0 +1,19 @@
+(** Compute orders: the sequence in which a scheduler visits the CDAG's
+    computable vertices (each exactly once, topologically). Locality of
+    the order is what separates a naive schedule from the
+    cache-oblivious recursive one. *)
+
+val naive_topo : Fmm_cdag.Cdag.t -> int list
+(** Kahn order with inputs removed — level-ish, poor locality. *)
+
+val recursive_dfs : Fmm_cdag.Cdag.t -> int list
+(** The depth-first recursive schedule of Algorithm 2: per product,
+    encode, recurse, then decode — the cache-oblivious order whose I/O
+    matches the O((n/sqrt M)^{omega0} M) upper bound. *)
+
+val random_topo : seed:int -> Fmm_cdag.Cdag.t -> int list
+(** A random valid topological order: the locality-free stress case. *)
+
+val is_valid_order : Fmm_cdag.Cdag.t -> int list -> bool
+(** Is this a topological enumeration of exactly the non-input
+    vertices? *)

@@ -1,0 +1,190 @@
+(* A message-counting distributed executor — the paper's parallel
+   machine (Section II-B) at the word level: P processors own disjoint
+   parts of the CDAG ("owner computes"); whenever a processor needs an
+   operand computed (or initially held) by another, that word is
+   transferred once and cached (re-uses are free). Per-processor
+   sent/received word counts are the model's I/O.
+
+   Unlike the closed-form cost models in {!Par_model}, this executes
+   the actual DAG under an explicit vertex-to-processor assignment, so
+   the measured communication of a BFS-partitioned Strassen run can be
+   compared directly against the memory-independent lower bound
+   n^2 / P^{2/omega0} of Theorem 1.1 ([1]'s bound, which holds
+   regardless of recomputation by this paper). *)
+
+type result = {
+  procs : int;
+  sent : int array; (* words sent per processor *)
+  received : int array;
+  total_words : int; (* total transfers (= sum sent = sum received) *)
+  max_words : float; (* max over processors of (sent + received) *)
+}
+
+(** Execute a workload under [assignment] (vertex -> processor).
+    Inputs are "computed" where assigned (they start in their owner's
+    memory). Each (value, consumer-processor) pair costs one transfer,
+    counted once. *)
+let run (work : Workload.t) ~procs ~assignment =
+  let g = work.Workload.graph in
+  let n = Workload.n_vertices work in
+  if Array.length assignment <> n then
+    invalid_arg "Par_exec.run: assignment length mismatch";
+  Array.iter
+    (fun p -> if p < 0 || p >= procs then invalid_arg "Par_exec.run: bad processor id")
+    assignment;
+  let sent = Array.make procs 0 and received = Array.make procs 0 in
+  (* transferred.(v) = list of processors already holding v *)
+  let transferred = Array.make n [] in
+  let order =
+    match Fmm_graph.Digraph.topo_sort g with
+    | Some o -> o
+    | None -> invalid_arg "Par_exec.run: not a DAG"
+  in
+  let total = ref 0 in
+  let fetch value consumer =
+    let owner = assignment.(value) in
+    if owner <> consumer && not (List.mem consumer transferred.(value)) then begin
+      transferred.(value) <- consumer :: transferred.(value);
+      sent.(owner) <- sent.(owner) + 1;
+      received.(consumer) <- received.(consumer) + 1;
+      incr total
+    end
+  in
+  List.iter
+    (fun v ->
+      if not (Workload.is_input work v) then begin
+        let p = assignment.(v) in
+        List.iter (fun q -> fetch q p) (Fmm_graph.Digraph.in_neighbors g v)
+      end)
+    order;
+  let max_words = ref 0 in
+  for p = 0 to procs - 1 do
+    max_words := max !max_words (sent.(p) + received.(p))
+  done;
+  {
+    procs;
+    sent;
+    received;
+    total_words = !total;
+    max_words = float_of_int !max_words;
+  }
+
+(** The full parallel model of Section II-B: each processor has a local
+    memory of [local_memory] words managed LRU; a received or computed
+    word may be evicted and must then be re-fetched from its owner (the
+    owner re-derives it for free locally — it owns the computation).
+    With [local_memory = max_int] this degenerates to {!run}; with
+    tight memory the measured traffic rises toward the memory-DEPENDENT
+    regime of Theorem 1.1. Owners pin their own values' liveness: an
+    owner hitting capacity just re-computes locally at zero word cost
+    (communication, not arithmetic, is what this model counts). *)
+let run_limited (work : Workload.t) ~procs ~assignment ~local_memory =
+  if local_memory < 2 then invalid_arg "Par_exec.run_limited: memory < 2";
+  let g = work.Workload.graph in
+  let n = Workload.n_vertices work in
+  if Array.length assignment <> n then
+    invalid_arg "Par_exec.run_limited: assignment length mismatch";
+  let sent = Array.make procs 0 and received = Array.make procs 0 in
+  let total = ref 0 in
+  (* per-processor LRU over foreign words: clock + presence table *)
+  let module IntMap = Map.Make (Int) in
+  let present = Array.make procs IntMap.empty in
+  (* value -> time map per proc, plus reverse index *)
+  let time_of = Hashtbl.create 1024 in
+  let clock = ref 0 in
+  let touch p v =
+    (match Hashtbl.find_opt time_of (p, v) with
+    | Some t -> present.(p) <- IntMap.remove t present.(p)
+    | None -> ());
+    incr clock;
+    Hashtbl.replace time_of (p, v) !clock;
+    present.(p) <- IntMap.add !clock v present.(p)
+  in
+  let resident p v = Hashtbl.mem time_of (p, v) in
+  let evict_lru p =
+    match IntMap.min_binding_opt present.(p) with
+    | None -> ()
+    | Some (t, v) ->
+      present.(p) <- IntMap.remove t present.(p);
+      Hashtbl.remove time_of (p, v)
+  in
+  let fetch value consumer =
+    let owner = assignment.(value) in
+    if owner <> consumer then begin
+      if not (resident consumer value) then begin
+        sent.(owner) <- sent.(owner) + 1;
+        received.(consumer) <- received.(consumer) + 1;
+        incr total;
+        while IntMap.cardinal present.(consumer) >= local_memory do
+          evict_lru consumer
+        done;
+        touch consumer value
+      end
+      else touch consumer value
+    end
+  in
+  let order =
+    match Fmm_graph.Digraph.topo_sort g with
+    | Some o -> o
+    | None -> invalid_arg "Par_exec.run_limited: not a DAG"
+  in
+  List.iter
+    (fun v ->
+      if not (Workload.is_input work v) then begin
+        let p = assignment.(v) in
+        List.iter (fun q -> fetch q p) (Fmm_graph.Digraph.in_neighbors g v)
+      end)
+    order;
+  let max_words = ref 0 in
+  for p = 0 to procs - 1 do
+    max_words := max !max_words (sent.(p) + received.(p))
+  done;
+  {
+    procs;
+    sent;
+    received;
+    total_words = !total;
+    max_words = float_of_int !max_words;
+  }
+
+(* --- assignments --- *)
+
+(** BFS-style partition of a bilinear CDAG: the 7^k sub-trees at
+    recursion depth [depth] are dealt round-robin to [procs]
+    processors (each subtree's operand arrays travel with it); vertices
+    above the cut (upper encoders/decoders) and the primary inputs are
+    dealt round-robin by id — the "redistribution" traffic of a
+    BFS-parallel Strassen. *)
+let bfs_assignment cdag ~depth ~procs =
+  let n = Fmm_cdag.Cdag.n_vertices cdag in
+  let assignment = Array.init n (fun v -> v mod procs) in
+  let subtrees =
+    List.filter (fun nd -> nd.Fmm_cdag.Cdag.depth = depth) (Fmm_cdag.Cdag.nodes cdag)
+  in
+  (* stable order: by subtree range start *)
+  let subtrees =
+    List.sort (fun a b -> compare a.Fmm_cdag.Cdag.subtree_lo b.Fmm_cdag.Cdag.subtree_lo) subtrees
+  in
+  List.iteri
+    (fun idx nd ->
+      let p = idx mod procs in
+      for v = nd.Fmm_cdag.Cdag.subtree_lo to nd.Fmm_cdag.Cdag.subtree_hi do
+        assignment.(v) <- p
+      done;
+      Array.iter (fun v -> assignment.(v) <- p) nd.Fmm_cdag.Cdag.a_in;
+      Array.iter (fun v -> assignment.(v) <- p) nd.Fmm_cdag.Cdag.b_in)
+    subtrees;
+  assignment
+
+(** Single-processor baseline: everything local, zero communication. *)
+let sequential_assignment work = Array.make (Workload.n_vertices work) 0
+
+(** Run a BFS-partitioned Strassen-family CDAG on procs = t^depth
+    processors and report words/proc beside the memory-independent
+    bound. *)
+let strassen_bfs_experiment cdag ~depth =
+  let t_rank = Fmm_bilinear.Algorithm.rank (Fmm_cdag.Cdag.base_algorithm cdag) in
+  let procs = Fmm_util.Combinat.pow_int t_rank depth in
+  let work = Workload.of_cdag cdag in
+  let assignment = bfs_assignment cdag ~depth ~procs in
+  run work ~procs ~assignment

@@ -1,0 +1,37 @@
+(** A message-counting distributed executor — the paper's parallel
+    machine at the word level. P processors own disjoint parts of the
+    DAG (owner computes); every (value, consumer-processor) pair costs
+    one word transfer, counted once (re-uses hit the consumer's cache).
+    Unlike the closed-form models in {!Par_model}, this executes the
+    actual DAG under an explicit assignment, giving the
+    memory-independent bound n^2/P^{2/omega0} a measured counterpart. *)
+
+type result = {
+  procs : int;
+  sent : int array;
+  received : int array;
+  total_words : int;
+  max_words : float;  (** max over processors of sent + received *)
+}
+
+val run : Workload.t -> procs:int -> assignment:int array -> result
+(** [assignment] maps every vertex to its owning processor. Raises on
+    shape/id errors or cyclic graphs. *)
+
+val run_limited :
+  Workload.t -> procs:int -> assignment:int array -> local_memory:int -> result
+(** The full Section II-B parallel model: each processor caches foreign
+    words in an LRU local memory of [local_memory] words; evicted words
+    must be re-fetched. [local_memory = max_int] degenerates to {!run};
+    tight memory drives the traffic toward the memory-dependent regime
+    of Theorem 1.1. *)
+
+val bfs_assignment : Fmm_cdag.Cdag.t -> depth:int -> procs:int -> int array
+(** BFS-style partition: the t^depth recursion subtrees (with their
+    operand arrays) are dealt round-robin to the processors; vertices
+    above the cut and the primary inputs are dealt round-robin by id. *)
+
+val sequential_assignment : Workload.t -> int array
+
+val strassen_bfs_experiment : Fmm_cdag.Cdag.t -> depth:int -> result
+(** BFS partition at [depth] on t^depth processors. *)

@@ -1,0 +1,147 @@
+(* Distributed-memory cost models (the paper's parallel machine: P
+   processors, local memories of size M, every exchanged word is one
+   I/O operation). Three algorithm families are simulated round by
+   round — communication is accumulated from the actual loop structure
+   of each algorithm, not just quoted as a closed form:
+
+   - 2D classical (Cannon): sqrt(P) x sqrt(P) grid, sqrt(P) shift
+     rounds, words/proc = Theta(n^2 / sqrt P);
+   - 3D classical: P^{1/3} replication, words/proc = Theta(n^2/P^{2/3});
+   - CAPS-style parallel Strassen: BFS steps divide the 7 sub-problems
+     among 7 processor groups (communication Theta(n^2/P) per step),
+     DFS steps recurse on all processors sequentially when memory is
+     too tight for BFS. With ample memory the schedule is all-BFS and
+     matches the memory-independent bound n^2/P^{2/omega0}; with tight
+     memory the DFS prefix reproduces the memory-dependent bound
+     (n/sqrt M)^{omega0} M/P — the two regimes of Theorem 1.1. *)
+
+type cost = {
+  algorithm : string;
+  n : int;
+  p : int;
+  m : int option; (* local memory, when the model is memory-aware *)
+  words_per_proc : float; (* inter-processor I/O per processor *)
+  flops_per_proc : float;
+  rounds : int;
+}
+
+let int_cbrt p =
+  let c = int_of_float (Float.round (float_of_int p ** (1. /. 3.))) in
+  if c * c * c = p then Some c else None
+
+let int_sqrt p =
+  let s = int_of_float (Float.round (sqrt (float_of_int p))) in
+  if s * s = p then Some s else None
+
+(** Cannon's algorithm on a sqrt(P) x sqrt(P) grid. Requires square P
+    dividing n. *)
+let cannon_2d ~n ~p =
+  match int_sqrt p with
+  | None -> invalid_arg "Par_model.cannon_2d: P must be a perfect square"
+  | Some s ->
+    if n mod s <> 0 then invalid_arg "Par_model.cannon_2d: sqrt(P) must divide n";
+    let block = n / s in
+    let words = ref 0.0 and flops = ref 0.0 and rounds = ref 0 in
+    (* initial skew: one shift of A and one of B per processor *)
+    words := !words +. float_of_int (2 * block * block);
+    (* s-1 shift rounds; each processor receives one A and one B block
+       and multiplies-accumulates a block pair. *)
+    for _round = 1 to s do
+      flops := !flops +. (2.0 *. float_of_int (block * block * block));
+      incr rounds;
+      if !rounds < s then words := !words +. float_of_int (2 * block * block)
+    done;
+    {
+      algorithm = "cannon-2d";
+      n;
+      p;
+      m = None;
+      words_per_proc = !words;
+      flops_per_proc = !flops;
+      rounds = !rounds;
+    }
+
+(** 3D classical: c = P^{1/3}; A and B replicated across layers, C
+    reduced across layers. *)
+let classical_3d ~n ~p =
+  match int_cbrt p with
+  | None -> invalid_arg "Par_model.classical_3d: P must be a perfect cube"
+  | Some c ->
+    if n mod (c * c) <> 0 then
+      invalid_arg "Par_model.classical_3d: P^{2/3} must divide n^2";
+    let tile = n * n / (c * c) in
+    (* each processor: receives its A tile and B tile replica (2 tiles),
+       sends/reduces its C contribution (1 tile): 3 tiles of n^2/c^2. *)
+    let words = float_of_int (3 * tile) in
+    let flops = float_of_int n ** 3. /. float_of_int p *. 2.0 in
+    {
+      algorithm = "classical-3d";
+      n;
+      p;
+      m = None;
+      words_per_proc = words;
+      flops_per_proc = flops;
+      rounds = 2 + c;
+    }
+
+type caps_step = BFS | DFS
+
+(** CAPS-style parallel Strassen. At problem size [n] on [p] procs with
+    [m] words of local memory:
+    - p = 1: run locally (no further communication; local I/O is the
+      sequential story, measured elsewhere);
+    - BFS step (needs p >= 7 and memory for a 7/4-denser working set):
+      redistribute so each of 7 groups of p/7 procs owns one
+      sub-problem: ~3 (n/2)^2 * 7 words spread over p procs move;
+    - DFS step: solve the 7 half-size sub-problems one after another on
+      all p procs; per sub-problem the operands' shares move once:
+      ~3 (n/2)^2 / p words each.
+    Returns the accumulated words/proc and the step sequence. *)
+let caps ~n ~p ~m =
+  if p < 1 then invalid_arg "Par_model.caps: P < 1";
+  let steps = ref [] in
+  let rec go n p =
+    if p <= 1 then 0.0
+    else begin
+      let bfs_memory_need = 21 * (n / 2) * (n / 2) / p in
+      if p >= 7 && p mod 7 = 0 && n mod 2 = 0 && bfs_memory_need <= m then begin
+        steps := BFS :: !steps;
+        (* all 7 sub-operands redistributed across the p processors *)
+        (float_of_int (21 * (n / 2) * (n / 2)) /. float_of_int p)
+        +. go (n / 2) (p / 7)
+      end
+      else if n mod 2 = 0 then begin
+        steps := DFS :: !steps;
+        (* 7 sequential sub-problems, each executed by all p procs:
+           operands move once per sub-problem, and each sub-problem's
+           own recursive communication is paid 7 times. *)
+        (7.0 *. float_of_int (3 * (n / 2) * (n / 2)) /. float_of_int p)
+        +. (7.0 *. go (n / 2) p)
+      end
+      else
+        (* odd size with p > 1: fall back to a 2D-style exchange *)
+        float_of_int (2 * n * n) /. sqrt (float_of_int p)
+    end
+  in
+  let words = ref (go n p) in
+  let flops = float_of_int n ** (log 7. /. log 2.) /. float_of_int p in
+  ( {
+      algorithm = "caps-strassen";
+      n;
+      p;
+      m = Some m;
+      words_per_proc = !words;
+      flops_per_proc = flops;
+      rounds = List.length !steps;
+    },
+    List.rev !steps )
+
+let caps_words ~n ~p ~m = (fst (caps ~n ~p ~m)).words_per_proc
+
+(** Count BFS/DFS steps (the schedule shape: DFS prefix length grows as
+    memory shrinks). *)
+let caps_schedule ~n ~p ~m =
+  let _, steps = caps ~n ~p ~m in
+  let bfs = List.length (List.filter (fun s -> s = BFS) steps) in
+  let dfs = List.length (List.filter (fun s -> s = DFS) steps) in
+  (bfs, dfs)

@@ -1,0 +1,37 @@
+(** Distributed-memory cost models for the paper's parallel machine
+    (P processors, local memory M, every exchanged word one I/O).
+    Communication is accumulated from each algorithm's actual loop /
+    recursion structure, not quoted as a closed form. *)
+
+type cost = {
+  algorithm : string;
+  n : int;
+  p : int;
+  m : int option;
+  words_per_proc : float;
+  flops_per_proc : float;
+  rounds : int;
+}
+
+val cannon_2d : n:int -> p:int -> cost
+(** Cannon's algorithm on a sqrt(P) x sqrt(P) grid;
+    words = Theta(n^2/sqrt P). Raises unless P is a perfect square
+    dividing n. *)
+
+val classical_3d : n:int -> p:int -> cost
+(** 3D classical with P^{1/3} replication; words = Theta(n^2/P^{2/3}).
+    Raises unless P is a perfect cube with P^{2/3} | n^2. *)
+
+type caps_step = BFS | DFS
+
+val caps : n:int -> p:int -> m:int -> cost * caps_step list
+(** CAPS-style parallel Strassen: BFS steps split the 7 sub-problems
+    among 7 processor groups when memory allows, DFS steps serialize
+    them otherwise. All-BFS reproduces the memory-independent regime
+    n^2/P^{2/omega0}; a DFS prefix reproduces the memory-dependent one —
+    the two regimes of Theorem 1.1. *)
+
+val caps_words : n:int -> p:int -> m:int -> float
+
+val caps_schedule : n:int -> p:int -> m:int -> int * int
+(** (BFS count, DFS count) of the chosen schedule. *)

@@ -1,0 +1,361 @@
+(* Schedulers: turn a compute order into a legal trace for the
+   two-level machine, under two opposite policies for values that fall
+   out of cache:
+
+   - [run_lru]: spill. A value still needed later is written back to
+     slow memory before eviction and re-loaded on demand. No vertex is
+     ever computed twice (the classical no-recomputation execution).
+
+   - [run_rematerialize]: recompute. Intermediates are never written to
+     slow memory; only CDAG outputs are stored. A missing operand is
+     recursively recomputed from whatever is available (ultimately the
+     inputs, which can always be re-loaded). This trades arithmetic for
+     I/O as aggressively as possible — the strategy whose futility for
+     fast MM is the paper's headline (Theorem 1.1 holds regardless of
+     recomputation).
+
+   Both produce traces replayable by Cache_machine, which is how the
+   tests guarantee the schedulers only ever emit legal programs. *)
+
+module W = Workload
+module D = Fmm_graph.Digraph
+module IntMap = Map.Make (Int)
+
+type result = {
+  trace : Trace.t; (* in execution order *)
+  counters : Trace.counters;
+}
+
+
+
+(* Shared mutable machinery: an LRU cache over vertex ids, with a
+   use-clock map for O(log n) victim selection, emitting trace events. *)
+type core = {
+  work : W.t;
+  input_mask : int -> bool;
+  cache_size : int;
+  in_cache : bool array;
+  in_slow : bool array;
+  last_use : int array;
+  mutable clock : int;
+  mutable by_time : int IntMap.t; (* time -> vertex *)
+  mutable occupancy : int;
+  mutable events : Trace.event list; (* reversed *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable computes : int;
+  mutable recomputes : int;
+  pinned : bool array;
+  output_pred : int -> bool;
+}
+
+let make_core work ~cache_size =
+  let n = W.n_vertices work in
+  let core =
+    {
+      work;
+      input_mask = W.is_input work;
+      cache_size;
+      in_cache = Array.make n false;
+      in_slow = Array.make n false;
+      last_use = Array.make n (-1);
+      clock = 0;
+      by_time = IntMap.empty;
+      occupancy = 0;
+      events = [];
+      loads = 0;
+      stores = 0;
+      computes = 0;
+      recomputes = 0;
+      pinned = Array.make n false;
+      output_pred = W.is_output work;
+    }
+  in
+  Array.iter (fun v -> core.in_slow.(v) <- true) work.W.inputs;
+  core
+
+let emit core e = core.events <- e :: core.events
+
+let touch core v =
+  if core.last_use.(v) >= 0 then
+    core.by_time <- IntMap.remove core.last_use.(v) core.by_time;
+  core.clock <- core.clock + 1;
+  core.last_use.(v) <- core.clock;
+  core.by_time <- IntMap.add core.clock v core.by_time
+
+let forget core v =
+  if core.last_use.(v) >= 0 then begin
+    core.by_time <- IntMap.remove core.last_use.(v) core.by_time;
+    core.last_use.(v) <- -1
+  end
+
+(* Evict the least-recently-used unpinned vertex. [writeback v] decides
+   whether the victim must be stored first. *)
+let evict_one core ~writeback =
+  let rec pick t =
+    match IntMap.min_binding_opt t with
+    | None -> failwith "Schedulers: cache too small (everything pinned)"
+    | Some (time, v) ->
+      if core.pinned.(v) then pick (IntMap.remove time t) else v
+  in
+  let victim = pick core.by_time in
+  if writeback victim && not core.in_slow.(victim) then begin
+    emit core (Trace.Store victim);
+    core.in_slow.(victim) <- true;
+    core.stores <- core.stores + 1
+  end;
+  emit core (Trace.Evict victim);
+  core.in_cache.(victim) <- false;
+  core.occupancy <- core.occupancy - 1;
+  forget core victim
+
+let ensure_room core ~writeback =
+  while core.occupancy >= core.cache_size do
+    evict_one core ~writeback
+  done
+
+let load core v ~writeback =
+  ensure_room core ~writeback;
+  emit core (Trace.Load v);
+  core.in_cache.(v) <- true;
+  core.occupancy <- core.occupancy + 1;
+  core.loads <- core.loads + 1;
+  touch core v
+
+let result_of core =
+  {
+    trace = List.rev core.events;
+    counters =
+      {
+        Trace.loads = core.loads;
+        stores = core.stores;
+        computes = core.computes;
+        recomputes = core.recomputes;
+      };
+  }
+
+(* --- LRU / spilling execution --- *)
+
+(** Execute [order] (a valid topological order of non-input vertices)
+    with LRU replacement and write-back spilling. [cache_size] must
+    exceed the maximum in-degree. *)
+let run_lru work ~cache_size order =
+  let g = work.W.graph in
+  let core = make_core work ~cache_size in
+  let remaining_uses = Array.init (W.n_vertices work) (fun v -> D.out_degree g v) in
+  (* Spill policy: write back anything still needed, and outputs. *)
+  let writeback v = remaining_uses.(v) > 0 || core.output_pred v in
+  List.iter
+    (fun v ->
+      let preds = D.in_neighbors g v in
+      (* Pin operands so making room for one cannot evict another. *)
+      List.iter
+        (fun p ->
+          if not core.in_cache.(p) then begin
+            if not core.in_slow.(p) then
+              failwith
+                (Printf.sprintf "Schedulers.run_lru: operand %d lost" p);
+            core.pinned.(p) <- true;
+            load core p ~writeback
+          end
+          else begin
+            core.pinned.(p) <- true;
+            touch core p
+          end)
+        preds;
+      ensure_room core ~writeback;
+      emit core (Trace.Compute v);
+      core.in_cache.(v) <- true;
+      core.occupancy <- core.occupancy + 1;
+      core.computes <- core.computes + 1;
+      touch core v;
+      List.iter
+        (fun p ->
+          core.pinned.(p) <- false;
+          remaining_uses.(p) <- remaining_uses.(p) - 1;
+          (* Dead values leave the cache for free. *)
+          if remaining_uses.(p) = 0 && not (core.output_pred p) && core.in_cache.(p)
+          then begin
+            emit core (Trace.Evict p);
+            core.in_cache.(p) <- false;
+            core.occupancy <- core.occupancy - 1;
+            forget core p
+          end)
+        preds)
+    order;
+  (* Flush outputs still dirty in cache. *)
+  Array.iter
+    (fun v ->
+      if core.in_cache.(v) && not core.in_slow.(v) then begin
+        emit core (Trace.Store v);
+        core.in_slow.(v) <- true;
+        core.stores <- core.stores + 1
+      end)
+    work.W.outputs;
+  result_of core
+
+(* --- Belady / offline-optimal replacement --- *)
+
+(** Execute [order] with Belady's MIN policy: given the whole future
+    reference sequence, evict the resident value whose next use is
+    farthest away (never-used-again values first). Offline-optimal for
+    the replacement decision at a fixed compute order, so its I/O lower
+    bounds every demand-paging execution of that order — the tightest
+    schedule the no-recomputation machine can extract from an order
+    without reordering. *)
+let run_belady work ~cache_size order =
+  let g = work.W.graph in
+  let n = W.n_vertices work in
+  let core = make_core work ~cache_size in
+  let remaining_uses = Array.init n (fun v -> D.out_degree g v) in
+  let writeback v = remaining_uses.(v) > 0 || core.output_pred v in
+  (* Future reference positions per vertex: vertex v is referenced at
+     step i when it is an operand of order[i] (and at its own compute
+     step). Precompute queues of positions. *)
+  let refs = Array.make n [] in
+  List.iteri
+    (fun i v ->
+      refs.(v) <- i :: refs.(v);
+      List.iter (fun p -> refs.(p) <- i :: refs.(p)) (D.in_neighbors g v))
+    order;
+  let future = Array.map (fun l -> ref (List.rev l)) refs in
+  let next_use_after v now =
+    let rec drop = function
+      | t :: rest when t <= now ->
+        future.(v) := rest;
+        drop rest
+      | l -> l
+    in
+    match drop !(future.(v)) with [] -> max_int | t :: _ -> t
+  in
+  (* Belady eviction: scan residents for the farthest next use. O(M)
+     per eviction — fine at simulator scale. *)
+  let evict_belady now =
+    let victim = ref (-1) and victim_next = ref (-1) in
+    for v = 0 to n - 1 do
+      if core.in_cache.(v) && not core.pinned.(v) then begin
+        let nu = next_use_after v now in
+        if nu > !victim_next then begin
+          victim := v;
+          victim_next := nu
+        end
+      end
+    done;
+    if !victim < 0 then failwith "Schedulers: cache too small (everything pinned)";
+    let v = !victim in
+    if writeback v && not core.in_slow.(v) then begin
+      emit core (Trace.Store v);
+      core.in_slow.(v) <- true;
+      core.stores <- core.stores + 1
+    end;
+    emit core (Trace.Evict v);
+    core.in_cache.(v) <- false;
+    core.occupancy <- core.occupancy - 1;
+    forget core v
+  in
+  let ensure_room_belady now =
+    while core.occupancy >= core.cache_size do
+      evict_belady now
+    done
+  in
+  List.iteri
+    (fun now v ->
+      let preds = D.in_neighbors g v in
+      List.iter
+        (fun p ->
+          if not core.in_cache.(p) then begin
+            if not core.in_slow.(p) then
+              failwith (Printf.sprintf "Schedulers.run_belady: operand %d lost" p);
+            core.pinned.(p) <- true;
+            ensure_room_belady now;
+            emit core (Trace.Load p);
+            core.in_cache.(p) <- true;
+            core.occupancy <- core.occupancy + 1;
+            core.loads <- core.loads + 1;
+            touch core p
+          end
+          else core.pinned.(p) <- true)
+        preds;
+      ensure_room_belady now;
+      emit core (Trace.Compute v);
+      core.in_cache.(v) <- true;
+      core.occupancy <- core.occupancy + 1;
+      core.computes <- core.computes + 1;
+      touch core v;
+      List.iter
+        (fun p ->
+          core.pinned.(p) <- false;
+          remaining_uses.(p) <- remaining_uses.(p) - 1;
+          if remaining_uses.(p) = 0 && not (core.output_pred p) && core.in_cache.(p)
+          then begin
+            emit core (Trace.Evict p);
+            core.in_cache.(p) <- false;
+            core.occupancy <- core.occupancy - 1;
+            forget core p
+          end)
+        preds)
+    order;
+  Array.iter
+    (fun v ->
+      if core.in_cache.(v) && not core.in_slow.(v) then begin
+        emit core (Trace.Store v);
+        core.in_slow.(v) <- true;
+        core.stores <- core.stores + 1
+      end)
+    work.W.outputs;
+  result_of core
+
+(* --- rematerializing execution --- *)
+
+(** Execute with recomputation instead of spilling: only outputs are
+    ever stored; a missing operand is recomputed recursively (inputs
+    are re-loaded). [max_flops] aborts pathological blow-ups. *)
+let run_rematerialize ?(max_flops = 200_000_000) work ~cache_size order =
+  let g = work.W.graph in
+  let core = make_core work ~cache_size in
+  let computed_once = Array.make (W.n_vertices work) false in
+  (* Never write back: intermediates are recomputable, inputs are
+     already in slow memory, outputs are stored at first compute. *)
+  let writeback _ = false in
+  let flops = ref 0 in
+  let rec materialize v =
+    if core.in_cache.(v) then touch core v
+    else if core.input_mask v then begin
+      core.pinned.(v) <- true;
+      load core v ~writeback
+    end
+    else begin
+      let preds = D.in_neighbors g v in
+      List.iter materialize preds;
+      (* Re-pin operands: deep recursion may have unpinned them. *)
+      List.iter
+        (fun p ->
+          if not core.in_cache.(p) then materialize p;
+          core.pinned.(p) <- true)
+        preds;
+      ensure_room core ~writeback;
+      emit core (Trace.Compute v);
+      incr flops;
+      if !flops > max_flops then
+        failwith "Schedulers.run_rematerialize: flop budget exceeded";
+      if computed_once.(v) then core.recomputes <- core.recomputes + 1;
+      computed_once.(v) <- true;
+      core.in_cache.(v) <- true;
+      core.occupancy <- core.occupancy + 1;
+      core.computes <- core.computes + 1;
+      core.pinned.(v) <- true;
+      touch core v;
+      List.iter (fun p -> core.pinned.(p) <- false) preds;
+      if core.output_pred v && not core.in_slow.(v) then begin
+        emit core (Trace.Store v);
+        core.in_slow.(v) <- true;
+        core.stores <- core.stores + 1
+      end
+    end
+  in
+  List.iter
+    (fun v ->
+      materialize v;
+      core.pinned.(v) <- false)
+    order;
+  result_of core

@@ -1,0 +1,32 @@
+(** Schedulers: turn a compute order into a legal machine trace, under
+    the two opposite policies for values that fall out of cache —
+    spill (write back and reload) or recompute. Every trace they
+    produce replays cleanly through {!Cache_machine} (enforced by the
+    test suite). *)
+
+type result = {
+  trace : Trace.t;  (** in execution order *)
+  counters : Trace.counters;
+}
+
+val run_lru : Workload.t -> cache_size:int -> int list -> result
+(** LRU replacement with write-back spilling; no vertex is ever
+    computed twice. [cache_size] must exceed the maximum in-degree
+    (raises [Failure] otherwise). *)
+
+val run_belady : Workload.t -> cache_size:int -> int list -> result
+(** Offline-optimal (MIN) replacement for the given order: evict the
+    resident value whose next use is farthest away. Its I/O lower
+    bounds every demand-paging execution of the same order, so
+    belady <= lru pointwise — and it still cannot beat the Theorem 1.1
+    bound. *)
+
+val run_rematerialize :
+  ?max_flops:int -> Workload.t -> cache_size:int -> int list -> result
+(** Recompute instead of spilling: only CDAG outputs are ever stored;
+    a missing operand is recursively recomputed from whatever is
+    available (ultimately re-loaded inputs). Trades arithmetic for I/O
+    as aggressively as possible — the strategy whose futility for fast
+    MM is the paper's headline. Needs a cache a few times the DAG
+    depth (operand pinning along the recursion path); raises [Failure]
+    when the cache is too small or [max_flops] is exceeded. *)

@@ -1,0 +1,32 @@
+(* Execution traces of the sequential machine model (Section II-B of
+   the paper): a program is a sequence of loads, stores, evictions and
+   computations over CDAG vertices. Traces are produced by the
+   schedulers and consumed by the legality checker (Cache_machine) and
+   the segment analyzer (Segments). *)
+
+type event =
+  | Load of int (* slow -> fast; one I/O read *)
+  | Store of int (* fast -> slow; one I/O write *)
+  | Evict of int (* drop from fast memory; free *)
+  | Compute of int (* all predecessors must be in fast memory *)
+
+type t = event list
+
+let event_to_string = function
+  | Load v -> Printf.sprintf "load %d" v
+  | Store v -> Printf.sprintf "store %d" v
+  | Evict v -> Printf.sprintf "evict %d" v
+  | Compute v -> Printf.sprintf "compute %d" v
+
+type counters = {
+  loads : int;
+  stores : int;
+  computes : int;
+  recomputes : int; (* computations of an already-computed vertex *)
+}
+
+let io counters = counters.loads + counters.stores
+
+let pp_counters fmt c =
+  Format.fprintf fmt "loads=%d stores=%d io=%d computes=%d recomputes=%d"
+    c.loads c.stores (io c) c.computes c.recomputes

@@ -1,0 +1,25 @@
+(** Execution traces of the sequential machine model (Section II-B of
+    the paper): a program is a sequence of loads, stores, evictions and
+    computations over CDAG vertices. *)
+
+type event =
+  | Load of int  (** slow -> fast; one I/O read *)
+  | Store of int  (** fast -> slow; one I/O write *)
+  | Evict of int  (** drop from fast memory; free *)
+  | Compute of int  (** all predecessors must be in fast memory *)
+
+type t = event list
+
+val event_to_string : event -> string
+
+type counters = {
+  loads : int;
+  stores : int;
+  computes : int;
+  recomputes : int;  (** computations of an already-computed vertex *)
+}
+
+val io : counters -> int
+(** loads + stores — the model's communication cost. *)
+
+val pp_counters : Format.formatter -> counters -> unit

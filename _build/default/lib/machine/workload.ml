@@ -1,0 +1,69 @@
+(* A workload is the machine model's view of a computation: a DAG, its
+   input vertices (initially in slow memory) and its output vertices
+   (must end up in slow memory). Bilinear CDAGs, FFT butterflies and
+   ad-hoc test DAGs all execute through this one interface. *)
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  inputs : int array;
+  outputs : int array;
+  name : string;
+}
+
+let make ?(name = "workload") ~graph ~inputs ~outputs () =
+  let n = Fmm_graph.Digraph.n_vertices graph in
+  let check v =
+    if v < 0 || v >= n then invalid_arg "Workload.make: vertex out of range"
+  in
+  Array.iter check inputs;
+  Array.iter check outputs;
+  Array.iter
+    (fun v ->
+      if Fmm_graph.Digraph.in_degree graph v <> 0 then
+        invalid_arg "Workload.make: input vertex has predecessors")
+    inputs;
+  { graph; inputs; outputs; name }
+
+let of_cdag cdag =
+  {
+    graph = Fmm_cdag.Cdag.graph cdag;
+    inputs = Fmm_cdag.Cdag.inputs cdag;
+    outputs = Fmm_cdag.Cdag.outputs cdag;
+    name =
+      Printf.sprintf "%s H^{%dx%d}"
+        (Fmm_bilinear.Algorithm.name (Fmm_cdag.Cdag.base_algorithm cdag))
+        (Fmm_cdag.Cdag.size cdag) (Fmm_cdag.Cdag.size cdag);
+  }
+
+let n_vertices t = Fmm_graph.Digraph.n_vertices t.graph
+
+let is_input t =
+  let n = n_vertices t in
+  let mask = Array.make (max n 1) false in
+  Array.iter (fun v -> mask.(v) <- true) t.inputs;
+  fun v -> mask.(v)
+
+let is_output t =
+  let n = n_vertices t in
+  let mask = Array.make (max n 1) false in
+  Array.iter (fun v -> mask.(v) <- true) t.outputs;
+  fun v -> mask.(v)
+
+(** Is [order] a topological enumeration of exactly the non-input
+    vertices? (The contract every scheduler input must satisfy.) *)
+let is_valid_order t order =
+  let n = n_vertices t in
+  let seen = Array.make (max n 1) false in
+  Array.iter (fun v -> seen.(v) <- true) t.inputs;
+  let input = is_input t in
+  let ok =
+    List.for_all
+      (fun v ->
+        let ready =
+          List.for_all (fun p -> seen.(p)) (Fmm_graph.Digraph.in_neighbors t.graph v)
+        in
+        seen.(v) <- true;
+        ready && not (input v))
+      order
+  in
+  ok && Array.for_all (fun b -> b) seen

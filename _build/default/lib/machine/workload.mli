@@ -1,0 +1,33 @@
+(** A workload is the machine model's view of a computation: a DAG, the
+    input vertices (initially in slow memory) and the output vertices
+    (must end in slow memory). Bilinear CDAGs, FFT butterflies and
+    ad-hoc test DAGs all execute through this one interface. *)
+
+type t = {
+  graph : Fmm_graph.Digraph.t;
+  inputs : int array;
+  outputs : int array;
+  name : string;
+}
+
+val make :
+  ?name:string ->
+  graph:Fmm_graph.Digraph.t ->
+  inputs:int array ->
+  outputs:int array ->
+  unit ->
+  t
+(** Validates ids and that inputs have no predecessors. *)
+
+val of_cdag : Fmm_cdag.Cdag.t -> t
+
+val n_vertices : t -> int
+
+val is_input : t -> int -> bool
+(** Membership predicate (O(1) after the first partial application). *)
+
+val is_output : t -> int -> bool
+
+val is_valid_order : t -> int list -> bool
+(** Is the list a topological enumeration of exactly the non-input
+    vertices? (The contract every scheduler input must satisfy.) *)

@@ -1,0 +1,1 @@
+lib/matrix/linalg.ml: Array Fmm_ring List Matrix

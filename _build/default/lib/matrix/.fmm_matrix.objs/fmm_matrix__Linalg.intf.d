@@ -1,0 +1,1 @@
+lib/matrix/linalg.mli: Fmm_ring Matrix

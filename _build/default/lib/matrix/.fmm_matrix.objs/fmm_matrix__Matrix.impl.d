@@ -1,0 +1,1 @@
+lib/matrix/matrix.ml: Array Fmm_ring Fmm_util Format List

@@ -1,0 +1,1 @@
+lib/matrix/matrix.mli: Fmm_ring Fmm_util Format

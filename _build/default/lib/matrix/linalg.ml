@@ -1,0 +1,144 @@
+(* Exact linear algebra over a field, by Gaussian elimination. The
+   alternative-basis layer needs exact inverses of the phi/psi/nu
+   transforms (Definition 2.6: they must be automorphisms), and the
+   lemma engine needs ranks of encoder submatrices. *)
+
+module Make (F : Fmm_ring.Sig_ring.Field) = struct
+  module M = Matrix.Make (F)
+
+  (** Reduced row echelon form; returns (rref, rank, pivot columns). *)
+  let rref m =
+    let a = M.copy m in
+    let rows = M.rows a and cols = M.cols a in
+    let pivots = ref [] in
+    let r = ref 0 in
+    (try
+       for c = 0 to cols - 1 do
+         if !r >= rows then raise Exit;
+         (* find a pivot in column c at row >= !r *)
+         let piv = ref (-1) in
+         (try
+            for i = !r to rows - 1 do
+              if not (F.equal (M.get a i c) F.zero) then begin
+                piv := i;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         if !piv >= 0 then begin
+           (* swap rows !piv and !r *)
+           if !piv <> !r then
+             for j = 0 to cols - 1 do
+               let tmp = M.get a !r j in
+               M.set a !r j (M.get a !piv j);
+               M.set a !piv j tmp
+             done;
+           (* scale pivot row to 1 *)
+           let inv_p = F.inv (M.get a !r c) in
+           for j = 0 to cols - 1 do
+             M.set a !r j (F.mul inv_p (M.get a !r j))
+           done;
+           (* eliminate elsewhere *)
+           for i = 0 to rows - 1 do
+             if i <> !r && not (F.equal (M.get a i c) F.zero) then begin
+               let factor = M.get a i c in
+               for j = 0 to cols - 1 do
+                 M.set a i j (F.sub (M.get a i j) (F.mul factor (M.get a !r j)))
+               done
+             end
+           done;
+           pivots := c :: !pivots;
+           incr r
+         end
+       done
+     with Exit -> ());
+    (a, !r, List.rev !pivots)
+
+  let rank m =
+    let _, r, _ = rref m in
+    r
+
+  (** Determinant by fraction-free-ish elimination (plain field elim). *)
+  let det m =
+    if M.rows m <> M.cols m then invalid_arg "Linalg.det: not square";
+    let n = M.rows m in
+    let a = M.copy m in
+    let sign = ref F.one in
+    let result = ref F.one in
+    (try
+       for c = 0 to n - 1 do
+         let piv = ref (-1) in
+         (try
+            for i = c to n - 1 do
+              if not (F.equal (M.get a i c) F.zero) then begin
+                piv := i;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         if !piv < 0 then begin
+           result := F.zero;
+           raise Exit
+         end;
+         if !piv <> c then begin
+           sign := F.neg !sign;
+           for j = 0 to n - 1 do
+             let tmp = M.get a c j in
+             M.set a c j (M.get a !piv j);
+             M.set a !piv j tmp
+           done
+         end;
+         let p = M.get a c c in
+         result := F.mul !result p;
+         for i = c + 1 to n - 1 do
+           let factor = F.div (M.get a i c) p in
+           for j = c to n - 1 do
+             M.set a i j (F.sub (M.get a i j) (F.mul factor (M.get a c j)))
+           done
+         done
+       done
+     with Exit -> ());
+    F.mul !sign !result
+
+  (** Inverse; raises [Failure] if singular. *)
+  let inverse m =
+    if M.rows m <> M.cols m then invalid_arg "Linalg.inverse: not square";
+    let n = M.rows m in
+    (* [m | I] -> rref -> [I | m^-1] *)
+    let aug =
+      M.init n (2 * n) (fun i j ->
+          if j < n then M.get m i j
+          else if j - n = i then F.one
+          else F.zero)
+    in
+    let r, _, pivots = rref aug in
+    (* Pivots must all land in the left (original) half: a pivot in the
+       identity half means the original matrix was rank-deficient. *)
+    let left_pivots = List.length (List.filter (fun c -> c < n) pivots) in
+    if left_pivots < n then failwith "Linalg.inverse: singular matrix";
+    M.submatrix r ~row:0 ~col:n ~rows:n ~cols:n
+
+  (** Solve m x = b for a single right-hand side; [None] if inconsistent,
+      picks the pivot-variable solution if underdetermined. *)
+  let solve m b =
+    let rows = M.rows m and cols = M.cols m in
+    if Array.length b <> rows then invalid_arg "Linalg.solve: rhs length";
+    let aug =
+      M.init rows (cols + 1) (fun i j -> if j < cols then M.get m i j else b.(i))
+    in
+    let r, _, pivots = rref aug in
+    (* inconsistent iff a pivot lands in the augmented column *)
+    if List.exists (fun c -> c = cols) pivots then None
+    else begin
+      let x = Array.make cols F.zero in
+      List.iteri
+        (fun row_idx c -> x.(c) <- M.get r row_idx cols)
+        pivots;
+      Some x
+    end
+
+  let is_invertible m =
+    M.rows m = M.cols m && rank m = M.rows m
+end
+
+module Q = Make (Fmm_ring.Rat.Field)

@@ -1,0 +1,27 @@
+(** Exact linear algebra over a field by Gaussian elimination. The
+    alternative-basis layer needs exact inverses of the phi/psi/nu
+    transforms (Definition 2.6 requires automorphisms); the lemma
+    engine uses ranks and solvability of decoder systems. *)
+
+module Make (F : Fmm_ring.Sig_ring.Field) : sig
+  module M : module type of Matrix.Make (F)
+
+  val rref : M.t -> M.t * int * int list
+  (** Reduced row echelon form: (rref, rank, pivot columns). *)
+
+  val rank : M.t -> int
+
+  val det : M.t -> F.t
+  (** Raises [Invalid_argument] on non-square input. *)
+
+  val inverse : M.t -> M.t
+  (** Raises [Failure] on singular input. *)
+
+  val solve : M.t -> F.t array -> F.t array option
+  (** One right-hand side; [None] if inconsistent, the pivot-variable
+      solution if underdetermined. *)
+
+  val is_invertible : M.t -> bool
+end
+
+module Q : module type of Make (Fmm_ring.Rat.Field)

@@ -1,0 +1,217 @@
+(* Dense matrices functorized over a ring. The bilinear layer uses this
+   over Rat/Zp for exact verification; the simulators use it over Int
+   and Float. Block split/join mirrors the recursive structure of fast
+   matrix multiplication (Algorithm 2 of the paper): a recursion step
+   splits each operand into a grid of sub-blocks, recurses on linear
+   combinations, and joins the results. *)
+
+module Make (R : Fmm_ring.Sig_ring.S) = struct
+  type elt = R.t
+
+  type t = { rows : int; cols : int; data : elt array }
+  (* Row-major; data.(i * cols + j). *)
+
+  let rows m = m.rows
+  let cols m = m.cols
+  let dims m = (m.rows, m.cols)
+
+  let check_dims rows cols =
+    if rows < 0 || cols < 0 then invalid_arg "Matrix: negative dimension"
+
+  let make rows cols x =
+    check_dims rows cols;
+    { rows; cols; data = Array.make (rows * cols) x }
+
+  let zeros rows cols = make rows cols R.zero
+
+  let init rows cols f =
+    check_dims rows cols;
+    { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+  let identity n = init n n (fun i j -> if i = j then R.one else R.zero)
+
+  let get m i j =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+      invalid_arg "Matrix.get: index out of bounds";
+    m.data.((i * m.cols) + j)
+
+  let set m i j x =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+      invalid_arg "Matrix.set: index out of bounds";
+    m.data.((i * m.cols) + j) <- x
+
+  let copy m = { m with data = Array.copy m.data }
+
+  let of_rows rows_l =
+    match rows_l with
+    | [] -> zeros 0 0
+    | first :: _ ->
+      let cols = List.length first in
+      if List.exists (fun r -> List.length r <> cols) rows_l then
+        invalid_arg "Matrix.of_rows: ragged rows";
+      let rows = List.length rows_l in
+      let data = Array.of_list (List.concat rows_l) in
+      { rows; cols; data }
+
+  let of_int_rows rows_l = of_rows (List.map (List.map R.of_int) rows_l)
+
+  let to_rows m =
+    List.init m.rows (fun i -> List.init m.cols (fun j -> get m i j))
+
+  let equal a b =
+    a.rows = b.rows && a.cols = b.cols
+    && Array.for_all2 (fun x y -> R.equal x y) a.data b.data
+    [@@warning "-32"]
+
+  (* Array.for_all2 needs 4.11+; fine on 5.1. *)
+
+  let map f m = { m with data = Array.map f m.data }
+
+  let map2 f a b =
+    if a.rows <> b.rows || a.cols <> b.cols then
+      invalid_arg "Matrix.map2: dimension mismatch";
+    { a with data = Array.map2 f a.data b.data }
+
+  let add a b = map2 R.add a b
+  let sub a b = map2 R.sub a b
+  let neg a = map R.neg a
+  let scale c m = map (R.mul c) m
+
+  let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+  (** Classical O(n^3) product; the reference implementation every fast
+      algorithm is verified against. *)
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+    let out = zeros a.rows b.cols in
+    for i = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        let aik = get a i k in
+        if not (R.equal aik R.zero) then
+          for j = 0 to b.cols - 1 do
+            set out i j (R.add (get out i j) (R.mul aik (get b k j)))
+          done
+      done
+    done;
+    out
+
+  (** Matrix-vector product. *)
+  let mul_vec m v =
+    if m.cols <> Array.length v then invalid_arg "Matrix.mul_vec: dim mismatch";
+    Array.init m.rows (fun i ->
+        let acc = ref R.zero in
+        for j = 0 to m.cols - 1 do
+          acc := R.add !acc (R.mul (get m i j) v.(j))
+        done;
+        !acc)
+
+  (** Flatten row-major into a vector; the bilinear layer treats an
+      n x m operand as a length-nm vector acted on by encoding matrices. *)
+  let vec_of m = Array.copy m.data
+
+  let of_vec rows cols v =
+    if Array.length v <> rows * cols then
+      invalid_arg "Matrix.of_vec: length mismatch";
+    { rows; cols; data = Array.copy v }
+
+  (** [submatrix m ~row ~col ~rows ~cols] copies a block. *)
+  let submatrix m ~row ~col ~rows ~cols =
+    if row < 0 || col < 0 || row + rows > m.rows || col + cols > m.cols then
+      invalid_arg "Matrix.submatrix: block out of bounds";
+    init rows cols (fun i j -> get m (row + i) (col + j))
+
+  (** Write block [b] into [m] at (row, col), mutating [m]. *)
+  let blit_block m ~row ~col b =
+    if row + b.rows > m.rows || col + b.cols > m.cols then
+      invalid_arg "Matrix.blit_block: block out of bounds";
+    for i = 0 to b.rows - 1 do
+      for j = 0 to b.cols - 1 do
+        set m (row + i) (col + j) (get b i j)
+      done
+    done
+
+  (** Split into a gr x gc grid of equal blocks. Requires divisibility. *)
+  let split ~gr ~gc m =
+    if gr <= 0 || gc <= 0 || m.rows mod gr <> 0 || m.cols mod gc <> 0 then
+      invalid_arg "Matrix.split: grid does not divide dimensions";
+    let br = m.rows / gr and bc = m.cols / gc in
+    Array.init gr (fun i ->
+        Array.init gc (fun j ->
+            submatrix m ~row:(i * br) ~col:(j * bc) ~rows:br ~cols:bc))
+
+  (** Inverse of [split]: join a grid of equal blocks. *)
+  let join blocks =
+    let gr = Array.length blocks in
+    if gr = 0 then zeros 0 0
+    else begin
+      let gc = Array.length blocks.(0) in
+      if gc = 0 then zeros 0 0
+      else begin
+        let br = blocks.(0).(0).rows and bc = blocks.(0).(0).cols in
+        Array.iter
+          (fun row ->
+            if Array.length row <> gc then invalid_arg "Matrix.join: ragged";
+            Array.iter
+              (fun b ->
+                if b.rows <> br || b.cols <> bc then
+                  invalid_arg "Matrix.join: unequal blocks")
+              row)
+          blocks;
+        let out = zeros (gr * br) (gc * bc) in
+        Array.iteri
+          (fun i row ->
+            Array.iteri
+              (fun j b -> blit_block out ~row:(i * br) ~col:(j * bc) b)
+              row)
+          blocks;
+        out
+      end
+    end
+
+  (** Zero-pad to [rows] x [cols] (top-left aligned). *)
+  let pad m ~rows ~cols =
+    if rows < m.rows || cols < m.cols then invalid_arg "Matrix.pad: shrinking";
+    let out = zeros rows cols in
+    blit_block out ~row:0 ~col:0 m;
+    out
+
+  let unpad m ~rows ~cols = submatrix m ~row:0 ~col:0 ~rows ~cols
+
+  let random ~rng ~rows ~cols ~range =
+    if range <= 0 then invalid_arg "Matrix.random: range <= 0";
+    init rows cols (fun _ _ ->
+        R.of_int (Fmm_util.Prng.int_range rng (-range) range))
+
+  let kronecker a b =
+    init (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+        R.mul (get a (i / b.rows) (j / b.cols)) (get b (i mod b.rows) (j mod b.cols)))
+
+  let trace m =
+    if m.rows <> m.cols then invalid_arg "Matrix.trace: not square";
+    let acc = ref R.zero in
+    for i = 0 to m.rows - 1 do
+      acc := R.add !acc (get m i i)
+    done;
+    !acc
+
+  let is_zero m = Array.for_all (fun x -> R.equal x R.zero) m.data
+
+  let pp fmt m =
+    Format.fprintf fmt "@[<v>";
+    for i = 0 to m.rows - 1 do
+      Format.fprintf fmt "[";
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Format.fprintf fmt ", ";
+        R.pp fmt (get m i j)
+      done;
+      Format.fprintf fmt "]";
+      if i < m.rows - 1 then Format.fprintf fmt "@,"
+    done;
+    Format.fprintf fmt "@]"
+
+  let to_string m = Format.asprintf "%a" pp m
+end
+
+module Q = Make (Fmm_ring.Rat.Field)
+module I = Make (Fmm_ring.Sig_ring.Int)
+module F = Make (Fmm_ring.Sig_ring.Float)

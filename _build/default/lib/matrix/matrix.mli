@@ -1,0 +1,84 @@
+(** Dense matrices functorized over a ring. The bilinear layer uses
+    them over Rat/Z_p for exact verification; the simulators over Int
+    and Float. Block split/join mirrors the recursive structure of fast
+    matrix multiplication (the paper's Algorithm 2). *)
+
+module Make (R : Fmm_ring.Sig_ring.S) : sig
+  type elt = R.t
+  type t
+
+  val rows : t -> int
+  val cols : t -> int
+  val dims : t -> int * int
+
+  val make : int -> int -> elt -> t
+  val zeros : int -> int -> t
+  val init : int -> int -> (int -> int -> elt) -> t
+  val identity : int -> t
+
+  val get : t -> int -> int -> elt
+  (** Raises [Invalid_argument] out of bounds (as does {!set}). *)
+
+  val set : t -> int -> int -> elt -> unit
+  val copy : t -> t
+
+  val of_rows : elt list list -> t
+  (** Raises on ragged input. *)
+
+  val of_int_rows : int list list -> t
+  val to_rows : t -> elt list list
+
+  val equal : t -> t -> bool
+  val map : (elt -> elt) -> t -> t
+
+  val map2 : (elt -> elt -> elt) -> t -> t -> t
+  (** Raises on dimension mismatch (as do {!add}, {!sub}). *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : elt -> t -> t
+  val transpose : t -> t
+
+  val mul : t -> t -> t
+  (** Classical O(n^3) product — the reference every fast algorithm is
+      verified against. *)
+
+  val mul_vec : t -> elt array -> elt array
+
+  val vec_of : t -> elt array
+  (** Row-major flattening; the bilinear layer treats an n x m operand
+      as a length-nm vector acted on by encoding matrices. *)
+
+  val of_vec : int -> int -> elt array -> t
+
+  val submatrix : t -> row:int -> col:int -> rows:int -> cols:int -> t
+  val blit_block : t -> row:int -> col:int -> t -> unit
+
+  val split : gr:int -> gc:int -> t -> t array array
+  (** Equal-block grid; requires divisibility. *)
+
+  val join : t array array -> t
+  (** Inverse of {!split}; raises on ragged or unequal blocks. *)
+
+  val pad : t -> rows:int -> cols:int -> t
+  (** Zero-pad, top-left aligned. *)
+
+  val unpad : t -> rows:int -> cols:int -> t
+
+  val random : rng:Fmm_util.Prng.t -> rows:int -> cols:int -> range:int -> t
+  (** Entries uniform in [-range, range] via [R.of_int]. *)
+
+  val kronecker : t -> t -> t
+
+  val trace : t -> elt
+  (** Raises on non-square input. *)
+
+  val is_zero : t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Q : module type of Make (Fmm_ring.Rat.Field)
+module I : module type of Make (Fmm_ring.Sig_ring.Int)
+module F : module type of Make (Fmm_ring.Sig_ring.Float)

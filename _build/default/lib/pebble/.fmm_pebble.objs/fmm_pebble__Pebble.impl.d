@@ -1,0 +1,1 @@
+lib/pebble/pebble.ml: Fmm_graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/pebble/pebble.mli: Fmm_graph

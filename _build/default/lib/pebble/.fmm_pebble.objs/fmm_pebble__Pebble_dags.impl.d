@@ -1,0 +1,1 @@
+lib/pebble/pebble_dags.ml: Array Fmm_bilinear Fmm_cdag Fmm_graph Fmm_util Hashtbl List Pebble

@@ -1,0 +1,1 @@
+lib/pebble/pebble_dags.mli: Fmm_bilinear Fmm_cdag Fmm_graph Pebble

@@ -1,0 +1,164 @@
+(* The red-blue pebble game of Hong and Kung [2] — the combinatorial
+   model underlying all the I/O lower bounds in Table I, and the
+   cleanest setting for the paper's question: red pebbles are fast
+   memory slots (at most [red_limit] at once), blue pebbles are slow
+   memory (unbounded); the rules are
+
+   R1 (input / load):  a red pebble may be placed on any vertex
+                       carrying a blue pebble             (cost 1 I/O)
+   R2 (output / store): a blue pebble may be placed on any vertex
+                       carrying a red pebble              (cost 1 I/O)
+   R3 (compute): a red pebble may be placed on v if all predecessors
+                       of v carry red pebbles             (free)
+   R4 (delete): any red pebble may be removed              (free)
+
+   The game starts with blue pebbles on the inputs and ends with blue
+   pebbles on all outputs; the I/O cost is the number of R1/R2 moves.
+
+   Recomputation is R3 fired again on a vertex pebbled before. The
+   [allow_recompute] switch disables that, so optimal costs with and
+   without recomputation can be compared exactly — on Strassen-family
+   CDAGs they coincide (the paper's theme), while Savage-style CDAGs
+   separate them (Section V's discussion). *)
+
+type game = {
+  graph : Fmm_graph.Digraph.t;
+  inputs : int list;
+  outputs : int list;
+  red_limit : int;
+}
+
+let make ~graph ~inputs ~outputs ~red_limit =
+  if red_limit < 1 then invalid_arg "Pebble.make: red_limit < 1";
+  let n = Fmm_graph.Digraph.n_vertices graph in
+  if n > 30 then invalid_arg "Pebble.make: graph too large for exact search (> 30)";
+  List.iter
+    (fun v ->
+      if Fmm_graph.Digraph.in_degree graph v <> 0 then
+        invalid_arg "Pebble.make: input with predecessors")
+    inputs;
+  { graph; inputs; outputs; red_limit }
+
+(* State encoding: red mask, blue mask, computed mask (for the
+   no-recomputation variant), all in one int each; n <= 30. *)
+type state = { red : int; blue : int; computed : int }
+
+let bit i = 1 lsl i
+let mem mask i = mask land bit i <> 0
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+type move = Load of int | Store of int | Compute of int | Delete of int
+
+(** All legal moves from a state, with usefulness pruning: placing a
+    pebble (by load or compute) or storing only makes sense for a
+    vertex that is a not-yet-banked output or has a successor whose
+    value is not yet banked in slow memory. Pruned moves can never be
+    part of a minimal play, so optimality is preserved while the
+    branching factor drops sharply near the end of the game. *)
+let useful game st v =
+  (List.mem v game.outputs && not (mem st.blue v))
+  || List.exists
+       (fun s -> not (mem st.blue s))
+       (Fmm_graph.Digraph.out_neighbors game.graph v)
+
+let successors game ~allow_recompute st =
+  let n = Fmm_graph.Digraph.n_vertices game.graph in
+  let moves = ref [] in
+  let red_count = popcount st.red in
+  for v = 0 to n - 1 do
+    let is_useful = useful game st v in
+    (* R1: load *)
+    if
+      is_useful && mem st.blue v
+      && (not (mem st.red v))
+      && red_count < game.red_limit
+    then moves := (Load v, 1, { st with red = st.red lor bit v }) :: !moves;
+    (* R2: store *)
+    if is_useful && mem st.red v && not (mem st.blue v) then
+      moves := (Store v, 1, { st with blue = st.blue lor bit v }) :: !moves;
+    (* R3: compute *)
+    let preds = Fmm_graph.Digraph.in_neighbors game.graph v in
+    if
+      is_useful && preds <> []
+      && (not (mem st.red v))
+      && red_count < game.red_limit
+      && List.for_all (fun p -> mem st.red p) preds
+      && (allow_recompute || not (mem st.computed v))
+    then
+      moves :=
+        ( Compute v,
+          0,
+          { st with red = st.red lor bit v; computed = st.computed lor bit v } )
+        :: !moves;
+    (* R4: delete *)
+    if mem st.red v then
+      moves := (Delete v, 0, { st with red = st.red land lnot (bit v) }) :: !moves
+  done;
+  !moves
+
+let initial_state game =
+  { red = 0; blue = List.fold_left (fun m v -> m lor bit v) 0 game.inputs; computed = 0 }
+
+let is_goal game st = List.for_all (fun v -> mem st.blue v) game.outputs
+
+(** Exact minimum I/O by Dijkstra over game states (0/1 edge weights,
+    implemented as a bucketed deque). Returns [None] if [max_states]
+    is exhausted before reaching the goal. *)
+let min_io ?(max_states = 2_000_000) game ~allow_recompute =
+  let start = initial_state game in
+  let dist = Hashtbl.create 4096 in
+  let key st = (st.red, st.blue, if allow_recompute then 0 else st.computed) in
+  Hashtbl.replace dist (key start) 0;
+  (* 0-1 BFS: deque with push_front for 0-cost moves *)
+  let deque = ref [ (0, start) ] and deque_back = ref [] in
+  let pop () =
+    match !deque with
+    | x :: rest ->
+      deque := rest;
+      Some x
+    | [] -> (
+      match List.rev !deque_back with
+      | [] -> None
+      | x :: rest ->
+        deque := rest;
+        deque_back := [];
+        Some x)
+  in
+  let push_front x = deque := x :: !deque in
+  let push_back x = deque_back := x :: !deque_back in
+  let explored = ref 0 in
+  let result = ref None in
+  let rec loop () =
+    if !result = None && !explored < max_states then
+      match pop () with
+      | None -> ()
+      | Some (d, st) ->
+        let k = key st in
+        let best = try Hashtbl.find dist k with Not_found -> max_int in
+        if d <= best then begin
+          incr explored;
+          if is_goal game st then result := Some d
+          else
+            List.iter
+              (fun (_move, cost, st') ->
+                let k' = key st' in
+                let nd = d + cost in
+                let cur = try Hashtbl.find dist k' with Not_found -> max_int in
+                if nd < cur then begin
+                  Hashtbl.replace dist k' nd;
+                  if cost = 0 then push_front (nd, st') else push_back (nd, st')
+                end)
+              (successors game ~allow_recompute st)
+        end;
+        loop ()
+  in
+  loop ();
+  !result
+
+(** Compare optimal I/O with and without recomputation. *)
+let compare_recomputation ?max_states game =
+  let with_rc = min_io ?max_states game ~allow_recompute:true in
+  let without_rc = min_io ?max_states game ~allow_recompute:false in
+  (with_rc, without_rc)

@@ -1,0 +1,49 @@
+(** The red-blue pebble game of Hong and Kung [2], with an explicit
+    recomputation switch. Red pebbles = fast-memory slots (at most
+    [red_limit]); blue pebbles = slow memory. R1 load / R2 store cost
+    one I/O; R3 compute and R4 delete are free. The game starts with
+    blue pebbles on the inputs and ends with blue pebbles on all
+    outputs.
+
+    Recomputation is R3 fired again on a previously pebbled vertex;
+    [allow_recompute:false] forbids it, so the two optimal costs can be
+    compared exactly — the paper's central question in its purest
+    combinatorial form. *)
+
+type game = {
+  graph : Fmm_graph.Digraph.t;
+  inputs : int list;
+  outputs : int list;
+  red_limit : int;
+}
+
+val make :
+  graph:Fmm_graph.Digraph.t ->
+  inputs:int list ->
+  outputs:int list ->
+  red_limit:int ->
+  game
+(** Validates the instance. Raises [Invalid_argument] on red_limit < 1,
+    inputs with predecessors, or graphs above the exact solver's size
+    cap (30 vertices). *)
+
+type state = { red : int; blue : int; computed : int }
+(** Bitmask state (graphs have <= 30 vertices). *)
+
+type move = Load of int | Store of int | Compute of int | Delete of int
+
+val successors :
+  game -> allow_recompute:bool -> state -> (move * int * state) list
+(** Legal moves with their I/O cost, usefulness-pruned (moves that
+    cannot be part of any minimal play are dropped). *)
+
+val initial_state : game -> state
+val is_goal : game -> state -> bool
+
+val min_io : ?max_states:int -> game -> allow_recompute:bool -> int option
+(** Exact minimum I/O by 0-1 BFS over game states; [None] when
+    [max_states] is exhausted first (or the game is unsolvable, e.g.
+    red_limit below the operand width). *)
+
+val compare_recomputation : ?max_states:int -> game -> int option * int option
+(** (optimum with recomputation, optimum without). *)

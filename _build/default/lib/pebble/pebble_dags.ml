@@ -1,0 +1,125 @@
+(* Concrete pebbling instances:
+
+   - [recomputation_wins]: a 10-vertex DAG engineered so that the
+     optimal red-blue pebbling WITH recomputation beats the optimal one
+     WITHOUT (8 vs 9 I/O at red_limit 3) — a miniature of Savage's
+     S-span phenomenon, showing the paper's question is not vacuous:
+     recomputation genuinely helps for some CDAGs (Section V), just not
+     for fast matrix multiplication.
+
+   - [of_cdag_output]: the ancestor closure of one output of a CDAG
+     (e.g. C11 of Strassen's H^{2x2}), small enough for the exact
+     solver — the instances on which with/without coincide.
+
+   - [encoder_game]: an encoder graph as a pebbling instance. *)
+
+module D = Fmm_graph.Digraph
+
+(* inputs x, y1, y2, z1, z2; v = f(x); om1 = g(y1,y2); om2 = h(z1,z2);
+   outputs o1 = p(v, om1), o2 = q(v, om2). With red_limit 3, v is forced
+   out of red between its two uses; recomputing it (one load of x)
+   beats spilling it (a store plus a load). *)
+let recomputation_wins () =
+  let g = D.create () in
+  let ids = D.add_vertices g 10 in
+  let x = ids.(0)
+  and y1 = ids.(1)
+  and y2 = ids.(2)
+  and z1 = ids.(3)
+  and z2 = ids.(4)
+  and v = ids.(5)
+  and om1 = ids.(6)
+  and om2 = ids.(7)
+  and o1 = ids.(8)
+  and o2 = ids.(9) in
+  D.add_edge g x v;
+  D.add_edge g y1 om1;
+  D.add_edge g y2 om1;
+  D.add_edge g z1 om2;
+  D.add_edge g z2 om2;
+  D.add_edge g v o1;
+  D.add_edge g om1 o1;
+  D.add_edge g v o2;
+  D.add_edge g om2 o2;
+  Pebble.make ~graph:g
+    ~inputs:[ x; y1; y2; z1; z2 ]
+    ~outputs:[ o1; o2 ] ~red_limit:3
+
+(** Ancestor closure of chosen outputs of a CDAG, remapped to a compact
+    id space, as a pebbling game. Fails if the closure exceeds the
+    exact solver's size limit. *)
+let of_cdag_outputs cdag ~outputs ~red_limit =
+  let g = Fmm_cdag.Cdag.graph cdag in
+  let anc = D.coreachable g outputs in
+  let keep = ref [] in
+  Array.iteri (fun v is_anc -> if is_anc then keep := v :: !keep) anc;
+  let keep = List.rev !keep in
+  let remap = Hashtbl.create 64 in
+  List.iteri (fun i v -> Hashtbl.replace remap v i) keep;
+  let sub = D.create () in
+  ignore (D.add_vertices sub (List.length keep));
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          if Hashtbl.mem remap w then
+            D.add_edge sub (Hashtbl.find remap v) (Hashtbl.find remap w))
+        (D.out_neighbors g v))
+    keep;
+  let inputs =
+    List.filter_map
+      (fun v ->
+        match Fmm_cdag.Cdag.role cdag v with
+        | Fmm_cdag.Cdag.Input_a _ | Fmm_cdag.Cdag.Input_b _ ->
+          Some (Hashtbl.find remap v)
+        | _ -> None)
+      keep
+  in
+  let outputs = List.map (Hashtbl.find remap) outputs in
+  Pebble.make ~graph:sub ~inputs ~outputs ~red_limit
+
+(** An encoder graph as a pebbling instance: pebble all encoded
+    operands starting from blue inputs. *)
+let encoder_game alg side ~red_limit =
+  let g = Fmm_cdag.Encoder.encoder_digraph alg side in
+  let nx =
+    match side with
+    | Fmm_cdag.Encoder.A_side ->
+      let n, m, _ = Fmm_bilinear.Algorithm.dims alg in
+      n * m
+    | Fmm_cdag.Encoder.B_side ->
+      let _, m, k = Fmm_bilinear.Algorithm.dims alg in
+      m * k
+  in
+  let t = Fmm_bilinear.Algorithm.rank alg in
+  Pebble.make ~graph:g
+    ~inputs:(List.init nx (fun i -> i))
+    ~outputs:(List.init t (fun i -> nx + i))
+    ~red_limit
+
+(** Random layered DAG generator for the separation search bench. *)
+let random_dag ~seed ~layers ~width ~density =
+  let rng = Fmm_util.Prng.create ~seed in
+  let g = D.create () in
+  let layer_ids =
+    Array.init layers (fun _ -> D.add_vertices g width)
+  in
+  for l = 0 to layers - 2 do
+    Array.iter
+      (fun dst ->
+        let connected = ref false in
+        Array.iter
+          (fun src ->
+            if Fmm_util.Prng.float rng < density then begin
+              D.add_edge g src dst;
+              connected := true
+            end)
+          layer_ids.(l);
+        if not !connected then
+          (* keep the DAG connected layer to layer *)
+          D.add_edge g layer_ids.(l).(Fmm_util.Prng.int rng width) dst)
+      layer_ids.(l + 1)
+  done;
+  let inputs = Array.to_list layer_ids.(0) in
+  let outputs = Array.to_list layer_ids.(layers - 1) in
+  (g, inputs, outputs)

@@ -1,0 +1,32 @@
+(** Concrete pebbling instances for the recomputation experiments. *)
+
+val recomputation_wins : unit -> Pebble.game
+(** A 10-vertex DAG engineered so the optimal pebbling WITH
+    recomputation strictly beats the optimum WITHOUT (8 vs 9 I/O at
+    red_limit 3): v = f(x) is used on both sides of two
+    capacity-hogging subcomputations, so it is forced out of red
+    between its uses; recomputing it (one load of x) beats spilling it
+    (a store plus a load). A miniature of Savage's S-span phenomenon
+    (paper Section V). *)
+
+val of_cdag_outputs :
+  Fmm_cdag.Cdag.t -> outputs:int list -> red_limit:int -> Pebble.game
+(** The ancestor closure of chosen CDAG outputs, remapped to a compact
+    id space. Raises if the closure exceeds the exact solver's cap. *)
+
+val encoder_game :
+  Fmm_bilinear.Algorithm.t ->
+  Fmm_cdag.Encoder.side ->
+  red_limit:int ->
+  Pebble.game
+(** An encoder graph as a pebbling instance: bank all encoded operands
+    starting from blue inputs. *)
+
+val random_dag :
+  seed:int ->
+  layers:int ->
+  width:int ->
+  density:float ->
+  Fmm_graph.Digraph.t * int list * int list
+(** Random layered DAG (graph, inputs, outputs) for separation
+    searches; consecutive layers are kept connected. *)

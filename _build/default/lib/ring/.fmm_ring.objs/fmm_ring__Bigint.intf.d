@@ -1,0 +1,1 @@
+lib/ring/bigint.mli: Format

@@ -1,0 +1,1 @@
+lib/ring/rat.ml: Bigint Format Sig_ring

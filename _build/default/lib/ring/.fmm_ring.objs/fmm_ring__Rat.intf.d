@@ -1,0 +1,1 @@
+lib/ring/rat.mli: Bigint Format Sig_ring

@@ -1,0 +1,1 @@
+lib/ring/sig_ring.ml: Bigint Float Format Int

@@ -1,0 +1,1 @@
+lib/ring/zp.ml: Fmm_util Format Int List Sig_ring

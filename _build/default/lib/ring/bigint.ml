@@ -1,0 +1,313 @@
+(* Arbitrary-precision signed integers, sign + magnitude, little-endian
+   limbs in base 2^15. This replaces zarith (not installed in the sealed
+   container). Exactness matters here: the Brent-equation verifier and
+   the Grigoriev-flow witnesses multiply long chains of rationals whose
+   numerators overflow 63-bit ints even though every algorithm
+   coefficient is tiny.
+
+   Representation invariants:
+   - [mag] has no leading (most-significant) zero limbs;
+   - zero is represented as { sign = 0; mag = [||] };
+   - sign is -1, 0, or +1, and sign = 0 iff mag = [||]. *)
+
+let base_bits = 15
+let base = 1 lsl base_bits (* 32768 *)
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let is_zero t = t.sign = 0
+
+(* --- magnitude primitives (arrays of limbs, little-endian) --- *)
+
+let mag_normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    out.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  assert (!carry = 0);
+  mag_normalize out
+
+(* Requires mag_compare a b >= 0. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_normalize out
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let acc = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- acc land base_mask;
+        carry := acc lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let acc = out.(!k) + !carry in
+        out.(!k) <- acc land base_mask;
+        carry := acc lsr base_bits;
+        incr k
+      done
+    done;
+    mag_normalize out
+  end
+
+(* Multiply magnitude by a small nonnegative int (< base). *)
+let mag_mul_small a m =
+  if m = 0 || Array.length a = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let out = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let acc = (a.(i) * m) + !carry in
+      out.(i) <- acc land base_mask;
+      carry := acc lsr base_bits
+    done;
+    let k = ref la in
+    while !carry <> 0 do
+      out.(!k) <- !carry land base_mask;
+      carry := !carry lsr base_bits;
+      incr k
+    done;
+    mag_normalize out
+  end
+
+(* Divide magnitude by a small positive int, returning (quotient, rem). *)
+let mag_divmod_small a m =
+  if m <= 0 || m >= base * base then
+    invalid_arg "Bigint.mag_divmod_small: divisor out of range";
+  let la = Array.length a in
+  let out = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    out.(i) <- cur / m;
+    rem := cur mod m
+  done;
+  (mag_normalize out, !rem)
+
+(* Long division on magnitudes; returns (quotient, remainder).
+   Requires b <> 0. *)
+let mag_divmod a b =
+  if Array.length b = 0 then raise Division_by_zero;
+  if mag_compare a b < 0 then ([||], a)
+  else if Array.length b = 1 then begin
+    let q, r = mag_divmod_small a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    (* Binary long division: build quotient bit by bit, msb first. *)
+    let total_bits = Array.length a * base_bits in
+    let q = Array.make (Array.length a) 0 in
+    let rem = ref [||] in
+    for bit = total_bits - 1 downto 0 do
+      (* rem := rem * 2 + bit_of_a *)
+      let abit = (a.(bit / base_bits) lsr (bit mod base_bits)) land 1 in
+      let doubled = mag_mul_small !rem 2 in
+      rem := if abit = 1 then mag_add doubled [| 1 |] else doubled;
+      if mag_compare !rem b >= 0 then begin
+        rem := mag_sub !rem b;
+        q.(bit / base_bits) <- q.(bit / base_bits) lor (1 lsl (bit mod base_bits))
+      end
+    done;
+    (mag_normalize q, !rem)
+  end
+
+(* --- signed interface --- *)
+
+let make sign mag =
+  let mag = mag_normalize mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* min_int negation overflows; go through two limbs at a time. *)
+    let rec limbs n acc =
+      if n = 0 then List.rev acc
+      else limbs (n lsr base_bits) ((n land base_mask) :: acc)
+    in
+    let m = if n > 0 then n else -n in
+    if m < 0 then begin
+      (* n = min_int: handle via Int64-free arithmetic. -min_int = min_int,
+         so decompose min_int's magnitude manually: 2^62 for 63-bit ints. *)
+      let m64 = Int64.neg (Int64.of_int n) in
+      let rec limbs64 x acc =
+        if Int64.equal x 0L then List.rev acc
+        else
+          limbs64
+            (Int64.shift_right_logical x base_bits)
+            (Int64.to_int (Int64.logand x (Int64.of_int base_mask)) :: acc)
+      in
+      make sign (Array.of_list (limbs64 m64 []))
+    end
+    else make sign (Array.of_list (limbs m []))
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = mag_add a.mag b.mag }
+  else begin
+    let c = mag_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then { sign = a.sign; mag = mag_sub a.mag b.mag }
+    else { sign = b.sign; mag = mag_sub b.mag a.mag }
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mag_mul a.mag b.mag }
+
+(** Truncated division (round toward zero), matching OCaml's [/] and
+    [mod] on ints: [a = add (mul (fst (divmod a b)) b) (snd (divmod a b))]
+    and the remainder has the sign of [a]. *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = mag_divmod a.mag b.mag in
+  let q = make (a.sign * b.sign) qm in
+  let r = make a.sign rm in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let rec pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent"
+  else if e = 0 then one
+  else
+    let h = pow b (e / 2) in
+    let h2 = mul h h in
+    if e mod 2 = 0 then h2 else mul h2 b
+
+let bit_length_mag mag =
+  let n = Array.length mag in
+  if n = 0 then 0
+  else begin
+    let top = mag.(n - 1) in
+    let rec msb x acc = if x = 0 then acc else msb (x lsr 1) (acc + 1) in
+    ((n - 1) * base_bits) + msb top 0
+  end
+
+let fits_int t = bit_length_mag t.mag <= 62
+
+let to_int_exn t =
+  if not (fits_int t) then failwith "Bigint.to_int_exn: out of range";
+  let m =
+    Array.to_list t.mag
+    |> List.rev
+    |> List.fold_left (fun acc limb -> (acc lsl base_bits) lor limb) 0
+  in
+  t.sign * m
+
+let to_int_opt t = if fits_int t then Some (to_int_exn t) else None
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag =
+      if Array.length mag = 0 then ()
+      else begin
+        let q, r = mag_divmod_small mag 10000 in
+        if Array.length q = 0 then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%04d" r)
+        end
+      end
+    in
+    go t.mag;
+    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Bigint.of_string: empty";
+  let neg_sign, start =
+    match s.[0] with
+    | '-' -> (true, 1)
+    | '+' -> (false, 1)
+    | _ -> (false, 0)
+  in
+  if start >= String.length s then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to String.length s - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if neg_sign then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** Number of bits in |t| (0 for zero). *)
+let bit_length t = bit_length_mag t.mag

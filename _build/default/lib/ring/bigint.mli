@@ -1,0 +1,60 @@
+(** Arbitrary-precision signed integers (sign + magnitude, base 2{^15}
+    limbs), implemented from scratch — the sealed environment has no
+    zarith. Exactness matters: the Brent-equation verifier and the
+    Grigoriev-flow witnesses multiply long chains of rationals whose
+    numerators overflow 63-bit ints even though algorithm coefficients
+    are tiny. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val is_zero : t -> bool
+val sign : t -> int
+(** -1, 0, or +1. *)
+
+val of_int : int -> t
+(** Total, including [min_int]. *)
+
+val of_string : string -> t
+(** Decimal, with optional sign. Raises [Invalid_argument] on bad
+    input. *)
+
+val to_string : t -> string
+(** Decimal. *)
+
+val to_int_opt : t -> int option
+(** [Some n] when the value fits a 62-bit native int. *)
+
+val to_int_exn : t -> int
+(** Raises [Failure] when out of range. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division (round toward zero), matching OCaml's [/] and
+    [mod] on ints: [a = q*b + r] with [r] carrying the sign of [a] and
+    [|r| < |b|]. Raises [Division_by_zero]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Nonnegative; [gcd 0 b = |b|]. *)
+
+val pow : t -> int -> t
+(** Raises [Invalid_argument] on negative exponents. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val bit_length : t -> int
+(** Bits in [|t|]; 0 for zero. *)
+
+val pp : Format.formatter -> t -> unit

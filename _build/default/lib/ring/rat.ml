@@ -1,0 +1,92 @@
+(* Exact rationals over Bigint, always normalized: gcd(num, den) = 1 and
+   den > 0. This is the canonical field for verifying bilinear
+   algorithms (Brent equations) and for checking alternative-basis
+   transforms, where floating point would mask off-by-epsilon bugs. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let g = Bigint.gcd num den in
+    let num = Bigint.div num g and den = Bigint.div den g in
+    if Bigint.sign den < 0 then { num = Bigint.neg num; den = Bigint.neg den }
+    else { num; den }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+
+(** [of_ints a b] = a/b as an exact rational. *)
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+
+let num t = t.num
+let den t = t.den
+
+let is_zero t = Bigint.is_zero t.num
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let neg a = { a with num = Bigint.neg a.num }
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv a =
+  if is_zero a then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+let sign t = Bigint.sign t.num
+
+let abs t = if sign t < 0 then neg t else t
+
+let pow b e =
+  if e >= 0 then { num = Bigint.pow b.num e; den = Bigint.pow b.den e }
+  else inv { num = Bigint.pow b.num (-e); den = Bigint.pow b.den (-e) }
+
+let to_float t =
+  (* Good enough for display; exact when both parts fit an int. *)
+  match (Bigint.to_int_opt t.num, Bigint.to_int_opt t.den) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ ->
+    float_of_string (Bigint.to_string t.num)
+    /. float_of_string (Bigint.to_string t.den)
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** The field instance for functorized consumers. *)
+module Field :
+  Sig_ring.Field with type t = t = struct
+  type nonrec t = t
+
+  let zero = zero
+  let one = one
+  let add = add
+  let sub = sub
+  let neg = neg
+  let mul = mul
+  let of_int = of_int
+  let equal = equal
+  let pp = pp
+  let to_string = to_string
+  let inv = inv
+  let div = div
+end

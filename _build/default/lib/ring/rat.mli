@@ -1,0 +1,53 @@
+(** Exact rationals over {!Bigint}, always normalized (coprime, positive
+    denominator) — the canonical field for verifying bilinear algorithms
+    and basis transforms, where floating point would mask
+    off-by-epsilon bugs. *)
+
+type t
+
+val zero : t
+val one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den], normalized. Raises [Division_by_zero] on zero
+    denominator. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] = a/b. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** Raises [Division_by_zero] on zero. *)
+
+val div : t -> t -> t
+val sign : t -> int
+val abs : t -> t
+
+val pow : t -> int -> t
+(** Negative exponents invert (raising on zero base). *)
+
+val to_float : t -> float
+(** For display; approximate on huge values. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** The field instance for functorized consumers ({!Fmm_matrix.Matrix},
+    {!Fmm_bilinear.Algorithm}, ...). *)
+module Field : Sig_ring.Field with type t = t

@@ -1,0 +1,70 @@
+(* Algebraic signatures shared by the matrix and bilinear layers. The
+   bilinear verifier runs over exact rings (Rat, Zp, Bigint) while the
+   simulators run over cheap rings (Int, Float); everything downstream
+   is functorized over [S]. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+
+  (** Ring homomorphism from the integers; algorithm coefficients are
+      specified as small ints and injected via [of_int]. *)
+  val of_int : int -> t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module type Field = sig
+  include S
+
+  (** Multiplicative inverse. Raises [Division_by_zero] on zero. *)
+  val inv : t -> t
+
+  val div : t -> t -> t
+end
+
+module Int : S with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let sub = ( - )
+  let neg x = -x
+  let mul = ( * )
+  let of_int x = x
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+  let to_string = string_of_int
+end
+
+module Float : Field with type t = float = struct
+  type t = float
+
+  let zero = 0.
+  let one = 1.
+  let add = ( +. )
+  let sub = ( -. )
+  let neg x = -.x
+  let mul = ( *. )
+  let of_int = float_of_int
+  let equal a b = Float.equal a b
+  let pp = Format.pp_print_float
+  let to_string = string_of_float
+  let inv x = if x = 0. then raise Division_by_zero else 1. /. x
+  let div a b = if b = 0. then raise Division_by_zero else a /. b
+end
+
+module Big : S with type t = Bigint.t = struct
+  include Bigint
+
+  let to_string = Bigint.to_string
+end

@@ -1,0 +1,74 @@
+(* Prime fields Z_p with native-int arithmetic. Used two ways:
+   - fast exact verification of bilinear algorithms on random matrices
+     (a Schwartz-Zippel style check complements the exact rational one);
+   - the Grigoriev-flow witness experiments (Lemma 3.8) count image
+     sizes of the matrix-product map over a small finite field, which
+     needs cheap enumerable field elements.
+
+   The modulus must be a prime below 2^31 so products fit in 62 bits. *)
+
+module type P = sig
+  val p : int
+end
+
+module Make (P : P) : sig
+  include Sig_ring.Field with type t = int
+
+  val p : int
+  val of_int_canonical : int -> t
+  val all : unit -> t list
+  val random : Fmm_util.Prng.t -> t
+end = struct
+  let p = P.p
+
+  let () =
+    if p < 2 then invalid_arg "Zp.Make: modulus < 2";
+    if p >= 1 lsl 31 then invalid_arg "Zp.Make: modulus too large";
+    (* Primality by trial division: moduli here are small constants. *)
+    let rec check d = d * d > p || (p mod d <> 0 && check (d + 1)) in
+    if not (check 2) then invalid_arg "Zp.Make: modulus not prime"
+
+  type t = int
+
+  let zero = 0
+  let one = 1 mod p
+
+  let of_int n =
+    let r = n mod p in
+    if r < 0 then r + p else r
+
+  let of_int_canonical = of_int
+
+  let add a b =
+    let s = a + b in
+    if s >= p then s - p else s
+
+  let neg a = if a = 0 then 0 else p - a
+  let sub a b = add a (neg b)
+  let mul a b = a * b mod p
+
+  let inv a =
+    if a = 0 then raise Division_by_zero;
+    (* Extended Euclid on (a, p). *)
+    let rec go r0 r1 s0 s1 =
+      if r1 = 0 then (r0, s0) else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1))
+    in
+    let g, s = go a p 1 0 in
+    assert (g = 1);
+    of_int s
+
+  let div a b = mul a (inv b)
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+  let to_string = string_of_int
+  let all () = List.init p (fun i -> i)
+  let random rng = Fmm_util.Prng.int rng p
+end
+
+(* Common instances. *)
+module Z2 = Make (struct let p = 2 end)
+module Z3 = Make (struct let p = 3 end)
+module Z5 = Make (struct let p = 5 end)
+module Z7 = Make (struct let p = 7 end)
+module Z101 = Make (struct let p = 101 end)
+module Z65537 = Make (struct let p = 65537 end)

@@ -1,0 +1,99 @@
+(* Combinatorial helpers used by the lemma-verification engine: subset
+   enumeration over small universes (encoder graphs have |Y| = 7, so
+   exhaustive enumeration is the proof technique), binomials, and integer
+   helpers shared across the libraries. *)
+
+let rec fold_range ~lo ~hi ~init ~f =
+  if lo >= hi then init else fold_range ~lo:(lo + 1) ~hi ~init:(f init lo) ~f
+
+(** [subsets_of_size n k] enumerates all [k]-element subsets of
+    [0..n-1], each as a sorted list. *)
+let subsets_of_size n k =
+  if k < 0 || k > n then []
+  else begin
+    let acc = ref [] in
+    let rec go start chosen remaining =
+      if remaining = 0 then acc := List.rev chosen :: !acc
+      else
+        for i = start to n - remaining do
+          go (i + 1) (i :: chosen) (remaining - 1)
+        done
+    in
+    go 0 [] k;
+    List.rev !acc
+  end
+
+(** [all_subsets n] enumerates every subset of [0..n-1] (including the
+    empty set) as sorted lists, in bitmask order. Only sensible for
+    small [n]; raises [Invalid_argument] for [n > 20]. *)
+let all_subsets n =
+  if n < 0 || n > 20 then invalid_arg "Combinat.all_subsets: n out of range";
+  let mask_to_list mask =
+    let rec bits i acc =
+      if i < 0 then acc
+      else bits (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+    in
+    bits (n - 1) []
+  in
+  List.init (1 lsl n) mask_to_list
+
+(** Nonempty subsets of [0..n-1]. *)
+let nonempty_subsets n = List.filter (fun s -> s <> []) (all_subsets n)
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let num = ref 1 in
+    for i = 0 to k - 1 do
+      num := !num * (n - i) / (i + 1)
+    done;
+    !num
+  end
+
+let rec pow_int base exp =
+  if exp < 0 then invalid_arg "Combinat.pow_int: negative exponent"
+  else if exp = 0 then 1
+  else
+    let half = pow_int base (exp / 2) in
+    if exp mod 2 = 0 then half * half else half * half * base
+
+(** Integer ceiling division, for nonnegative [b]. *)
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Combinat.ceil_div: nonpositive divisor";
+  if a >= 0 then (a + b - 1) / b else a / b
+
+let is_power_of ~base n =
+  if base < 2 then invalid_arg "Combinat.is_power_of: base < 2";
+  let rec go n = n = 1 || (n mod base = 0 && go (n / base)) in
+  n >= 1 && go n
+
+(** Smallest power of [base] that is >= [n] (for padding matrices up to
+    a recursive block size). *)
+let next_power_of ~base n =
+  if n < 1 then invalid_arg "Combinat.next_power_of: n < 1";
+  let rec go p = if p >= n then p else go (p * base) in
+  go 1
+
+let log2_exact n =
+  if not (is_power_of ~base:2 n) then
+    invalid_arg "Combinat.log2_exact: not a power of two";
+  let rec go n acc = if n = 1 then acc else go (n / 2) (acc + 1) in
+  go n 0
+
+(** Cartesian product of a list of lists, in lexicographic order. *)
+let rec cartesian = function
+  | [] -> [ [] ]
+  | xs :: rest ->
+    let tails = cartesian rest in
+    List.concat_map (fun x -> List.map (fun t -> x :: t) tails) xs
+
+(** All permutations of a list. Only for small inputs. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l

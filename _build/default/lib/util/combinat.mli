@@ -1,0 +1,43 @@
+(** Combinatorial helpers for the lemma-verification engine and the
+    recursion-size arithmetic of fast matrix multiplication. *)
+
+val fold_range : lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_range ~lo ~hi ~init ~f] folds [f] over [lo, hi). *)
+
+val subsets_of_size : int -> int -> int list list
+(** [subsets_of_size n k] enumerates all [k]-element subsets of
+    [0..n-1], each as a sorted list, in lexicographic order. Empty for
+    [k < 0] or [k > n]. *)
+
+val all_subsets : int -> int list list
+(** Every subset of [0..n-1] (including the empty set) as sorted lists,
+    in bitmask order. Raises [Invalid_argument] for [n > 20]. *)
+
+val nonempty_subsets : int -> int list list
+(** [all_subsets n] minus the empty set. *)
+
+val binomial : int -> int -> int
+(** Binomial coefficient; 0 outside the triangle. *)
+
+val pow_int : int -> int -> int
+(** [pow_int b e] is [b{^e}] over native ints.
+    Raises [Invalid_argument] on negative exponents. *)
+
+val ceil_div : int -> int -> int
+(** Integer ceiling division. Raises on nonpositive divisor. *)
+
+val is_power_of : base:int -> int -> bool
+(** [is_power_of ~base n] holds iff [n = base{^k}] for some [k >= 0]. *)
+
+val next_power_of : base:int -> int -> int
+(** Smallest power of [base] >= [n] (for padding matrices up to a
+    recursive block size). *)
+
+val log2_exact : int -> int
+(** [log2_exact n] for [n] an exact power of two; raises otherwise. *)
+
+val cartesian : 'a list list -> 'a list list
+(** Cartesian product of a list of lists, lexicographic. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations; only for small inputs. *)

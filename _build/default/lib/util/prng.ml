@@ -1,0 +1,65 @@
+(* Deterministic pseudo-random streams. Everything in the repo that
+   samples (random matrices, random subsets Z/Gamma for the Lemma 3.11
+   experiments, Grigoriev witnesses) goes through a [Prng.t] seeded
+   explicitly, so every experiment and test is reproducible bit-for-bit.
+
+   The generator is splitmix64, small enough to own and fast enough for
+   the simulators. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  (* Keep 62 bits so the value stays nonnegative in a 63-bit native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** Uniform int in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+(** Fisher-Yates shuffle of an array, in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [sample t k n] draws a sorted k-element subset of [0..n-1] without
+    replacement. *)
+let sample t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample: k out of range";
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  let chosen = Array.sub arr 0 k in
+  Array.sort compare chosen;
+  Array.to_list chosen
+
+(** Pick one element of a nonempty list. *)
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random streams (splitmix64). Everything in the
+    repository that samples — random matrices, the (Z, Gamma) subsets of
+    the Lemma 3.7/3.11 experiments, Grigoriev witnesses — draws from an
+    explicitly seeded [t], so every experiment and every test is
+    reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** The raw 64-bit stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> int -> int list
+(** [sample t k n] draws a sorted [k]-element subset of [0..n-1]
+    without replacement. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a nonempty list. *)

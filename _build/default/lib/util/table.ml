@@ -1,0 +1,83 @@
+(* Plain-text table rendering for the benchmark harness: every
+   reproduced table/figure prints through this module so the output of
+   [bench/main.exe] lines up visually with the paper's tables. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* stored reversed *)
+}
+
+let create ~title ~headers ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns/headers length mismatch";
+      a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { title; headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w s -> max w (String.length s)) acc row)
+      (List.map String.length t.headers)
+      rows
+  in
+  let hline =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.map2
+        (fun (a, w) s -> " " ^ pad a w s ^ " ")
+        (List.combine t.aligns widths)
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (hline ^ "\n");
+  Buffer.add_string buf (render_row t.headers ^ "\n");
+  Buffer.add_string buf (hline ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  Buffer.add_string buf (hline ^ "\n");
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(* Numeric formatting helpers shared by benches. *)
+
+let fmt_float ?(digits = 3) x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*g" (digits + 3) x
+
+let fmt_sci x = Printf.sprintf "%.3e" x
+
+let fmt_ratio x = Printf.sprintf "%.3f" x
+
+let fmt_int = string_of_int

@@ -1,0 +1,29 @@
+(** Plain-text table rendering. Every reproduced table and figure prints
+    through this module so the output of [bench/main.exe] lines up
+    visually with the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create :
+  title:string -> headers:string list -> ?aligns:align list -> unit -> t
+(** A new table. [aligns] defaults to all-[Right]; its length must match
+    [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Raises [Invalid_argument] on width mismatch. *)
+
+val add_rows : t -> string list list -> unit
+
+val render : t -> string
+(** The table as a boxed ASCII string, rows in insertion order. *)
+
+val print : t -> unit
+
+(** {2 Numeric cell formatting} *)
+
+val fmt_float : ?digits:int -> float -> string
+val fmt_sci : float -> string
+val fmt_ratio : float -> string
+val fmt_int : int -> string

@@ -1,0 +1,1 @@
+test/test_abmm.ml: Alcotest Array Float Fmm_abmm Fmm_bilinear Fmm_graph Fmm_machine Fmm_matrix Fmm_ring Fmm_util List Printf

@@ -1,0 +1,1 @@
+test/test_bilinear.ml: Alcotest Array Float Fmm_bilinear Fmm_matrix Fmm_ring Fmm_util List Printf QCheck2 QCheck_alcotest

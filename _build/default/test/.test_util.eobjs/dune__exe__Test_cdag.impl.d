@@ -1,0 +1,1 @@
+test/test_cdag.ml: Alcotest Array Fmm_bilinear Fmm_cdag Fmm_graph Fmm_matrix Fmm_ring Fmm_util List Printf QCheck2 QCheck_alcotest String

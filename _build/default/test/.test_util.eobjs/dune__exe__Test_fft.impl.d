@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Fmm_bounds Fmm_fft Fmm_graph Fmm_machine Fmm_pebble Fmm_ring Fmm_util List Printf

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fmm_graph Fmm_util List QCheck2 QCheck_alcotest String

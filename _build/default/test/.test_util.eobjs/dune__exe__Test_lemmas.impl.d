@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array Fmm_bilinear Fmm_cdag Fmm_graph Fmm_lemmas Fmm_ring List Printf String

@@ -1,0 +1,1 @@
+test/test_lu.ml: Alcotest Array Fmm_graph Fmm_lu Fmm_machine Fmm_matrix Fmm_pebble Fmm_ring Fmm_util List Printf

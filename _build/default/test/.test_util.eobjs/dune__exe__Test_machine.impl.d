@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Fmm_bilinear Fmm_bounds Fmm_cdag Fmm_graph Fmm_machine Fmm_pebble Fmm_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Fmm_matrix Fmm_ring Fmm_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Array Fmm_bilinear Fmm_cdag Fmm_graph Fmm_pebble List Printf

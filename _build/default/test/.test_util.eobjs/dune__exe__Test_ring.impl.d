@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Fmm_ring List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,117 @@
+(* Tests for fmm_abmm: the full alternative-basis pipeline CDAG
+   (Algorithm 1 as one graph). Structure, exact semantic evaluation
+   against the matrix product, legality of machine execution, and the
+   measured Theorem 4.1 stage shares. *)
+
+module Ab = Fmm_abmm.Abmm_cdag
+module AB = Fmm_bilinear.Alt_basis
+module MQ = Fmm_matrix.Matrix.Q
+module Q = Fmm_ring.Rat
+module D = Fmm_graph.Digraph
+module W = Fmm_machine.Workload
+module Sch = Fmm_machine.Schedulers
+module CM = Fmm_machine.Cache_machine
+module Tr = Fmm_machine.Trace
+module P = Fmm_util.Prng
+module C = Fmm_util.Combinat
+
+let build n = Ab.build AB.ks_winograd ~n
+
+let test_structure () =
+  let t = build 4 in
+  Alcotest.(check bool) "is DAG" true (D.is_dag t.Ab.graph);
+  Alcotest.(check int) "a inputs" 16 (Array.length t.Ab.a_inputs);
+  Alcotest.(check int) "outputs" 16 (Array.length t.Ab.outputs);
+  (* transform stages: log2(4) = 2 levels of 16 vertices each, per side
+     and for nu-inv *)
+  let census = Ab.stage_census t in
+  Alcotest.(check int) "phi vertices" 32 (List.assoc "phi" census);
+  Alcotest.(check int) "psi vertices" 32 (List.assoc "psi" census);
+  Alcotest.(check int) "nu-inv vertices" 32 (List.assoc "nu-inv" census);
+  Alcotest.(check bool) "core dominates" true
+    (List.assoc "core" census > List.assoc "phi" census)
+
+let test_rejects_bad_sizes () =
+  Alcotest.check_raises "n not a power of two"
+    (Invalid_argument "Abmm_cdag.build: n must be a power of two") (fun () ->
+      ignore (build 6))
+
+let test_evaluates_to_product () =
+  List.iter
+    (fun n ->
+      let rng = P.create ~seed:(800 + n) in
+      let a = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+      let b = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+      let t = build n in
+      let got = Ab.Eval_q.run t (MQ.vec_of a) (MQ.vec_of b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "ABMM CDAG evaluates to A.B (n=%d)" n)
+        true
+        (Array.for_all2 Q.equal (MQ.vec_of (MQ.mul a b)) got))
+    [ 2; 4; 8 ]
+
+let test_machine_execution_legal () =
+  let t = build 4 in
+  let w = Ab.workload t in
+  let order =
+    match D.topo_sort t.Ab.graph with
+    | Some o -> List.filter (fun v -> not t.Ab.is_primary_input.(v)) o
+    | None -> Alcotest.fail "cycle"
+  in
+  Alcotest.(check bool) "order valid" true (W.is_valid_order w order);
+  List.iter
+    (fun m ->
+      let res = Sch.run_lru w ~cache_size:m order in
+      let c = CM.replay { CM.cache_size = m; allow_recompute = false } w res.Sch.trace in
+      Alcotest.(check int) "replay agrees" (Tr.io res.Sch.counters) (Tr.io c))
+    [ 16; 64 ]
+
+let test_stage_shares_shrink () =
+  (* Theorem 4.1 premise measured on executed schedules: the transform
+     stages' share of Compute events falls as n grows. *)
+  let share n =
+    let t = build n in
+    let w = Ab.workload t in
+    let order =
+      match D.topo_sort t.Ab.graph with
+      | Some o -> List.filter (fun v -> not t.Ab.is_primary_input.(v)) o
+      | None -> Alcotest.fail "cycle"
+    in
+    let res = Sch.run_lru w ~cache_size:(8 * n) order in
+    let shares = Ab.stage_compute_shares t res.Sch.trace in
+    let get s = match List.find (fun (name, _, _) -> name = s) shares with
+      | _, _, f -> f
+    in
+    get "phi" +. get "psi" +. get "nu-inv"
+  in
+  let s4 = share 4 and s16 = share 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "transform share %.3f (n=16) < %.3f (n=4)" s16 s4)
+    true (s16 < s4)
+
+let test_stage_shares_sum_to_one () =
+  let t = build 4 in
+  let w = Ab.workload t in
+  let order =
+    match D.topo_sort t.Ab.graph with
+    | Some o -> List.filter (fun v -> not t.Ab.is_primary_input.(v)) o
+    | None -> Alcotest.fail "cycle"
+  in
+  let res = Sch.run_lru w ~cache_size:32 order in
+  let shares = Ab.stage_compute_shares t res.Sch.trace in
+  let total = List.fold_left (fun acc (_, _, f) -> acc +. f) 0. shares in
+  Alcotest.(check bool) "shares sum to 1" true (Float.abs (total -. 1.) < 1e-9)
+
+let () =
+  Alcotest.run "fmm_abmm"
+    [
+      ( "abmm_cdag",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "bad sizes" `Quick test_rejects_bad_sizes;
+          Alcotest.test_case "evaluates to product" `Quick test_evaluates_to_product;
+          Alcotest.test_case "machine legal" `Quick test_machine_execution_legal;
+          Alcotest.test_case "transform share shrinks" `Quick test_stage_shares_shrink;
+          Alcotest.test_case "shares sum to one" `Quick test_stage_shares_sum_to_one;
+        ] );
+    ]

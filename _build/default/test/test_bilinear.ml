@@ -1,0 +1,495 @@
+(* Tests for fmm_bilinear: exact Brent-equation verification of every
+   registered algorithm, recursive multiplication against the classical
+   reference over Q and Z_p, operation-count formulas (the 7->6->5
+   leading-coefficient story from the paper's introduction), algorithm
+   composition/transposition, and the alternative-basis machinery of
+   Section IV. *)
+
+module A = Fmm_bilinear.Algorithm
+module S = Fmm_bilinear.Strassen
+module AB = Fmm_bilinear.Alt_basis
+module MQ = Fmm_matrix.Matrix.Q
+module MI = Fmm_matrix.Matrix.I
+module Q = Fmm_ring.Rat
+module P = Fmm_util.Prng
+module C = Fmm_util.Combinat
+
+module Z101 = Fmm_ring.Zp.Z101
+module MZ = Fmm_matrix.Matrix.Make (Z101)
+module AZ = A.Apply (Z101)
+
+let mq = Alcotest.testable (fun fmt m -> MQ.pp fmt m) MQ.equal
+
+let random_q rng n m = MQ.random ~rng ~rows:n ~cols:m ~range:9
+
+(* --- Brent equations: the exact correctness certificates --- *)
+
+let test_brent_all_registered () =
+  List.iter
+    (fun alg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Brent equations hold for %s" (A.name alg))
+        true (A.verify_brent alg))
+    S.registry
+
+let test_brent_rejects_corruption () =
+  (* Corrupting any single coefficient of Strassen must break Brent. *)
+  let u = A.u_matrix S.strassen in
+  u.(0).(0) <- u.(0).(0) + 1;
+  let bad =
+    A.make ~name:"corrupted" ~n:2 ~m:2 ~k:2 ~u ~v:(A.v_matrix S.strassen)
+      ~w:(A.w_matrix S.strassen)
+  in
+  Alcotest.(check bool) "corrupted Strassen fails Brent" false
+    (A.verify_brent bad)
+
+let test_brent_alt_basis_flatten () =
+  let flat = AB.flatten AB.ks_winograd in
+  Alcotest.(check bool) "flattened KS algorithm satisfies Brent" true
+    (A.verify_brent flat)
+
+(* --- structural data the paper quotes --- *)
+
+let test_ranks_and_dims () =
+  Alcotest.(check int) "Strassen rank 7" 7 (A.rank S.strassen);
+  Alcotest.(check int) "Winograd rank 7" 7 (A.rank S.winograd);
+  Alcotest.(check int) "classical 2x2 rank 8" 8 (A.rank S.classical_2x2);
+  Alcotest.(check int) "Strassen^2 rank 49" 49 (A.rank S.strassen_squared);
+  Alcotest.(check (pair (pair int int) int)) "Strassen^2 dims"
+    ((4, 4), 4)
+    (let n, m, k = A.dims S.strassen_squared in
+     ((n, m), k));
+  Alcotest.(check int) "KS core rank 7" 7 (A.rank AB.ks_core)
+
+let test_additions_per_step () =
+  (* Direct-evaluation additions (no operand reuse): Strassen's linear
+     forms cost 18 per step, Winograd's flattened forms 24 (Winograd
+     only wins through the S/T chain reuse), the KS core only 12 — the
+     count behind the 5 n^omega leading coefficient. *)
+  Alcotest.(check int) "Strassen adds/step" 18 (A.additions_per_step S.strassen);
+  Alcotest.(check int) "Winograd flattened adds/step" 24
+    (A.additions_per_step S.winograd);
+  Alcotest.(check int) "KS core adds/step" 12 (A.additions_per_step AB.ks_core);
+  Alcotest.(check int) "classical adds/step" 4
+    (A.additions_per_step S.classical_2x2)
+
+let test_omega0 () =
+  let close a b = Float.abs (a -. b) < 1e-9 in
+  Alcotest.(check bool) "Strassen omega0 = log2 7" true
+    (close (A.omega0 S.strassen) (log 7. /. log 2.));
+  Alcotest.(check bool) "classical omega0 = 3" true
+    (close (A.omega0 S.classical_2x2) 3.);
+  Alcotest.(check bool) "Strassen^2 same omega0" true
+    (close (A.omega0 S.strassen_squared) (log 7. /. log 2.))
+
+(* --- recursive multiplication vs classical reference --- *)
+
+let check_multiply alg n m k seed =
+  let rng = P.create ~seed in
+  let a = random_q rng n m and b = random_q rng m k in
+  let expected = MQ.mul a b in
+  let got, _ = A.Apply_q.multiply alg a b in
+  Alcotest.check mq
+    (Printf.sprintf "%s on %dx%dx%d" (A.name alg) n m k)
+    expected got
+
+let test_multiply_strassen () =
+  List.iter (fun n -> check_multiply S.strassen n n n (100 + n)) [ 1; 2; 4; 8; 16 ]
+
+let test_multiply_winograd () =
+  List.iter (fun n -> check_multiply S.winograd n n n (200 + n)) [ 2; 4; 8; 16 ]
+
+let test_multiply_transposed () =
+  List.iter (fun n -> check_multiply S.winograd_transposed n n n (300 + n)) [ 2; 4; 8 ]
+
+let test_multiply_composed () =
+  List.iter (fun n -> check_multiply S.strassen_squared n n n (400 + n)) [ 4; 16 ]
+
+let test_multiply_rectangular () =
+  (* <2,2,3> base on matching rectangular shapes *)
+  let alg = A.classical ~n:2 ~m:2 ~k:3 in
+  check_multiply alg 4 4 9 1;
+  check_multiply alg 8 8 27 2
+
+let test_multiply_one_level () =
+  let rng = P.create ~seed:77 in
+  let a = random_q rng 6 6 and b = random_q rng 6 6 in
+  let got, counters = A.Apply_q.multiply_one_level S.strassen a b in
+  Alcotest.check mq "one level Strassen 6x6" (MQ.mul a b) got;
+  (* one level on 6x6: 7 products of 3x3 classical = 7*27 mults *)
+  Alcotest.(check int) "mult count" (7 * 27) counters.A.Apply_q.mults
+
+let test_multiply_nondivisible_falls_back () =
+  (* 5x5 is not divisible by 2: must silently use classical. *)
+  check_multiply S.strassen 5 5 5 55
+
+(* --- operation counts: the 7 -> 6 -> 5 story --- *)
+
+(* Direct-evaluation recurrences (no cross-product reuse):
+   mults(n) = 7 mults(n/2); adds(n) = 7 adds(n/2) + adds_per_step*(n/2)^2.
+   Closed form for n = 2^l: adds(n) = adds_per_step/3 * (n^log7 - n^2)
+   when the base is 1x1 (adds(1)=0). *)
+let expected_adds alg n =
+  let s = A.additions_per_step alg in
+  let l = C.log2_exact n in
+  let rec go level size acc =
+    if level = 0 then acc
+    else
+      let subproblems = C.pow_int 7 (l - level) in
+      let block = size / 2 in
+      go (level - 1) block (acc + (subproblems * s * block * block))
+  in
+  go l n 0
+
+let test_mult_counts_strassen () =
+  List.iter
+    (fun n ->
+      let rng = P.create ~seed:n in
+      let a = random_q rng n n and b = random_q rng n n in
+      let _, counters = A.Apply_q.multiply S.strassen a b in
+      let l = C.log2_exact n in
+      Alcotest.(check int)
+        (Printf.sprintf "mults(%d) = 7^%d" n l)
+        (C.pow_int 7 l) counters.A.Apply_q.mults;
+      Alcotest.(check int)
+        (Printf.sprintf "adds(%d) matches recurrence" n)
+        (expected_adds S.strassen n)
+        counters.A.Apply_q.adds)
+    [ 2; 4; 8; 16 ]
+
+let test_leading_coefficient_ordering () =
+  (* At n = 32, measured addition totals must reflect the per-step
+     costs: KS core (12) < Strassen (18) < Winograd without reuse (24).
+     All perform 7^5 multiplications. *)
+  let total alg =
+    let rng = P.create ~seed:5 in
+    let a = random_q rng 32 32 and b = random_q rng 32 32 in
+    let _, c = A.Apply_q.multiply alg a b in
+    c.A.Apply_q.adds
+  in
+  let ks = total AB.ks_core and wino = total S.winograd and str = total S.strassen in
+  Alcotest.(check bool) "ks < strassen" true (ks < str);
+  Alcotest.(check bool) "strassen < winograd-without-reuse" true (str < wino)
+
+(* --- composition and symmetry --- *)
+
+let test_compose_matches_nested () =
+  (* strassen (x) strassen multiplying 4x4 must equal classical. *)
+  let rng = P.create ~seed:9 in
+  let a = random_q rng 4 4 and b = random_q rng 4 4 in
+  let got, counters = A.Apply_q.multiply_one_level S.strassen_squared a b in
+  Alcotest.check mq "strassen^2 4x4" (MQ.mul a b) got;
+  Alcotest.(check int) "49 scalar mults" 49 counters.A.Apply_q.mults
+
+let test_compose_rectangular () =
+  let alg = A.compose (A.classical ~n:2 ~m:2 ~k:3) (A.classical ~n:3 ~m:3 ~k:2) in
+  let n, m, k = A.dims alg in
+  Alcotest.(check (list int)) "composed dims" [ 6; 6; 6 ] [ n; m; k ];
+  Alcotest.(check int) "composed rank" (12 * 18) (A.rank alg);
+  Alcotest.(check bool) "composed Brent" true (A.verify_brent alg)
+
+let test_transpose_involution_brent () =
+  let tt = A.transpose_alg (A.transpose_alg S.strassen) in
+  Alcotest.(check bool) "transpose^2 satisfies Brent" true (A.verify_brent tt);
+  let talg = A.transpose_alg (A.classical ~n:2 ~m:3 ~k:4) in
+  let n, m, k = A.dims talg in
+  Alcotest.(check (list int)) "transposed dims" [ 4; 3; 2 ] [ n; m; k ];
+  Alcotest.(check bool) "transposed rect Brent" true (A.verify_brent talg)
+
+(* --- alternative basis (Section IV) --- *)
+
+let test_alt_basis_multiply () =
+  List.iter
+    (fun n ->
+      let rng = P.create ~seed:(500 + n) in
+      let a = random_q rng n n and b = random_q rng n n in
+      let c, _, _ = AB.Transform_q.multiply AB.ks_winograd a b in
+      Alcotest.check mq (Printf.sprintf "ABMM %dx%d" n n) (MQ.mul a b) c)
+    [ 2; 4; 8; 16 ]
+
+let test_alt_basis_transform_cost_negligible () =
+  (* Transform additions are Theta(n^2 log n); bilinear additions are
+     Theta(n^omega0). The ratio must drop as n grows (Theorem 4.1's
+     premise). *)
+  let ratio n =
+    let rng = P.create ~seed:n in
+    let a = random_q rng n n and b = random_q rng n n in
+    let _, mul_c, tr_c = AB.Transform_q.multiply AB.ks_winograd a b in
+    float_of_int tr_c.A.Apply_q.adds /. float_of_int mul_c.A.Apply_q.adds
+  in
+  let r8 = ratio 8 and r32 = ratio 32 in
+  Alcotest.(check bool) "transform share shrinks" true (r32 < r8)
+
+let test_alt_basis_bases_invertible () =
+  (* make already computed integer inverses; verify nu_inv * nu = I. *)
+  let check name m minv =
+    let prod = AB.mat_mul minv m in
+    let n = Array.length m in
+    let id = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+    Alcotest.(check bool) name true (prod = id)
+  in
+  let t = AB.ks_winograd in
+  check "nu_inv * nu = I" (AB.nu t) (AB.nu_inv t);
+  (* phi and psi invert too (via integer_inverse) *)
+  check "phi_inv * phi = I" (AB.phi t) (AB.integer_inverse (AB.phi t));
+  check "psi_inv * psi = I" (AB.psi t) (AB.integer_inverse (AB.psi t))
+
+let test_alt_basis_rejects_singular () =
+  let singular = [| [| 1; 1; 0; 0 |]; [| 1; 1; 0; 0 |]; [| 0; 0; 1; 0 |]; [| 0; 0; 0; 1 |] |] in
+  Alcotest.(check bool) "singular nu rejected" true
+    (try
+       ignore (AB.make ~name:"bad" ~core:AB.ks_core ~phi:AB.ks_phi ~psi:AB.ks_psi ~nu:singular);
+       false
+     with Failure _ -> true)
+
+
+(* --- Winograd with operand reuse --- *)
+
+let test_winograd_reuse_correct () =
+  List.iter
+    (fun n ->
+      let rng = P.create ~seed:(700 + n) in
+      let a = random_q rng n n and b = random_q rng n n in
+      let got, _ = Fmm_bilinear.Strassen.Winograd_reuse_q.multiply a b in
+      Alcotest.check mq (Printf.sprintf "winograd-reuse %dx%d" n n)
+        (MQ.mul a b) got)
+    [ 1; 2; 4; 8; 16; 6 (* falls back to classical on odd splits *) ]
+
+let test_winograd_reuse_opcounts () =
+  (* adds(n) = 7 adds(n/2) + 15 (n/2)^2, adds(1) = 0
+     => adds(n) = 5 n^{log2 7} - 5 n^2; total ops = 6 n^w - 5 n^2. *)
+  List.iter
+    (fun n ->
+      let rng = P.create ~seed:n in
+      let a = random_q rng n n and b = random_q rng n n in
+      let _, c = Fmm_bilinear.Strassen.Winograd_reuse_q.multiply a b in
+      let w = C.pow_int 7 (C.log2_exact n) in
+      Alcotest.(check int)
+        (Printf.sprintf "winograd-reuse adds(%d)" n)
+        ((5 * w) - (5 * n * n))
+        c.A.Apply_q.adds;
+      Alcotest.(check int) "mults" w c.A.Apply_q.mults)
+    [ 2; 4; 8; 16; 32 ]
+
+
+(* --- general base case (Table I row 4) --- *)
+
+let test_general_base_case () =
+  let alg = S.strassen_x_classical3 in
+  let n, m, k = A.dims alg in
+  Alcotest.(check (list int)) "dims <6,6,6>" [ 6; 6; 6 ] [ n; m; k ];
+  Alcotest.(check int) "rank 189" 189 (A.rank alg);
+  let close a b = Float.abs (a -. b) < 1e-9 in
+  Alcotest.(check bool) "omega0 = log_6 189" true
+    (close (A.omega0 alg) (log 189. /. log 6.));
+  (* correctness via random multiplication over Z_101 (full Brent would
+     cost ~1.7e9 ops) *)
+  let rng = P.create ~seed:66 in
+  let a = MZ.init 6 6 (fun _ _ -> Z101.random rng) in
+  let b = MZ.init 6 6 (fun _ _ -> Z101.random rng) in
+  let got, counters = AZ.multiply_one_level alg a b in
+  Alcotest.(check bool) "multiplies correctly" true (MZ.equal got (MZ.mul a b));
+  Alcotest.(check int) "189 scalar mults" 189 counters.AZ.mults
+
+
+(* --- basis search (the Karstadt-Schwartz optimization) --- *)
+
+module BS = Fmm_bilinear.Basis_search
+
+let test_basis_search_rediscovers_ks () =
+  (* from Winograd, the search must reach the 12-additions-per-step
+     structure (nnz 10/10/10) that Karstadt-Schwartz published and
+     Alt_basis.ks_winograd derives by hand *)
+  let r = BS.search ~seed:1 S.winograd in
+  Alcotest.(check int) "adds/step 12" 12 r.BS.additions_per_step;
+  Alcotest.(check int) "nnz U" 10 r.BS.nnz_u;
+  Alcotest.(check int) "nnz V" 10 r.BS.nnz_v;
+  Alcotest.(check int) "nnz W" 10 r.BS.nnz_w;
+  Alcotest.(check bool) "flatten satisfies Brent" true
+    (A.verify_brent (AB.flatten r.BS.alt))
+
+let test_basis_search_flatten_is_input () =
+  (* the construction is exact: flattening the searched algorithm gives
+     back the original (U, V, W) *)
+  let r = BS.search ~seed:2 S.winograd in
+  let flat = AB.flatten r.BS.alt in
+  Alcotest.(check bool) "U recovered" true (A.u_matrix flat = A.u_matrix S.winograd);
+  Alcotest.(check bool) "V recovered" true (A.v_matrix flat = A.v_matrix S.winograd);
+  Alcotest.(check bool) "W recovered" true (A.w_matrix flat = A.w_matrix S.winograd)
+
+let test_basis_search_on_strassen () =
+  (* Strassen sparsifies too (its flattened forms cost 18/step; any
+     improvement demonstrates the mechanism) *)
+  let r = BS.search ~seed:3 S.strassen in
+  Alcotest.(check bool)
+    (Printf.sprintf "searched (%d) <= direct (%d)" r.BS.additions_per_step
+       (A.additions_per_step S.strassen))
+    true
+    (r.BS.additions_per_step <= A.additions_per_step S.strassen);
+  Alcotest.(check bool) "correct" true (A.verify_brent (AB.flatten r.BS.alt))
+
+let test_basis_search_multiply () =
+  (* the searched alternative-basis algorithm actually multiplies *)
+  let r = BS.search ~seed:4 S.winograd in
+  let rng = P.create ~seed:77 in
+  let a = random_q rng 8 8 and b = random_q rng 8 8 in
+  let c, _, _ = AB.Transform_q.multiply r.BS.alt a b in
+  Alcotest.check mq "searched ABMM multiplies" (MQ.mul a b) c
+
+let test_basis_search_rejects_non_2x2 () =
+  Alcotest.check_raises "non-2x2" (Invalid_argument "Basis_search.search: 2x2 only")
+    (fun () -> ignore (BS.search ~seed:1 S.strassen_squared))
+
+(* --- de Groote symmetry conjugates --- *)
+
+let test_conjugates_brent () =
+  List.iter
+    (fun base ->
+      let conjs = A.conjugates_2x2 base in
+      Alcotest.(check int) "eight conjugates" 8 (List.length conjs);
+      List.iter
+        (fun alg ->
+          Alcotest.(check bool)
+            (A.name alg ^ " satisfies Brent")
+            true (A.verify_brent alg))
+        conjs)
+    [ S.strassen; S.winograd ]
+
+let test_conjugates_multiply () =
+  let rng = P.create ~seed:31 in
+  let a = random_q rng 8 8 and b = random_q rng 8 8 in
+  let expected = MQ.mul a b in
+  List.iter
+    (fun alg ->
+      let got, _ = A.Apply_q.multiply alg a b in
+      Alcotest.check mq (A.name alg ^ " multiplies") expected got)
+    (A.conjugates_2x2 S.strassen)
+
+let test_conjugates_distinct () =
+  (* the 8 conjugates of Strassen are pairwise distinct as (U,V,W) *)
+  let reprs =
+    List.map
+      (fun alg -> (A.u_matrix alg, A.v_matrix alg, A.w_matrix alg))
+      (A.conjugates_2x2 S.strassen)
+  in
+  Alcotest.(check int) "pairwise distinct" 8
+    (List.length (List.sort_uniq compare reprs))
+
+let test_conjugate_identity_is_identity () =
+  let id = A.conjugate_2x2 S.winograd ~swap_x:false ~swap_y:false ~swap_z:false in
+  Alcotest.(check bool) "identity conjugation preserves U" true
+    (A.u_matrix id = A.u_matrix S.winograd);
+  Alcotest.check_raises "rejects non-2x2"
+    (Invalid_argument "Algorithm.conjugate_2x2: 2x2 only") (fun () ->
+      ignore
+        (A.conjugate_2x2 S.strassen_squared ~swap_x:true ~swap_y:false
+           ~swap_z:false))
+
+(* --- property tests over Z_p: Schwartz-Zippel style --- *)
+
+let prop_strassen_zp =
+  QCheck2.Test.make ~name:"Strassen = classical over Z101" ~count:50
+    (QCheck2.Gen.int_range 0 10_000) (fun seed ->
+      let rng = P.create ~seed in
+      let n = 1 lsl P.int_range rng 0 4 in
+      let a = MZ.init n n (fun _ _ -> Z101.random rng) in
+      let b = MZ.init n n (fun _ _ -> Z101.random rng) in
+      let got, _ = AZ.multiply S.strassen a b in
+      MZ.equal got (MZ.mul a b))
+
+let prop_all_algs_random_shape =
+  QCheck2.Test.make ~name:"every registered algorithm multiplies correctly"
+    ~count:30 (QCheck2.Gen.int_range 0 10_000) (fun seed ->
+      let rng = P.create ~seed in
+      List.for_all
+        (fun alg ->
+          let bn, bm, bk = A.dims alg in
+          let depth = P.int_range rng 0 1 in
+          let n = bn * if depth = 1 then bn else 1 in
+          let m = bm * if depth = 1 then bm else 1 in
+          let k = bk * if depth = 1 then bk else 1 in
+          let a = MZ.init n m (fun _ _ -> Z101.random rng) in
+          let b = MZ.init m k (fun _ _ -> Z101.random rng) in
+          let got, _ = AZ.multiply alg a b in
+          MZ.equal got (MZ.mul a b))
+        S.registry)
+
+let prop_compose_brent =
+  QCheck2.Test.make ~name:"composition preserves Brent" ~count:8
+    (QCheck2.Gen.int_range 0 100) (fun seed ->
+      let rng = P.create ~seed in
+      let pick () = P.choose rng [ S.strassen; S.winograd; S.classical_2x2 ] in
+      A.verify_brent (A.compose (pick ()) (pick ())))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fmm_bilinear"
+    [
+      ( "brent",
+        [
+          Alcotest.test_case "all registered" `Quick test_brent_all_registered;
+          Alcotest.test_case "rejects corruption" `Quick test_brent_rejects_corruption;
+          Alcotest.test_case "alt basis flatten" `Quick test_brent_alt_basis_flatten;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "ranks/dims" `Quick test_ranks_and_dims;
+          Alcotest.test_case "additions per step" `Quick test_additions_per_step;
+          Alcotest.test_case "omega0" `Quick test_omega0;
+        ] );
+      ( "multiply",
+        [
+          Alcotest.test_case "strassen" `Quick test_multiply_strassen;
+          Alcotest.test_case "winograd" `Quick test_multiply_winograd;
+          Alcotest.test_case "transposed" `Quick test_multiply_transposed;
+          Alcotest.test_case "composed" `Quick test_multiply_composed;
+          Alcotest.test_case "rectangular" `Quick test_multiply_rectangular;
+          Alcotest.test_case "one level" `Quick test_multiply_one_level;
+          Alcotest.test_case "non-divisible fallback" `Quick
+            test_multiply_nondivisible_falls_back;
+          Alcotest.test_case "winograd reuse correct" `Quick
+            test_winograd_reuse_correct;
+          Alcotest.test_case "winograd reuse opcounts" `Quick
+            test_winograd_reuse_opcounts;
+          qc prop_strassen_zp;
+          qc prop_all_algs_random_shape;
+        ] );
+      ( "opcounts",
+        [
+          Alcotest.test_case "strassen counts" `Quick test_mult_counts_strassen;
+          Alcotest.test_case "leading coefficient ordering" `Quick
+            test_leading_coefficient_ordering;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "matches nested" `Quick test_compose_matches_nested;
+          Alcotest.test_case "rectangular" `Quick test_compose_rectangular;
+          Alcotest.test_case "transpose" `Quick test_transpose_involution_brent;
+          Alcotest.test_case "general base case" `Quick test_general_base_case;
+          Alcotest.test_case "conjugates brent" `Quick test_conjugates_brent;
+          Alcotest.test_case "conjugates multiply" `Quick test_conjugates_multiply;
+          Alcotest.test_case "conjugates distinct" `Quick test_conjugates_distinct;
+          Alcotest.test_case "identity conjugation" `Quick
+            test_conjugate_identity_is_identity;
+          qc prop_compose_brent;
+        ] );
+      ( "basis_search",
+        [
+          Alcotest.test_case "rediscovers KS" `Quick test_basis_search_rediscovers_ks;
+          Alcotest.test_case "flatten = input" `Quick test_basis_search_flatten_is_input;
+          Alcotest.test_case "strassen" `Quick test_basis_search_on_strassen;
+          Alcotest.test_case "multiplies" `Quick test_basis_search_multiply;
+          Alcotest.test_case "rejects non-2x2" `Quick test_basis_search_rejects_non_2x2;
+        ] );
+      ( "alt_basis",
+        [
+          Alcotest.test_case "multiply" `Quick test_alt_basis_multiply;
+          Alcotest.test_case "transform negligible" `Quick
+            test_alt_basis_transform_cost_negligible;
+          Alcotest.test_case "bases invertible" `Quick
+            test_alt_basis_bases_invertible;
+          Alcotest.test_case "rejects singular" `Quick
+            test_alt_basis_rejects_singular;
+        ] );
+    ]

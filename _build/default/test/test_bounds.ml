@@ -1,0 +1,127 @@
+(* Tests for fmm_bounds: closed-form values, scaling exponents,
+   crossovers, and the leading-coefficient algebra. *)
+
+module B = Fmm_bounds.Bounds
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_classical_values () =
+  (* n = 64, M = 16, P = 1: (64/4)^3 * 16 = 4096 * 16 = 65536 *)
+  Alcotest.(check bool) "memdep value" true
+    (close (B.classical_memdep ~n:64 ~m:16 ~p:1) 65536.);
+  Alcotest.(check bool) "P divides" true
+    (close (B.classical_memdep ~n:64 ~m:16 ~p:4) 16384.);
+  (* memind: n^2 / P^{2/3}: n=64, P=8: 4096 / 4 = 1024 *)
+  Alcotest.(check bool) "memind value" true
+    (close (B.classical_memind ~n:64 ~p:8) 1024.)
+
+let test_fast_values () =
+  (* omega0 = log2 7; n = 4M^{1/2} => (n/sqrt M)^w = 4^w = 7^2 = 49 *)
+  Alcotest.(check bool) "memdep 49M" true
+    (close (B.fast_memdep ~n:64 ~m:256 ~p:1 ()) (49. *. 256.));
+  (* memind at P = 7^3: n^2 / 7^{3*2/w} = n^2 / 2^6 *)
+  Alcotest.(check bool) "memind pow7" true
+    (close (B.fast_memind ~n:64 ~p:343 ()) (4096. /. 64.));
+  Alcotest.(check bool) "sequential = memdep at P=1" true
+    (close (B.fast_sequential ~n:128 ~m:64 ()) (B.fast_memdep ~n:128 ~m:64 ~p:1 ()))
+
+let test_scaling_exponents () =
+  (* doubling n multiplies the fast memdep bound by 2^{log2 7} = 7 *)
+  let r = B.fast_memdep ~n:256 ~m:64 ~p:1 () /. B.fast_memdep ~n:128 ~m:64 ~p:1 () in
+  Alcotest.(check bool) "n-exponent is omega0" true (close r 7.);
+  (* doubling M multiplies it by 2^{1 - w/2} = 2 / sqrt 7 *)
+  let rm = B.fast_memdep ~n:256 ~m:128 ~p:1 () /. B.fast_memdep ~n:256 ~m:64 ~p:1 () in
+  Alcotest.(check bool) "M-exponent" true (close rm (2. /. sqrt 7.));
+  (* classical: doubling n multiplies by 8 *)
+  let rc = B.classical_memdep ~n:256 ~m:64 ~p:1 /. B.classical_memdep ~n:128 ~m:64 ~p:1 in
+  Alcotest.(check bool) "classical n-exponent 3" true (close rc 8.)
+
+let test_parallel_max () =
+  let n = 1024 and m = 256 in
+  (* at P = 1 memory-dependent dominates; at huge P memory-independent *)
+  Alcotest.(check bool) "small P: memdep wins" true
+    (close (B.fast_parallel ~n ~m ~p:1 ()) (B.fast_memdep ~n ~m ~p:1 ()));
+  let big_p = 1 lsl 20 in
+  Alcotest.(check bool) "big P: memind wins" true
+    (close (B.fast_parallel ~n ~m ~p:big_p ()) (B.fast_memind ~n ~p:big_p ()))
+
+let test_crossover () =
+  let n = 1024 and m = 256 in
+  let pstar = B.crossover_p ~n ~m () in
+  Alcotest.(check bool) "pstar > 1" true (pstar > 1);
+  (* at pstar the memind bound is >= memdep; just below it is not *)
+  Alcotest.(check bool) "at pstar" true
+    (B.fast_memind ~n ~p:pstar () >= B.fast_memdep ~n ~m ~p:pstar ());
+  Alcotest.(check bool) "below pstar" true
+    (B.fast_memind ~n ~p:(pstar - 1) () < B.fast_memdep ~n ~m ~p:(pstar - 1) ());
+  (* more memory -> memdep falls -> earlier crossover *)
+  let pstar_bigm = B.crossover_p ~n ~m:(4 * m) () in
+  Alcotest.(check bool) "bigger M crosses earlier" true (pstar_bigm <= pstar)
+
+let test_rectangular () =
+  (* q = 11, t = 3, base <2,2,3>: m0*p0 = 6 => exponent log_6 11 - 1 *)
+  let v = B.rectangular ~m0:2 ~p0:3 ~q:11 ~t:3 ~m:64 ~p:2 in
+  let expected =
+    (11. ** 3.) /. (2. *. (64. ** ((log 11. /. log 6.) -. 1.)))
+  in
+  Alcotest.(check bool) "rectangular formula" true (close v expected)
+
+let test_fft () =
+  (* n log n / (P log M): n = 1024, M = 32, P = 1 -> 1024*10/5 = 2048 *)
+  Alcotest.(check bool) "fft memdep" true (close (B.fft_memdep ~n:1024 ~m:32 ~p:1) 2048.);
+  (* memind: n=1024, P=4: 1024*10/(4*8) = 320 *)
+  Alcotest.(check bool) "fft memind" true (close (B.fft_memind ~n:1024 ~p:4) 320.);
+  Alcotest.(check bool) "fft n<=P degenerate" true (close (B.fft_memind ~n:4 ~p:4) 0.)
+
+let test_param_validation () =
+  Alcotest.check_raises "bad n" (Invalid_argument "Bounds: n must be positive")
+    (fun () -> ignore (B.classical_memdep ~n:0 ~m:4 ~p:1));
+  Alcotest.check_raises "bad M" (Invalid_argument "Bounds: M must be positive")
+    (fun () -> ignore (B.fast_memdep ~n:4 ~m:0 ~p:1 ()));
+  Alcotest.check_raises "bad P" (Invalid_argument "Bounds: P must be positive")
+    (fun () -> ignore (B.fast_memind ~n:4 ~p:0 ()))
+
+let test_table_rows () =
+  Alcotest.(check int) "four rows" 4 (List.length B.table1_rows);
+  List.iter
+    (fun row ->
+      let v = row.B.memdep ~n:64 ~m:16 ~p:2 in
+      Alcotest.(check bool) (row.B.algorithm ^ " positive") true (v > 0.);
+      let vi = row.B.memind ~n:64 ~p:8 in
+      Alcotest.(check bool) (row.B.algorithm ^ " memind positive") true (vi > 0.))
+    B.table1_rows;
+  Alcotest.(check string) "status strings" "not relevant"
+    (B.recomputation_status_string B.Not_relevant)
+
+let test_leading_coefficients () =
+  (* closed form matches the paper's 7/6/5 story: Strassen s=18 -> 7,
+     Winograd-with-reuse s=15 -> 6, KS s=12 -> 5. *)
+  Alcotest.(check bool) "strassen 7" true
+    (close (B.leading_coefficient_of_adds ~adds_per_step:18) 7.);
+  Alcotest.(check bool) "winograd 6" true
+    (close (B.leading_coefficient_of_adds ~adds_per_step:15) 6.);
+  Alcotest.(check bool) "ks 5" true
+    (close (B.leading_coefficient_of_adds ~adds_per_step:12) 5.);
+  Alcotest.(check int) "io coefficient data" 2
+    (List.length B.io_leading_coefficients)
+
+let () =
+  Alcotest.run "fmm_bounds"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "classical" `Quick test_classical_values;
+          Alcotest.test_case "fast" `Quick test_fast_values;
+          Alcotest.test_case "scaling exponents" `Quick test_scaling_exponents;
+          Alcotest.test_case "parallel max" `Quick test_parallel_max;
+          Alcotest.test_case "crossover" `Quick test_crossover;
+          Alcotest.test_case "rectangular" `Quick test_rectangular;
+          Alcotest.test_case "fft" `Quick test_fft;
+          Alcotest.test_case "validation" `Quick test_param_validation;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "rows" `Quick test_table_rows;
+          Alcotest.test_case "leading coefficients" `Quick test_leading_coefficients;
+        ] );
+    ]

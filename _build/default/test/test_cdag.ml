@@ -1,0 +1,220 @@
+(* Tests for fmm_cdag: structure of H^{n x n} (vertex censuses, Lemma
+   2.2 counts, DAG-ness), semantic evaluation of the CDAG as a circuit
+   against the matrix product, and encoder-graph extraction. *)
+
+module Cd = Fmm_cdag.Cdag
+module Enc = Fmm_cdag.Encoder
+module A = Fmm_bilinear.Algorithm
+module S = Fmm_bilinear.Strassen
+module D = Fmm_graph.Digraph
+module M = Fmm_graph.Matching
+module MQ = Fmm_matrix.Matrix.Q
+module Q = Fmm_ring.Rat
+module P = Fmm_util.Prng
+module C = Fmm_util.Combinat
+
+let assoc name l = List.assoc name l
+
+(* --- structural censuses --- *)
+
+let test_base_cdag_census () =
+  (* H^{2x2} for Strassen: 8 inputs, 7 encA, 7 encB, 7 mult, 4 dec. *)
+  let cd = Cd.build S.strassen ~n:2 in
+  let s = Cd.stats cd in
+  Alcotest.(check int) "inputs" 8 (assoc "inputs" s);
+  Alcotest.(check int) "enc_a" 7 (assoc "enc_a" s);
+  Alcotest.(check int) "enc_b" 7 (assoc "enc_b" s);
+  Alcotest.(check int) "mult" 7 (assoc "mult" s);
+  Alcotest.(check int) "dec" 4 (assoc "dec" s);
+  Alcotest.(check int) "vertices" 33 (assoc "vertices" s);
+  (* edge census: nnz(U)+nnz(V) encoder edges + 2*7 mult edges + nnz(W) *)
+  Alcotest.(check int) "edges"
+    (A.nnz_u S.strassen + A.nnz_v S.strassen + 14 + A.nnz_w S.strassen)
+    (assoc "edges" s)
+
+let test_cdag_is_dag () =
+  List.iter
+    (fun n ->
+      let cd = Cd.build S.strassen ~n in
+      Alcotest.(check bool) (Printf.sprintf "H^%d DAG" n) true
+        (D.is_dag (Cd.graph cd)))
+    [ 2; 4; 8 ]
+
+let test_lemma_2_2_counts () =
+  (* |V_out(SUB_H^{r x r})| = (n/r)^{log2 7} * r^2 for every r. *)
+  List.iter
+    (fun n ->
+      let cd = Cd.build S.strassen ~n in
+      let l = C.log2_exact n in
+      for j = 0 to l do
+        let r = C.pow_int 2 j in
+        let expected = C.pow_int 7 (l - j) * r * r in
+        Alcotest.(check int)
+          (Printf.sprintf "n=%d r=%d outputs" n r)
+          expected
+          (List.length (Cd.sub_outputs cd ~r));
+        (* inputs of sub problems: 2 * r^2 per sub problem *)
+        Alcotest.(check int)
+          (Printf.sprintf "n=%d r=%d inputs" n r)
+          (C.pow_int 7 (l - j) * 2 * r * r)
+          (List.length (Cd.sub_inputs cd ~r))
+      done)
+    [ 2; 4; 8 ]
+
+let test_vertex_counts_grow_as_expected () =
+  (* multiplication vertices: exactly 7^{log2 n} *)
+  List.iter
+    (fun n ->
+      let cd = Cd.build S.strassen ~n in
+      let s = Cd.stats cd in
+      Alcotest.(check int)
+        (Printf.sprintf "mults at n=%d" n)
+        (C.pow_int 7 (C.log2_exact n))
+        (assoc "mult" s))
+    [ 2; 4; 8; 16 ]
+
+let test_outputs_are_sinks_inputs_are_sources () =
+  let cd = Cd.build S.winograd ~n:4 in
+  let g = Cd.graph cd in
+  Array.iter
+    (fun v -> Alcotest.(check int) "input in-degree 0" 0 (D.in_degree g v))
+    (Cd.inputs cd);
+  Array.iter
+    (fun v -> Alcotest.(check int) "output out-degree 0" 0 (D.out_degree g v))
+    (Cd.outputs cd)
+
+let test_build_rejects_bad_sizes () =
+  Alcotest.check_raises "n not power"
+    (Invalid_argument "Cdag.build: n must be a power of the base dimension")
+    (fun () -> ignore (Cd.build S.strassen ~n:6));
+  Alcotest.check_raises "rectangular base"
+    (Invalid_argument "Cdag.build: base case must be square") (fun () ->
+      ignore (Cd.build (A.classical ~n:2 ~m:2 ~k:3) ~n:4))
+
+(* --- semantic evaluation --- *)
+
+let eval_matches_product alg n seed =
+  let rng = P.create ~seed in
+  let a = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+  let b = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+  let cd = Cd.build alg ~n in
+  let got = Cd.Eval_q.run cd (MQ.vec_of a) (MQ.vec_of b) in
+  let expected = MQ.vec_of (MQ.mul a b) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s CDAG evaluates to A.B at n=%d" (A.name alg) n)
+    true
+    (Array.for_all2 Q.equal expected got)
+
+let test_eval_strassen () =
+  List.iter (fun n -> eval_matches_product S.strassen n (10 + n)) [ 2; 4; 8 ]
+
+let test_eval_winograd () =
+  List.iter (fun n -> eval_matches_product S.winograd n (20 + n)) [ 2; 4; 8 ]
+
+let test_eval_classical () =
+  List.iter (fun n -> eval_matches_product S.classical_2x2 n (30 + n)) [ 2; 4 ]
+
+let test_eval_ks_core () =
+  (* The KS core in its own bases is not a standard-basis MM algorithm,
+     but its flattened form is. *)
+  let flat = Fmm_bilinear.Alt_basis.flatten Fmm_bilinear.Alt_basis.ks_winograd in
+  List.iter (fun n -> eval_matches_product flat n (40 + n)) [ 2; 4 ]
+
+let prop_eval_random_sizes =
+  QCheck2.Test.make ~name:"CDAG evaluation matches product" ~count:20
+    (QCheck2.Gen.int_range 0 1_000) (fun seed ->
+      let rng = P.create ~seed in
+      let n = C.pow_int 2 (P.int_range rng 1 3) in
+      let alg = P.choose rng [ S.strassen; S.winograd; S.winograd_transposed ] in
+      let a = MQ.random ~rng ~rows:n ~cols:n ~range:5 in
+      let b = MQ.random ~rng ~rows:n ~cols:n ~range:5 in
+      let cd = Cd.build alg ~n in
+      let got = Cd.Eval_q.run cd (MQ.vec_of a) (MQ.vec_of b) in
+      Array.for_all2 Q.equal (MQ.vec_of (MQ.mul a b)) got)
+
+(* --- encoder graphs --- *)
+
+let test_encoder_shapes () =
+  let g = Enc.encoder_bipartite S.strassen Enc.A_side in
+  Alcotest.(check int) "X size" 4 g.M.nx;
+  Alcotest.(check int) "Y size" 7 g.M.ny;
+  let d = Enc.decoder_bipartite S.strassen in
+  Alcotest.(check int) "decoder X (products)" 7 d.M.nx;
+  Alcotest.(check int) "decoder Y (outputs)" 4 d.M.ny
+
+let test_encoder_edges_match_nnz () =
+  List.iter
+    (fun alg ->
+      let count_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.M.adj in
+      Alcotest.(check int)
+        (A.name alg ^ " A-side edges = nnz(U)")
+        (A.nnz_u alg)
+        (count_edges (Enc.encoder_bipartite alg Enc.A_side));
+      Alcotest.(check int)
+        (A.name alg ^ " B-side edges = nnz(V)")
+        (A.nnz_v alg)
+        (count_edges (Enc.encoder_bipartite alg Enc.B_side)))
+    [ S.strassen; S.winograd; S.classical_2x2 ]
+
+let test_neighbors_of_y () =
+  let g = Enc.encoder_bipartite S.strassen Enc.A_side in
+  (* M1 = A11 + A22: neighbors of y=0 are {0, 3} *)
+  Alcotest.(check (list int)) "M1 neighbors" [ 0; 3 ] (Enc.neighbors_of_y g 0);
+  (* M3 = A11: singleton *)
+  Alcotest.(check (list int)) "M3 neighbors" [ 0 ] (Enc.neighbors_of_y g 2);
+  Alcotest.(check (list int)) "union" [ 0; 3 ] (Enc.neighbors_of_ys g [ 0; 2 ])
+
+let test_encoder_digraph () =
+  let g = Enc.encoder_digraph S.strassen Enc.A_side in
+  Alcotest.(check int) "vertices" 11 (D.n_vertices g);
+  Alcotest.(check int) "edges = nnz" (A.nnz_u S.strassen) (D.n_edges g);
+  Alcotest.(check bool) "bipartite layering: all edges X->Y" true
+    (List.for_all
+       (fun x -> List.for_all (fun y -> y >= 4) (D.out_neighbors g x))
+       [ 0; 1; 2; 3 ])
+
+
+let test_to_dot_and_roles () =
+  let cd = Cd.build S.strassen ~n:2 in
+  let dot = Cd.to_dot cd in
+  Alcotest.(check bool) "dot nonempty" true (String.length dot > 100);
+  Alcotest.(check string) "mult role" "mult" (Cd.role_to_string Cd.Mult);
+  Alcotest.(check string) "input role" "A[3]" (Cd.role_to_string (Cd.Input_a 3));
+  (* subtree ranges: the 8 inputs are allocated first, then the root's
+     recursion occupies everything after them *)
+  let root = List.find (fun nd -> nd.Cd.depth = 0) (Cd.nodes cd) in
+  Alcotest.(check int) "root subtree lo" 8 root.Cd.subtree_lo;
+  Alcotest.(check int) "root subtree hi" (Cd.n_vertices cd - 1) root.Cd.subtree_hi
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fmm_cdag"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "base census" `Quick test_base_cdag_census;
+          Alcotest.test_case "is DAG" `Quick test_cdag_is_dag;
+          Alcotest.test_case "Lemma 2.2 counts" `Quick test_lemma_2_2_counts;
+          Alcotest.test_case "mult counts" `Quick test_vertex_counts_grow_as_expected;
+          Alcotest.test_case "sources/sinks" `Quick
+            test_outputs_are_sinks_inputs_are_sources;
+          Alcotest.test_case "rejects bad sizes" `Quick test_build_rejects_bad_sizes;
+          Alcotest.test_case "dot/roles/subtrees" `Quick test_to_dot_and_roles;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "strassen" `Quick test_eval_strassen;
+          Alcotest.test_case "winograd" `Quick test_eval_winograd;
+          Alcotest.test_case "classical" `Quick test_eval_classical;
+          Alcotest.test_case "ks flattened" `Quick test_eval_ks_core;
+          qc prop_eval_random_sizes;
+        ] );
+      ( "encoder",
+        [
+          Alcotest.test_case "shapes" `Quick test_encoder_shapes;
+          Alcotest.test_case "edges = nnz" `Quick test_encoder_edges_match_nnz;
+          Alcotest.test_case "neighbors" `Quick test_neighbors_of_y;
+          Alcotest.test_case "digraph" `Quick test_encoder_digraph;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Tests for fmm_fft: butterfly-DAG structure, the NTT (against the
+   naive DFT), the DAG/NTT correspondence, machine-model I/O against
+   the Table I FFT bound, and the pebbling comparison mirroring [13]
+   (recomputation does not help the FFT either). *)
+
+module Bf = Fmm_fft.Butterfly
+module Ntt = Fmm_fft.Ntt
+module F = Fmm_ring.Zp.Z65537
+module D = Fmm_graph.Digraph
+module W = Fmm_machine.Workload
+module Sch = Fmm_machine.Schedulers
+module Tr = Fmm_machine.Trace
+module CM = Fmm_machine.Cache_machine
+module B = Fmm_bounds.Bounds
+module Pb = Fmm_pebble.Pebble
+module P = Fmm_util.Prng
+
+(* --- butterfly structure --- *)
+
+let test_butterfly_censuses () =
+  List.iter
+    (fun n ->
+      let bf = Bf.build ~n in
+      let levels = Fmm_util.Combinat.log2_exact n in
+      Alcotest.(check int)
+        (Printf.sprintf "vertices n=%d" n)
+        (n * (levels + 1))
+        (Bf.n_vertices bf);
+      Alcotest.(check int) "edges = 2 n log n" (2 * n * levels)
+        (D.n_edges bf.Bf.graph);
+      Alcotest.(check bool) "is DAG" true (D.is_dag bf.Bf.graph);
+      (* every non-input vertex has in-degree exactly 2 *)
+      Array.iter
+        (fun v -> Alcotest.(check int) "in-degree 2" 2 (D.in_degree bf.Bf.graph v))
+        (Bf.outputs bf);
+      Alcotest.(check int) "longest path" levels
+        (D.longest_path_length bf.Bf.graph))
+    [ 2; 4; 8; 16; 64 ]
+
+let test_butterfly_rejects_bad_n () =
+  Alcotest.check_raises "n=3"
+    (Invalid_argument "Butterfly.build: n must be a power of two >= 2")
+    (fun () -> ignore (Bf.build ~n:3));
+  Alcotest.check_raises "n=1"
+    (Invalid_argument "Butterfly.build: n must be a power of two >= 2")
+    (fun () -> ignore (Bf.build ~n:1))
+
+let test_orders_valid () =
+  List.iter
+    (fun n ->
+      let bf = Bf.build ~n in
+      let w = Bf.workload bf in
+      Alcotest.(check bool) "level order valid" true
+        (W.is_valid_order w (Bf.level_order bf));
+      List.iter
+        (fun block ->
+          Alcotest.(check bool)
+            (Printf.sprintf "blocked order valid (n=%d, b=%d)" n block)
+            true
+            (W.is_valid_order w (Bf.blocked_order bf ~block)))
+        [ 2; 4; n ])
+    [ 4; 16; 64 ]
+
+(* --- NTT semantics --- *)
+
+let random_vec rng n = Array.init n (fun _ -> F.random rng)
+
+let test_roots_of_unity () =
+  List.iter
+    (fun n ->
+      let w = Ntt.root_of_unity n in
+      Alcotest.(check int) (Printf.sprintf "w^%d = 1" n) 1 (Ntt.pow_mod w n);
+      if n > 1 then
+        Alcotest.(check bool) "w^(n/2) <> 1" true (Ntt.pow_mod w (n / 2) <> 1))
+    [ 1; 2; 4; 8; 256; 65536 ]
+
+let test_ntt_matches_naive_dft () =
+  let rng = P.create ~seed:42 in
+  List.iter
+    (fun n ->
+      let a = random_vec rng n in
+      Alcotest.(check (array int))
+        (Printf.sprintf "ntt = dft (n=%d)" n)
+        (Ntt.dft_naive a) (Ntt.ntt a))
+    [ 1; 2; 4; 8; 16; 64 ]
+
+let test_intt_roundtrip () =
+  let rng = P.create ~seed:7 in
+  List.iter
+    (fun n ->
+      let a = random_vec rng n in
+      Alcotest.(check (array int))
+        (Printf.sprintf "intt . ntt = id (n=%d)" n)
+        a
+        (Ntt.intt (Ntt.ntt a)))
+    [ 2; 8; 32; 128 ]
+
+let test_convolution () =
+  let rng = P.create ~seed:13 in
+  List.iter
+    (fun n ->
+      let a = random_vec rng n and b = random_vec rng n in
+      Alcotest.(check (array int))
+        (Printf.sprintf "convolution (n=%d)" n)
+        (Ntt.convolve_naive a b) (Ntt.convolve a b))
+    [ 2; 4; 16; 64 ]
+
+let test_butterfly_evaluation_is_ntt () =
+  let rng = P.create ~seed:99 in
+  List.iter
+    (fun n ->
+      let bf = Bf.build ~n in
+      let a = random_vec rng n in
+      Alcotest.(check (array int))
+        (Printf.sprintf "DAG evaluation = ntt (n=%d)" n)
+        (Ntt.ntt a)
+        (Ntt.evaluate_butterfly bf a))
+    [ 2; 4; 8; 32; 128 ]
+
+(* --- machine model on the butterfly --- *)
+
+let test_fft_lru_legal () =
+  let bf = Bf.build ~n:64 in
+  let w = Bf.workload bf in
+  List.iter
+    (fun m ->
+      let res = Sch.run_lru w ~cache_size:m (Bf.blocked_order bf ~block:8) in
+      let c = CM.replay { CM.cache_size = m; allow_recompute = false } w res.Sch.trace in
+      Alcotest.(check int) "replay agrees" (Tr.io res.Sch.counters) (Tr.io c))
+    [ 8; 16; 64 ]
+
+let test_fft_blocked_beats_level_order () =
+  let bf = Bf.build ~n:256 in
+  let w = Bf.workload bf in
+  let io order = Tr.io (Sch.run_lru w ~cache_size:16 order).Sch.counters in
+  Alcotest.(check bool) "blocked <= level order" true
+    (io (Bf.blocked_order bf ~block:16) <= io (Bf.level_order bf))
+
+let test_fft_io_vs_bound () =
+  (* measured I/O >= the Table I FFT bound n log n / log M (constant 1). *)
+  List.iter
+    (fun (n, m) ->
+      let bf = Bf.build ~n in
+      let w = Bf.workload bf in
+      let io =
+        Tr.io (Sch.run_lru w ~cache_size:m (Bf.blocked_order bf ~block:m)).Sch.counters
+      in
+      let bound = B.fft_memdep ~n ~m ~p:1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d M=%d: %d >= %.0f" n m io bound)
+        true
+        (float_of_int io >= bound))
+    [ (64, 8); (256, 8); (256, 16) ]
+
+let test_fft_io_decreases_with_memory () =
+  (* fixed schedule, growing cache: LRU I/O is monotone. (Choosing
+     block = M would change the schedule too — a block that overflows
+     the cache thrashes, so block is kept a quarter of the cache.) *)
+  let bf = Bf.build ~n:256 in
+  let w = Bf.workload bf in
+  let io m =
+    let block = max 2 (m / 4) in
+    Tr.io (Sch.run_lru w ~cache_size:m (Bf.blocked_order bf ~block)).Sch.counters
+  in
+  Alcotest.(check bool) "io(8) >= io(32)" true (io 8 >= io 32);
+  Alcotest.(check bool) "io(32) >= io(128)" true (io 32 >= io 128)
+
+(* --- pebbling: recomputation does not help the FFT either [13] --- *)
+
+let test_fft_pebbling_no_separation () =
+  List.iter
+    (fun red_limit ->
+      let game = Bf.pebble_game ~n:4 ~red_limit in
+      match Pb.compare_recomputation ~max_states:1_000_000 game with
+      | Some w, Some wo ->
+        Alcotest.(check int)
+          (Printf.sprintf "FFT-4 optima equal (R=%d)" red_limit)
+          wo w
+      | _ -> Alcotest.fail "exhausted")
+    [ 3; 4; 6 ]
+
+let test_fft_rematerialize_respects_bound () =
+  let bf = Bf.build ~n:64 in
+  let w = Bf.workload bf in
+  let res = Sch.run_rematerialize w ~cache_size:24 (Bf.blocked_order bf ~block:8) in
+  let bound = B.fft_memdep ~n:64 ~m:24 ~p:1 in
+  Alcotest.(check bool) "remat io >= bound" true
+    (float_of_int (Tr.io res.Sch.counters) >= bound)
+
+let () =
+  Alcotest.run "fmm_fft"
+    [
+      ( "butterfly",
+        [
+          Alcotest.test_case "censuses" `Quick test_butterfly_censuses;
+          Alcotest.test_case "bad n" `Quick test_butterfly_rejects_bad_n;
+          Alcotest.test_case "orders valid" `Quick test_orders_valid;
+        ] );
+      ( "ntt",
+        [
+          Alcotest.test_case "roots of unity" `Quick test_roots_of_unity;
+          Alcotest.test_case "matches naive dft" `Quick test_ntt_matches_naive_dft;
+          Alcotest.test_case "inverse roundtrip" `Quick test_intt_roundtrip;
+          Alcotest.test_case "convolution" `Quick test_convolution;
+          Alcotest.test_case "DAG evaluation = ntt" `Quick
+            test_butterfly_evaluation_is_ntt;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "lru legal" `Quick test_fft_lru_legal;
+          Alcotest.test_case "blocked locality" `Quick test_fft_blocked_beats_level_order;
+          Alcotest.test_case "io vs bound" `Quick test_fft_io_vs_bound;
+          Alcotest.test_case "io vs memory" `Quick test_fft_io_decreases_with_memory;
+        ] );
+      ( "pebbling",
+        [
+          Alcotest.test_case "no separation" `Slow test_fft_pebbling_no_separation;
+          Alcotest.test_case "remat >= bound" `Quick
+            test_fft_rematerialize_respects_bound;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for fmm_graph: digraph basics, Hopcroft-Karp vs brute-force
+   matching, Dinic max-flow vs hand-computed values, min vertex
+   cut / dominator duality, disjoint path counting. *)
+
+module D = Fmm_graph.Digraph
+module M = Fmm_graph.Matching
+module F = Fmm_graph.Maxflow
+module VC = Fmm_graph.Vertex_cut
+module DP = Fmm_graph.Disjoint_paths
+module P = Fmm_util.Prng
+
+(* --- digraph --- *)
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let g = D.create () in
+  ignore (D.add_vertices g 4);
+  D.add_edge g 0 1;
+  D.add_edge g 0 2;
+  D.add_edge g 1 3;
+  D.add_edge g 2 3;
+  g
+
+let test_digraph_basics () =
+  let g = diamond () in
+  Alcotest.(check int) "vertices" 4 (D.n_vertices g);
+  Alcotest.(check int) "edges" 4 (D.n_edges g);
+  Alcotest.(check int) "out degree 0" 2 (D.out_degree g 0);
+  Alcotest.(check int) "in degree 3" 2 (D.in_degree g 3);
+  Alcotest.(check (list int)) "sources" [ 0 ] (D.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (D.sinks g);
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Digraph: vertex id out of range")
+    (fun () -> D.add_edge g 0 9)
+
+let test_topo_sort () =
+  let g = diamond () in
+  (match D.topo_sort g with
+  | None -> Alcotest.fail "diamond is a DAG"
+  | Some order ->
+    let pos = Array.make 4 0 in
+    List.iteri (fun i v -> pos.(v) <- i) order;
+    Alcotest.(check bool) "0 before 1" true (pos.(0) < pos.(1));
+    Alcotest.(check bool) "1 before 3" true (pos.(1) < pos.(3));
+    Alcotest.(check bool) "2 before 3" true (pos.(2) < pos.(3)));
+  let cyclic = D.create () in
+  ignore (D.add_vertices cyclic 2);
+  D.add_edge cyclic 0 1;
+  D.add_edge cyclic 1 0;
+  Alcotest.(check bool) "cycle detected" false (D.is_dag cyclic)
+
+let test_reachability () =
+  let g = diamond () in
+  let r = D.reachable g [ 0 ] in
+  Alcotest.(check bool) "0 reaches 3" true r.(3);
+  let blocked = D.reachable g [ 0 ] ~blocked:(fun v -> v = 1 || v = 2) in
+  Alcotest.(check bool) "cut blocks" false blocked.(3);
+  Alcotest.(check bool) "path exists" true (D.has_path g ~from_:[ 0 ] ~to_:[ 3 ]);
+  Alcotest.(check bool) "no reverse path" false (D.has_path g ~from_:[ 3 ] ~to_:[ 0 ]);
+  let co = D.coreachable g [ 3 ] in
+  Alcotest.(check bool) "coreachable hits source" true co.(0)
+
+let test_longest_path () =
+  let g = diamond () in
+  Alcotest.(check int) "diamond longest" 2 (D.longest_path_length g);
+  let chain = D.create () in
+  ignore (D.add_vertices chain 5);
+  for i = 0 to 3 do
+    D.add_edge chain i (i + 1)
+  done;
+  Alcotest.(check int) "chain longest" 4 (D.longest_path_length chain)
+
+let test_dot_export () =
+  let g = diamond () in
+  let dot = D.to_dot g in
+  Alcotest.(check bool) "has header" true (String.length dot > 10);
+  Alcotest.(check bool) "mentions edge" true
+    (let rec contains i =
+       i + 12 <= String.length dot
+       && (String.sub dot i 12 = "  v0 -> v1;\n" || contains (i + 1))
+     in
+     contains 0)
+
+(* --- matching --- *)
+
+let test_matching_simple () =
+  (* perfect matching on K_{3,3} *)
+  let edges = List.concat_map (fun x -> List.map (fun y -> (x, y)) [ 0; 1; 2 ]) [ 0; 1; 2 ] in
+  let g = M.make_bipartite ~nx:3 ~ny:3 edges in
+  Alcotest.(check int) "K33 matching" 3 (M.max_matching_size g);
+  (* star: one X connected to many Y, others isolated *)
+  let star = M.make_bipartite ~nx:3 ~ny:3 [ (0, 0); (0, 1); (0, 2) ] in
+  Alcotest.(check int) "star matching" 1 (M.max_matching_size star);
+  let empty = M.make_bipartite ~nx:2 ~ny:2 [] in
+  Alcotest.(check int) "empty" 0 (M.max_matching_size empty)
+
+let test_matching_restrict () =
+  let g = M.make_bipartite ~nx:4 ~ny:4 [ (0, 0); (1, 1); (2, 2); (3, 3) ] in
+  let r = M.restrict g ~xs:[ 0; 1 ] ~ys:[ 1; 2; 3 ] in
+  Alcotest.(check int) "restricted" 1 (M.max_matching_size r)
+
+let test_hall_violation () =
+  (* X = {0,1,2} all pointing to the single y=0: any 2-subset violates *)
+  let g = M.make_bipartite ~nx:3 ~ny:2 [ (0, 0); (1, 0); (2, 0) ] in
+  (match M.hall_violation g [ 0; 1; 2 ] with
+  | None -> Alcotest.fail "expected a Hall violation"
+  | Some (w, nbrs) ->
+    Alcotest.(check bool) "|N(W)| < |W|" true (List.length nbrs < List.length w));
+  let ok = M.make_bipartite ~nx:2 ~ny:2 [ (0, 0); (1, 1) ] in
+  Alcotest.(check bool) "no violation" true (M.hall_violation ok [ 0; 1 ] = None)
+
+let random_bipartite rng nx ny density =
+  let edges = ref [] in
+  for x = 0 to nx - 1 do
+    for y = 0 to ny - 1 do
+      if P.float rng < density then edges := (x, y) :: !edges
+    done
+  done;
+  M.make_bipartite ~nx ~ny !edges
+
+let prop_hk_equals_kuhn =
+  QCheck2.Test.make ~name:"hopcroft-karp = kuhn on random graphs" ~count:200
+    (QCheck2.Gen.int_range 0 100_000) (fun seed ->
+      let rng = P.create ~seed in
+      let nx = 1 + P.int rng 8 and ny = 1 + P.int rng 8 in
+      let g = random_bipartite rng nx ny (P.float rng) in
+      M.max_matching_size g = M.kuhn g)
+
+let prop_matching_bounds =
+  QCheck2.Test.make ~name:"matching size bounds" ~count:200
+    (QCheck2.Gen.int_range 0 100_000) (fun seed ->
+      let rng = P.create ~seed in
+      let nx = 1 + P.int rng 8 and ny = 1 + P.int rng 8 in
+      let g = random_bipartite rng nx ny 0.4 in
+      let s = M.max_matching_size g in
+      s >= 0 && s <= min nx ny)
+
+(* --- max flow --- *)
+
+let test_maxflow_simple () =
+  (* classic: s=0, t=3; 0->1 (3), 0->2 (2), 1->2 (5), 1->3 (2), 2->3 (3) *)
+  let f = F.create 4 in
+  F.add_edge f 0 1 3;
+  F.add_edge f 0 2 2;
+  F.add_edge f 1 2 5;
+  F.add_edge f 1 3 2;
+  F.add_edge f 2 3 3;
+  Alcotest.(check int) "max flow" 5 (F.max_flow f ~source:0 ~sink:3)
+
+let test_maxflow_disconnected () =
+  let f = F.create 4 in
+  F.add_edge f 0 1 10;
+  F.add_edge f 2 3 10;
+  Alcotest.(check int) "no path" 0 (F.max_flow f ~source:0 ~sink:3)
+
+let test_maxflow_parallel_paths () =
+  let f = F.create 6 in
+  (* two disjoint unit paths s -> a -> t, s -> b -> t *)
+  F.add_edge f 0 1 1;
+  F.add_edge f 1 5 1;
+  F.add_edge f 0 2 1;
+  F.add_edge f 2 5 1;
+  Alcotest.(check int) "two unit paths" 2 (F.max_flow f ~source:0 ~sink:5)
+
+let test_min_cut_side () =
+  let f = F.create 4 in
+  F.add_edge f 0 1 1;
+  F.add_edge f 1 2 1;
+  F.add_edge f 2 3 5;
+  ignore (F.max_flow f ~source:0 ~sink:3);
+  let side = F.min_cut_source_side f ~source:0 in
+  Alcotest.(check bool) "source in side" true side.(0);
+  Alcotest.(check bool) "sink not in side" false side.(3)
+
+(* --- vertex cut / dominator --- *)
+
+let test_min_dominator_diamond () =
+  let g = diamond () in
+  (* dominate {3} from {0}: min cut is 1 (either {0}, {3}) *)
+  let r = VC.min_dominator g ~sources:[ 0 ] ~targets:[ 3 ] in
+  Alcotest.(check int) "diamond dominator size" 1 r.VC.size;
+  Alcotest.(check bool) "witness dominates" true
+    (VC.is_dominator g ~sources:[ 0 ] ~targets:[ 3 ] ~gamma:r.VC.cut)
+
+let test_min_dominator_two_paths () =
+  (* 0->1->3, 0->2->3 plus direct 0->3: only {0} or {3} dominate => size 1.
+     Without the direct edge and with distinct sources it grows. *)
+  let g = D.create () in
+  ignore (D.add_vertices g 6);
+  (* sources 0,1; middle 2,3; targets 4,5; edges 0->2->4, 1->3->5 *)
+  D.add_edge g 0 2;
+  D.add_edge g 2 4;
+  D.add_edge g 1 3;
+  D.add_edge g 3 5;
+  let r = VC.min_dominator g ~sources:[ 0; 1 ] ~targets:[ 4; 5 ] in
+  Alcotest.(check int) "two chains need 2" 2 r.VC.size;
+  Alcotest.(check bool) "witness ok" true
+    (VC.is_dominator g ~sources:[ 0; 1 ] ~targets:[ 4; 5 ] ~gamma:r.VC.cut)
+
+let test_is_dominator_negative () =
+  let g = diamond () in
+  Alcotest.(check bool) "1 alone does not dominate 3" false
+    (VC.is_dominator g ~sources:[ 0 ] ~targets:[ 3 ] ~gamma:[ 1 ]);
+  Alcotest.(check bool) "1,2 dominate 3" true
+    (VC.is_dominator g ~sources:[ 0 ] ~targets:[ 3 ] ~gamma:[ 1; 2 ]);
+  Alcotest.(check bool) "empty set fails" false
+    (VC.is_dominator g ~sources:[ 0 ] ~targets:[ 3 ] ~gamma:[])
+
+let test_brute_matches_flow () =
+  let rng = P.create ~seed:2024 in
+  for _ = 1 to 30 do
+    (* random layered DAG with 3 layers *)
+    let g = D.create () in
+    let l0 = Array.to_list (D.add_vertices g 3) in
+    let l1 = Array.to_list (D.add_vertices g 4) in
+    let l2 = Array.to_list (D.add_vertices g 3) in
+    List.iter
+      (fun a -> List.iter (fun b -> if P.float rng < 0.5 then D.add_edge g a b) l1)
+      l0;
+    List.iter
+      (fun b -> List.iter (fun c -> if P.float rng < 0.5 then D.add_edge g b c) l2)
+      l1;
+    let flow = VC.min_dominator g ~sources:l0 ~targets:l2 in
+    let candidates = l0 @ l1 @ l2 in
+    match VC.min_dominator_brute g ~sources:l0 ~targets:l2 ~candidates with
+    | None -> Alcotest.fail "brute force found no dominator"
+    | Some brute ->
+      Alcotest.(check int) "flow = brute" (List.length brute) flow.VC.size
+  done
+
+(* --- disjoint paths --- *)
+
+let test_disjoint_paths_basic () =
+  let g = diamond () in
+  Alcotest.(check int) "diamond: 1 disjoint path (0 shared)" 1
+    (DP.max_disjoint_paths g { sources = [ 0 ]; targets = [ 3 ]; forbidden = [] });
+  let g2 = D.create () in
+  ignore (D.add_vertices g2 6);
+  D.add_edge g2 0 2;
+  D.add_edge g2 2 4;
+  D.add_edge g2 1 3;
+  D.add_edge g2 3 5;
+  Alcotest.(check int) "two chains: 2 disjoint" 2
+    (DP.max_disjoint_paths g2
+       { sources = [ 0; 1 ]; targets = [ 4; 5 ]; forbidden = [] });
+  Alcotest.(check int) "forbidding middle kills one" 1
+    (DP.max_disjoint_paths g2
+       { sources = [ 0; 1 ]; targets = [ 4; 5 ]; forbidden = [ 2 ] })
+
+let test_disjoint_paths_menger () =
+  (* Menger duality: disjoint paths = min dominator size, on random DAGs *)
+  let rng = P.create ~seed:7 in
+  for _ = 1 to 30 do
+    let g = D.create () in
+    let l0 = Array.to_list (D.add_vertices g 3) in
+    let l1 = Array.to_list (D.add_vertices g 5) in
+    let l2 = Array.to_list (D.add_vertices g 3) in
+    List.iter
+      (fun a -> List.iter (fun b -> if P.float rng < 0.45 then D.add_edge g a b) l1)
+      l0;
+    List.iter
+      (fun b -> List.iter (fun c -> if P.float rng < 0.45 then D.add_edge g b c) l2)
+      l1;
+    let paths =
+      DP.max_disjoint_paths g { sources = l0; targets = l2; forbidden = [] }
+    in
+    let cut = VC.min_dominator g ~sources:l0 ~targets:l2 in
+    Alcotest.(check int) "Menger duality" cut.VC.size paths
+  done
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fmm_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basics" `Quick test_digraph_basics;
+          Alcotest.test_case "topo sort" `Quick test_topo_sort;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "longest path" `Quick test_longest_path;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "simple" `Quick test_matching_simple;
+          Alcotest.test_case "restrict" `Quick test_matching_restrict;
+          Alcotest.test_case "hall violation" `Quick test_hall_violation;
+          qc prop_hk_equals_kuhn;
+          qc prop_matching_bounds;
+        ] );
+      ( "maxflow",
+        [
+          Alcotest.test_case "simple" `Quick test_maxflow_simple;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          Alcotest.test_case "parallel paths" `Quick test_maxflow_parallel_paths;
+          Alcotest.test_case "min cut side" `Quick test_min_cut_side;
+        ] );
+      ( "dominator",
+        [
+          Alcotest.test_case "diamond" `Quick test_min_dominator_diamond;
+          Alcotest.test_case "two chains" `Quick test_min_dominator_two_paths;
+          Alcotest.test_case "negative" `Quick test_is_dominator_negative;
+          Alcotest.test_case "brute = flow" `Quick test_brute_matches_flow;
+        ] );
+      ( "disjoint_paths",
+        [
+          Alcotest.test_case "basic" `Quick test_disjoint_paths_basic;
+          Alcotest.test_case "menger duality" `Quick test_disjoint_paths_menger;
+        ] );
+    ]

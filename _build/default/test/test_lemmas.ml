@@ -1,0 +1,476 @@
+(* Tests for fmm_lemmas: the machine-checked versions of the paper's
+   Lemmas 3.1-3.4 / Corollary 3.5 (encoder combinatorics and
+   Hopcroft-Kerr), Lemma 3.7 (dominator bound), Lemma 3.8 (Grigoriev
+   flow), and Lemma 3.11 (disjoint-path construction). Strassen and
+   Winograd must pass everything; the classical algorithm is the
+   negative control (it is not a 7-multiplication algorithm, and
+   Lemmas 3.1/3.3 do fail on its encoder). *)
+
+module EL = Fmm_lemmas.Encoder_lemmas
+module HK = Fmm_lemmas.Hopcroft_kerr
+module GR = Fmm_lemmas.Grigoriev
+module DL = Fmm_lemmas.Dominator_lemma
+module PL = Fmm_lemmas.Paths_lemma
+module Eng = Fmm_lemmas.Engine
+module Enc = Fmm_cdag.Encoder
+module Cd = Fmm_cdag.Cdag
+module S = Fmm_bilinear.Strassen
+module AB = Fmm_bilinear.Alt_basis
+module A = Fmm_bilinear.Algorithm
+module M = Fmm_graph.Matching
+module Q = Fmm_ring.Rat
+
+let fast_algorithms = [ S.strassen; S.winograd; S.winograd_transposed; AB.ks_core ]
+
+(* --- Lemma 3.1 --- *)
+
+let test_matching_bound_values () =
+  (* 1 + ceil((k-1)/2) for k = 1..7: 1,2,2,3,3,4,4 *)
+  Alcotest.(check (list int)) "bound table" [ 1; 2; 2; 3; 3; 4; 4 ]
+    (List.map EL.matching_bound [ 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_lemma_3_1_fast_algorithms () =
+  List.iter
+    (fun alg ->
+      List.iter
+        (fun side ->
+          let g = Enc.encoder_bipartite alg side in
+          let r = EL.check_lemma_3_1 ~name:(A.name alg) g in
+          Alcotest.(check bool)
+            (Printf.sprintf "3.1 holds for %s (%s)" (A.name alg)
+               (match side with Enc.A_side -> "A" | Enc.B_side -> "B"))
+            true r.EL.holds)
+        [ Enc.A_side; Enc.B_side ])
+    fast_algorithms
+
+let test_lemma_3_1_fails_for_classical () =
+  (* classical 2x2 has two products sharing each A input entry with
+     identical A-side neighbor sets; matching bound breaks at |Y'|=3. *)
+  let g = Enc.encoder_bipartite S.classical_2x2 Enc.A_side in
+  let r = EL.check_lemma_3_1 ~name:"classical" g in
+  Alcotest.(check bool) "3.1 fails on classical encoder" false r.EL.holds
+
+let test_lemma_3_1_sampled_agrees () =
+  List.iter
+    (fun alg ->
+      let g = Enc.encoder_bipartite alg Enc.A_side in
+      let exact = EL.check_lemma_3_1 ~name:"x" g in
+      let sampled = EL.check_lemma_3_1_sampled ~name:"x" ~trials:300 ~seed:3 g in
+      Alcotest.(check bool)
+        (A.name alg ^ ": sampled agrees with exact")
+        exact.EL.holds sampled.EL.holds)
+    (S.strassen :: [ S.classical_2x2 ])
+
+let test_lemma_3_1_strassen_squared_sampled () =
+  (* The Lemma 3.1 bound is specific to 2x2 base cases: for <4,4,4;49>
+     a subset Y' of size 49 would demand a matching of size 25 > |X| =
+     16, so the bound must fail — and the sampled checker must detect
+     that, not silently pass. *)
+  let g = Enc.encoder_bipartite S.strassen_squared Enc.A_side in
+  let r = EL.check_lemma_3_1_sampled ~name:"strassen^2" ~trials:200 ~seed:5 g in
+  Alcotest.(check bool) "2x2-specific bound correctly fails on <4,4,4;49>"
+    false r.EL.holds
+
+(* --- Lemmas 3.2 / 3.3 --- *)
+
+let test_lemma_3_2 () =
+  List.iter
+    (fun alg ->
+      List.iter
+        (fun side ->
+          let g = Enc.encoder_bipartite alg side in
+          let r = EL.check_lemma_3_2 ~name:(A.name alg) g in
+          Alcotest.(check bool) ("3.2 " ^ A.name alg) true r.EL.holds)
+        [ Enc.A_side; Enc.B_side ])
+    fast_algorithms
+
+let test_lemma_3_3 () =
+  List.iter
+    (fun alg ->
+      let g = Enc.encoder_bipartite alg Enc.A_side in
+      let r = EL.check_lemma_3_3 ~name:(A.name alg) g in
+      Alcotest.(check bool) ("3.3 " ^ A.name alg) true r.EL.holds)
+    fast_algorithms;
+  let g = Enc.encoder_bipartite S.classical_2x2 Enc.A_side in
+  let r = EL.check_lemma_3_3 ~name:"classical" g in
+  Alcotest.(check bool) "3.3 fails on classical" false r.EL.holds
+
+let test_neighbor_count_equiv_matching () =
+  (* By Hall's theorem the two routes must agree on every encoder. *)
+  List.iter
+    (fun alg ->
+      let g = Enc.encoder_bipartite alg Enc.A_side in
+      let m = EL.check_lemma_3_1 ~name:"x" g in
+      let nb = EL.check_neighbor_count_bound ~name:"x" g in
+      Alcotest.(check bool) (A.name alg ^ " routes agree") m.EL.holds nb.EL.holds)
+    (S.classical_2x2 :: fast_algorithms)
+
+(* --- Hopcroft-Kerr --- *)
+
+let test_hk_forbidden_set_shapes () =
+  Alcotest.(check int) "nine sets" 9 (List.length HK.forbidden_sets);
+  List.iter
+    (fun (_, forms) ->
+      Alcotest.(check int) "three forms" 3 (List.length forms);
+      List.iter
+        (fun f -> Alcotest.(check int) "width 4" 4 (Array.length f))
+        forms)
+    HK.forbidden_sets
+
+let test_hk_holds_for_7mult () =
+  List.iter
+    (fun alg ->
+      let checks = HK.check_algorithm alg in
+      Alcotest.(check bool)
+        (A.name alg ^ ": <= 1 operand from each forbidden set")
+        true (HK.all_ok checks))
+    fast_algorithms
+
+let test_hk_counts_strassen () =
+  (* Strassen's left operands: A11+A22, A21+A22, A11, A22, A11+A12,
+     A21-A11, A12-A22. Set 3.5(3) = {A11+A12+A21+A22, A12+A21, A11+A22}
+     contains exactly one of them (A11+A22). *)
+  let checks = HK.check_algorithm S.strassen in
+  let c = List.find (fun c -> c.HK.set_name = "3.5(3)") checks in
+  Alcotest.(check int) "one operand in 3.5(3)" 1 c.HK.count;
+  let c4 = List.find (fun c -> c.HK.set_name = "3.4") checks in
+  (* 3.4 = {A11, A12+A21, A11+A12+A21}: Strassen uses A11 (for M3). *)
+  Alcotest.(check int) "one operand in 3.4" 1 c4.HK.count
+
+let test_hk_random_6_search_fails () =
+  let trials, found = HK.random_6mult_search ~trials:3000 ~seed:99 in
+  Alcotest.(check int) "ran all trials" 3000 trials;
+  Alcotest.(check bool) "no 6-mult algorithm found" false found
+
+let test_strassen_minus_one_unrepairable () =
+  Alcotest.(check bool) "dropping a product breaks expressibility" true
+    (HK.strassen_minus_one_is_unrepairable ())
+
+(* --- Grigoriev flow --- *)
+
+let test_flow_bound_values () =
+  (* n = 2: u = 8 (all inputs free), v = 4 (all outputs): w >= 2. *)
+  Alcotest.(check bool) "full flow n=2" true
+    (Q.equal (GR.flow_bound ~n:2 ~u:8 ~v:4) (Q.of_int 2));
+  (* u = 0: bound is (v - n^2)/2 <= 0: vacuous. *)
+  Alcotest.(check bool) "u=0 vacuous" true
+    (Q.compare (GR.flow_bound ~n:2 ~u:0 ~v:4) Q.zero <= 0);
+  Alcotest.check_raises "u out of range"
+    (Invalid_argument "Grigoriev.flow_bound: (u,v) out of range") (fun () ->
+      ignore (GR.flow_bound ~n:2 ~u:9 ~v:4))
+
+let test_flow_bound_monotone () =
+  (* increasing u (more free inputs) or v (more outputs) raises it *)
+  for u = 1 to 7 do
+    Alcotest.(check bool) "monotone in u" true
+      (GR.flow_bound_float ~n:2 ~u:(u + 1) ~v:4
+      >= GR.flow_bound_float ~n:2 ~u ~v:4)
+  done;
+  for v = 1 to 3 do
+    Alcotest.(check bool) "monotone in v" true
+      (GR.flow_bound_float ~n:2 ~u:8 ~v:(v + 1)
+      >= GR.flow_bound_float ~n:2 ~u:8 ~v)
+  done
+
+let test_flow_witness_z2 () =
+  (* n=2, free all 8 inputs, keep all 4 outputs: need >= 2^2 = 4
+     distinct images; the true image is larger. *)
+  let x1 = List.init 8 (fun i -> i) in
+  let y1 = [ 0; 1; 2; 3 ] in
+  let got, needed, ok = GR.Witness_z2.check ~n:2 ~x1 ~y1 ~trials:1 ~seed:1 in
+  Alcotest.(check bool) "witness meets bound" true ok;
+  Alcotest.(check bool) "needed is 4" true (needed = 4);
+  Alcotest.(check bool) "image nontrivial" true (got >= 4)
+
+let test_flow_witness_partial () =
+  (* Free only the 4 entries of A (u=4), keep all outputs: bound is
+     (4 - 16/16)/2 = 1.5 -> need >= 2^1.5 ~ 3 images over Z2. *)
+  let x1 = [ 0; 1; 2; 3 ] in
+  let y1 = [ 0; 1; 2; 3 ] in
+  let _, needed, ok = GR.Witness_z2.check ~n:2 ~x1 ~y1 ~trials:5 ~seed:2 in
+  Alcotest.(check bool) "partial witness ok" true ok;
+  Alcotest.(check int) "needed ceil(2^1.5)" 3 needed
+
+
+let test_lemma_3_9_dominator_vs_flow () =
+  (* Lemma 3.9: any dominator of O' outputs w.r.t. I' free inputs has
+     size >= flow(|I'|, |O'|). On H^{2x2}: min dominator of all 4
+     outputs from all 8 inputs (exact, by max-flow) must be >= the
+     closed-form flow bound w(8,4) = 2. *)
+  let cd = Cd.build S.strassen ~n:2 in
+  let res =
+    Fmm_graph.Vertex_cut.min_dominator (Cd.graph cd)
+      ~sources:(Array.to_list (Cd.inputs cd))
+      ~targets:(Array.to_list (Cd.outputs cd))
+  in
+  let bound = GR.flow_bound_float ~n:2 ~u:8 ~v:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "min dominator %d >= flow bound %.1f" res.Fmm_graph.Vertex_cut.size bound)
+    true
+    (float_of_int res.Fmm_graph.Vertex_cut.size >= bound);
+  (* partial output sets too *)
+  List.iter
+    (fun v ->
+      let targets =
+        Array.to_list (Array.sub (Cd.outputs cd) 0 v)
+      in
+      let r =
+        Fmm_graph.Vertex_cut.min_dominator (Cd.graph cd)
+          ~sources:(Array.to_list (Cd.inputs cd))
+          ~targets
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "v=%d" v)
+        true
+        (float_of_int r.Fmm_graph.Vertex_cut.size
+        >= GR.flow_bound_float ~n:2 ~u:8 ~v))
+    [ 1; 2; 3 ]
+
+(* --- Lemma 3.7 (dominator bound) --- *)
+
+let test_dominator_bound_base_case () =
+  (* H^{2x2}: Z = the 4 outputs, min dominator must be >= 2. *)
+  let cd = Cd.build S.strassen ~n:2 in
+  let results = DL.per_subproblem_min_dominators cd ~r:2 in
+  Alcotest.(check int) "one sub-problem at r = n" 1 (List.length results);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "bound holds" true s.DL.holds;
+      Alcotest.(check bool) "dominator nontrivial" true (s.DL.min_dominator >= 2))
+    results
+
+let test_dominator_bound_sampled_n4 () =
+  List.iter
+    (fun alg ->
+      let cd = Cd.build alg ~n:4 in
+      List.iter
+        (fun r ->
+          let results = DL.sample_min_dominators cd ~r ~trials:10 ~seed:42 in
+          Alcotest.(check bool)
+            (Printf.sprintf "Lemma 3.7 holds (%s, r=%d)" (A.name alg) r)
+            true (DL.all_hold results))
+        [ 2; 4 ])
+    [ S.strassen; S.winograd ]
+
+let test_dominator_per_subproblem_n4 () =
+  let cd = Cd.build S.strassen ~n:4 in
+  let results = DL.per_subproblem_min_dominators cd ~r:2 in
+  Alcotest.(check int) "seven sub-problems" 7 (List.length results);
+  Alcotest.(check bool) "all hold" true (DL.all_hold results)
+
+(* --- Lemma 3.11 (disjoint paths) --- *)
+
+let test_paths_lemma_no_gamma () =
+  let cd = Cd.build S.strassen ~n:4 in
+  let s = PL.sample cd ~r:2 ~z_size:4 ~gamma_size:0 ~seed:11 in
+  Alcotest.(check bool)
+    (Printf.sprintf "paths %d >= bound %.1f" s.PL.disjoint_paths s.PL.bound)
+    true s.PL.holds
+
+let test_paths_lemma_with_gamma () =
+  let cd = Cd.build S.strassen ~n:4 in
+  List.iter
+    (fun seed ->
+      let s = PL.sample cd ~r:2 ~z_size:8 ~gamma_size:2 ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: paths %d >= bound %.1f" seed
+           s.PL.disjoint_paths s.PL.bound)
+        true s.PL.holds)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_paths_lemma_rejects_bad_args () =
+  let cd = Cd.build S.strassen ~n:4 in
+  Alcotest.check_raises "|Z| >= 2|Gamma| required"
+    (Invalid_argument "Paths_lemma.sample: need |Z| >= 2 |Gamma|") (fun () ->
+      ignore (PL.sample cd ~r:2 ~z_size:2 ~gamma_size:2 ~seed:0))
+
+
+(* --- Lemma 3.10 (disjoint unions) --- *)
+
+module DU = Fmm_lemmas.Disjoint_union_lemma
+
+let test_lemma_3_10_single_copy () =
+  let u = DU.build_union S.strassen ~n:2 ~q:1 in
+  List.iter
+    (fun (o, g) ->
+      let s = DU.sample u ~o_size:o ~gamma_size:g ~seed:(o + g) in
+      Alcotest.(check bool)
+        (Printf.sprintf "|O'|=%d |Gamma|=%d: %d inputs >= %.1f" o g
+           s.DU.undominated_inputs s.DU.bound)
+        true s.DU.holds)
+    [ (4, 0); (4, 1); (2, 1) ]
+
+let test_lemma_3_10_multiple_copies () =
+  let u = DU.build_union S.strassen ~n:2 ~q:5 in
+  Alcotest.(check int) "20 outputs" 20 (List.length u.DU.outputs);
+  Alcotest.(check int) "40 inputs" 40 (List.length u.DU.inputs);
+  List.iter
+    (fun seed ->
+      let s = DU.sample u ~o_size:12 ~gamma_size:4 ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %d >= %.1f" seed s.DU.undominated_inputs
+           s.DU.bound)
+        true s.DU.holds)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_lemma_3_10_rejects_bad_args () =
+  let u = DU.build_union S.strassen ~n:2 ~q:2 in
+  Alcotest.check_raises "|O| >= 2|Gamma|"
+    (Invalid_argument "Disjoint_union_lemma.sample: need |O'| >= 2 |Gamma|")
+    (fun () -> ignore (DU.sample u ~o_size:2 ~gamma_size:2 ~seed:0))
+
+(* --- the battery on all de Groote conjugates --- *)
+
+let test_battery_on_conjugates () =
+  (* Every {I,J}-conjugate of Strassen and Winograd is itself a 2x2-base
+     fast MM algorithm and must pass the entire Section III battery —
+     the concrete meaning of "any fast matrix multiplication algorithm
+     with base case 2x2". *)
+  List.iter
+    (fun base ->
+      List.iter
+        (fun alg ->
+          let r = Eng.check_algorithm alg in
+          Alcotest.(check bool) ("battery: " ^ A.name alg) true r.Eng.all_ok)
+        (A.conjugates_2x2 base))
+    [ S.strassen; S.winograd ]
+
+
+(* --- expansion profiles ([8]'s route) --- *)
+
+module EX = Fmm_lemmas.Expansion
+
+let test_expansion_profiles () =
+  List.iter
+    (fun alg ->
+      let p = EX.profile alg Enc.A_side in
+      Alcotest.(check bool)
+        (A.name alg ^ " profile dominates Lemma 3.1")
+        true (EX.dominates_lemma_3_1 p);
+      (* matching <= neighborhood always (Koenig/Hall) *)
+      List.iter
+        (fun (k, nbrs, matching, bound) ->
+          Alcotest.(check bool) (Printf.sprintf "k=%d matching<=nbrs" k) true
+            (matching <= nbrs);
+          Alcotest.(check bool) "bound respected" true (matching >= bound))
+        (EX.rows p))
+    fast_algorithms
+
+let test_expansion_strassen_values () =
+  (* Strassen A-side worst-case matchings: 1,2,2,3,3,4,4 (the lemma's
+     curve exactly — the bound is tight) *)
+  let p = EX.profile S.strassen Enc.A_side in
+  Alcotest.(check (list int)) "matching profile" [ 1; 2; 2; 3; 3; 4; 4 ]
+    (List.map (fun (_, _, m, _) -> m) (EX.rows p))
+
+let test_expansion_classical_violates () =
+  let p = EX.profile S.classical_2x2 Enc.A_side in
+  Alcotest.(check bool) "classical violates the curve" false
+    (EX.dominates_lemma_3_1 p)
+
+(* --- engine --- *)
+
+let test_engine_reports () =
+  List.iter
+    (fun alg ->
+      let r = Eng.check_algorithm alg in
+      Alcotest.(check bool) ("engine: " ^ A.name alg) true r.Eng.all_ok;
+      Alcotest.(check bool) "report renders" true
+        (String.length (Eng.report_to_string r) > 0))
+    [ S.strassen; S.winograd; S.winograd_transposed ]
+
+let test_engine_flags_classical () =
+  let r = Eng.check_algorithm S.classical_2x2 in
+  Alcotest.(check bool) "classical flagged" false r.Eng.all_ok;
+  (* but classical is still a correct algorithm *)
+  Alcotest.(check bool) "classical passes Brent" true r.Eng.brent_ok
+
+let test_engine_deep () =
+  let d = Eng.deep_check_algorithm ~n:4 ~trials:3 ~seed:1 S.strassen in
+  Alcotest.(check bool) "deep ok for Strassen" true d.Eng.deep_ok;
+  Alcotest.(check bool) "lemma 2.2 census" true d.Eng.lemma_2_2_ok;
+  Alcotest.(check bool) "renders" true
+    (String.length (Eng.deep_report_to_string d) > 0);
+  (* classical's encoder failures propagate into deep_ok *)
+  let dc = Eng.deep_check_algorithm ~n:4 ~trials:2 ~seed:1 S.classical_2x2 in
+  Alcotest.(check bool) "classical deep flagged" false dc.Eng.deep_ok;
+  (* but its CDAG-level facts still hold (3.7/3.11 are about the DAG) *)
+  Alcotest.(check bool) "classical 3.7 holds" true
+    (Fmm_lemmas.Dominator_lemma.all_hold dc.Eng.lemma_3_7)
+
+let test_engine_handles_composed () =
+  (* 4x4 base: HK checks skipped, sampled 3.1 used; must not raise. *)
+  let r = Eng.check_algorithm S.strassen_squared in
+  Alcotest.(check bool) "no HK checks for 4x4 base" true (r.Eng.hk_checks = []);
+  Alcotest.(check bool) "Brent ok" true r.Eng.brent_ok
+
+let () =
+  Alcotest.run "fmm_lemmas"
+    [
+      ( "lemma_3_1",
+        [
+          Alcotest.test_case "bound values" `Quick test_matching_bound_values;
+          Alcotest.test_case "fast algorithms" `Quick test_lemma_3_1_fast_algorithms;
+          Alcotest.test_case "classical fails" `Quick test_lemma_3_1_fails_for_classical;
+          Alcotest.test_case "sampled agrees" `Quick test_lemma_3_1_sampled_agrees;
+          Alcotest.test_case "strassen^2 sampled" `Quick
+            test_lemma_3_1_strassen_squared_sampled;
+        ] );
+      ( "lemma_3_2_3_3",
+        [
+          Alcotest.test_case "3.2" `Quick test_lemma_3_2;
+          Alcotest.test_case "3.3" `Quick test_lemma_3_3;
+          Alcotest.test_case "Hall equivalence" `Quick test_neighbor_count_equiv_matching;
+        ] );
+      ( "hopcroft_kerr",
+        [
+          Alcotest.test_case "set shapes" `Quick test_hk_forbidden_set_shapes;
+          Alcotest.test_case "7-mult algorithms pass" `Quick test_hk_holds_for_7mult;
+          Alcotest.test_case "strassen counts" `Quick test_hk_counts_strassen;
+          Alcotest.test_case "random 6-mult search" `Quick test_hk_random_6_search_fails;
+          Alcotest.test_case "strassen minus one" `Quick
+            test_strassen_minus_one_unrepairable;
+        ] );
+      ( "grigoriev",
+        [
+          Alcotest.test_case "bound values" `Quick test_flow_bound_values;
+          Alcotest.test_case "monotonicity" `Quick test_flow_bound_monotone;
+          Alcotest.test_case "witness full" `Quick test_flow_witness_z2;
+          Alcotest.test_case "witness partial" `Quick test_flow_witness_partial;
+          Alcotest.test_case "lemma 3.9 dominator vs flow" `Quick
+            test_lemma_3_9_dominator_vs_flow;
+        ] );
+      ( "lemma_3_7",
+        [
+          Alcotest.test_case "base case" `Quick test_dominator_bound_base_case;
+          Alcotest.test_case "sampled n=4" `Quick test_dominator_bound_sampled_n4;
+          Alcotest.test_case "per subproblem n=4" `Quick test_dominator_per_subproblem_n4;
+        ] );
+      ( "lemma_3_11",
+        [
+          Alcotest.test_case "no gamma" `Quick test_paths_lemma_no_gamma;
+          Alcotest.test_case "with gamma" `Quick test_paths_lemma_with_gamma;
+          Alcotest.test_case "bad args" `Quick test_paths_lemma_rejects_bad_args;
+        ] );
+      ( "lemma_3_10",
+        [
+          Alcotest.test_case "single copy" `Quick test_lemma_3_10_single_copy;
+          Alcotest.test_case "multiple copies" `Quick test_lemma_3_10_multiple_copies;
+          Alcotest.test_case "bad args" `Quick test_lemma_3_10_rejects_bad_args;
+        ] );
+      ( "expansion",
+        [
+          Alcotest.test_case "profiles dominate" `Quick test_expansion_profiles;
+          Alcotest.test_case "strassen values" `Quick test_expansion_strassen_values;
+          Alcotest.test_case "classical violates" `Quick test_expansion_classical_violates;
+        ] );
+      ( "conjugates",
+        [ Alcotest.test_case "full battery" `Quick test_battery_on_conjugates ] );
+      ( "engine",
+        [
+          Alcotest.test_case "reports" `Quick test_engine_reports;
+          Alcotest.test_case "classical flagged" `Quick test_engine_flags_classical;
+          Alcotest.test_case "deep" `Quick test_engine_deep;
+          Alcotest.test_case "composed handled" `Quick test_engine_handles_composed;
+        ] );
+    ]

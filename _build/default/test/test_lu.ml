@@ -1,0 +1,134 @@
+(* Tests for fmm_lu: the LU-factorization CDAG (the paper's Section V
+   conjecture testbed). Structure, semantics (L U = A over exact
+   rationals), machine execution vs the direct-linear-algebra bound,
+   and the recomputation comparison. *)
+
+module Lu = Fmm_lu.Lu_cdag
+module MQ = Fmm_matrix.Matrix.Q
+module Q = Fmm_ring.Rat
+module D = Fmm_graph.Digraph
+module W = Fmm_machine.Workload
+module Sch = Fmm_machine.Schedulers
+module CM = Fmm_machine.Cache_machine
+module Tr = Fmm_machine.Trace
+module Pb = Fmm_pebble.Pebble
+module P = Fmm_util.Prng
+
+let test_structure () =
+  List.iter
+    (fun n ->
+      let t = Lu.build ~n in
+      Alcotest.(check bool) "is DAG" true (D.is_dag t.Lu.graph);
+      (* vertices: n^2 inputs + sum_k (n-1-k) multipliers + (n-1-k)^2 updates *)
+      let expected =
+        let acc = ref (n * n) in
+        for k = 0 to n - 2 do
+          let w = n - 1 - k in
+          acc := !acc + w + (w * w)
+        done;
+        !acc
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "vertex census n=%d" n)
+        expected (Lu.n_vertices t);
+      Alcotest.(check int) "outputs = n^2" (n * n) (Array.length t.Lu.outputs))
+    [ 2; 3; 4; 8 ]
+
+let test_build_rejects_small () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Lu_cdag.build: n must be >= 2")
+    (fun () -> ignore (Lu.build ~n:1))
+
+(* a random matrix with nonzero leading minors (diagonally dominant) *)
+let dominant_matrix rng n =
+  MQ.init n n (fun i j ->
+      if i = j then Q.of_int (20 + P.int rng 10)
+      else Q.of_int (P.int_range rng (-3) 3))
+
+let test_lu_factorizes () =
+  List.iter
+    (fun n ->
+      let rng = P.create ~seed:(900 + n) in
+      let a = dominant_matrix rng n in
+      let t = Lu.build ~n in
+      let l, u = Lu.Eval_q.run t a in
+      Alcotest.(check bool)
+        (Printf.sprintf "L U = A (n=%d)" n)
+        true
+        (MQ.equal (MQ.mul l u) a);
+      (* L unit lower, U upper *)
+      for i = 0 to n - 1 do
+        Alcotest.(check bool) "unit diagonal" true (Q.equal (MQ.get l i i) Q.one);
+        for j = i + 1 to n - 1 do
+          Alcotest.(check bool) "L upper zero" true (Q.is_zero (MQ.get l i j))
+        done
+      done)
+    [ 2; 3; 5; 8 ]
+
+let test_machine_execution () =
+  let t = Lu.build ~n:8 in
+  let w = Lu.workload t in
+  let order = Lu.elimination_order t in
+  Alcotest.(check bool) "order valid" true (W.is_valid_order w order);
+  List.iter
+    (fun m ->
+      let res = Sch.run_lru w ~cache_size:m order in
+      let c = CM.replay { CM.cache_size = m; allow_recompute = false } w res.Sch.trace in
+      Alcotest.(check int) "replay agrees" (Tr.io res.Sch.counters) (Tr.io c))
+    [ 8; 32 ]
+
+let test_io_vs_bound_shape () =
+  (* measured I/O >= the Omega(n^3/sqrt M) form with a generous 1/8
+     constant, and decreases with memory *)
+  let t = Lu.build ~n:12 in
+  let w = Lu.workload t in
+  let order = Lu.elimination_order t in
+  let io m = Tr.io (Sch.run_lru w ~cache_size:m order).Sch.counters in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "M=%d above bound/8" m)
+        true
+        (float_of_int (io m) >= Lu.io_lower_bound ~n:12 ~m /. 8.))
+    [ 8; 16; 64 ];
+  Alcotest.(check bool) "monotone" true (io 8 >= io 64)
+
+let test_recomputation_on_lu () =
+  (* the Section V conjecture, on the smallest instance: exact optima
+     with and without recomputation coincide on LU(2) and LU(3) *)
+  (* update vertices have in-degree 3, so red_limit >= 4 is needed *)
+  List.iter
+    (fun (n, red) ->
+      let game = Lu.pebble_game ~n ~red_limit:red in
+      match Pb.compare_recomputation ~max_states:3_000_000 game with
+      | Some w_rc, Some wo_rc ->
+        Alcotest.(check int)
+          (Printf.sprintf "LU(%d) optima equal (R=%d)" n red)
+          wo_rc w_rc
+      | _ -> Alcotest.fail "exhausted")
+    [ (2, 4); (3, 4) ]
+
+let test_remat_trades_like_mm () =
+  let t = Lu.build ~n:8 in
+  let w = Lu.workload t in
+  let order = Lu.elimination_order t in
+  let lru = Sch.run_lru w ~cache_size:16 order in
+  let rem = Sch.run_rematerialize w ~cache_size:16 order in
+  Alcotest.(check bool) "remat stores only outputs" true
+    (rem.Sch.counters.Tr.stores <= Array.length t.Lu.outputs);
+  Alcotest.(check bool) "remat costs more compute" true
+    (rem.Sch.counters.Tr.computes >= lru.Sch.counters.Tr.computes)
+
+let () =
+  Alcotest.run "fmm_lu"
+    [
+      ( "lu_cdag",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "rejects small" `Quick test_build_rejects_small;
+          Alcotest.test_case "factorizes" `Quick test_lu_factorizes;
+          Alcotest.test_case "machine execution" `Quick test_machine_execution;
+          Alcotest.test_case "io vs bound" `Quick test_io_vs_bound_shape;
+          Alcotest.test_case "recomputation" `Slow test_recomputation_on_lu;
+          Alcotest.test_case "remat trade" `Quick test_remat_trades_like_mm;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+(* Tests for fmm_matrix: dense matrix algebra over several rings and the
+   exact linear algebra (rref/inverse/det) over Q. *)
+
+module MI = Fmm_matrix.Matrix.I
+module MQ = Fmm_matrix.Matrix.Q
+module LQ = Fmm_matrix.Linalg.Q
+module Q = Fmm_ring.Rat
+module P = Fmm_util.Prng
+
+let mi = Alcotest.testable (fun fmt m -> MI.pp fmt m) MI.equal
+let mq = Alcotest.testable (fun fmt m -> MQ.pp fmt m) MQ.equal
+let rat = Alcotest.testable Q.pp Q.equal
+
+let test_construction () =
+  let m = MI.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check (pair int int)) "dims" (2, 2) (MI.dims m);
+  Alcotest.(check int) "get" 3 (MI.get m 1 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Matrix.get: index out of bounds")
+    (fun () -> ignore (MI.get m 2 0));
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_rows: ragged rows")
+    (fun () -> ignore (MI.of_int_rows [ [ 1 ]; [ 2; 3 ] ]));
+  Alcotest.check mi "identity"
+    (MI.of_int_rows [ [ 1; 0 ]; [ 0; 1 ] ])
+    (MI.identity 2)
+
+let test_add_sub_scale () =
+  let a = MI.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = MI.of_int_rows [ [ 5; 6 ]; [ 7; 8 ] ] in
+  Alcotest.check mi "add" (MI.of_int_rows [ [ 6; 8 ]; [ 10; 12 ] ]) (MI.add a b);
+  Alcotest.check mi "sub" (MI.of_int_rows [ [ -4; -4 ]; [ -4; -4 ] ]) (MI.sub a b);
+  Alcotest.check mi "neg" (MI.of_int_rows [ [ -1; -2 ]; [ -3; -4 ] ]) (MI.neg a);
+  Alcotest.check mi "scale" (MI.of_int_rows [ [ 2; 4 ]; [ 6; 8 ] ]) (MI.scale 2 a);
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Matrix.map2: dimension mismatch") (fun () ->
+      ignore (MI.add a (MI.zeros 3 3)))
+
+let test_mul () =
+  let a = MI.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = MI.of_int_rows [ [ 5; 6 ]; [ 7; 8 ] ] in
+  Alcotest.check mi "2x2 product"
+    (MI.of_int_rows [ [ 19; 22 ]; [ 43; 50 ] ])
+    (MI.mul a b);
+  (* rectangular *)
+  let c = MI.of_int_rows [ [ 1; 0; 2 ]; [ 0; 1; 1 ] ] in
+  let d = MI.of_int_rows [ [ 1 ]; [ 2 ]; [ 3 ] ] in
+  Alcotest.check mi "2x3 * 3x1" (MI.of_int_rows [ [ 7 ]; [ 5 ] ]) (MI.mul c d);
+  Alcotest.check mi "identity is neutral" a (MI.mul a (MI.identity 2));
+  Alcotest.check_raises "inner mismatch"
+    (Invalid_argument "Matrix.mul: dimension mismatch") (fun () ->
+      ignore (MI.mul a d))
+
+let test_transpose () =
+  let a = MI.of_int_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  Alcotest.check mi "transpose"
+    (MI.of_int_rows [ [ 1; 4 ]; [ 2; 5 ]; [ 3; 6 ] ])
+    (MI.transpose a);
+  Alcotest.check mi "involution" a (MI.transpose (MI.transpose a))
+
+let test_split_join () =
+  let a = MI.init 4 4 (fun i j -> (i * 4) + j) in
+  let blocks = MI.split ~gr:2 ~gc:2 a in
+  Alcotest.check mi "block 00" (MI.of_int_rows [ [ 0; 1 ]; [ 4; 5 ] ]) blocks.(0).(0);
+  Alcotest.check mi "block 11" (MI.of_int_rows [ [ 10; 11 ]; [ 14; 15 ] ]) blocks.(1).(1);
+  Alcotest.check mi "join inverse" a (MI.join blocks);
+  Alcotest.check_raises "bad grid"
+    (Invalid_argument "Matrix.split: grid does not divide dimensions") (fun () ->
+      ignore (MI.split ~gr:3 ~gc:2 a))
+
+let test_pad_unpad () =
+  let a = MI.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let p = MI.pad a ~rows:4 ~cols:3 in
+  Alcotest.(check (pair int int)) "padded dims" (4, 3) (MI.dims p);
+  Alcotest.(check int) "zero fill" 0 (MI.get p 3 2);
+  Alcotest.check mi "unpad roundtrip" a (MI.unpad p ~rows:2 ~cols:2);
+  Alcotest.check_raises "shrink" (Invalid_argument "Matrix.pad: shrinking")
+    (fun () -> ignore (MI.pad a ~rows:1 ~cols:1))
+
+let test_vec_roundtrip () =
+  let a = MI.of_int_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  Alcotest.check mi "of_vec . vec_of" a (MI.of_vec 2 3 (MI.vec_of a));
+  Alcotest.(check (array int)) "row major" [| 1; 2; 3; 4; 5; 6 |] (MI.vec_of a)
+
+let test_mul_vec () =
+  let a = MI.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check (array int)) "mat-vec" [| 5; 11 |] (MI.mul_vec a [| 1; 2 |])
+
+let test_kronecker () =
+  let a = MI.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = MI.of_int_rows [ [ 0; 1 ]; [ 1; 0 ] ] in
+  let k = MI.kronecker a b in
+  Alcotest.(check (pair int int)) "dims" (4, 4) (MI.dims k);
+  Alcotest.(check int) "(0,1) = a00*b01" 1 (MI.get k 0 1);
+  Alcotest.(check int) "(2,3) = a11*b01" 4 (MI.get k 2 3);
+  (* (A (x) B)(C (x) D) = AC (x) BD *)
+  let c = MI.of_int_rows [ [ 2; 0 ]; [ 1; 1 ] ] in
+  let d = MI.of_int_rows [ [ 1; 1 ]; [ 0; 2 ] ] in
+  Alcotest.check mi "mixed product property"
+    (MI.kronecker (MI.mul a c) (MI.mul b d))
+    (MI.mul (MI.kronecker a b) (MI.kronecker c d))
+
+let test_trace_is_zero () =
+  let a = MI.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check int) "trace" 5 (MI.trace a);
+  Alcotest.(check bool) "not zero" false (MI.is_zero a);
+  Alcotest.(check bool) "zeros" true (MI.is_zero (MI.zeros 3 3));
+  Alcotest.check_raises "trace non-square"
+    (Invalid_argument "Matrix.trace: not square") (fun () ->
+      ignore (MI.trace (MI.zeros 2 3)))
+
+(* --- linear algebra over Q --- *)
+
+let q_of_rows rows = MQ.of_int_rows rows
+
+let test_rref_rank () =
+  let m = q_of_rows [ [ 1; 2; 3 ]; [ 2; 4; 6 ]; [ 1; 0; 1 ] ] in
+  Alcotest.(check int) "rank 2" 2 (LQ.rank m);
+  Alcotest.(check int) "rank full" 2 (LQ.rank (q_of_rows [ [ 1; 0 ]; [ 0; 1 ] ]));
+  Alcotest.(check int) "rank zero" 0 (LQ.rank (MQ.zeros 3 3));
+  let r, rank, pivots = LQ.rref (q_of_rows [ [ 0; 2 ]; [ 1; 1 ] ]) in
+  Alcotest.(check int) "rref rank" 2 rank;
+  Alcotest.(check (list int)) "pivot cols" [ 0; 1 ] pivots;
+  Alcotest.check mq "rref is identity" (MQ.identity 2) r
+
+let test_det () =
+  Alcotest.check rat "det 2x2" (Q.of_int (-2))
+    (LQ.det (q_of_rows [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.check rat "det singular" Q.zero
+    (LQ.det (q_of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.check rat "det identity" Q.one (LQ.det (MQ.identity 4));
+  (* det of permutation = sign *)
+  Alcotest.check rat "det swap" (Q.of_int (-1))
+    (LQ.det (q_of_rows [ [ 0; 1 ]; [ 1; 0 ] ]))
+
+let test_inverse () =
+  let m = q_of_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let inv = LQ.inverse m in
+  Alcotest.check mq "m * m^-1 = I" (MQ.identity 2) (MQ.mul m inv);
+  Alcotest.check mq "m^-1 * m = I" (MQ.identity 2) (MQ.mul inv m);
+  Alcotest.(check bool) "singular raises" true
+    (try
+       ignore (LQ.inverse (q_of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+       false
+     with Failure _ -> true)
+
+let test_solve () =
+  let m = q_of_rows [ [ 2; 1 ]; [ 1; 3 ] ] in
+  let b = [| Q.of_int 5; Q.of_int 10 |] in
+  (match LQ.solve m b with
+  | None -> Alcotest.fail "expected solution"
+  | Some x ->
+    Alcotest.check rat "x0" (Q.of_int 1) x.(0);
+    Alcotest.check rat "x1" (Q.of_int 3) x.(1));
+  (* inconsistent system *)
+  let m2 = q_of_rows [ [ 1; 1 ]; [ 1; 1 ] ] in
+  (match LQ.solve m2 [| Q.of_int 1; Q.of_int 2 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected inconsistency")
+
+(* --- qcheck properties --- *)
+
+let rand_mi rng n range =
+  MI.init n n (fun _ _ -> P.int_range rng (-range) range)
+
+let prop_mul_associative =
+  QCheck2.Test.make ~name:"matrix mul associative" ~count:50
+    (QCheck2.Gen.int_range 1 6) (fun n ->
+      let rng = P.create ~seed:(n * 7919) in
+      let a = rand_mi rng n 10 and b = rand_mi rng n 10 and c = rand_mi rng n 10 in
+      MI.equal (MI.mul (MI.mul a b) c) (MI.mul a (MI.mul b c)))
+
+let prop_mul_distributive =
+  QCheck2.Test.make ~name:"matrix mul distributes over add" ~count:50
+    (QCheck2.Gen.int_range 1 6) (fun n ->
+      let rng = P.create ~seed:(n * 104729) in
+      let a = rand_mi rng n 10 and b = rand_mi rng n 10 and c = rand_mi rng n 10 in
+      MI.equal (MI.mul a (MI.add b c)) (MI.add (MI.mul a b) (MI.mul a c)))
+
+let prop_transpose_antihom =
+  QCheck2.Test.make ~name:"(AB)^T = B^T A^T" ~count:50
+    (QCheck2.Gen.int_range 1 6) (fun n ->
+      let rng = P.create ~seed:(n * 31) in
+      let a = rand_mi rng n 10 and b = rand_mi rng n 10 in
+      MI.equal (MI.transpose (MI.mul a b))
+        (MI.mul (MI.transpose b) (MI.transpose a)))
+
+let prop_split_join_roundtrip =
+  QCheck2.Test.make ~name:"join . split = id" ~count:50
+    (QCheck2.Gen.int_range 1 4) (fun g ->
+      let n = g * 6 in
+      let rng = P.create ~seed:n in
+      let a = rand_mi rng n 5 in
+      List.for_all
+        (fun (gr, gc) -> MI.equal a (MI.join (MI.split ~gr ~gc a)))
+        [ (2, 2); (3, 3); (2, 3); (g, g); (1, 1); (n, n) ])
+
+let prop_inverse_roundtrip =
+  QCheck2.Test.make ~name:"random invertible Q matrix inverse" ~count:30
+    (QCheck2.Gen.int_range 1 5) (fun n ->
+      let rng = P.create ~seed:(n * 13) in
+      (* build an invertible matrix as product of elementary ops on I *)
+      let m = ref (MQ.identity n) in
+      for _ = 1 to 3 * n do
+        let i = P.int rng n and j = P.int rng n in
+        if i <> j then begin
+          let e = MQ.identity n in
+          MQ.set e i j (Q.of_int (P.int_range rng (-3) 3));
+          m := MQ.mul e !m
+        end
+      done;
+      let inv = LQ.inverse !m in
+      MQ.equal (MQ.identity n) (MQ.mul !m inv))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fmm_matrix"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "add/sub/scale" `Quick test_add_sub_scale;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "split/join" `Quick test_split_join;
+          Alcotest.test_case "pad/unpad" `Quick test_pad_unpad;
+          Alcotest.test_case "vec roundtrip" `Quick test_vec_roundtrip;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "kronecker" `Quick test_kronecker;
+          Alcotest.test_case "trace/is_zero" `Quick test_trace_is_zero;
+          qc prop_mul_associative;
+          qc prop_mul_distributive;
+          qc prop_transpose_antihom;
+          qc prop_split_join_roundtrip;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "rref/rank" `Quick test_rref_rank;
+          Alcotest.test_case "det" `Quick test_det;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "solve" `Quick test_solve;
+          qc prop_inverse_roundtrip;
+        ] );
+    ]

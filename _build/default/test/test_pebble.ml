@@ -1,0 +1,174 @@
+(* Tests for fmm_pebble: legality of the exact solver on hand-checked
+   instances, the with/without-recomputation comparison — including the
+   engineered Savage-style DAG where recomputation strictly helps, and
+   Strassen-fragment instances where it does not. *)
+
+module Pb = Fmm_pebble.Pebble
+module Pd = Fmm_pebble.Pebble_dags
+module D = Fmm_graph.Digraph
+module S = Fmm_bilinear.Strassen
+module Cd = Fmm_cdag.Cdag
+
+(* --- hand-checked tiny instances --- *)
+
+let chain_game len red_limit =
+  (* x -> v1 -> ... -> v_{len} (output) *)
+  let g = D.create () in
+  let ids = D.add_vertices g (len + 1) in
+  for i = 0 to len - 1 do
+    D.add_edge g ids.(i) ids.(i + 1)
+  done;
+  Pb.make ~graph:g ~inputs:[ ids.(0) ] ~outputs:[ ids.(len) ] ~red_limit
+
+let test_chain_optimal () =
+  (* a chain needs exactly: 1 load + 1 store, any red_limit >= 2 *)
+  List.iter
+    (fun len ->
+      match Pb.min_io (chain_game len 2) ~allow_recompute:true with
+      | Some io -> Alcotest.(check int) (Printf.sprintf "chain %d" len) 2 io
+      | None -> Alcotest.fail "search exhausted")
+    [ 1; 3; 6 ]
+
+let test_single_binary_node () =
+  (* o = f(x, y): load x, load y, compute, store = 3 I/O, needs limit 3 *)
+  let g = D.create () in
+  let ids = D.add_vertices g 3 in
+  D.add_edge g ids.(0) ids.(2);
+  D.add_edge g ids.(1) ids.(2);
+  let game = Pb.make ~graph:g ~inputs:[ ids.(0); ids.(1) ] ~outputs:[ ids.(2) ] ~red_limit:3 in
+  (match Pb.min_io game ~allow_recompute:false with
+  | Some io -> Alcotest.(check int) "binary node" 3 io
+  | None -> Alcotest.fail "exhausted");
+  (* with red_limit 2 the compute can never fire: unsolvable *)
+  let stuck = Pb.make ~graph:g ~inputs:[ ids.(0); ids.(1) ] ~outputs:[ ids.(2) ] ~red_limit:2 in
+  Alcotest.(check (option int)) "limit 2 unsolvable" None
+    (Pb.min_io ~max_states:50_000 stuck ~allow_recompute:true)
+
+let test_diamond_optimal () =
+  (* x -> a, x -> b, (a,b) -> o: loads x, compute a,b, o, store o.
+     red_limit 3: x,a then b needs x: keep x: {x,a,b} full, compute o
+     needs slot -> delete x: {a,b,o}. I/O = 1 load + 1 store = 2. *)
+  let g = D.create () in
+  let ids = D.add_vertices g 4 in
+  D.add_edge g ids.(0) ids.(1);
+  D.add_edge g ids.(0) ids.(2);
+  D.add_edge g ids.(1) ids.(3);
+  D.add_edge g ids.(2) ids.(3);
+  let game = Pb.make ~graph:g ~inputs:[ ids.(0) ] ~outputs:[ ids.(3) ] ~red_limit:3 in
+  (match Pb.min_io game ~allow_recompute:false with
+  | Some io -> Alcotest.(check int) "diamond" 2 io
+  | None -> Alcotest.fail "exhausted")
+
+let test_make_validation () =
+  let g = D.create () in
+  let ids = D.add_vertices g 2 in
+  D.add_edge g ids.(0) ids.(1);
+  Alcotest.check_raises "bad red limit" (Invalid_argument "Pebble.make: red_limit < 1")
+    (fun () -> ignore (Pb.make ~graph:g ~inputs:[ ids.(0) ] ~outputs:[ ids.(1) ] ~red_limit:0));
+  Alcotest.check_raises "input with preds"
+    (Invalid_argument "Pebble.make: input with predecessors") (fun () ->
+      ignore (Pb.make ~graph:g ~inputs:[ ids.(1) ] ~outputs:[ ids.(1) ] ~red_limit:2))
+
+(* --- recomputation comparisons --- *)
+
+let test_recomputation_strictly_helps_on_savage_dag () =
+  let game = Pd.recomputation_wins () in
+  let with_rc, without_rc = Pb.compare_recomputation game in
+  match (with_rc, without_rc) with
+  | Some w, Some wo ->
+    Alcotest.(check bool)
+      (Printf.sprintf "with (%d) < without (%d)" w wo)
+      true (w < wo)
+  | _ -> Alcotest.fail "search exhausted"
+
+let test_recomputation_useless_on_encoder () =
+  (* Strassen's encoder graph: every encoded operand is a sum of fresh
+     inputs; recomputation cannot save I/O. *)
+  List.iter
+    (fun red_limit ->
+      let game = Pd.encoder_game S.strassen Fmm_cdag.Encoder.A_side ~red_limit in
+      let with_rc, without_rc = Pb.compare_recomputation game in
+      match (with_rc, without_rc) with
+      | Some w, Some wo ->
+        Alcotest.(check int) (Printf.sprintf "limit %d equal" red_limit) wo w
+      | _ -> Alcotest.fail "search exhausted")
+    [ 3; 5 ]
+
+let test_recomputation_useless_on_strassen_fragment () =
+  (* ancestor closure of C21 = M2 + M4 of H^{2x2}: 11 vertices
+     (4 inputs, 4 encoder vertices, 2 products, 1 decoder). *)
+  let cdag = Cd.build S.strassen ~n:2 in
+  let c21 = (Cd.outputs cdag).(2) in
+  let game = Pd.of_cdag_outputs cdag ~outputs:[ c21 ] ~red_limit:4 in
+  let with_rc, without_rc =
+    Pb.compare_recomputation ~max_states:1_500_000 game
+  in
+  match (with_rc, without_rc) with
+  | Some w, Some wo ->
+    Alcotest.(check int) "equal optima on C21 fragment" wo w;
+    (* 4 compulsory loads + 1 compulsory store at least *)
+    Alcotest.(check bool) "cost sane" true (w >= 5)
+  | _ -> Alcotest.fail "exact solver exhausted its state budget"
+
+let test_with_recompute_never_worse () =
+  (* on any instance, allowing recomputation can only help *)
+  List.iter
+    (fun seed ->
+      let g, inputs, outputs = Pd.random_dag ~seed ~layers:3 ~width:3 ~density:0.4 in
+      let game = Pb.make ~graph:g ~inputs ~outputs ~red_limit:4 in
+      match Pb.compare_recomputation ~max_states:400_000 game with
+      | Some w, Some wo ->
+        Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true (w <= wo)
+      | _ -> () (* exhausted: skip *))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_more_red_never_hurts () =
+  (* Winograd's S4 operand sums 4 inputs: computing it needs 5 red
+     pebbles, so the game is solvable only for red_limit >= 5. *)
+  let game l = Pd.encoder_game S.winograd Fmm_cdag.Encoder.A_side ~red_limit:l in
+  let io l =
+    match Pb.min_io (game l) ~allow_recompute:true with
+    | Some x -> x
+    | None -> Alcotest.fail "exhausted"
+  in
+  Alcotest.(check bool) "io(5) >= io(6)" true (io 5 >= io 6);
+  Alcotest.(check bool) "io(6) >= io(8)" true (io 6 >= io 8);
+  (* with red = all vertices, I/O = compulsory: 4 loads + 7 stores *)
+  Alcotest.(check int) "compulsory" 11 (io 11);
+  (* below the operand width the game is unsolvable *)
+  Alcotest.(check (option int)) "limit 4 unsolvable" None
+    (Pb.min_io ~max_states:300_000 (game 4) ~allow_recompute:true)
+
+let test_size_guard () =
+  let cdag = Cd.build S.strassen ~n:2 in
+  Alcotest.check_raises "full H^{2x2} too large"
+    (Invalid_argument "Pebble.make: graph too large for exact search (> 30)")
+    (fun () ->
+      ignore
+        (Pd.of_cdag_outputs cdag
+           ~outputs:(Array.to_list (Cd.outputs cdag))
+           ~red_limit:4))
+
+let () =
+  Alcotest.run "fmm_pebble"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "chain" `Quick test_chain_optimal;
+          Alcotest.test_case "binary node" `Quick test_single_binary_node;
+          Alcotest.test_case "diamond" `Quick test_diamond_optimal;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+        ] );
+      ( "recomputation",
+        [
+          Alcotest.test_case "savage separation" `Slow
+            test_recomputation_strictly_helps_on_savage_dag;
+          Alcotest.test_case "encoder: useless" `Quick
+            test_recomputation_useless_on_encoder;
+          Alcotest.test_case "strassen fragment" `Slow
+            test_recomputation_useless_on_strassen_fragment;
+          Alcotest.test_case "never worse" `Quick test_with_recompute_never_worse;
+          Alcotest.test_case "monotone in red" `Quick test_more_red_never_hurts;
+          Alcotest.test_case "size guard" `Quick test_size_guard;
+        ] );
+    ]

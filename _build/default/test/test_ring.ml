@@ -1,0 +1,274 @@
+(* Tests for the exact-arithmetic substrate: Bigint, Rat, Zp.
+   Bigint is validated against native int arithmetic on ranges where
+   both are exact, plus targeted big-value cases; Rat and Zp are
+   checked against field axioms with qcheck. *)
+
+module B = Fmm_ring.Bigint
+module Q = Fmm_ring.Rat
+module Z7 = Fmm_ring.Zp.Z7
+module Z101 = Fmm_ring.Zp.Z101
+
+let bigint = Alcotest.testable B.pp B.equal
+let rat = Alcotest.testable Q.pp Q.equal
+
+(* --- Bigint unit tests --- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "roundtrip %d" n)
+        (Some n)
+        (B.to_int_opt (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 32767; 32768; -32768; 123456789; max_int / 2 ]
+
+let test_to_string () =
+  Alcotest.(check string) "zero" "0" (B.to_string B.zero);
+  Alcotest.(check string) "small" "12345" (B.to_string (B.of_int 12345));
+  Alcotest.(check string) "negative" "-987654321" (B.to_string (B.of_int (-987654321)));
+  (* 2^100 = 1267650600228229401496703205376 *)
+  Alcotest.(check string)
+    "2^100" "1267650600228229401496703205376"
+    (B.to_string (B.pow (B.of_int 2) 100))
+
+let test_of_string () =
+  Alcotest.check bigint "parse small" (B.of_int 451) (B.of_string "451");
+  Alcotest.check bigint "parse neg" (B.of_int (-999)) (B.of_string "-999");
+  Alcotest.check bigint "parse plus" (B.of_int 7) (B.of_string "+7");
+  Alcotest.check bigint "roundtrip big"
+    (B.pow (B.of_int 3) 80)
+    (B.of_string (B.to_string (B.pow (B.of_int 3) 80)));
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty")
+    (fun () -> ignore (B.of_string "  "));
+  Alcotest.check_raises "junk" (Invalid_argument "Bigint.of_string: bad digit")
+    (fun () -> ignore (B.of_string "12x4"))
+
+let test_add_sub_mul_small () =
+  let pairs = [ (0, 0); (1, 1); (5, -3); (-5, 3); (-5, -3); (32767, 1); (100000, 99999) ] in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.check bigint "add" (B.of_int (a + b)) (B.add (B.of_int a) (B.of_int b));
+      Alcotest.check bigint "sub" (B.of_int (a - b)) (B.sub (B.of_int a) (B.of_int b));
+      Alcotest.check bigint "mul" (B.of_int (a * b)) (B.mul (B.of_int a) (B.of_int b)))
+    pairs
+
+let test_big_multiplication () =
+  (* (2^64 + 1)^2 = 2^128 + 2^65 + 1 *)
+  let x = B.add (B.pow (B.of_int 2) 64) B.one in
+  let expected =
+    B.add (B.pow (B.of_int 2) 128) (B.add (B.pow (B.of_int 2) 65) B.one)
+  in
+  Alcotest.check bigint "(2^64+1)^2" expected (B.mul x x)
+
+let test_divmod () =
+  let cases = [ (17, 5); (-17, 5); (17, -5); (-17, -5); (100, 1); (0, 7); (32768, 3) ] in
+  List.iter
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      Alcotest.check bigint (Printf.sprintf "q %d/%d" a b) (B.of_int (a / b)) q;
+      Alcotest.check bigint (Printf.sprintf "r %d/%d" a b) (B.of_int (a mod b)) r)
+    cases;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_divmod_big () =
+  (* Check a = q*b + r and 0 <= |r| < |b| on multi-limb values. *)
+  let a = B.pow (B.of_int 7) 50 in
+  let b = B.pow (B.of_int 3) 21 in
+  let q, r = B.divmod a b in
+  Alcotest.check bigint "reconstruct" a (B.add (B.mul q b) r);
+  Alcotest.(check bool) "remainder bound" true (B.compare (B.abs r) (B.abs b) < 0)
+
+let test_gcd () =
+  Alcotest.check bigint "gcd(12,18)" (B.of_int 6) (B.gcd (B.of_int 12) (B.of_int 18));
+  Alcotest.check bigint "gcd(-12,18)" (B.of_int 6) (B.gcd (B.of_int (-12)) (B.of_int 18));
+  Alcotest.check bigint "gcd(0,5)" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  Alcotest.check bigint "gcd coprime" B.one (B.gcd (B.of_int 35) (B.of_int 64))
+
+let test_pow () =
+  Alcotest.check bigint "x^0" B.one (B.pow (B.of_int 9) 0);
+  Alcotest.check bigint "2^15" (B.of_int 32768) (B.pow (B.of_int 2) 15);
+  Alcotest.check bigint "(-2)^3" (B.of_int (-8)) (B.pow (B.of_int (-2)) 3);
+  Alcotest.check_raises "neg exp" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (B.pow B.one (-1)))
+
+let test_bit_length () =
+  Alcotest.(check int) "0" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "1" 1 (B.bit_length B.one);
+  Alcotest.(check int) "255" 8 (B.bit_length (B.of_int 255));
+  Alcotest.(check int) "256" 9 (B.bit_length (B.of_int 256));
+  Alcotest.(check int) "2^100" 101 (B.bit_length (B.pow (B.of_int 2) 100))
+
+let test_compare () =
+  let vals = [ -100000; -1; 0; 1; 32768; 100000 ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check int)
+            (Printf.sprintf "compare %d %d" a b)
+            (compare a b)
+            (B.compare (B.of_int a) (B.of_int b)))
+        vals)
+    vals
+
+(* --- Bigint properties vs native ints --- *)
+
+let int_gen = QCheck2.Gen.int_range (-1_000_000) 1_000_000
+
+let prop_ring_matches_int =
+  QCheck2.Test.make ~name:"bigint ring ops match int" ~count:500
+    QCheck2.Gen.(triple int_gen int_gen int_gen)
+    (fun (a, b, c) ->
+      let ba = B.of_int a and bb = B.of_int b and bc = B.of_int c in
+      B.to_int_exn (B.add ba bb) = a + b
+      && B.to_int_exn (B.sub ba bb) = a - b
+      && B.to_int_exn (B.mul ba bb) = a * b
+      && B.to_int_exn (B.add (B.mul ba bb) bc) = (a * b) + c)
+
+let prop_divmod_matches_int =
+  QCheck2.Test.make ~name:"bigint divmod matches int" ~count:500
+    QCheck2.Gen.(pair int_gen (int_range 1 100_000))
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int_exn q = a / b && B.to_int_exn r = a mod b)
+
+let prop_mul_assoc_big =
+  QCheck2.Test.make ~name:"bigint mul associative on big values" ~count:100
+    QCheck2.Gen.(triple int_gen int_gen int_gen)
+    (fun (a, b, c) ->
+      let big x = B.mul (B.of_int x) (B.pow (B.of_int 2) 70) in
+      let ba = big a and bb = big b and bc = big c in
+      B.equal (B.mul (B.mul ba bb) bc) (B.mul ba (B.mul bb bc)))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"bigint to_string/of_string roundtrip" ~count:200
+    QCheck2.Gen.(pair int_gen (int_range 0 4))
+    (fun (a, e) ->
+      let x = B.pow (B.of_int a) (e + 1) in
+      B.equal x (B.of_string (B.to_string x)))
+
+(* --- Rat --- *)
+
+let test_rat_basics () =
+  Alcotest.check rat "1/2 + 1/3" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rat "normalization" (Q.of_ints 1 2) (Q.of_ints 3 6);
+  Alcotest.check rat "negative den" (Q.of_ints (-1) 2) (Q.of_ints 1 (-2));
+  Alcotest.check rat "mul" (Q.of_ints 1 3) (Q.mul (Q.of_ints 2 3) (Q.of_ints 1 2));
+  Alcotest.check rat "div" (Q.of_ints 4 3) (Q.div (Q.of_ints 2 3) (Q.of_ints 1 2));
+  Alcotest.(check string) "print int" "5" (Q.to_string (Q.of_int 5));
+  Alcotest.(check string) "print frac" "-2/3" (Q.to_string (Q.of_ints 2 (-3)));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.inv Q.zero))
+
+let test_rat_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Q.compare (Q.of_ints 1 3) (Q.of_ints 1 2) < 0);
+  Alcotest.(check bool) "-1/2 < 1/3" true (Q.compare (Q.of_ints (-1) 2) (Q.of_ints 1 3) < 0);
+  Alcotest.(check int) "equal" 0 (Q.compare (Q.of_ints 2 4) (Q.of_ints 1 2))
+
+let test_rat_pow () =
+  Alcotest.check rat "(2/3)^3" (Q.of_ints 8 27) (Q.pow (Q.of_ints 2 3) 3);
+  Alcotest.check rat "(2/3)^-2" (Q.of_ints 9 4) (Q.pow (Q.of_ints 2 3) (-2));
+  Alcotest.check rat "x^0" Q.one (Q.pow (Q.of_ints 7 5) 0)
+
+let rat_gen =
+  QCheck2.Gen.(
+    map
+      (fun (n, d) -> Q.of_ints n (if d = 0 then 1 else d))
+      (pair (int_range (-1000) 1000) (int_range (-1000) 1000)))
+
+let prop_rat_field_axioms =
+  QCheck2.Test.make ~name:"rat field axioms" ~count:300
+    QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c))
+      && Q.equal (Q.mul a b) (Q.mul b a)
+      && Q.equal (Q.mul (Q.mul a b) c) (Q.mul a (Q.mul b c))
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && Q.equal (Q.add a (Q.neg a)) Q.zero
+      && (Q.is_zero a || Q.equal (Q.mul a (Q.inv a)) Q.one))
+
+let prop_rat_sub_div =
+  QCheck2.Test.make ~name:"rat sub/div consistent" ~count:300
+    QCheck2.Gen.(pair rat_gen rat_gen)
+    (fun (a, b) ->
+      Q.equal (Q.sub a b) (Q.add a (Q.neg b))
+      && (Q.is_zero b || Q.equal (Q.mul (Q.div a b) b) a))
+
+(* --- Zp --- *)
+
+let test_zp_basics () =
+  Alcotest.(check int) "3+5 mod 7" 1 (Z7.add (Z7.of_int 3) (Z7.of_int 5));
+  Alcotest.(check int) "neg" 4 (Z7.neg (Z7.of_int 3));
+  Alcotest.(check int) "of_int negative" 5 (Z7.of_int (-2));
+  Alcotest.(check int) "3*5 mod 7" 1 (Z7.mul (Z7.of_int 3) (Z7.of_int 5));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Z7.inv 0))
+
+let test_zp_inverse_all () =
+  List.iter
+    (fun x ->
+      if x <> 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "inv %d" x)
+          1
+          (Z101.mul x (Z101.inv x)))
+    (Z101.all ())
+
+let test_zp_bad_modulus () =
+  Alcotest.check_raises "composite" (Invalid_argument "Zp.Make: modulus not prime")
+    (fun () ->
+      let module Bad = Fmm_ring.Zp.Make (struct
+        let p = 9
+      end) in
+      ignore Bad.one)
+
+let prop_zp_field =
+  QCheck2.Test.make ~name:"Z101 field axioms" ~count:300
+    QCheck2.Gen.(triple (int_range 0 100) (int_range 0 100) (int_range 0 100))
+    (fun (a, b, c) ->
+      Z101.equal (Z101.add a b) (Z101.add b a)
+      && Z101.equal (Z101.mul (Z101.mul a b) c) (Z101.mul a (Z101.mul b c))
+      && Z101.equal (Z101.mul a (Z101.add b c))
+           (Z101.add (Z101.mul a b) (Z101.mul a c))
+      && (a = 0 || Z101.equal (Z101.mul a (Z101.inv a)) Z101.one))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fmm_ring"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "add/sub/mul small" `Quick test_add_sub_mul_small;
+          Alcotest.test_case "big multiplication" `Quick test_big_multiplication;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "divmod big" `Quick test_divmod_big;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "bit_length" `Quick test_bit_length;
+          Alcotest.test_case "compare" `Quick test_compare;
+          qc prop_ring_matches_int;
+          qc prop_divmod_matches_int;
+          qc prop_mul_assoc_big;
+          qc prop_string_roundtrip;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "basics" `Quick test_rat_basics;
+          Alcotest.test_case "compare" `Quick test_rat_compare;
+          Alcotest.test_case "pow" `Quick test_rat_pow;
+          qc prop_rat_field_axioms;
+          qc prop_rat_sub_div;
+        ] );
+      ( "zp",
+        [
+          Alcotest.test_case "basics" `Quick test_zp_basics;
+          Alcotest.test_case "all inverses" `Quick test_zp_inverse_all;
+          Alcotest.test_case "bad modulus" `Quick test_zp_bad_modulus;
+          qc prop_zp_field;
+        ] );
+    ]
