@@ -4,6 +4,7 @@
      fmmlab bounds    -n 4096 -m 4096 -p 49     lower bounds (Table I)
      fmmlab verify    -a Strassen               lemma battery (Sec. III)
      fmmlab simulate  -n 16 -m 64 [--remat]     sequential machine run
+     fmmlab analyze   -n 8 -m 64 [--corrupt x]  static CDAG/trace/parallel lint
      fmmlab pebble    [--red 4]                 exact pebbling studies
      fmmlab cdag      -a Strassen -n 4 [-o f]   build/export a CDAG
      fmmlab table1                              regenerate Table I *)
@@ -140,6 +141,150 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a schedule on the two-level machine model")
     Term.(const run $ algorithm_arg $ n_arg 16 $ m_arg 64 $ remat_arg $ order_arg)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let module An_d = Fmm_analysis.Diagnostic in
+  let module An_c = Fmm_analysis.Cdag_lint in
+  let module An_t = Fmm_analysis.Trace_check in
+  let module An_p = Fmm_analysis.Par_check in
+  let module PE = Fmm_machine.Par_exec in
+  let run name n m order_name depth corrupt machine limit =
+    let alg = find_algorithm name in
+    let cdag = Cd.build alg ~n in
+    let work = Fmm_machine.Workload.of_cdag cdag in
+    let order =
+      match order_name with
+      | "dfs" -> Ord.recursive_dfs cdag
+      | "naive" -> Ord.naive_topo cdag
+      | "random" -> Ord.random_topo ~seed:1 cdag
+      | o ->
+        Printf.eprintf "unknown order %S (dfs|naive|random)\n" o;
+        exit 2
+    in
+    (* pass 1: CDAG structure *)
+    let lint_report = An_c.lint cdag in
+    (* pass 2: an LRU trace of the schedule, optionally corrupted *)
+    let res = Sch.run_lru work ~cache_size:m order in
+    let trace =
+      match corrupt with
+      | "none" | "race" -> res.Sch.trace
+      | "missing-load" ->
+        (* delete the first Load: its consumer's Compute loses an
+           operand at a precise step *)
+        let removed = ref false in
+        List.filter
+          (fun e ->
+            match e with
+            | Tr.Load _ when not !removed ->
+              removed := true;
+              false
+            | _ -> true)
+          res.Sch.trace
+      | "overflow" ->
+        (* delete every Evict: occupancy climbs past M *)
+        List.filter (function Tr.Evict _ -> false | _ -> true) res.Sch.trace
+      | o ->
+        Printf.eprintf "unknown corruption %S (none|missing-load|overflow|race)\n" o;
+        exit 2
+    in
+    let trace_result = An_t.check ~cache_size:m work trace in
+    (* pass 3: BFS-partitioned parallel assignment under a topological
+       order (corrupt = race swaps a cross-processor producer behind
+       its consumer) *)
+    let procs = Fmm_util.Combinat.pow_int (A.rank alg) depth in
+    let assignment = PE.bfs_assignment cdag ~depth ~procs in
+    let par_order =
+      let base =
+        match Fmm_graph.Digraph.topo_sort (Cd.graph cdag) with
+        | Some o ->
+          List.filter (fun v -> not (Fmm_machine.Workload.is_input work v)) o
+        | None -> []
+      in
+      if corrupt <> "race" then base
+      else begin
+        let g = Cd.graph cdag in
+        let cross = ref None in
+        List.iter
+          (fun v ->
+            if !cross = None && not (Fmm_machine.Workload.is_input work v) then
+              List.iter
+                (fun u ->
+                  if
+                    !cross = None
+                    && (not (Fmm_machine.Workload.is_input work u))
+                    && assignment.(u) <> assignment.(v)
+                  then cross := Some (u, v))
+                (Fmm_graph.Digraph.in_neighbors g v))
+          base;
+        match !cross with
+        | None -> base
+        | Some (u, v) ->
+          (* swap producer and consumer positions: u now runs after v *)
+          List.map (fun x -> if x = u then v else if x = v then u else x) base
+      end
+    in
+    let par_result = An_p.check ~order:par_order work ~procs ~assignment in
+    let reports =
+      [
+        (Printf.sprintf "CDAG lint: %s H^{%dx%d}" (A.name alg) n n, lint_report);
+        ( Printf.sprintf "trace check: LRU/%s at M=%d (%d events)" order_name m
+            (List.length trace),
+          trace_result.An_t.report );
+        ( Printf.sprintf "parallel race check: BFS depth %d on %d processors"
+            depth procs,
+          par_result.An_p.report );
+      ]
+    in
+    List.iter
+      (fun (title, r) ->
+        let r = { r with An_d.title } in
+        if machine then (
+          let s = An_d.render ~machine:true r in
+          if s <> "" then print_endline s)
+        else begin
+          print_endline (An_d.render ~limit r);
+          print_newline ()
+        end)
+      reports;
+    let total = An_d.merge ~title:"all" (List.map snd reports) in
+    let errors = An_d.n_errors total in
+    if not machine then
+      Printf.printf "analyze: %d error(s), %d warning(s), %d info(s) across %d passes%s\n"
+        errors (An_d.n_warnings total) (An_d.n_infos total) (List.length reports)
+        (if corrupt <> "none" then Printf.sprintf " [corruption: %s]" corrupt
+         else "");
+    if errors > 0 then exit 1
+  in
+  let order_arg =
+    Arg.(value & opt string "dfs" & info [ "order" ] ~doc:"dfs | naive | random")
+  in
+  let depth_arg =
+    Arg.(value & opt int 1 & info [ "depth" ] ~doc:"BFS partition depth for the parallel pass")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "corrupt" ]
+          ~doc:
+            "Seed a defect before checking: missing-load | overflow | race \
+             (demonstrates diagnostic location)")
+  in
+  let machine_arg =
+    Arg.(value & flag & info [ "machine" ] ~doc:"Tab-separated machine-readable output")
+  in
+  let limit_arg =
+    Arg.(value & opt int 25 & info [ "limit" ] ~doc:"Max diagnostics printed per pass")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically verify a CDAG, an LRU trace and a parallel assignment \
+          (exit 1 on errors)")
+    Term.(
+      const run $ algorithm_arg $ n_arg 8 $ m_arg 64 $ order_arg $ depth_arg
+      $ corrupt_arg $ machine_arg $ limit_arg)
 
 (* --- pebble --- *)
 
@@ -298,5 +443,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ bounds_cmd; verify_cmd; simulate_cmd; pebble_cmd; cdag_cmd; fft_cmd;
-            parallel_cmd; search_cmd; table1_cmd ]))
+          [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
+            cdag_cmd; fft_cmd; parallel_cmd; search_cmd; table1_cmd ]))

@@ -1,0 +1,184 @@
+(* Pass 1: structural lint of bilinear CDAGs.
+
+   The invariants checked are exactly the ones the paper's arguments
+   lean on: Definition 2.1 (three-phase encode/recurse/decode
+   structure, reflected here as role-consistent edges), Fact 2.1
+   (bounded in-degrees — every vertex of H^{n x n} depends on at most
+   max(nnz-row) predecessors, with Mult vertices on exactly their two
+   encoded operands), and the hygiene conditions (acyclic, no vertex
+   unreachable from the inputs, no vertex that feeds no output) that
+   make dominator/segment arguments over sub-CDAGs sound.
+
+   A clean CDAG produces an empty report; every violation is a
+   separate located diagnostic, so a corrupted graph with k
+   independent defects yields k findings. *)
+
+module D = Fmm_graph.Digraph
+module Cd = Fmm_cdag.Cdag
+module A = Fmm_bilinear.Algorithm
+module Dg = Diagnostic
+
+let pass = "cdag-lint"
+
+let max_row_nnz rows =
+  Array.fold_left
+    (fun acc row ->
+      max acc
+        (Array.fold_left (fun k c -> if c <> 0 then k + 1 else k) 0 row))
+    0 rows
+
+let role_name = Cd.role_to_string
+
+let lint_graph ~graph ~role ~inputs ~outputs ~base () =
+  let c = Dg.Collector.create ~pass ~title:"CDAG lint" in
+  let err ~code loc fmt = Dg.Collector.addf c Dg.Error ~code loc fmt in
+  let warn ~code loc fmt = Dg.Collector.addf c Dg.Warning ~code loc fmt in
+  let n = D.n_vertices graph in
+  if not (D.is_dag graph) then
+    err ~code:"cycle" Dg.Global "graph contains a cycle";
+  if Array.length outputs = 0 then
+    err ~code:"no-outputs" Dg.Global "CDAG has no output vertices";
+  (* Fact 2.1 in-degree bounds, instantiated from the base algorithm's
+     U/V/W sparsity (for a 2x2 base: encoders <= 4, decoders <= t). *)
+  let enc_a_max = max_row_nnz (A.u_matrix base) in
+  let enc_b_max = max_row_nnz (A.v_matrix base) in
+  let dec_max = max_row_nnz (A.w_matrix base) in
+  let is_input = Array.make n false in
+  Array.iter
+    (fun v -> if v >= 0 && v < n then is_input.(v) <- true)
+    inputs;
+  let side_a = function Cd.Input_a _ | Cd.Enc_a -> true | _ -> false in
+  let side_b = function Cd.Input_b _ | Cd.Enc_b -> true | _ -> false in
+  let check_preds v allowed =
+    List.iter
+      (fun p ->
+        if not (allowed (role p)) then
+          err ~code:"role-edge" (Dg.Edge { src = p; dst = v })
+            "illegal edge: %s may not feed %s" (role_name (role p))
+            (role_name (role v)))
+      (D.in_neighbors graph v)
+  in
+  for v = 0 to n - 1 do
+    let indeg = D.in_degree graph v in
+    match role v with
+    | Cd.Input_a _ | Cd.Input_b _ ->
+      if indeg > 0 then
+        err ~code:"input-with-preds" (Dg.Vertex v)
+          "input vertex has %d in-edge(s); inputs must be sources" indeg;
+      if not is_input.(v) then
+        err ~code:"role-mismatch" (Dg.Vertex v)
+          "vertex has input role but is not in the declared input set"
+    | Cd.Enc_a ->
+      if indeg = 0 then
+        err ~code:"orphan-encoder" (Dg.Vertex v)
+          "encoder vertex has no operands";
+      if indeg > enc_a_max then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: encA in-degree %d exceeds the base-row bound %d" indeg
+          enc_a_max;
+      check_preds v (function Cd.Input_a _ | Cd.Enc_a -> true | _ -> false)
+    | Cd.Enc_b ->
+      if indeg = 0 then
+        err ~code:"orphan-encoder" (Dg.Vertex v)
+          "encoder vertex has no operands";
+      if indeg > enc_b_max then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: encB in-degree %d exceeds the base-row bound %d" indeg
+          enc_b_max;
+      check_preds v (function Cd.Input_b _ | Cd.Enc_b -> true | _ -> false)
+    | Cd.Mult ->
+      if indeg <> 2 then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: Mult vertex has %d operand(s), expected exactly 2"
+          indeg
+      else begin
+        let preds = D.in_neighbors graph v in
+        let a_ops = List.length (List.filter (fun p -> side_a (role p)) preds) in
+        let b_ops = List.length (List.filter (fun p -> side_b (role p)) preds) in
+        if a_ops <> 1 || b_ops <> 1 then
+          err ~code:"role-edge" (Dg.Vertex v)
+            "Mult operands must be one A-side and one B-side vertex (got %d/%d)"
+            a_ops b_ops
+      end
+    | Cd.Dec ->
+      if indeg = 0 then
+        err ~code:"orphan-decoder" (Dg.Vertex v)
+          "decoder vertex has no operands";
+      if indeg > dec_max then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: decoder in-degree %d exceeds the base-row bound %d"
+          indeg dec_max;
+      check_preds v (function Cd.Mult | Cd.Dec -> true | _ -> false)
+  done;
+  Array.iter
+    (fun v ->
+      match role v with
+      | Cd.Input_a _ | Cd.Input_b _ -> ()
+      | r ->
+        err ~code:"role-mismatch" (Dg.Vertex v)
+          "declared input has non-input role %s" (role_name r))
+    inputs;
+  Array.iter
+    (fun v ->
+      match role v with
+      | Cd.Dec | Cd.Mult -> ()
+      | r ->
+        err ~code:"output-role" (Dg.Vertex v)
+          "output vertex has role %s; outputs must be decoders (or the \
+           Mult of a degenerate 1x1 problem)"
+          (role_name r))
+    outputs;
+  (* reachability hygiene: sound sub-CDAG selection (Lemmas 2.2/3.7)
+     needs every vertex on an input-to-output path *)
+  let reach = D.reachable graph (Array.to_list inputs) in
+  let coreach = D.coreachable graph (Array.to_list outputs) in
+  for v = 0 to n - 1 do
+    if not reach.(v) then
+      err ~code:"unreachable" (Dg.Vertex v)
+        "%s vertex unreachable from the inputs" (role_name (role v));
+    if not coreach.(v) then
+      warn ~code:"dead-vertex" (Dg.Vertex v)
+        "%s vertex feeds no output" (role_name (role v))
+  done;
+  Dg.Collector.report c
+
+let lint cdag =
+  lint_graph ~graph:(Cd.graph cdag) ~role:(Cd.role cdag)
+    ~inputs:(Cd.inputs cdag) ~outputs:(Cd.outputs cdag)
+    ~base:(Cd.base_algorithm cdag) ()
+
+(* Role-free hygiene for arbitrary workloads (pebbling instances,
+   butterflies, random layered DAGs). *)
+let lint_workload (work : Fmm_machine.Workload.t) =
+  let c = Dg.Collector.create ~pass ~title:"workload lint" in
+  let err ~code loc fmt = Dg.Collector.addf c Dg.Error ~code loc fmt in
+  let warn ~code loc fmt = Dg.Collector.addf c Dg.Warning ~code loc fmt in
+  let g = work.Fmm_machine.Workload.graph in
+  let n = D.n_vertices g in
+  if not (D.is_dag g) then err ~code:"cycle" Dg.Global "graph contains a cycle";
+  if Array.length work.Fmm_machine.Workload.outputs = 0 then
+    err ~code:"no-outputs" Dg.Global "workload has no outputs";
+  let is_input = Fmm_machine.Workload.is_input work in
+  for v = 0 to n - 1 do
+    let indeg = D.in_degree g v in
+    if is_input v then begin
+      if indeg > 0 then
+        err ~code:"input-with-preds" (Dg.Vertex v)
+          "input vertex has %d in-edge(s)" indeg
+    end
+    else if indeg = 0 then
+      warn ~code:"computable-source" (Dg.Vertex v)
+        "non-input vertex has no operands (free constant?)"
+  done;
+  let reach = D.reachable g (Array.to_list work.Fmm_machine.Workload.inputs) in
+  let coreach =
+    D.coreachable g (Array.to_list work.Fmm_machine.Workload.outputs)
+  in
+  for v = 0 to n - 1 do
+    if (not reach.(v)) && not (is_input v) then
+      warn ~code:"disconnected" (Dg.Vertex v)
+        "vertex unreachable from the inputs";
+    if not coreach.(v) then
+      warn ~code:"dead-vertex" (Dg.Vertex v) "vertex feeds no output"
+  done;
+  Dg.Collector.report c

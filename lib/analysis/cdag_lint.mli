@@ -1,0 +1,33 @@
+(** Static structural lint of bilinear CDAGs (pass 1 of the analyzer).
+
+    Verifies the invariants that Definition 2.1 and Fact 2.1 of the
+    paper promise of every H^{n x n}: acyclicity, per-role in-degree
+    bounds derived from the base algorithm's U/V/W sparsity (a
+    2x2-base encoder row touches at most the 4 base entries, a Mult
+    has exactly its two encoded operands, a decoder at most t
+    products), role-consistent edges (inputs feed encoders, encoders
+    feed encoders/mults, mults feed decoders, decoders feed decoders),
+    and reachability hygiene (no vertex unreachable from the inputs,
+    no vertex that feeds no output). *)
+
+val lint : Fmm_cdag.Cdag.t -> Diagnostic.report
+(** Lint a CDAG as built by {!Fmm_cdag.Cdag.build}. *)
+
+val lint_graph :
+  graph:Fmm_graph.Digraph.t ->
+  role:(int -> Fmm_cdag.Cdag.role) ->
+  inputs:int array ->
+  outputs:int array ->
+  base:Fmm_bilinear.Algorithm.t ->
+  unit ->
+  Diagnostic.report
+(** Same checks over an explicit (graph, role, inputs, outputs) view —
+    the entry point for linting {e corrupted} copies of a CDAG's graph
+    (the append-only {!Fmm_graph.Digraph} cannot delete edges, so
+    corruption tests rebuild the graph minus an edge). *)
+
+val lint_workload : Fmm_machine.Workload.t -> Diagnostic.report
+(** Role-free DAG hygiene for arbitrary workloads and pebbling
+    instances: acyclic, inputs are sources, non-inputs have operands,
+    every vertex reachable from the inputs, every vertex feeds some
+    output, outputs exist. *)

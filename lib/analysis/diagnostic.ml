@@ -1,0 +1,123 @@
+(* Shared diagnostics core for the static analyzer. Each pass emits
+   located, severity-graded findings through a Collector; reports
+   render human- or machine-readable and can be merged across passes.
+   The contract with the passes: emission order is preserved, nothing
+   is deduplicated — a corrupted artifact with k independent
+   violations yields k diagnostics, unlike the first-failure dynamic
+   oracle. *)
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type location =
+  | Vertex of int
+  | Step of { step : int; vertex : int option }
+  | Processor of int
+  | Edge of { src : int; dst : int }
+  | Global
+
+let location_to_string = function
+  | Vertex v -> Printf.sprintf "vertex %d" v
+  | Step { step; vertex = Some v } -> Printf.sprintf "step %d (vertex %d)" step v
+  | Step { step; vertex = None } -> Printf.sprintf "step %d" step
+  | Processor p -> Printf.sprintf "processor %d" p
+  | Edge { src; dst } -> Printf.sprintf "edge %d -> %d" src dst
+  | Global -> "global"
+
+type t = {
+  severity : severity;
+  pass : string;
+  code : string;
+  loc : location;
+  message : string;
+}
+
+let to_string d =
+  Printf.sprintf "%s[%s/%s] @ %s: %s"
+    (severity_to_string d.severity)
+    d.pass d.code
+    (location_to_string d.loc)
+    d.message
+
+(* Stable tab-separated form: severity, pass, code, loc-kind,
+   loc-fields, message. Absent numeric fields print as "-". *)
+let to_machine_string d =
+  let kind, f1, f2 =
+    match d.loc with
+    | Vertex v -> ("vertex", string_of_int v, "-")
+    | Step { step; vertex } ->
+      ( "step",
+        string_of_int step,
+        match vertex with Some v -> string_of_int v | None -> "-" )
+    | Processor p -> ("proc", string_of_int p, "-")
+    | Edge { src; dst } -> ("edge", string_of_int src, string_of_int dst)
+    | Global -> ("global", "-", "-")
+  in
+  String.concat "\t"
+    [ severity_to_string d.severity; d.pass; d.code; kind; f1; f2; d.message ]
+
+type report = { title : string; diags : t list }
+
+let count sev r =
+  List.fold_left (fun acc d -> if d.severity = sev then acc + 1 else acc) 0 r.diags
+
+let n_errors = count Error
+let n_warnings = count Warning
+let n_infos = count Info
+let is_clean r = n_errors r = 0
+let is_silent r = r.diags = []
+let errors r = List.filter (fun d -> d.severity = Error) r.diags
+let warnings r = List.filter (fun d -> d.severity = Warning) r.diags
+
+let merge ~title reports =
+  { title; diags = List.concat_map (fun r -> r.diags) reports }
+
+let render ?(machine = false) ?(limit = max_int) r =
+  if machine then
+    String.concat "\n" (List.map to_machine_string r.diags)
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "== %s ==\n" r.title);
+    let by sev = List.filter (fun d -> d.severity = sev) r.diags in
+    let ordered = by Error @ by Warning @ by Info in
+    List.iteri
+      (fun i d ->
+        if i < limit then begin
+          Buffer.add_string buf ("  " ^ to_string d);
+          Buffer.add_char buf '\n'
+        end
+        else if i = limit then
+          Buffer.add_string buf
+            (Printf.sprintf "  ... (%d more)\n" (List.length ordered - limit)))
+      ordered;
+    Buffer.add_string buf
+      (Printf.sprintf "  %d error(s), %d warning(s), %d info(s)%s"
+         (n_errors r) (n_warnings r) (n_infos r)
+         (if is_silent r then " — clean" else ""));
+    Buffer.contents buf
+  end
+
+module Collector = struct
+  type c = {
+    pass : string;
+    title : string;
+    mutable rev : t list;
+    mutable errs : int;
+  }
+
+  let create ~pass ~title = { pass; title; rev = []; errs = 0 }
+
+  let add c severity ~code loc message =
+    if severity = Error then c.errs <- c.errs + 1;
+    c.rev <- { severity; pass = c.pass; code; loc; message } :: c.rev
+
+  let addf c severity ~code loc fmt =
+    Printf.ksprintf (add c severity ~code loc) fmt
+
+  let error_count c = c.errs
+  let report c = { title = c.title; diags = List.rev c.rev }
+end

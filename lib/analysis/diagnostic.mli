@@ -1,0 +1,85 @@
+(** The shared diagnostics core of the static analyzer: every pass
+    ({!Cdag_lint}, {!Trace_check}, {!Par_check}) reports its findings
+    as a list of located, severity-graded diagnostics collected into a
+    {!report}. Unlike the dynamic oracle ({!Fmm_machine.Cache_machine}),
+    which raises on the first violation, a report holds {e all} of them
+    and renders both human- and machine-readable. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+(** Where a diagnostic points: a CDAG vertex, a step of a machine
+    trace (optionally with the vertex the event touches), a processor
+    of the parallel model, a DAG edge, or the whole artifact. *)
+type location =
+  | Vertex of int
+  | Step of { step : int; vertex : int option }
+  | Processor of int
+  | Edge of { src : int; dst : int }
+  | Global
+
+val location_to_string : location -> string
+
+type t = {
+  severity : severity;
+  pass : string;  (** the emitting pass, e.g. ["cdag-lint"] *)
+  code : string;  (** stable machine-readable kind, e.g. ["cache-overflow"] *)
+  loc : location;
+  message : string;
+}
+
+val to_string : t -> string
+(** One human-readable line: [severity[pass/code] @ loc: message]. *)
+
+val to_machine_string : t -> string
+(** One tab-separated line: [severity], [pass], [code], location
+    fields, [message] — greppable / parseable output for tooling. *)
+
+(** A pass's findings, in emission order. *)
+type report = { title : string; diags : t list }
+
+val n_errors : report -> int
+val n_warnings : report -> int
+val n_infos : report -> int
+
+val is_clean : report -> bool
+(** No [Error]-severity diagnostics (warnings and infos permitted). *)
+
+val is_silent : report -> bool
+(** No diagnostics at all. *)
+
+val errors : report -> t list
+val warnings : report -> t list
+
+val merge : title:string -> report list -> report
+(** Concatenate several passes' findings under one title. *)
+
+val render : ?machine:bool -> ?limit:int -> report -> string
+(** Full report: header, every diagnostic (errors first, then
+    warnings, then infos — emission order preserved within a
+    severity), summary line. [machine] selects
+    {!to_machine_string} lines with no header/summary; [limit] caps
+    the printed diagnostics (an ellipsis line reports the rest). *)
+
+(** Mutable collector used by the passes to accumulate diagnostics in
+    emission order. *)
+module Collector : sig
+  type c
+
+  val create : pass:string -> title:string -> c
+
+  val add : c -> severity -> code:string -> location -> string -> unit
+
+  val addf :
+    c ->
+    severity ->
+    code:string ->
+    location ->
+    ('a, unit, string, unit) format4 ->
+    'a
+  (** [Printf]-style {!add}. *)
+
+  val error_count : c -> int
+  val report : c -> report
+end

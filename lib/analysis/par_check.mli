@@ -1,0 +1,46 @@
+(** Static checking of parallel assignments (pass 3 of the analyzer).
+
+    Validates a {!Fmm_machine.Par_exec}-style owner-computes execution
+    {e before} running it: the assignment maps every vertex to a real
+    processor (unowned / out-of-range vertices are errors), and the
+    proposed global compute ordering respects every dependence.  An
+    ordering violation on a {e cross-processor} edge is a race — the
+    consumer reads the word before its owner has computed (sent) it;
+    on an intra-processor edge it is a plain use-before-compute.
+
+    On top of the hard errors the pass reports capacity findings:
+    ownership imbalance (a processor owning far more vertices than the
+    mean) and the per-processor-pair communication matrix with its
+    hottest channel — the word counts agree exactly with
+    {!Fmm_machine.Par_exec.run} on clean instances (enforced by the
+    test suite). *)
+
+type result = {
+  report : Diagnostic.report;
+  owned : int array;  (** vertices owned per processor *)
+  words : int array array;
+      (** [words.(p).(q)] = distinct values processor [q] must receive
+          from owner [p] (the per-edge communication census) *)
+  total_words : int;
+  races : int;  (** cross-processor read-before-send hazards *)
+}
+
+val check :
+  ?order:int list ->
+  Fmm_machine.Workload.t ->
+  procs:int ->
+  assignment:int array ->
+  result
+(** [order] is the global compute order the execution will follow
+    (non-input vertices, each exactly once); it defaults to a
+    topological order, which is race-free by construction — pass the
+    schedule you actually intend to run to get hazard detection.
+    Positions in diagnostics are indices into [order]. *)
+
+val phased_order : Fmm_machine.Workload.t -> procs:int -> assignment:int array -> int list
+(** The processor-phased order: processor 0's vertices first, then
+    processor 1's, ... (each processor's program in locally
+    topological order). This is the execution a naive "run each owner
+    in turn" driver performs; {!check} under it reveals exactly the
+    cross-phase dependences that would deadlock or race a concurrent
+    run. Vertices with invalid owners are appended last. *)

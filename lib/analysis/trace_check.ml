@@ -1,0 +1,214 @@
+(* Pass 2: the symbolic trace checker.
+
+   A resident-set interpreter over Trace.t with the same semantics as
+   Cache_machine but a different failure discipline: every violation
+   is recorded as a located diagnostic and the interpreter *recovers*
+   (patches the state as if the event had been legal) so that one
+   defect does not cascade into a wall of spurious downstream errors.
+   On a legal trace the counters agree exactly with
+   Cache_machine.replay — enforced by the test suite.
+
+   Beyond legality it tracks provenance of every resident value
+   (loaded at step s / computed) and whether it has been read since
+   arrival, which yields the lint-grade findings the dynamic oracle
+   cannot express: dead loads, redundant stores, and per-vertex
+   recomputation attribution. *)
+
+module W = Fmm_machine.Workload
+module Tr = Fmm_machine.Trace
+module D = Fmm_graph.Digraph
+module Dg = Diagnostic
+
+type result = {
+  report : Dg.report;
+  counters : Tr.counters;
+  recomputed : (int * int) list;
+  dead_loads : int;
+  redundant_stores : int;
+  peak_occupancy : int;
+}
+
+type origin = By_load of int | By_compute
+
+let pass = "trace-check"
+
+let check ~cache_size ?(allow_recompute = true) (work : W.t) (trace : Tr.t) =
+  let c = Dg.Collector.create ~pass ~title:"trace check" in
+  let err ~code loc fmt = Dg.Collector.addf c Dg.Error ~code loc fmt in
+  let warn ~code loc fmt = Dg.Collector.addf c Dg.Warning ~code loc fmt in
+  let info ~code loc fmt = Dg.Collector.addf c Dg.Info ~code loc fmt in
+  let n = W.n_vertices work in
+  let g = work.W.graph in
+  let is_input = W.is_input work in
+  let in_cache = Array.make n false in
+  let in_slow = Array.make n false in
+  let computed = Array.make n false in
+  let origin = Array.make n By_compute in
+  let read_since = Array.make n true in
+  let last_evict = Array.make n (-1) in
+  let recompute_count = Array.make n 0 in
+  let occupancy = ref 0 in
+  let peak = ref 0 in
+  let loads = ref 0 and stores = ref 0 in
+  let computes = ref 0 and recomputes = ref 0 in
+  let dead_loads = ref 0 and redundant_stores = ref 0 in
+  Array.iter (fun v -> in_slow.(v) <- true) work.W.inputs;
+  let at step v = Dg.Step { step; vertex = Some v } in
+  let insert step v how =
+    if !occupancy >= cache_size then
+      err ~code:"cache-overflow" (at step v)
+        "%s of vertex %d overflows fast memory (occupancy %d = M)"
+        (match how with By_load _ -> "load" | By_compute -> "compute")
+        v !occupancy;
+    in_cache.(v) <- true;
+    incr occupancy;
+    peak := max !peak !occupancy;
+    origin.(v) <- how;
+    read_since.(v) <- false
+  in
+  let flag_if_dead_load step v =
+    match origin.(v) with
+    | By_load l when not read_since.(v) ->
+      incr dead_loads;
+      if step >= 0 then
+        warn ~code:"dead-load" (at l v)
+          "vertex %d loaded at step %d is evicted at step %d without ever \
+           being read"
+          v l step
+      else
+        warn ~code:"dead-load" (at l v)
+          "vertex %d loaded at step %d is never read" v l
+    | _ -> ()
+  in
+  List.iteri
+    (fun step event ->
+      let v =
+        match event with
+        | Tr.Load v | Tr.Store v | Tr.Evict v | Tr.Compute v -> v
+      in
+      if v < 0 || v >= n then
+        err ~code:"bad-vertex" (at step v)
+          "event references vertex %d outside [0, %d)" v n
+      else
+        match event with
+        | Tr.Load v ->
+          if not in_slow.(v) then
+            err ~code:"load-absent" (at step v)
+              "load of vertex %d: value not in slow memory%s" v
+              (if computed.(v) then " (computed but never stored)"
+               else if is_input v then ""
+               else " (never computed or stored)");
+          if in_cache.(v) then
+            err ~code:"double-load" (at step v)
+              "load of vertex %d: value already resident in fast memory" v
+          else insert step v (By_load step);
+          incr loads
+        | Tr.Store v ->
+          if not in_cache.(v) then
+            err ~code:"store-absent" (at step v)
+              "store of vertex %d: value not resident in fast memory" v
+          else begin
+            if in_slow.(v) then begin
+              incr redundant_stores;
+              warn ~code:"redundant-store" (at step v)
+                "store of vertex %d: value already in slow memory \
+                 (values are immutable — this I/O is wasted)"
+                v
+            end;
+            read_since.(v) <- true
+          end;
+          in_slow.(v) <- true;
+          incr stores
+        | Tr.Evict v ->
+          if not in_cache.(v) then
+            err ~code:"evict-absent" (at step v)
+              "evict of vertex %d: value not resident in fast memory" v
+          else begin
+            flag_if_dead_load step v;
+            in_cache.(v) <- false;
+            decr occupancy;
+            last_evict.(v) <- step
+          end
+        | Tr.Compute v ->
+          if is_input v then
+            err ~code:"compute-input" (at step v)
+              "compute of vertex %d: inputs are not computable" v;
+          if computed.(v) && not allow_recompute then
+            err ~code:"recompute-disabled" (at step v)
+              "compute of vertex %d: already computed and recomputation is \
+               disabled"
+              v;
+          List.iter
+            (fun p ->
+              if in_cache.(p) then read_since.(p) <- true
+              else if computed.(p) || is_input p then
+                err ~code:"operand-missing" (at step v)
+                  "compute of vertex %d: operand %d not resident%s" v p
+                  (if last_evict.(p) >= 0 then
+                     Printf.sprintf " (evicted at step %d)" last_evict.(p)
+                   else if is_input p then " (input never loaded)"
+                   else " (never loaded)")
+              else
+                err ~code:"use-before-compute" (at step v)
+                  "compute of vertex %d: operand %d has never been computed"
+                  v p)
+            (D.in_neighbors g v);
+          if not in_cache.(v) then insert step v By_compute
+          else origin.(v) <- By_compute;
+          if computed.(v) then begin
+            recompute_count.(v) <- recompute_count.(v) + 1;
+            incr recomputes
+          end;
+          computed.(v) <- true;
+          incr computes)
+    trace;
+  (* final-state obligations: every output computed and in slow memory *)
+  Array.iter
+    (fun v ->
+      if not (is_input v) then begin
+        if not computed.(v) then
+          err ~code:"output-not-computed" (Dg.Vertex v)
+            "output vertex %d is never computed" v
+        else if not in_slow.(v) then
+          err ~code:"missing-final-store" (Dg.Vertex v)
+            "output vertex %d computed but never stored to slow memory" v
+      end)
+    work.W.outputs;
+  (* loads still resident at trace end that were never read *)
+  for v = 0 to n - 1 do
+    if in_cache.(v) then flag_if_dead_load (-1) v
+  done;
+  let recomputed = ref [] in
+  for v = n - 1 downto 0 do
+    if recompute_count.(v) > 0 then
+      recomputed := (v, recompute_count.(v)) :: !recomputed
+  done;
+  (match !recomputed with
+  | [] -> ()
+  | l ->
+    let worst_v, worst_k =
+      List.fold_left
+        (fun (bv, bk) (v, k) -> if k > bk then (v, k) else (bv, bk))
+        (-1, 0) l
+    in
+    info ~code:"recomputation" Dg.Global
+      "%d recomputation event(s) across %d vertex(es); most recomputed: \
+       vertex %d (%d extra time(s))"
+      !recomputes (List.length l) worst_v worst_k);
+  {
+    report = Dg.Collector.report c;
+    counters =
+      {
+        Tr.loads = !loads;
+        stores = !stores;
+        computes = !computes;
+        recomputes = !recomputes;
+      };
+    recomputed = !recomputed;
+    dead_loads = !dead_loads;
+    redundant_stores = !redundant_stores;
+    peak_occupancy = !peak;
+  }
+
+let clean ~cache_size ?allow_recompute work trace =
+  Dg.is_clean (check ~cache_size ?allow_recompute work trace).report

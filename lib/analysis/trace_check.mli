@@ -1,0 +1,46 @@
+(** Static trace checking (pass 2 of the analyzer): a symbolic
+    resident-set interpreter over {!Fmm_machine.Trace.t}.
+
+    Where {!Fmm_machine.Cache_machine.apply} raises [Illegal] on the
+    first violation, this pass replays the whole trace, {e recovers}
+    after each defect and reports every violation with its trace step
+    and vertex: use of a never-computed operand, non-resident operand,
+    cache overflow against [cache_size], load of a value absent from
+    slow memory, double loads, computing an input, recomputation when
+    disabled, and missing final computes/stores of the outputs.
+
+    It also emits lint-grade findings the dynamic oracle cannot
+    express: dead loads (loaded, then evicted or dropped at trace end
+    without ever being read), redundant stores (the value is already
+    in slow memory — stores never change a value in this model), and a
+    per-vertex attribution of recomputation events. *)
+
+type result = {
+  report : Diagnostic.report;
+  counters : Fmm_machine.Trace.counters;
+      (** best-effort counters (as if every defect were patched over) *)
+  recomputed : (int * int) list;
+      (** (vertex, number of re-computations beyond the first), for
+          every vertex computed more than once, ascending vertex id *)
+  dead_loads : int;
+  redundant_stores : int;
+  peak_occupancy : int;
+}
+
+val check :
+  cache_size:int ->
+  ?allow_recompute:bool ->
+  Fmm_machine.Workload.t ->
+  Fmm_machine.Trace.t ->
+  result
+(** Steps are numbered from 0. [allow_recompute] defaults to [true]
+    (the paper's model); recomputations are then counted and
+    attributed, not flagged as errors. *)
+
+val clean :
+  cache_size:int ->
+  ?allow_recompute:bool ->
+  Fmm_machine.Workload.t ->
+  Fmm_machine.Trace.t ->
+  bool
+(** [true] iff {!check} reports zero errors. *)

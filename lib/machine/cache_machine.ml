@@ -24,6 +24,7 @@ type state = {
   in_slow : bool array;
   computed : bool array;
   mutable occupancy : int;
+  mutable step : int; (* 0-based index of the event being applied *)
   mutable loads : int;
   mutable stores : int;
   mutable computes : int;
@@ -31,6 +32,14 @@ type state = {
 }
 
 let illegal fmt = Printf.ksprintf (fun s -> raise (Illegal s)) fmt
+
+(* Every violation names the offending trace step and vertex, so a
+   failed replay is directly actionable (and greppable against the
+   static checker's step-located diagnostics). *)
+let illegal_at st fmt =
+  Printf.ksprintf
+    (fun s -> raise (Illegal (Printf.sprintf "step %d: %s" st.step s)))
+    fmt
 
 let init cfg work =
   if cfg.cache_size <= 0 then invalid_arg "Cache_machine: cache_size <= 0";
@@ -44,6 +53,7 @@ let init cfg work =
       in_slow = Array.make n false;
       computed = Array.make n false;
       occupancy = 0;
+      step = 0;
       loads = 0;
       stores = 0;
       computes = 0;
@@ -56,40 +66,43 @@ let init cfg work =
 let is_input st v = st.input_mask v
 
 let apply st event =
-  match event with
+  (match event with
   | Trace.Load v ->
-    if not st.in_slow.(v) then illegal "load %d: not in slow memory" v;
-    if st.in_cache.(v) then illegal "load %d: already in cache" v;
+    if not st.in_slow.(v) then illegal_at st "load of vertex %d: not in slow memory" v;
+    if st.in_cache.(v) then illegal_at st "load of vertex %d: already in cache" v;
     if st.occupancy >= st.cfg.cache_size then
-      illegal "load %d: cache full (M = %d)" v st.cfg.cache_size;
+      illegal_at st "load of vertex %d: cache full (M = %d)" v st.cfg.cache_size;
     st.in_cache.(v) <- true;
     st.occupancy <- st.occupancy + 1;
     st.loads <- st.loads + 1
   | Trace.Store v ->
-    if not st.in_cache.(v) then illegal "store %d: not in cache" v;
+    if not st.in_cache.(v) then illegal_at st "store of vertex %d: not in cache" v;
     st.in_slow.(v) <- true;
     st.stores <- st.stores + 1
   | Trace.Evict v ->
-    if not st.in_cache.(v) then illegal "evict %d: not in cache" v;
+    if not st.in_cache.(v) then illegal_at st "evict of vertex %d: not in cache" v;
     st.in_cache.(v) <- false;
     st.occupancy <- st.occupancy - 1
   | Trace.Compute v ->
-    if is_input st v then illegal "compute %d: inputs are not computable" v;
+    if is_input st v then
+      illegal_at st "compute of vertex %d: inputs are not computable" v;
     if st.computed.(v) && not st.cfg.allow_recompute then
-      illegal "compute %d: recomputation disabled" v;
+      illegal_at st "compute of vertex %d: recomputation disabled" v;
     List.iter
       (fun p ->
-        if not st.in_cache.(p) then illegal "compute %d: operand %d not in cache" v p)
+        if not st.in_cache.(p) then
+          illegal_at st "compute of vertex %d: operand %d not in cache" v p)
       (Fmm_graph.Digraph.in_neighbors st.work.Workload.graph v);
     if not st.in_cache.(v) then begin
       if st.occupancy >= st.cfg.cache_size then
-        illegal "compute %d: cache full (M = %d)" v st.cfg.cache_size;
+        illegal_at st "compute of vertex %d: cache full (M = %d)" v st.cfg.cache_size;
       st.in_cache.(v) <- true;
       st.occupancy <- st.occupancy + 1
     end;
     if st.computed.(v) then st.recomputes <- st.recomputes + 1;
     st.computed.(v) <- true;
-    st.computes <- st.computes + 1
+    st.computes <- st.computes + 1);
+  st.step <- st.step + 1
 
 let counters st =
   {
@@ -107,8 +120,9 @@ let check_final st =
       (* an output that is itself an input (e.g. LU's untouched first
          row of U) is available in slow memory from the start *)
       if not (is_input st v) then begin
-        if not st.computed.(v) then illegal "output %d never computed" v;
-        if not st.in_slow.(v) then illegal "output %d not stored to slow memory" v
+        if not st.computed.(v) then illegal "output vertex %d never computed" v;
+        if not st.in_slow.(v) then
+          illegal "output vertex %d not stored to slow memory" v
       end)
     st.work.Workload.outputs
 

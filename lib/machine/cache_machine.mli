@@ -20,7 +20,8 @@ val init : config -> Workload.t -> state
 
 val apply : state -> Trace.event -> unit
 (** One step. Raises {!Illegal} on any model violation (missing
-    operand, cache overflow, load of an absent value, ...). *)
+    operand, cache overflow, load of an absent value, ...); the
+    message names the offending 0-based trace step and vertex id. *)
 
 val counters : state -> Trace.counters
 

@@ -15,6 +15,8 @@ module B = Fmm_bounds.Bounds
 module S = Fmm_bilinear.Strassen
 
 module W = Fmm_machine.Workload
+module Tc = Fmm_analysis.Trace_check
+module Apc = Fmm_analysis.Par_check
 
 let cdag2 = Cd.build S.strassen ~n:2
 let cdag4 = Cd.build S.strassen ~n:4
@@ -113,6 +115,9 @@ let replayable ?(allow_recompute = true) cdag m (res : Sch.result) =
   let c = CM.replay { CM.cache_size = m; allow_recompute } (wof cdag) res.Sch.trace in
   Alcotest.(check int) "replay loads agree" res.Sch.counters.Tr.loads c.Tr.loads;
   Alcotest.(check int) "replay stores agree" res.Sch.counters.Tr.stores c.Tr.stores;
+  (* cross-check: the static analyzer agrees the trace is clean *)
+  Alcotest.(check bool) "static checker clean" true
+    (Tc.clean ~cache_size:m ~allow_recompute (wof cdag) res.Sch.trace);
   c
 
 let test_lru_legal_and_counts () =
@@ -211,6 +216,8 @@ let test_belady_legal_and_beats_lru () =
       let bel = Sch.run_belady w ~cache_size:m order in
       let c = CM.replay { CM.cache_size = m; allow_recompute = false } w bel.Sch.trace in
       Alcotest.(check int) "belady replay agrees" (Tr.io bel.Sch.counters) (Tr.io c);
+      Alcotest.(check bool) "belady statically clean" true
+        (Tc.clean ~cache_size:m ~allow_recompute:false w bel.Sch.trace);
       let lru = Sch.run_lru w ~cache_size:m order in
       Alcotest.(check bool)
         (Printf.sprintf "belady (%d) <= lru (%d) at M=%d" (Tr.io bel.Sch.counters)
@@ -255,7 +262,9 @@ let test_schedulers_on_random_workloads () =
           let c =
             CM.replay { CM.cache_size = 8; allow_recompute = true } w res.Sch.trace
           in
-          Alcotest.(check int) (name ^ " replay") (Tr.io res.Sch.counters) (Tr.io c))
+          Alcotest.(check int) (name ^ " replay") (Tr.io res.Sch.counters) (Tr.io c);
+          Alcotest.(check bool) (name ^ " statically clean") true
+            (Tc.clean ~cache_size:8 w res.Sch.trace))
         [
           ("lru", fun () -> Sch.run_lru w ~cache_size:8 order);
           ("belady", fun () -> Sch.run_belady w ~cache_size:8 order);
@@ -371,6 +380,21 @@ let test_par_exec_limited_memory () =
   Alcotest.check_raises "memory < 2"
     (Invalid_argument "Par_exec.run_limited: memory < 2") (fun () ->
       ignore (PE.run_limited w ~procs:7 ~assignment ~local_memory:1))
+
+let test_par_exec_static_cross_check () =
+  (* every BFS partition we execute is also clean under the static race
+     detector, and the two word censuses agree exactly *)
+  List.iter
+    (fun (cdag, w, depth, procs) ->
+      let assignment = PE.bfs_assignment cdag ~depth ~procs in
+      let dyn = PE.run w ~procs ~assignment in
+      let sta = Apc.check w ~procs ~assignment in
+      Alcotest.(check int) "no static errors" 0
+        (Fmm_analysis.Diagnostic.n_errors sta.Apc.report);
+      Alcotest.(check int) "no races" 0 sta.Apc.races;
+      Alcotest.(check int) "word census agrees" dyn.PE.total_words
+        sta.Apc.total_words)
+    [ (cdag4, w4, 1, 7); (cdag8, w8, 1, 7); (cdag8, w8, 2, 49) ]
 
 let test_par_exec_limited_monotone () =
   let c = Cd.build S.strassen ~n:16 in
@@ -535,6 +559,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_par_exec_validation;
           Alcotest.test_case "limited memory" `Quick test_par_exec_limited_memory;
           Alcotest.test_case "memory monotone" `Quick test_par_exec_limited_monotone;
+          Alcotest.test_case "static cross-check" `Quick
+            test_par_exec_static_cross_check;
         ] );
       ( "parallel",
         [

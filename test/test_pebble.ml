@@ -139,6 +139,46 @@ let test_more_red_never_hurts () =
   Alcotest.(check (option int)) "limit 4 unsolvable" None
     (Pb.min_io ~max_states:300_000 (game 4) ~allow_recompute:true)
 
+(* --- static analyzer cross-check --- *)
+
+let test_instances_pass_lint () =
+  (* every pebbling instance the suite plays is a well-formed workload
+     under the static analyzer's DAG hygiene pass *)
+  let module Lint = Fmm_analysis.Cdag_lint in
+  let module Dg = Fmm_analysis.Diagnostic in
+  let module W = Fmm_machine.Workload in
+  let lint name (game : Pb.game) ~silent =
+    let w =
+      W.make ~name ~graph:game.Pb.graph
+        ~inputs:(Array.of_list game.Pb.inputs)
+        ~outputs:(Array.of_list game.Pb.outputs)
+        ()
+    in
+    let r = Lint.lint_workload w in
+    Alcotest.(check int) (name ^ ": zero errors") 0 (Dg.n_errors r);
+    if silent then
+      Alcotest.(check int) (name ^ ": zero diagnostics") 0
+        (List.length r.Dg.diags)
+  in
+  lint "chain" (chain_game 4 2) ~silent:true;
+  lint "savage" (Pd.recomputation_wins ()) ~silent:true;
+  lint "encoder"
+    (Pd.encoder_game S.strassen Fmm_cdag.Encoder.A_side ~red_limit:3)
+    ~silent:true;
+  let cdag = Cd.build S.strassen ~n:2 in
+  lint "c21 fragment"
+    (Pd.of_cdag_outputs cdag ~outputs:[ (Cd.outputs cdag).(2) ] ~red_limit:4)
+    ~silent:true;
+  (* random DAGs may contain useless vertices (warnings), never errors *)
+  List.iter
+    (fun seed ->
+      let g, inputs, outputs = Pd.random_dag ~seed ~layers:3 ~width:3 ~density:0.4 in
+      lint
+        (Printf.sprintf "random %d" seed)
+        (Pb.make ~graph:g ~inputs ~outputs ~red_limit:4)
+        ~silent:false)
+    [ 1; 2; 3; 4; 5 ]
+
 let test_size_guard () =
   let cdag = Cd.build S.strassen ~n:2 in
   Alcotest.check_raises "full H^{2x2} too large"
@@ -169,6 +209,7 @@ let () =
             test_recomputation_useless_on_strassen_fragment;
           Alcotest.test_case "never worse" `Quick test_with_recompute_never_worse;
           Alcotest.test_case "monotone in red" `Quick test_more_red_never_hurts;
+          Alcotest.test_case "instances pass lint" `Quick test_instances_pass_lint;
           Alcotest.test_case "size guard" `Quick test_size_guard;
         ] );
     ]
