@@ -1,975 +1,19 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index) and times the heavy kernels with
-   bechamel. Each section prints a table whose SHAPE is comparable with
-   the paper's claims; absolute constants differ (our substrate is a
-   simulator, not the authors' testbed — there is none: it is a theory
-   paper, and this harness is the empirical counterpart of its proofs).
+   bechamel. The experiments themselves live in the registry
+   (Fmm_experiments.Experiments); this executable just runs them all in
+   order and prints each outcome through the table sink. Absolute
+   constants differ from the paper (our substrate is a simulator, not
+   the authors' testbed — there is none: it is a theory paper, and this
+   harness is the empirical counterpart of its proofs).
 
-   Sections:
-     T1      Table I lower bounds + simulator cross-check
-     F1      Figure 1: the base CDAG census (+ DOT export)
-     F2      Figure 2: encoder graphs and the Lemma 3.1-3.3 battery
-     F3      Figure 3 / Lemma 3.11: disjoint-path counts vs the bound
-     L36     Lemma 3.6: per-segment I/O of real schedules
-     L37     Lemma 3.7: exact min dominators vs |Z|/2
-     TH1seq  Theorem 1.1, sequential: measured I/O vs bound over (n, M)
-     TH1par  Theorem 1.1, parallel: both regimes and the crossover
-     TH4     Theorem 4.1: alternative basis
-     RC      recomputation: exact pebbling + rematerializing scheduler
-     CO      leading coefficients 7 -> 6 -> 5
-     HK      Hopcroft-Kerr checks and 6-mult search
-     PERF    bechamel timings *)
-
-module A = Fmm_bilinear.Algorithm
-module S = Fmm_bilinear.Strassen
-module AB = Fmm_bilinear.Alt_basis
-module MQ = Fmm_matrix.Matrix.Q
-module MI = Fmm_matrix.Matrix.I
-module Cd = Fmm_cdag.Cdag
-module Enc = Fmm_cdag.Encoder
-module EL = Fmm_lemmas.Encoder_lemmas
-module HK = Fmm_lemmas.Hopcroft_kerr
-module DL = Fmm_lemmas.Dominator_lemma
-module PL = Fmm_lemmas.Paths_lemma
-module GR = Fmm_lemmas.Grigoriev
-module B = Fmm_bounds.Bounds
-module Ord = Fmm_machine.Orders
-module Sch = Fmm_machine.Schedulers
-module Tr = Fmm_machine.Trace
-module Seg = Fmm_machine.Segments
-module Par = Fmm_machine.Par_model
-module Pb = Fmm_pebble.Pebble
-module Pd = Fmm_pebble.Pebble_dags
-module T = Fmm_util.Table
-module C = Fmm_util.Combinat
-
-let section name = Printf.printf "\n########## %s ##########\n\n" name
-
-(* Cache built CDAGs/orders: several sections reuse them. *)
-let cdag_cache : (string * int, Cd.t) Hashtbl.t = Hashtbl.create 8
-
-let cdag alg n =
-  match Hashtbl.find_opt cdag_cache (A.name alg, n) with
-  | Some c -> c
-  | None ->
-    let c = Cd.build alg ~n in
-    Hashtbl.replace cdag_cache (A.name alg, n) c;
-    c
-
-let order_cache : (string * int, int list) Hashtbl.t = Hashtbl.create 8
-
-let dfs_order alg n =
-  match Hashtbl.find_opt order_cache (A.name alg, n) with
-  | Some o -> o
-  | None ->
-    let o = Ord.recursive_dfs (cdag alg n) in
-    Hashtbl.replace order_cache (A.name alg, n) o;
-    o
-
-let work alg n = Fmm_machine.Workload.of_cdag (cdag alg n)
-
-let lru_io alg n m =
-  Tr.io (Sch.run_lru (work alg n) ~cache_size:m (dfs_order alg n)).Sch.counters
-
-(* ----- T1: Table I ----- *)
-
-let bench_table1 () =
-  section "T1: Table I - known lower bounds";
-  let t =
-    T.create ~title:"Table I rows (n=4096, M=4096, P=49)"
-      ~headers:
-        [ "algorithm"; "omega0"; "memdep"; "memind"; "no-recomp"; "with-recomp" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Left; T.Left ] ()
-  in
-  List.iter
-    (fun row ->
-      T.add_row t
-        [
-          row.B.algorithm;
-          Printf.sprintf "%.3f" row.B.omega0;
-          T.fmt_sci (row.B.memdep ~n:4096 ~m:4096 ~p:49);
-          T.fmt_sci (row.B.memind ~n:4096 ~p:49);
-          row.B.no_recomp_citations;
-          B.recomputation_status_string row.B.with_recomp;
-        ])
-    B.table1_rows;
-  T.add_row t
-    [
-      "Rectangular <2,2,3;11>, t=6";
-      Printf.sprintf "%.3f" (A.omega0 (A.classical ~n:2 ~m:2 ~k:3));
-      T.fmt_sci (B.rectangular ~m0:2 ~p0:3 ~q:11 ~t:6 ~m:4096 ~p:49);
-      "-";
-      "[22]";
-      "open";
-    ];
-  T.add_row t
-    [
-      "FFT";
-      "-";
-      T.fmt_sci (B.fft_memdep ~n:4096 ~m:4096 ~p:49);
-      T.fmt_sci (B.fft_memind ~n:4096 ~p:49);
-      "[12],[5],[11]";
-      "[13]";
-    ];
-  T.print t;
-
-  (* simulator cross-check: measured I/O of real schedules vs the
-     corresponding bound; ratio must be >= 1 and roughly flat in M
-     (same exponent). *)
-  let t2 =
-    T.create ~title:"simulator cross-check (n=16, LRU on recursive order)"
-      ~headers:[ "algorithm"; "M"; "measured I/O"; "bound"; "ratio" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right ] ()
-  in
-  List.iter
-    (fun (alg, bound_fn) ->
-      List.iter
-        (fun m ->
-          let io = lru_io alg 16 m in
-          let bound = bound_fn ~m in
-          T.add_row t2
-            [
-              A.name alg;
-              string_of_int m;
-              string_of_int io;
-              T.fmt_float bound;
-              T.fmt_ratio (float_of_int io /. bound);
-            ])
-        [ 16; 64; 256 ])
-    [
-      (S.strassen, fun ~m -> B.fast_sequential ~n:16 ~m ());
-      (S.classical_2x2, fun ~m -> B.classical_memdep ~n:16 ~m ~p:1);
-    ];
-  T.print t2
-
-(* ----- F1: Figure 1 ----- *)
-
-let bench_fig1 () =
-  section "F1: Figure 1 - the CDAG of Strassen's base algorithm";
-  let t =
-    T.create ~title:"H^{2x2} census per algorithm"
-      ~headers:[ "algorithm"; "vertices"; "edges"; "inputs"; "encA"; "encB"; "mult"; "dec" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
-      ()
-  in
-  List.iter
-    (fun alg ->
-      let s = Cd.stats (cdag alg 2) in
-      let g k = string_of_int (List.assoc k s) in
-      T.add_row t
-        [ A.name alg; g "vertices"; g "edges"; g "inputs"; g "enc_a"; g "enc_b"; g "mult"; g "dec" ])
-    [ S.strassen; S.winograd; AB.ks_core; S.classical_2x2 ];
-  T.print t;
-  let dot = Cd.to_dot (cdag S.strassen 2) in
-  let oc = open_out "fig1_strassen_base_cdag.dot" in
-  output_string oc dot;
-  close_out oc;
-  Printf.printf "Figure 1 DOT written to fig1_strassen_base_cdag.dot (%d bytes)\n"
-    (String.length dot);
-  (* Lemma 2.2 check across sizes *)
-  let t2 =
-    T.create ~title:"Lemma 2.2: |V_out(SUB_H^{rxr})| = (n/r)^{log2 7} r^2"
-      ~headers:[ "n"; "r"; "measured"; "formula" ] ()
-  in
-  List.iter
-    (fun n ->
-      let l = C.log2_exact n in
-      for j = 0 to l do
-        let r = C.pow_int 2 j in
-        T.add_row t2
-          [
-            string_of_int n;
-            string_of_int r;
-            string_of_int (List.length (Cd.sub_outputs (cdag S.strassen n) ~r));
-            string_of_int (C.pow_int 7 (l - j) * r * r);
-          ]
-      done)
-    [ 4; 8 ];
-  T.print t2
-
-(* ----- F2: Figure 2 ----- *)
-
-let bench_fig2 () =
-  section "F2: Figure 2 - encoder graphs and Lemmas 3.1-3.3";
-  let dot =
-    Fmm_graph.Digraph.to_dot ~name:"EncA"
-      (Enc.encoder_digraph S.strassen Enc.A_side)
-  in
-  let oc = open_out "fig2_strassen_encoder.dot" in
-  output_string oc dot;
-  close_out oc;
-  Printf.printf "Figure 2 DOT written to fig2_strassen_encoder.dot\n";
-  let t =
-    T.create ~title:"lemma battery (exhaustive over all 127 subsets Y')"
-      ~headers:[ "algorithm"; "side"; "3.1"; "3.1-Hall"; "3.2"; "3.3" ]
-      ~aligns:[ T.Left; T.Left; T.Left; T.Left; T.Left; T.Left ] ()
-  in
-  List.iter
-    (fun alg ->
-      List.iter
-        (fun (side, side_name) ->
-          let g = Enc.encoder_bipartite alg side in
-          let mark r = if r.EL.holds then "ok" else "FAIL" in
-          T.add_row t
-            [
-              A.name alg;
-              side_name;
-              mark (EL.check_lemma_3_1 g);
-              mark (EL.check_neighbor_count_bound g);
-              mark (EL.check_lemma_3_2 g);
-              mark (EL.check_lemma_3_3 g);
-            ])
-        [ (Enc.A_side, "A"); (Enc.B_side, "B") ])
-    [ S.strassen; S.winograd; S.winograd_transposed; AB.ks_core; S.classical_2x2 ];
-  T.print t;
-  print_endline
-    "(classical <2,2,2;8> is the negative control: it is not a 7-multiplication";
-  print_endline " algorithm and Lemmas 3.1/3.3 correctly fail on its encoder)";
-  (* expansion profiles: the [8] route beside the Lemma 3.1 curve *)
-  let te =
-    T.create ~title:"small-set expansion of encoder graphs (A side)"
-      ~headers:[ "algorithm"; "k=1"; "2"; "3"; "4"; "5"; "6"; "7"; "lemma 3.1 curve" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right;
-                T.Right; T.Left ] ()
-  in
-  List.iter
-    (fun alg ->
-      let p = Fmm_lemmas.Expansion.profile alg Enc.A_side in
-      let ms = List.map (fun (_, _, m, _) -> string_of_int m) (Fmm_lemmas.Expansion.rows p) in
-      T.add_row te (A.name alg :: ms @ [ "1,2,2,3,3,4,4" ]))
-    [ S.strassen; S.winograd; AB.ks_core ];
-  T.print te;
-  (* generality sweep: all {I,J}-conjugates of Strassen and Winograd *)
-  let total = ref 0 and passed = ref 0 in
-  List.iter
-    (fun base ->
-      List.iter
-        (fun alg ->
-          incr total;
-          if (Fmm_lemmas.Engine.check_algorithm alg).Fmm_lemmas.Engine.all_ok then
-            incr passed)
-        (A.conjugates_2x2 base))
-    [ S.strassen; S.winograd ];
-  Printf.printf
-    "generality: %d/%d de Groote conjugates pass the full battery\n" !passed !total
-
-(* ----- F3: Figure 3 / Lemma 3.11 ----- *)
-
-let bench_fig3 () =
-  section "F3: Figure 3 / Lemma 3.11 - vertex-disjoint paths";
-  let t =
-    T.create
-      ~title:"max disjoint paths vs bound 2r*sqrt(|Z|-2|Gamma|) (Strassen CDAGs)"
-      ~headers:[ "n"; "r"; "|Z|"; "|Gamma|"; "paths"; "bound"; "holds" ]
-      ()
-  in
-  List.iter
-    (fun (n, r, zs) ->
-      List.iter
-        (fun (z, gamma) ->
-          let s = PL.sample (cdag S.strassen n) ~r ~z_size:z ~gamma_size:gamma ~seed:(z + (3 * gamma)) in
-          T.add_row t
-            [
-              string_of_int n;
-              string_of_int r;
-              string_of_int s.PL.z_size;
-              string_of_int s.PL.gamma_size;
-              string_of_int s.PL.disjoint_paths;
-              Printf.sprintf "%.1f" s.PL.bound;
-              (if s.PL.holds then "ok" else "FAIL");
-            ])
-        zs)
-    [
-      (4, 2, [ (4, 0); (8, 2); (12, 4); (16, 6) ]);
-      (8, 2, [ (16, 0); (32, 8); (48, 16) ]);
-      (8, 4, [ (16, 0); (32, 8) ]);
-    ];
-  T.print t
-
-(* ----- L36: Lemma 3.6 segments ----- *)
-
-let bench_lemma36 () =
-  section "L36: Lemma 3.6 - per-segment I/O of real schedules";
-  let t =
-    T.create
-      ~title:"segments of 4M' first-time SUB-output computations (Strassen)"
-      ~headers:
-        [ "n"; "M"; "policy"; "r"; "quota"; "full segs"; "min seg I/O"; "bound"; "holds" ]
-      ~aligns:
-        [ T.Right; T.Right; T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Left ]
-      ()
-  in
-  let add n m policy trace analysis_m r =
-    let a = Seg.analyze (cdag S.strassen n) ~cache_size:analysis_m ~r trace in
-    let fulls = List.length (Seg.full_segments a) in
-    let min_io =
-      match Seg.min_io_full_segments a with Some x -> string_of_int x | None -> "-"
-    in
-    T.add_row t
-      [
-        string_of_int n;
-        string_of_int m;
-        policy;
-        string_of_int r;
-        string_of_int a.Seg.quota;
-        string_of_int fulls;
-        min_io;
-        string_of_int a.Seg.bound;
-        (if Seg.lemma_3_6_holds a then "ok" else "FAIL");
-      ]
-  in
-  let lru n m = (Sch.run_lru (work S.strassen n) ~cache_size:m (dfs_order S.strassen n)).Sch.trace in
-  add 8 8 "LRU" (lru 8 8) 8 8;
-  add 16 8 "LRU" (lru 16 8) 8 8;
-  add 16 16 "LRU" (lru 16 16) 16 16;
-  add 16 64 "LRU" (lru 16 64) 16 16;
-  let rem n m =
-    (Sch.run_rematerialize (work S.strassen n) ~cache_size:m (dfs_order S.strassen n)).Sch.trace
-  in
-  add 16 48 "remat" (rem 16 48) 48 16;
-  T.print t;
-  print_endline "(bound = r^2/2 - M; a negative bound means the lemma is vacuous there,";
-  print_endline " exactly as in the paper: it bites once r = 2 sqrt(M))"
-
-(* ----- L37: Lemma 3.7 dominators ----- *)
-
-let bench_lemma37 () =
-  section "L37: Lemma 3.7 - exact minimum dominator sets";
-  let t =
-    T.create ~title:"min dominator of random Z (|Z| = r^2) in H^{nxn}"
-      ~headers:[ "algorithm"; "n"; "r"; "samples"; "min |Gamma|"; "lemma bound" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right ] ()
-  in
-  List.iter
-    (fun (alg, n, r) ->
-      let samples = DL.sample_min_dominators (cdag alg n) ~r ~trials:8 ~seed:7 in
-      let worst = List.fold_left (fun acc s -> min acc s.DL.min_dominator) max_int samples in
-      T.add_row t
-        [
-          A.name alg;
-          string_of_int n;
-          string_of_int r;
-          string_of_int (List.length samples);
-          string_of_int worst;
-          string_of_int (r * r / 2);
-        ])
-    [
-      (S.strassen, 4, 2); (S.strassen, 4, 4); (S.strassen, 8, 2);
-      (S.strassen, 8, 4); (S.winograd, 4, 2); (S.winograd, 4, 4);
-      (AB.ks_core, 4, 2); (AB.ks_core, 4, 4);
-    ];
-  T.print t
-
-(* ----- TH1seq ----- *)
-
-let bench_th1_sequential () =
-  section "TH1seq: Theorem 1.1 sequential - measured I/O vs (n/sqrt M)^w M";
-  let t =
-    T.create ~title:"LRU + recursive order (Strassen)"
-      ~headers:[ "n"; "M"; "measured"; "bound"; "ratio" ] ()
-  in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun m ->
-          let io = lru_io S.strassen n m in
-          let bound = B.fast_sequential ~n ~m () in
-          T.add_row t
-            [
-              string_of_int n;
-              string_of_int m;
-              string_of_int io;
-              T.fmt_float bound;
-              T.fmt_ratio (float_of_int io /. bound);
-            ])
-        [ 16; 64; 256 ])
-    [ 8; 16; 32 ];
-  T.print t;
-  print_endline "(ratio roughly flat across n at fixed M => measured exponent matches";
-  print_endline " the bound's omega0; ratio >= 1 everywhere: no schedule beat the bound)";
-  (* Table I row 4: a general (non-2x2) base case, <6,6,6;189> *)
-  let t2 =
-    T.create
-      ~title:"general base case <6,6,6;189>, omega0 = log_6 189 = 2.924"
-      ~headers:[ "n"; "M"; "measured"; "bound"; "ratio" ] ()
-  in
-  let g_alg = S.strassen_x_classical3 in
-  let g_omega = A.omega0 g_alg in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun m ->
-          let io = lru_io g_alg n m in
-          let bound = B.fast_memdep ~omega0:g_omega ~n ~m ~p:1 () in
-          T.add_row t2
-            [
-              string_of_int n;
-              string_of_int m;
-              string_of_int io;
-              T.fmt_float bound;
-              T.fmt_ratio (float_of_int io /. bound);
-            ])
-        [ 64; 256 ])
-    [ 6; 36 ];
-  T.print t2;
-  print_endline
-    "(row 4 of Table I: bounds known only WITHOUT recomputation — extending";
-  print_endline
-    " them to recomputation is the open problem in the paper's Section V)"
-
-(* ----- TH1par ----- *)
-
-let bench_th1_parallel () =
-  section "TH1par: Theorem 1.1 parallel - two regimes and the crossover";
-  let n = 1 lsl 12 in
-  List.iter
-    (fun m ->
-      let t =
-        T.create
-          ~title:(Printf.sprintf "n = %d, M = %d (crossover P* = %d)" n m (B.crossover_p ~n ~m ()))
-          ~headers:[ "P"; "memdep"; "memind"; "max"; "caps sim"; "caps/max"; "bfs/dfs" ]
-          ()
-      in
-      List.iter
-        (fun p ->
-          let md = B.fast_memdep ~n ~m ~p () in
-          let mi = B.fast_memind ~n ~p () in
-          let caps = Par.caps_words ~n ~p ~m in
-          let bfs, dfs = Par.caps_schedule ~n ~p ~m in
-          T.add_row t
-            [
-              string_of_int p;
-              T.fmt_sci md;
-              T.fmt_sci mi;
-              T.fmt_sci (Float.max md mi);
-              T.fmt_sci caps;
-              T.fmt_ratio (caps /. Float.max md mi);
-              Printf.sprintf "%d/%d" bfs dfs;
-            ])
-        [ 7; 49; 343; 2401; 16807 ];
-      T.print t)
-    [ 4096; 65536 ]
-
-(* measured (executed) parallel communication vs the memory-independent
-   bound: the word-level distributed executor on BFS partitions *)
-let bench_th1_parallel_executed () =
-  let module PE = Fmm_machine.Par_exec in
-  let t =
-    T.create
-      ~title:"executed BFS-partitioned Strassen vs memind bound n^2/P^{2/w}"
-      ~headers:[ "n"; "P"; "total words"; "max words/proc"; "bound"; "ratio" ]
-      ()
-  in
-  List.iter
-    (fun (n, depth) ->
-      let c = cdag S.strassen n in
-      let r = PE.strassen_bfs_experiment c ~depth in
-      let bound = B.fast_memind ~n ~p:r.PE.procs () in
-      T.add_row t
-        [
-          string_of_int n;
-          string_of_int r.PE.procs;
-          string_of_int r.PE.total_words;
-          Printf.sprintf "%.0f" r.PE.max_words;
-          T.fmt_float bound;
-          T.fmt_ratio (r.PE.max_words /. bound);
-        ])
-    [ (8, 1); (16, 1); (16, 2); (32, 1); (32, 2) ];
-  T.print t;
-  print_endline "(ratio stable in n at fixed P: the executed communication scales";
-  print_endline " with the memory-independent exponent 2/omega0 of Theorem 1.1)"
-
-(* ----- TH4 ----- *)
-
-let bench_th4 () =
-  section "TH4: Theorem 4.1 - alternative basis (Karstadt-Schwartz)";
-  let t =
-    T.create ~title:"transform share and I/O bound for the KS algorithm"
-      ~headers:[ "n"; "transform adds"; "bilinear adds"; "share"; "M"; "I/O"; "bound"; "ratio" ]
-      ()
-  in
-  List.iter
-    (fun n ->
-      let rng = Fmm_util.Prng.create ~seed:n in
-      let a = MQ.random ~rng ~rows:n ~cols:n ~range:5 in
-      let b = MQ.random ~rng ~rows:n ~cols:n ~range:5 in
-      let _, mul_c, tr_c = AB.Transform_q.multiply AB.ks_winograd a b in
-      let m = 4 * n in
-      let flat = AB.flatten AB.ks_winograd in
-      let io = lru_io flat n m in
-      let bound = B.fast_sequential ~n ~m () in
-      T.add_row t
-        [
-          string_of_int n;
-          string_of_int tr_c.A.Apply_q.adds;
-          string_of_int mul_c.A.Apply_q.adds;
-          T.fmt_ratio
-            (float_of_int tr_c.A.Apply_q.adds /. float_of_int mul_c.A.Apply_q.adds);
-          string_of_int m;
-          string_of_int io;
-          T.fmt_float bound;
-          T.fmt_ratio (float_of_int io /. bound);
-        ])
-    [ 8; 16; 32 ];
-  T.print t;
-  print_endline "(share column -> 0: the premise of Theorem 4.1; ratio >= 1: the bound";
-  print_endline " holds for the alternative-basis algorithm too)";
-  (* the full Algorithm 1 pipeline as ONE CDAG, executed end to end:
-     stage shares of actual Compute events *)
-  let t3 =
-    T.create ~title:"full ABMM pipeline CDAG: compute-event share per stage"
-      ~headers:[ "n"; "phi"; "psi"; "core"; "nu-inv"; "transforms total" ]
-      ()
-  in
-  List.iter
-    (fun n ->
-      let ab = Fmm_abmm.Abmm_cdag.build AB.ks_winograd ~n in
-      let w = Fmm_abmm.Abmm_cdag.workload ab in
-      let order =
-        match Fmm_graph.Digraph.topo_sort ab.Fmm_abmm.Abmm_cdag.graph with
-        | Some o ->
-          List.filter
-            (fun v -> not ab.Fmm_abmm.Abmm_cdag.is_primary_input.(v))
-            o
-        | None -> failwith "cycle"
-      in
-      let res = Sch.run_lru w ~cache_size:(8 * n) order in
-      let shares = Fmm_abmm.Abmm_cdag.stage_compute_shares ab res.Sch.trace in
-      let get s =
-        match List.find (fun (name, _, _) -> name = s) shares with
-        | _, _, f -> f
-      in
-      T.add_row t3
-        [
-          string_of_int n;
-          T.fmt_ratio (get "phi");
-          T.fmt_ratio (get "psi");
-          T.fmt_ratio (get "core");
-          T.fmt_ratio (get "nu-inv");
-          T.fmt_ratio (get "phi" +. get "psi" +. get "nu-inv");
-        ])
-    [ 4; 8; 16 ];
-  T.print t3
-
-(* ----- RC ----- *)
-
-let bench_recomputation () =
-  section "RC: recomputation - exact pebbling and the rematerializing scheduler";
-  let t =
-    T.create ~title:"exact optimal red-blue pebbling I/O"
-      ~headers:[ "instance"; "red"; "with recomp"; "without"; "separation" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Left ] ()
-  in
-  let add name red game =
-    match Pb.compare_recomputation game with
-    | Some w, Some wo ->
-      T.add_row t
-        [
-          name;
-          string_of_int red;
-          string_of_int w;
-          string_of_int wo;
-          (if w < wo then "YES" else "no");
-        ]
-    | _ -> T.add_row t [ name; string_of_int red; "-"; "-"; "exhausted" ]
-  in
-  add "Savage-style DAG" 3 (Pd.recomputation_wins ());
-  add "Strassen encoder A" 3 (Pd.encoder_game S.strassen Enc.A_side ~red_limit:3);
-  add "Strassen encoder A" 5 (Pd.encoder_game S.strassen Enc.A_side ~red_limit:5);
-  add "Winograd encoder A" 5 (Pd.encoder_game S.winograd Enc.A_side ~red_limit:5);
-  add "KS-core encoder A" 4 (Pd.encoder_game AB.ks_core Enc.A_side ~red_limit:4);
-  let c2 = cdag S.strassen 2 in
-  add "H^{2x2} C21 fragment" 4
-    (Pd.of_cdag_outputs c2 ~outputs:[ (Cd.outputs c2).(2) ] ~red_limit:4);
-  add "H^{2x2} C12 fragment" 4
-    (Pd.of_cdag_outputs c2 ~outputs:[ (Cd.outputs c2).(1) ] ~red_limit:4);
-  T.print t;
-  let t2 =
-    T.create ~title:"spilling vs rematerializing on H^{16x16} (Strassen)"
-      ~headers:[ "M"; "spill I/O"; "remat I/O"; "spill flops"; "remat flops"; "bound" ]
-      ()
-  in
-  List.iter
-    (fun m ->
-      let lru = Sch.run_lru (work S.strassen 16) ~cache_size:m (dfs_order S.strassen 16) in
-      let rem =
-        try Some (Sch.run_rematerialize (work S.strassen 16) ~cache_size:m (dfs_order S.strassen 16))
-        with Failure _ -> None
-      in
-      let bound = B.fast_sequential ~n:16 ~m () in
-      T.add_row t2
-        [
-          string_of_int m;
-          string_of_int (Tr.io lru.Sch.counters);
-          (match rem with Some r -> string_of_int (Tr.io r.Sch.counters) | None -> "-");
-          string_of_int lru.Sch.counters.Tr.computes;
-          (match rem with Some r -> string_of_int r.Sch.counters.Tr.computes | None -> "-");
-          T.fmt_float bound;
-        ])
-    [ 48; 64; 128; 256 ];
-  T.print t2
-
-(* ----- CO ----- *)
-
-let bench_coefficients () =
-  section "CO: leading coefficients 7 -> 6 -> 5 (arith) and 10.5 -> 9 (I/O)";
-  let t =
-    T.create
-      ~title:"measured total ops (adds + mults) / n^{log2 7}"
-      ~headers:[ "algorithm"; "adds/step"; "closed-form c"; "n=16"; "n=32"; "n=64" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right ] ()
-  in
-  let measured_total count n =
-    let adds, mults = count n in
-    float_of_int (adds + mults) /. (float_of_int n ** (log 7. /. log 2.))
-  in
-  let direct alg n =
-    let rng = Fmm_util.Prng.create ~seed:n in
-    let a = MI.random ~rng ~rows:n ~cols:n ~range:5 in
-    let b = MI.random ~rng ~rows:n ~cols:n ~range:5 in
-    let _, c = A.Apply_int.multiply alg a b in
-    (c.A.Apply_int.adds, c.A.Apply_int.mults)
-  in
-  let winograd_reuse n =
-    let rng = Fmm_util.Prng.create ~seed:n in
-    let a = MI.random ~rng ~rows:n ~cols:n ~range:5 in
-    let b = MI.random ~rng ~rows:n ~cols:n ~range:5 in
-    let _, c = S.Winograd_reuse_int.multiply a b in
-    (c.A.Apply_int.adds, c.A.Apply_int.mults)
-  in
-  let row name s count =
-    T.add_row t
-      [
-        name;
-        string_of_int s;
-        Printf.sprintf "%.2f" (B.leading_coefficient_of_adds ~adds_per_step:s);
-        T.fmt_ratio (measured_total count 16);
-        T.fmt_ratio (measured_total count 32);
-        T.fmt_ratio (measured_total count 64);
-      ]
-  in
-  row "Strassen" (A.additions_per_step S.strassen) (direct S.strassen);
-  row "Winograd (flattened)" (A.additions_per_step S.winograd) (direct S.winograd);
-  row "Winograd (S/T reuse)" 15 winograd_reuse;
-  row "KS core" (A.additions_per_step AB.ks_core) (direct AB.ks_core);
-  T.print t;
-  print_endline "(the measured column converges to c - o(1): the paper's 7 -> 6 -> 5;";
-  print_endline " Winograd's 6 requires the S/T reuse schedule, the KS core reaches";
-  print_endline " coefficient 5 with no reuse at all)";
-  let t2 =
-    T.create ~title:"I/O leading coefficients quoted in Section IV"
-      ~headers:[ "algorithm"; "paper constant" ]
-      ~aligns:[ T.Left; T.Right ] ()
-  in
-  List.iter
-    (fun (name, c) -> T.add_row t2 [ name; Printf.sprintf "%.1f" c ])
-    B.io_leading_coefficients;
-  T.print t2
-
-(* ----- HK ----- *)
-
-let bench_hopcroft_kerr () =
-  section "HK: Hopcroft-Kerr (Lemma 3.4 / Corollary 3.5)";
-  let t =
-    T.create ~title:"left operands in each forbidden set (max allowed = t - 6)"
-      ~headers:
-        ("algorithm" :: List.map (fun (n, _) -> n) HK.forbidden_sets @ [ "ok" ])
-      ()
-  in
-  List.iter
-    (fun alg ->
-      let checks = HK.check_algorithm alg in
-      T.add_row t
-        (A.name alg
-        :: List.map (fun c -> string_of_int c.HK.count) checks
-        @ [ (if HK.all_ok checks then "ok" else "FAIL") ]))
-    [ S.strassen; S.winograd; S.winograd_transposed; AB.ks_core; S.classical_2x2 ];
-  T.print t;
-  let trials, found = HK.random_6mult_search ~trials:20_000 ~seed:11 in
-  Printf.printf
-    "randomized <2,2,2;6> search: %d candidates, %s (Hopcroft-Kerr: 7 is minimal)\n"
-    trials
-    (if found then "FOUND - BUG!" else "none valid");
-  Printf.printf "Strassen minus one product is unrepairable over Q: %b\n"
-    (HK.strassen_minus_one_is_unrepairable ())
-
-
-(* ----- BS: basis search (the Karstadt-Schwartz optimization) ----- *)
-
-let bench_basis_search () =
-  section "BS: basis search - rediscovering Karstadt-Schwartz sparsity";
-  let module BSx = Fmm_bilinear.Basis_search in
-  let t =
-    T.create
-      ~title:"unimodular hill-climb: nnz and adds/step of the searched core"
-      ~headers:
-        [ "algorithm"; "direct adds/step"; "searched"; "nnz U/V/W"; "coefficient" ]
-      ~aligns:[ T.Left; T.Right; T.Right; T.Left; T.Right ] ()
-  in
-  List.iter
-    (fun alg ->
-      let r = BSx.search ~seed:1 alg in
-      T.add_row t
-        [
-          A.name alg;
-          string_of_int (A.additions_per_step alg);
-          string_of_int r.BSx.additions_per_step;
-          Printf.sprintf "%d/%d/%d" r.BSx.nnz_u r.BSx.nnz_v r.BSx.nnz_w;
-          Printf.sprintf "%.2f"
-            (B.leading_coefficient_of_adds
-               ~adds_per_step:r.BSx.additions_per_step);
-        ])
-    [ S.strassen; S.winograd; S.winograd_transposed ];
-  T.print t;
-  print_endline
-    "(from Winograd the search reaches 12 additions/step = coefficient 5, the";
-  print_endline " Karstadt-Schwartz result, without any hand-derivation)"
-
-(* ----- L310: Lemma 3.10 (disjoint unions) ----- *)
-
-let bench_lemma310 () =
-  section "L310: Lemma 3.10 - undominated inputs of disjoint CDAG unions";
-  let module DU = Fmm_lemmas.Disjoint_union_lemma in
-  let t =
-    T.create
-      ~title:"|I'| >= 2n sqrt(|O'| - 2|Gamma|) on q disjoint copies of H^{2x2}"
-      ~headers:[ "q"; "|O'|"; "|Gamma|"; "undominated"; "bound"; "holds" ]
-      ()
-  in
-  List.iter
-    (fun (q, o, g) ->
-      let u = DU.build_union S.strassen ~n:2 ~q in
-      let s = DU.sample u ~o_size:o ~gamma_size:g ~seed:(q + o + g) in
-      T.add_row t
-        [
-          string_of_int q;
-          string_of_int o;
-          string_of_int g;
-          string_of_int s.DU.undominated_inputs;
-          Printf.sprintf "%.1f" s.DU.bound;
-          (if s.DU.holds then "ok" else "FAIL");
-        ])
-    [ (1, 4, 0); (1, 4, 1); (3, 8, 2); (5, 12, 4); (8, 24, 8) ];
-  T.print t
-
-(* ----- FFT: Table I last row ----- *)
-
-let bench_fft () =
-  section "FFT: Table I last row - butterfly CDAG, measured I/O, recomputation";
-  let module Bf = Fmm_fft.Butterfly in
-  let t =
-    T.create ~title:"blocked FFT schedule vs n log n / log M bound"
-      ~headers:[ "n"; "M"; "measured I/O"; "bound"; "ratio" ] ()
-  in
-  List.iter
-    (fun (n, m) ->
-      let bf = Bf.build ~n in
-      let w = Bf.workload bf in
-      let io =
-        Tr.io
-          (Sch.run_lru w ~cache_size:m (Bf.blocked_order bf ~block:(max 2 (m / 4)))).Sch.counters
-      in
-      let bound = B.fft_memdep ~n ~m ~p:1 in
-      T.add_row t
-        [
-          string_of_int n;
-          string_of_int m;
-          string_of_int io;
-          T.fmt_float bound;
-          T.fmt_ratio (float_of_int io /. bound);
-        ])
-    [ (64, 8); (256, 8); (256, 32); (1024, 32); (1024, 128) ];
-  T.print t;
-  (* recomputation on the FFT: [13]'s result in miniature *)
-  (match Pb.compare_recomputation ~max_states:1_000_000 (Bf.pebble_game ~n:4 ~red_limit:4) with
-  | Some w, Some wo ->
-    Printf.printf
-      "FFT-4 exact pebbling: with recomputation = %d, without = %d (%s, as [13] proves)\n"
-      w wo (if w = wo then "equal" else "SEPARATION?!")
-  | _ -> print_endline "FFT-4 pebbling: search exhausted");
-  let bf = Bf.build ~n:64 in
-  let w = Bf.workload bf in
-  let lru = Sch.run_lru w ~cache_size:24 (Bf.blocked_order bf ~block:8) in
-  let rem = Sch.run_rematerialize w ~cache_size:24 (Bf.blocked_order bf ~block:8) in
-  Printf.printf
-    "FFT-64 at M=24: spill io = %d; rematerialize io = %d (computes %d vs %d)\n"
-    (Tr.io lru.Sch.counters) (Tr.io rem.Sch.counters)
-    lru.Sch.counters.Tr.computes rem.Sch.counters.Tr.computes
-
-(* ----- LU: Section V conjecture - direct linear algebra ----- *)
-
-let bench_lu () =
-  section "LU: Section V conjecture - direct linear algebra";
-  let module Lu = Fmm_lu.Lu_cdag in
-  print_endline
-    "The paper conjectures recomputation cannot reduce communication for";
-  print_endline "direct linear algebra either. The LU-factorization CDAG testbed:\n";
-  (* exact pebbling on the smallest instances *)
-  (match
-     Pb.compare_recomputation ~max_states:3_000_000 (Lu.pebble_game ~n:3 ~red_limit:4)
-   with
-  | Some w, Some wo ->
-    Printf.printf
-      "LU(3) exact optimal pebbling (R=4): with recomputation = %d, without = %d (%s)\n\n"
-      w wo (if w = wo then "equal - consistent with the conjecture" else "SEPARATION?!")
-  | _ -> print_endline "LU(3) pebbling: exhausted\n");
-  let t =
-    T.create ~title:"LU machine runs vs Omega(n^3/sqrt M)"
-      ~headers:[ "n"; "M"; "spill I/O"; "remat I/O"; "bound" ] ()
-  in
-  List.iter
-    (fun (n, m) ->
-      let lu = Lu.build ~n in
-      let w = Lu.workload lu in
-      let order = Lu.elimination_order lu in
-      let lru = Sch.run_lru w ~cache_size:m order in
-      let rem =
-        (* rematerializing a deep elimination DAG explodes; cap the
-           budget and report "-" where it blows past it *)
-        try Some (Sch.run_rematerialize ~max_flops:2_000_000 w ~cache_size:m order)
-        with Failure _ -> None
-      in
-      T.add_row t
-        [
-          string_of_int n;
-          string_of_int m;
-          string_of_int (Tr.io lru.Sch.counters);
-          (match rem with Some r -> string_of_int (Tr.io r.Sch.counters) | None -> "-");
-          Printf.sprintf "%.0f" (Lu.io_lower_bound ~n ~m);
-        ])
-    [ (8, 16); (8, 64); (12, 64); (16, 64) ];
-  T.print t;
-  print_endline
-    "(rematerializing LU, like rematerializing fast MM, only ever costs more)"
-
-(* ----- WA: Section V - write-avoiding / NVM asymmetry ----- *)
-
-let bench_write_avoiding () =
-  section "WA: Section V - trading recomputation for writes (NVM asymmetry)";
-  print_endline
-    "The paper's closing question: in NVM, writes cost more than reads;";
-  print_endline
-    "Blelloch et al. [26] show recomputation can reduce writes elsewhere.";
-  print_endline
-    "Here: the rematerializing schedule stores only outputs — minimal writes —";
-  print_endline "at the price of many extra reads and flops.\n";
-  let t =
-    T.create
-      ~title:"reads/writes of spilling vs rematerializing (Strassen H^{16x16})"
-      ~headers:
-        [ "M"; "policy"; "reads"; "writes"; "cost w=1"; "cost w=10"; "cost w=100" ]
-      ~aligns:[ T.Right; T.Left; T.Right; T.Right; T.Right; T.Right; T.Right ] ()
-  in
-  List.iter
-    (fun m ->
-      let add policy (res : Sch.result) =
-        let c = res.Sch.counters in
-        let cost w = c.Tr.loads + (w * c.Tr.stores) in
-        T.add_row t
-          [
-            string_of_int m;
-            policy;
-            string_of_int c.Tr.loads;
-            string_of_int c.Tr.stores;
-            string_of_int (cost 1);
-            string_of_int (cost 10);
-            string_of_int (cost 100);
-          ]
-      in
-      add "spill" (Sch.run_lru (work S.strassen 16) ~cache_size:m (dfs_order S.strassen 16));
-      add "remat"
-        (Sch.run_rematerialize (work S.strassen 16) ~cache_size:m
-           (dfs_order S.strassen 16)))
-    [ 64; 256 ];
-  T.print t;
-  print_endline
-    "(remat writes = 256 outputs only. At M = 256 and write cost 100 the";
-  print_endline
-    " rematerializing schedule WINS on weighted cost — recomputation can pay";
-  print_endline
-    " off under write/read asymmetry even though it never does unweighted:";
-  print_endline
-    " exactly the regime of the paper's closing open question [24]-[28])"
-
-(* ----- PERF: bechamel timings ----- *)
-
-let bench_perf () =
-  section "PERF: kernel timings (bechamel, monotonic clock)";
-  (* capture everything before opening Bechamel: it exports modules
-     that shadow our S/T aliases *)
-  let rng = Fmm_util.Prng.create ~seed:1 in
-  let a64 = MI.random ~rng ~rows:64 ~cols:64 ~range:5 in
-  let b64 = MI.random ~rng ~rows:64 ~cols:64 ~range:5 in
-  let strassen = S.strassen and winograd = S.winograd in
-  let enc = Enc.encoder_bipartite strassen Enc.A_side in
-  let w8 = work strassen 8 in
-  let o8 = dfs_order strassen 8 in
-  let c4 = cdag strassen 4 in
-  let open Bechamel in
-  let open Toolkit in
-  let mk name f = Test.make ~name (Staged.stage f) in
-  let tests =
-    [
-      mk "strassen multiply 64x64 (int)" (fun () ->
-          ignore (A.Apply_int.multiply strassen a64 b64));
-      mk "winograd multiply 64x64 (int)" (fun () ->
-          ignore (A.Apply_int.multiply winograd a64 b64));
-      mk "classical multiply 64x64 (int)" (fun () -> ignore (MI.mul a64 b64));
-      mk "ks-abmm multiply 64x64 (int)" (fun () ->
-          ignore (AB.Transform_int.multiply AB.ks_winograd a64 b64));
-      mk "cdag build n=8" (fun () -> ignore (Cd.build strassen ~n:8));
-      mk "lemma 3.1 battery (127 subsets)" (fun () ->
-          ignore (EL.check_lemma_3_1 enc));
-      mk "min dominator H^{4x4} (max-flow)" (fun () ->
-          ignore
-            (Fmm_graph.Vertex_cut.min_dominator (Cd.graph c4)
-               ~sources:(Array.to_list (Cd.inputs c4))
-               ~targets:(Array.to_list (Cd.outputs c4))));
-      mk "lru simulation n=8 M=32" (fun () ->
-          ignore (Sch.run_lru w8 ~cache_size:32 o8));
-      mk "pebble savage-dag (exact, both)" (fun () ->
-          ignore (Pb.compare_recomputation (Pd.recomputation_wins ())));
-    ]
-  in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
-  let instances = Instance.[ monotonic_clock ] in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
-  in
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let raw = Benchmark.run cfg instances elt in
-          let est = Analyze.one ols (Instance.monotonic_clock) raw in
-          let ns =
-            match Analyze.OLS.estimates est with
-            | Some [ x ] -> x
-            | _ -> nan
-          in
-          Printf.printf "  %-36s %12.0f ns/run\n" (Test.Elt.name elt) ns)
-        (Test.elements test))
-    tests
+   `fmmlab bench` runs the same registry with filtering, JSON output and
+   baseline regression gating. *)
 
 let () =
   let t0 = Unix.gettimeofday () in
-  bench_table1 ();
-  bench_fig1 ();
-  bench_fig2 ();
-  bench_fig3 ();
-  bench_lemma36 ();
-  bench_lemma37 ();
-  bench_th1_sequential ();
-  bench_th1_parallel ();
-  bench_th1_parallel_executed ();
-  bench_th4 ();
-  bench_recomputation ();
-  bench_coefficients ();
-  bench_hopcroft_kerr ();
-  bench_basis_search ();
-  bench_lemma310 ();
-  bench_fft ();
-  bench_lu ();
-  bench_write_avoiding ();
-  bench_perf ();
+  List.iter
+    (fun e ->
+      Fmm_obs.Sink.print_outcome (Fmm_obs.Experiment.run e))
+    (Fmm_experiments.Experiments.all ());
   Printf.printf "\nall benches done in %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -7,6 +7,7 @@
      fmmlab analyze   -n 8 -m 64 [--corrupt x]  static CDAG/trace/parallel lint
      fmmlab pebble    [--red 4]                 exact pebbling studies
      fmmlab cdag      -a Strassen -n 4 [-o f]   build/export a CDAG
+     fmmlab bench     [--filter T1,RC] [--json f] [--baseline f] experiments
      fmmlab table1                              regenerate Table I *)
 
 open Cmdliner
@@ -196,10 +197,10 @@ let analyze_cmd =
     let procs = Fmm_util.Combinat.pow_int (A.rank alg) depth in
     let assignment = PE.bfs_assignment cdag ~depth ~procs in
     let par_order =
+      let is_input = Fmm_machine.Workload.is_input work in
       let base =
         match Fmm_graph.Digraph.topo_sort (Cd.graph cdag) with
-        | Some o ->
-          List.filter (fun v -> not (Fmm_machine.Workload.is_input work v)) o
+        | Some o -> List.filter (fun v -> not (is_input v)) o
         | None -> []
       in
       if corrupt <> "race" then base
@@ -208,12 +209,12 @@ let analyze_cmd =
         let cross = ref None in
         List.iter
           (fun v ->
-            if !cross = None && not (Fmm_machine.Workload.is_input work v) then
+            if !cross = None && not (is_input v) then
               List.iter
                 (fun u ->
                   if
                     !cross = None
-                    && (not (Fmm_machine.Workload.is_input work u))
+                    && (not (is_input u))
                     && assignment.(u) <> assignment.(v)
                   then cross := Some (u, v))
                 (Fmm_graph.Digraph.in_neighbors g v))
@@ -411,6 +412,127 @@ let search_cmd =
        ~doc:"Search sparsifying alternative bases (the Karstadt-Schwartz optimization)")
     Term.(const run $ algorithm_arg $ seed_arg)
 
+(* --- bench --- *)
+
+let bench_cmd =
+  let module Exp = Fmm_obs.Experiment in
+  let module Sink = Fmm_obs.Sink in
+  let module Json = Fmm_obs.Json in
+  let run filter json_out baseline tolerance time_tolerance list quiet =
+    if list then
+      List.iter
+        (fun e -> Printf.printf "%-8s %s\n" (Exp.id e) (Exp.title e))
+        (Fmm_experiments.Experiments.all ())
+    else begin
+      let filter =
+        match String.trim filter with
+        | "" -> None
+        | s ->
+          Some
+            (String.split_on_char ',' s |> List.map String.trim
+            |> List.filter (fun x -> x <> ""))
+      in
+      let selected =
+        match Fmm_experiments.Experiments.select filter with
+        | Ok [] ->
+          Printf.eprintf "fmmlab bench: empty experiment selection\n";
+          exit 2
+        | Ok es -> es
+        | Error msg ->
+          Printf.eprintf
+            "fmmlab bench: %s\n(run `fmmlab bench --list` for the experiment index)\n"
+            msg;
+          exit 2
+      in
+      let outcomes =
+        List.map
+          (fun e ->
+            let o = Exp.run e in
+            if not quiet then Sink.print_outcome ~wall:true o;
+            o)
+          selected
+      in
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        Json.to_file path
+          (Sink.report_to_json ~created:(Unix.gettimeofday ()) outcomes);
+        Printf.printf "wrote %s (%d experiment(s), schema v%d)\n" path
+          (List.length outcomes) Sink.schema_version);
+      match baseline with
+      | None -> ()
+      | Some path ->
+        let base =
+          match
+            try Ok (Json.of_file path) with
+            | Sys_error msg -> Error msg
+            | Json.Parse_error msg -> Error (path ^ ": " ^ msg)
+          with
+          | Error msg ->
+            Printf.eprintf "fmmlab bench: cannot load baseline: %s\n" msg;
+            exit 2
+          | Ok j -> (
+            match Sink.outcomes_of_json j with
+            | Ok o -> o
+            | Error msg ->
+              Printf.eprintf "fmmlab bench: %s: %s\n" path msg;
+              exit 2)
+        in
+        let d =
+          Sink.diff ~tolerance ?time_tolerance ~baseline:base ~current:outcomes ()
+        in
+        Printf.printf
+          "\nvs baseline %s: %d row(s) compared, %d regression(s), %d \
+           improvement(s), %d new\n"
+          path d.Sink.n_compared d.Sink.n_regressions d.Sink.n_improvements
+          d.Sink.n_unmatched;
+        List.iter print_endline d.Sink.lines;
+        if d.Sink.n_regressions > 0 then exit 1
+    end
+  in
+  let filter_arg =
+    let doc =
+      "Comma-separated experiment ids to run (e.g. T1,RC). Default: all."
+    in
+    Arg.(value & opt string "" & info [ "filter" ] ~doc ~docv:"IDS")
+  in
+  let json_arg =
+    let doc = "Write the structured report (schema v1) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let baseline_arg =
+    let doc =
+      "Compare this run's bound ratios against the report in $(docv); exit 1 \
+       if any regresses beyond the tolerance."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~doc ~docv:"FILE")
+  in
+  let tolerance_arg =
+    let doc = "Relative ratio tolerance for --baseline (0.1 = 10%)." in
+    Arg.(value & opt float 0.1 & info [ "tolerance" ] ~doc ~docv:"T")
+  in
+  let time_tolerance_arg =
+    let doc =
+      "Also gate per-experiment wall clocks within this relative tolerance \
+       (off by default: timings are load-sensitive, ratios are not)."
+    in
+    Arg.(value & opt (some float) None & info [ "time-tolerance" ] ~doc ~docv:"T")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the ASCII tables")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the experiment registry: ASCII tables, JSON reports, baseline \
+          regression gating")
+    Term.(
+      const run $ filter_arg $ json_arg $ baseline_arg $ tolerance_arg
+      $ time_tolerance_arg $ list_arg $ quiet_arg)
+
 (* --- table1 --- *)
 
 let table1_cmd =
@@ -444,4 +566,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
-            cdag_cmd; fft_cmd; parallel_cmd; search_cmd; table1_cmd ]))
+            cdag_cmd; fft_cmd; parallel_cmd; search_cmd; bench_cmd; table1_cmd ]))

@@ -1,0 +1,109 @@
+(* obs_demo: the experiment/observability subsystem in miniature.
+
+   Defines a two-experiment registry from scratch (measured LRU I/O of
+   Strassen vs the Theorem 1.1 bound, and a Belady-vs-LRU comparison),
+   runs it, renders the outcomes as ASCII tables, emits the same data as
+   a schema-v1 JSON report, and finally diffs the run against itself
+   with one ratio tampered — exactly what `fmmlab bench --baseline` does
+   in CI.
+
+       dune exec examples/obs_demo.exe *)
+
+module S = Fmm_bilinear.Strassen
+module Cd = Fmm_cdag.Cdag
+module W = Fmm_machine.Workload
+module Ord = Fmm_machine.Orders
+module Sch = Fmm_machine.Schedulers
+module Tr = Fmm_machine.Trace
+module B = Fmm_bounds.Bounds
+module Obs = Fmm_obs.Metrics
+module Exp = Fmm_obs.Experiment
+module Sink = Fmm_obs.Sink
+module Json = Fmm_obs.Json
+
+let () =
+  let registry = Exp.Registry.create () in
+  let define = Exp.Registry.define registry in
+
+  let _io =
+    define ~id:"IO" ~title:"measured I/O vs the Theorem 1.1 bound" (fun m ->
+        let cdag = Cd.build S.strassen ~n:16 in
+        let w = W.of_cdag cdag in
+        let order = Ord.recursive_dfs cdag in
+        List.iter
+          (fun cache ->
+            let io =
+              Obs.time m "simulate" (fun () ->
+                  Tr.io (Sch.run_lru w ~cache_size:cache order).Sch.counters)
+            in
+            let bound = B.fast_sequential ~n:16 ~m:cache () in
+            Obs.incr m "runs";
+            Obs.rowf m ~section:"LRU on the recursive order (n=16)"
+              ~params:[ ("M", Obs.Int cache) ]
+              [
+                ("measured", Obs.Int io);
+                ("bound", Obs.Float bound);
+                ("ratio", Obs.Float (float_of_int io /. bound));
+              ])
+          [ 16; 64; 256 ];
+        Obs.note m "(ratio >= 1 everywhere: no schedule beat the bound)")
+  in
+  let _policies =
+    define ~id:"POL" ~title:"replacement policies head to head" (fun m ->
+        let cdag = Cd.build S.strassen ~n:8 in
+        let w = W.of_cdag cdag in
+        let order = Ord.recursive_dfs cdag in
+        List.iter
+          (fun cache ->
+            let io run = Tr.io (run w ~cache_size:cache order).Sch.counters in
+            Obs.rowf m ~section:"LRU vs Belady (n=8)"
+              ~params:[ ("M", Obs.Int cache) ]
+              [
+                ("lru", Obs.Int (io Sch.run_lru));
+                ("belady", Obs.Int (io Sch.run_belady));
+              ])
+          [ 16; 64 ])
+  in
+
+  (* run everything, print the tables *)
+  let outcomes = List.map Exp.run (Exp.Registry.all registry) in
+  List.iter (Sink.print_outcome ~wall:true) outcomes;
+
+  (* the same data as a machine-readable report *)
+  let report = Sink.report_to_json ~generator:"obs_demo" ~created:0. outcomes in
+  print_endline "\n--- the same outcomes as a schema-v1 JSON report ---\n";
+  print_endline (Json.to_string report);
+
+  (* and the regression gate: reload the report, tamper one baseline
+     ratio, diff *)
+  let baseline =
+    match Sink.outcomes_of_json (Json.of_string (Json.to_string report)) with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let tampered =
+    List.map
+      (fun (o : Exp.outcome) ->
+        {
+          o with
+          Exp.rows =
+            List.map
+              (fun (r : Obs.row) ->
+                {
+                  r with
+                  Obs.metrics =
+                    List.map
+                      (function
+                        | "ratio", Obs.Float x -> ("ratio", Obs.Float (x /. 2.))
+                        | kv -> kv)
+                      r.Obs.metrics;
+                })
+              o.Exp.rows;
+        })
+      baseline
+  in
+  let d = Sink.diff ~tolerance:0.1 ~baseline:tampered ~current:outcomes () in
+  Printf.printf
+    "\n--- diff vs a baseline with halved ratios: %d compared, %d regressions ---\n"
+    d.Sink.n_compared d.Sink.n_regressions;
+  List.iter print_endline d.Sink.lines

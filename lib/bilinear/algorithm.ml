@@ -42,6 +42,26 @@ let nnz_u a = nnz_matrix a.u
 let nnz_v a = nnz_matrix a.v
 let nnz_w a = nnz_matrix a.w
 
+(* A structural fingerprint: dimensions, rank and EVERY coefficient of
+   U/V/W folded into a 64-bit FNV-style hash, rendered beside the name.
+   Two algorithms that share a display name but differ structurally
+   (basis-search variants, conjugates) therefore never alias in caches
+   keyed by this string, and [Hashtbl.hash]'s bounded traversal (which
+   only inspects a prefix of a deep structure) is avoided on purpose. *)
+let fingerprint a =
+  let h = ref 0xcbf29ce484222325L in
+  let mix x =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int x)) 0x100000001b3L
+  in
+  mix a.n;
+  mix a.m;
+  mix a.k;
+  mix (Array.length a.u);
+  Array.iter (Array.iter mix) a.u;
+  Array.iter (Array.iter mix) a.v;
+  Array.iter (Array.iter mix) a.w;
+  Printf.sprintf "%s#%Lx" a.name !h
+
 (** Additions performed by a single recursion step when every linear
     combination is evaluated directly (no common-subexpression reuse):
     a row with z nonzeros costs z-1 additions (z >= 1), and an all-zero

@@ -32,6 +32,12 @@ val nnz_u : t -> int
 val nnz_v : t -> int
 val nnz_w : t -> int
 
+val fingerprint : t -> string
+(** [name ^ "#" ^ hash] where the hash folds the dimensions and every
+    U/V/W coefficient: a structural cache key under which two
+    same-named but structurally different algorithms (basis-search
+    variants, conjugates) never alias. *)
+
 val additions_per_step : t -> int
 (** Additions of one recursion step when every linear form is evaluated
     independently: sum over rows of (nonzeros - 1). *)

@@ -113,18 +113,31 @@ let counters st =
   }
 
 (** Validate the final state: every CDAG output must have been computed
-    and be available in slow memory. *)
+    and be available in slow memory. Unlike [apply] (which stops at the
+    event that broke the model), the final check has no single offending
+    step, so it collects EVERY unsatisfied output and reports them all
+    in one [Illegal], each located "vertex %d: ..." in the same
+    convention the static analyzer's diagnostics use — a failed run
+    names the complete set of missing results, not just the first. *)
 let check_final st =
-  Array.iter
-    (fun v ->
-      (* an output that is itself an input (e.g. LU's untouched first
-         row of U) is available in slow memory from the start *)
-      if not (is_input st v) then begin
-        if not st.computed.(v) then illegal "output vertex %d never computed" v;
-        if not st.in_slow.(v) then
-          illegal "output vertex %d not stored to slow memory" v
-      end)
-    st.work.Workload.outputs
+  let bad =
+    Array.to_list st.work.Workload.outputs
+    |> List.filter_map (fun v ->
+           (* an output that is itself an input (e.g. LU's untouched
+              first row of U) is available in slow memory from the
+              start *)
+           if is_input st v then None
+           else if not st.computed.(v) then
+             Some (Printf.sprintf "vertex %d: never computed" v)
+           else if not st.in_slow.(v) then
+             Some (Printf.sprintf "vertex %d: computed but never stored to slow memory" v)
+           else None)
+  in
+  match bad with
+  | [] -> ()
+  | fails ->
+    illegal "final state: %d unsatisfied output(s): %s" (List.length fails)
+      (String.concat "; " fails)
 
 (** Replay a full trace and return the counters; raises [Illegal] on
     any model violation. *)

@@ -26,7 +26,9 @@ val apply : state -> Trace.event -> unit
 val counters : state -> Trace.counters
 
 val check_final : state -> unit
-(** Every CDAG output must have been computed and stored. *)
+(** Every CDAG output must have been computed and stored. Raises one
+    {!Illegal} listing {e all} unsatisfied outputs, each located as
+    ["vertex %d: ..."] (the static analyzer's location convention). *)
 
 val replay : config -> Workload.t -> Trace.t -> Trace.counters
 (** [init], [apply] each event, [check_final]; the counters on

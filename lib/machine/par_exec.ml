@@ -50,9 +50,11 @@ let run (work : Workload.t) ~procs ~assignment =
       incr total
     end
   in
+  (* hoisted: [Workload.is_input work] builds its mask once per call *)
+  let is_input = Workload.is_input work in
   List.iter
     (fun v ->
-      if not (Workload.is_input work v) then begin
+      if not (is_input v) then begin
         let p = assignment.(v) in
         List.iter (fun q -> fetch q p) (Fmm_graph.Digraph.in_neighbors g v)
       end)
@@ -86,27 +88,35 @@ let run_limited (work : Workload.t) ~procs ~assignment ~local_memory =
     invalid_arg "Par_exec.run_limited: assignment length mismatch";
   let sent = Array.make procs 0 and received = Array.make procs 0 in
   let total = ref 0 in
-  (* per-processor LRU over foreign words: clock + presence table *)
+  (* Per-processor LRU over foreign words: a time -> value map gives the
+     victim in O(log residents); a per-processor value -> time table
+     (int-keyed: no tuple allocation per probe) gives residency in O(1);
+     an explicit occupancy counter replaces [IntMap.cardinal], which
+     made every fetch O(residents) and the whole run quadratic in
+     transfers. *)
   let module IntMap = Map.Make (Int) in
   let present = Array.make procs IntMap.empty in
-  (* value -> time map per proc, plus reverse index *)
-  let time_of = Hashtbl.create 1024 in
+  let time_of : (int, int) Hashtbl.t array =
+    Array.init procs (fun _ -> Hashtbl.create 64)
+  in
+  let occupancy = Array.make procs 0 in
   let clock = ref 0 in
   let touch p v =
-    (match Hashtbl.find_opt time_of (p, v) with
+    (match Hashtbl.find_opt time_of.(p) v with
     | Some t -> present.(p) <- IntMap.remove t present.(p)
-    | None -> ());
+    | None -> occupancy.(p) <- occupancy.(p) + 1);
     incr clock;
-    Hashtbl.replace time_of (p, v) !clock;
+    Hashtbl.replace time_of.(p) v !clock;
     present.(p) <- IntMap.add !clock v present.(p)
   in
-  let resident p v = Hashtbl.mem time_of (p, v) in
+  let resident p v = Hashtbl.mem time_of.(p) v in
   let evict_lru p =
     match IntMap.min_binding_opt present.(p) with
     | None -> ()
     | Some (t, v) ->
       present.(p) <- IntMap.remove t present.(p);
-      Hashtbl.remove time_of (p, v)
+      Hashtbl.remove time_of.(p) v;
+      occupancy.(p) <- occupancy.(p) - 1
   in
   let fetch value consumer =
     let owner = assignment.(value) in
@@ -115,7 +125,7 @@ let run_limited (work : Workload.t) ~procs ~assignment ~local_memory =
         sent.(owner) <- sent.(owner) + 1;
         received.(consumer) <- received.(consumer) + 1;
         incr total;
-        while IntMap.cardinal present.(consumer) >= local_memory do
+        while occupancy.(consumer) >= local_memory do
           evict_lru consumer
         done;
         touch consumer value
@@ -128,9 +138,10 @@ let run_limited (work : Workload.t) ~procs ~assignment ~local_memory =
     | Some o -> o
     | None -> invalid_arg "Par_exec.run_limited: not a DAG"
   in
+  let is_input = Workload.is_input work in
   List.iter
     (fun v ->
-      if not (Workload.is_input work v) then begin
+      if not (is_input v) then begin
         let p = assignment.(v) in
         List.iter (fun q -> fetch q p) (Fmm_graph.Digraph.in_neighbors g v)
       end)
@@ -154,10 +165,27 @@ let run_limited (work : Workload.t) ~procs ~assignment ~local_memory =
     processors (each subtree's operand arrays travel with it); vertices
     above the cut (upper encoders/decoders) and the primary inputs are
     dealt round-robin by id — the "redistribution" traffic of a
-    BFS-parallel Strassen. *)
+    BFS-parallel Strassen.
+
+    Ownership is FIRST-CLAIM and therefore deterministic: subtrees are
+    visited in increasing [subtree_lo] order, each claiming first its
+    contiguous vertex range, then its [a_in], then its [b_in] array; a
+    vertex already claimed by an earlier subtree keeps its first owner
+    (operand vertices shared between subtrees — e.g. at depth 0, or
+    where an operand array falls inside another subtree's id range —
+    previously went last-writer-wins, so the sent/received census
+    depended on iteration order). Vertices no subtree claims keep the
+    round-robin-by-id default. *)
 let bfs_assignment cdag ~depth ~procs =
   let n = Fmm_cdag.Cdag.n_vertices cdag in
   let assignment = Array.init n (fun v -> v mod procs) in
+  let claimed = Array.make n false in
+  let claim p v =
+    if not claimed.(v) then begin
+      claimed.(v) <- true;
+      assignment.(v) <- p
+    end
+  in
   let subtrees =
     List.filter (fun nd -> nd.Fmm_cdag.Cdag.depth = depth) (Fmm_cdag.Cdag.nodes cdag)
   in
@@ -169,10 +197,10 @@ let bfs_assignment cdag ~depth ~procs =
     (fun idx nd ->
       let p = idx mod procs in
       for v = nd.Fmm_cdag.Cdag.subtree_lo to nd.Fmm_cdag.Cdag.subtree_hi do
-        assignment.(v) <- p
+        claim p v
       done;
-      Array.iter (fun v -> assignment.(v) <- p) nd.Fmm_cdag.Cdag.a_in;
-      Array.iter (fun v -> assignment.(v) <- p) nd.Fmm_cdag.Cdag.b_in)
+      Array.iter (claim p) nd.Fmm_cdag.Cdag.a_in;
+      Array.iter (claim p) nd.Fmm_cdag.Cdag.b_in)
     subtrees;
   assignment
 

@@ -29,7 +29,11 @@ val run_limited :
 val bfs_assignment : Fmm_cdag.Cdag.t -> depth:int -> procs:int -> int array
 (** BFS-style partition: the t^depth recursion subtrees (with their
     operand arrays) are dealt round-robin to the processors; vertices
-    above the cut and the primary inputs are dealt round-robin by id. *)
+    above the cut and the primary inputs are dealt round-robin by id.
+    Ownership of shared vertices is first-claim: subtrees are visited
+    in increasing [subtree_lo] order (range, then [a_in], then [b_in])
+    and the first claimant wins, so the resulting census is a
+    deterministic function of the CDAG — not of iteration order. *)
 
 val sequential_assignment : Workload.t -> int array
 

@@ -145,8 +145,8 @@ let run_lru work ~cache_size order =
   let remaining_uses = Array.init (W.n_vertices work) (fun v -> D.out_degree g v) in
   (* Spill policy: write back anything still needed, and outputs. *)
   let writeback v = remaining_uses.(v) > 0 || core.output_pred v in
-  List.iter
-    (fun v ->
+  List.iteri
+    (fun step v ->
       let preds = D.in_neighbors g v in
       (* Pin operands so making room for one cannot evict another. *)
       List.iter
@@ -154,7 +154,9 @@ let run_lru work ~cache_size order =
           if not core.in_cache.(p) then begin
             if not core.in_slow.(p) then
               failwith
-                (Printf.sprintf "Schedulers.run_lru: operand %d lost" p);
+                (Printf.sprintf
+                   "Schedulers.run_lru: order step %d (vertex %d): operand %d lost"
+                   step v p);
             core.pinned.(p) <- true;
             load core p ~writeback
           end
@@ -265,7 +267,10 @@ let run_belady work ~cache_size order =
         (fun p ->
           if not core.in_cache.(p) then begin
             if not core.in_slow.(p) then
-              failwith (Printf.sprintf "Schedulers.run_belady: operand %d lost" p);
+              failwith
+                (Printf.sprintf
+                   "Schedulers.run_belady: order step %d (vertex %d): operand %d lost"
+                   now v p);
             core.pinned.(p) <- true;
             ensure_room_belady now;
             emit core (Trace.Load p);

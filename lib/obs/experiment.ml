@@ -1,0 +1,81 @@
+(* Named experiments: the unit of the bench harness. Each experiment
+   owns an id (T1, RC, PERF, ...), a human title, and a body that
+   writes rows/notes/scalars into a fresh Metrics registry. Running one
+   yields an [outcome] — structured data with no formatting decisions
+   taken — which the sinks render as ASCII tables, JSON, or a baseline
+   diff. The registry preserves registration order, so "run everything"
+   reproduces the bench suite in its canonical sequence. *)
+
+type t = {
+  id : string;
+  title : string;
+  doc : string;
+  body : Metrics.t -> unit;
+}
+
+type outcome = {
+  id : string;
+  title : string;
+  rows : Metrics.row list;
+  notes : string list;
+  scalars : (string * float) list;
+  wall_s : float;
+}
+
+let define ~id ~title ?(doc = "") body = { id; title; doc; body }
+
+let id (e : t) = e.id
+let title (e : t) = e.title
+let doc (e : t) = e.doc
+
+let run e =
+  let m = Metrics.create () in
+  let t0 = Unix.gettimeofday () in
+  e.body m;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    id = e.id;
+    title = e.title;
+    rows = Metrics.rows m;
+    notes = Metrics.notes m;
+    scalars = Metrics.snapshot m;
+    wall_s;
+  }
+
+module Registry = struct
+  type experiment = t
+
+  type nonrec t = { mutable rev : experiment list }
+
+  let create () = { rev = [] }
+
+  let register reg (e : experiment) =
+    if List.exists (fun (e' : experiment) -> e'.id = e.id) reg.rev then
+      invalid_arg (Printf.sprintf "Experiment.Registry.register: duplicate id %S" e.id);
+    reg.rev <- e :: reg.rev
+
+  let define reg ~id ~title ?doc body =
+    let e = define ~id ~title ?doc body in
+    register reg e;
+    e
+
+  let all reg = List.rev reg.rev
+
+  let ids reg = List.map (fun (e : experiment) -> e.id) (all reg)
+
+  let find reg id = List.find_opt (fun (e : experiment) -> e.id = id) reg.rev
+
+  (* Select by id, preserving REGISTRATION order regardless of the
+     filter's order, erroring on unknown ids (a typo in --filter must
+     not silently run nothing). *)
+  let select reg = function
+    | None -> Ok (all reg)
+    | Some wanted ->
+      let unknown = List.filter (fun id -> find reg id = None) wanted in
+      if unknown <> [] then
+        Error
+          (Printf.sprintf "unknown experiment id(s): %s (known: %s)"
+             (String.concat ", " unknown)
+             (String.concat ", " (ids reg)))
+      else Ok (List.filter (fun (e : experiment) -> List.mem e.id wanted) (all reg))
+end

@@ -1,0 +1,49 @@
+(** Named experiments — the unit of the bench harness. An experiment's
+    body writes rows, notes and scalars into a fresh {!Metrics}
+    registry; {!run} times it and returns a structured {!outcome} with
+    no formatting decisions taken (see {!Sink} for rendering). *)
+
+type t
+
+type outcome = {
+  id : string;
+  title : string;
+  rows : Metrics.row list;
+  notes : string list;
+  scalars : (string * float) list;  (** {!Metrics.snapshot} of the run *)
+  wall_s : float;  (** wall-clock of the body *)
+}
+
+val define : id:string -> title:string -> ?doc:string -> (Metrics.t -> unit) -> t
+
+val id : t -> string
+val title : t -> string
+val doc : t -> string
+
+val run : t -> outcome
+
+(** An ordered, duplicate-free collection of experiments. *)
+module Registry : sig
+  type experiment = t
+  type t
+
+  val create : unit -> t
+
+  val register : t -> experiment -> unit
+  (** Raises [Invalid_argument] on a duplicate id. *)
+
+  val define :
+    t -> id:string -> title:string -> ?doc:string -> (Metrics.t -> unit) -> experiment
+  (** {!Experiment.define} followed by {!register}. *)
+
+  val all : t -> experiment list
+  (** In registration order. *)
+
+  val ids : t -> string list
+  val find : t -> string -> experiment option
+
+  val select : t -> string list option -> (experiment list, string) result
+  (** [select reg (Some ids)] keeps the named experiments in
+      registration order; [Error] names any unknown id. [None] selects
+      everything. *)
+end

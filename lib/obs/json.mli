@@ -1,0 +1,41 @@
+(** A minimal self-contained JSON tree — emitter and strict parser —
+    for the benchmark reports ([BENCH_*.json]) and their baseline
+    diffs. Object fields preserve insertion order; emission is
+    deterministic, so identical runs produce byte-identical files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed standard JSON. Non-finite floats emit as [null]
+    (JSON has no representation for them); finite floats use the
+    shortest literal that round-trips. *)
+
+val of_string : string -> t
+(** Strict parse of one JSON document. Raises {!Parse_error} (with a
+    byte offset) on malformed input or trailing garbage. Numbers
+    without [./e/E] parse as [Int] (falling back to [Float] on
+    overflow). *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing keys and non-objects. *)
+
+val to_list_opt : t -> t list option
+val to_str_opt : t -> string option
+
+val to_float_opt : t -> float option
+(** Accepts both [Float] and [Int]. *)
+
+val to_int_opt : t -> int option
+
+val of_file : string -> t
+val to_file : string -> t -> unit
+(** Writes {!to_string} plus a trailing newline. *)

@@ -1,0 +1,95 @@
+(* The metrics registry every experiment writes through: named
+   counters, gauges, wall-clock timers and tagged result rows. A row is
+   the structured replacement for one printed table line — its [params]
+   identify the data point (algorithm, n, M, P, ...) and its [metrics]
+   carry what was measured (I/O, bound, ratio, ...). The split is what
+   makes baseline diffing well-defined: two runs match rows on
+   (section, params) and compare metrics. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+let value_to_cell = function
+  | Int i -> string_of_int i
+  | Float x ->
+    if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.4g" x
+  | Str s -> s
+  | Bool b -> if b then "yes" else "no"
+
+let value_to_json = function
+  | Int i -> Json.Int i
+  | Float x -> Json.Float x
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let value_of_json = function
+  | Json.Int i -> Some (Int i)
+  | Json.Float x -> Some (Float x)
+  | Json.Str s -> Some (Str s)
+  | Json.Bool b -> Some (Bool b)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+type row = {
+  section : string;
+  params : (string * value) list;
+  metrics : (string * value) list;
+}
+
+let row ~section ?(params = []) metrics = { section; params; metrics }
+
+let find_metric r key = List.assoc_opt key r.metrics
+let find_param r key = List.assoc_opt key r.params
+
+let ratio r =
+  match find_metric r "ratio" with
+  | Some (Float x) -> Some x
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+type t = {
+  mutable counters : (string * int) list; (* reversed insertion order *)
+  mutable gauges : (string * float) list;
+  mutable timers : (string * float) list; (* accumulated seconds *)
+  mutable rows : row list; (* reversed *)
+  mutable notes : string list; (* reversed *)
+}
+
+let create () = { counters = []; gauges = []; timers = []; rows = []; notes = [] }
+
+let update assoc key f default =
+  let rec go = function
+    | [] -> [ (key, f default) ]
+    | (k, v) :: rest when k = key -> (k, f v) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go assoc
+
+let incr ?(by = 1) t name = t.counters <- update t.counters name (fun v -> v + by) 0
+
+let gauge t name x = t.gauges <- update t.gauges name (fun _ -> x) x
+
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      t.timers <- update t.timers name (fun acc -> acc +. dt) 0.)
+    f
+
+let add_row t r = t.rows <- r :: t.rows
+
+let rowf t ~section ?params metrics = add_row t (row ~section ?params metrics)
+
+let note t s = t.notes <- s :: t.notes
+
+let rows t = List.rev t.rows
+let notes t = List.rev t.notes
+
+(** Everything scalar the registry accumulated, as one flat name ->
+    float view: counters verbatim, gauges verbatim, timers suffixed
+    [_s]. Names are unique by construction within each family; a
+    clashing counter/gauge name yields both entries. *)
+let snapshot t =
+  List.rev_map (fun (k, v) -> (k, float_of_int v)) t.counters
+  @ List.rev_map (fun (k, v) -> (k, v)) t.gauges
+  @ List.rev_map (fun (k, v) -> (k ^ "_s", v)) t.timers

@@ -1,0 +1,59 @@
+(** The metrics registry every experiment writes through: named
+    counters, gauges, wall-clock timers, and tagged result rows — the
+    structured replacement for printf tables. A {!row}'s [params]
+    identify the data point (algorithm, n, M, P, ...); its [metrics]
+    carry what was measured (I/O, bound, ratio, ...). Baseline diffs
+    match rows on (section, params) and compare metrics. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+val value_to_cell : value -> string
+(** Rendering for one table cell. *)
+
+val value_to_json : value -> Json.t
+val value_of_json : Json.t -> value option
+
+type row = {
+  section : string;  (** which sub-table of the experiment *)
+  params : (string * value) list;  (** identity, in display order *)
+  metrics : (string * value) list;  (** measurements, in display order *)
+}
+
+val row : section:string -> ?params:(string * value) list -> (string * value) list -> row
+
+val find_metric : row -> string -> value option
+val find_param : row -> string -> value option
+
+val ratio : row -> float option
+(** The ["ratio"] metric as a float, if present — the measured/bound
+    quantity baseline diffs gate on. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+val gauge : t -> string -> float -> unit
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk, accumulating its wall-clock seconds under the
+    given timer name (exception-safe). *)
+
+val add_row : t -> row -> unit
+
+val rowf :
+  t -> section:string -> ?params:(string * value) list -> (string * value) list -> unit
+(** [add_row] composed with {!row}. *)
+
+val note : t -> string -> unit
+(** Free-text commentary attached to the experiment (the former
+    explanatory [print_endline] lines). *)
+
+val rows : t -> row list
+(** In emission order. *)
+
+val notes : t -> string list
+
+val snapshot : t -> (string * float) list
+(** All scalars as one flat name -> value view: counters and gauges
+    verbatim, timers suffixed [_s]. *)

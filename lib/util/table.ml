@@ -29,6 +29,13 @@ let add_row t row =
 
 let add_rows t rows = List.iter (add_row t) rows
 
+let of_cells ~title ~headers ?aligns rows =
+  let t = create ~title ~headers ?aligns () in
+  add_rows t rows;
+  t
+
+let n_rows t = List.length t.rows
+
 let pad align width s =
   let n = String.length s in
   if n >= width then s

@@ -16,6 +16,13 @@ val add_row : t -> string list -> unit
 
 val add_rows : t -> string list list -> unit
 
+val of_cells :
+  title:string -> headers:string list -> ?aligns:align list -> string list list -> t
+(** [create] followed by [add_rows] — a table in one expression, as the
+    generic row sinks build them. *)
+
+val n_rows : t -> int
+
 val render : t -> string
 (** The table as a boxed ASCII string, rows in insertion order. *)
 

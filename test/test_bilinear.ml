@@ -421,6 +421,30 @@ let prop_compose_brent =
       let pick () = P.choose rng [ S.strassen; S.winograd; S.classical_2x2 ] in
       A.verify_brent (A.compose (pick ()) (pick ())))
 
+let test_fingerprint () =
+  (* stable on the same value *)
+  Alcotest.(check string) "stable" (A.fingerprint S.strassen)
+    (A.fingerprint S.strassen);
+  (* distinguishes distinct algorithms *)
+  Alcotest.(check bool) "strassen vs winograd" false
+    (A.fingerprint S.strassen = A.fingerprint S.winograd);
+  (* the cache-key property: same display name, different coefficients
+     -> different fingerprints (names alone used to alias the CDAG
+     caches between basis-search variants) *)
+  let u = A.u_matrix S.strassen in
+  u.(0).(0) <- u.(0).(0) + 1;
+  let variant =
+    A.make ~name:(A.name S.strassen) ~n:2 ~m:2 ~k:2 ~u
+      ~v:(A.v_matrix S.strassen) ~w:(A.w_matrix S.strassen)
+  in
+  Alcotest.(check bool) "same name, different U" false
+    (A.fingerprint S.strassen = A.fingerprint variant);
+  (* and the name is still readable in the key *)
+  let fp = A.fingerprint S.strassen in
+  Alcotest.(check bool) "prefixed by name" true
+    (String.length fp > String.length (A.name S.strassen)
+    && String.sub fp 0 (String.length (A.name S.strassen)) = A.name S.strassen)
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -437,6 +461,7 @@ let () =
           Alcotest.test_case "ranks/dims" `Quick test_ranks_and_dims;
           Alcotest.test_case "additions per step" `Quick test_additions_per_step;
           Alcotest.test_case "omega0" `Quick test_omega0;
+          Alcotest.test_case "fingerprint" `Quick test_fingerprint;
         ] );
       ( "multiply",
         [

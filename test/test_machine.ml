@@ -404,6 +404,149 @@ let test_par_exec_limited_monotone () =
   Alcotest.(check bool) "words(4) >= words(16)" true (words 4 >= words 16);
   Alcotest.(check bool) "words(16) >= words(64)" true (words 16 >= words 64)
 
+let test_par_exec_limited_counters_exact () =
+  (* with memory to spare, run_limited must reproduce run's FULL
+     per-processor census, not just the total — the invariant that
+     pinned the occupancy-tracking rewrite of the LRU fetch path *)
+  List.iter
+    (fun (cdag, depth, procs) ->
+      let w = W.of_cdag cdag in
+      let assignment = PE.bfs_assignment cdag ~depth ~procs in
+      let a = PE.run w ~procs ~assignment in
+      let b = PE.run_limited w ~procs ~assignment ~local_memory:max_int in
+      Alcotest.(check (array int)) "sent agrees" a.PE.sent b.PE.sent;
+      Alcotest.(check (array int)) "received agrees" a.PE.received b.PE.received;
+      Alcotest.(check int) "total agrees" a.PE.total_words b.PE.total_words;
+      Alcotest.(check (float 0.)) "max words agrees" a.PE.max_words b.PE.max_words)
+    [ (cdag4, 1, 7); (cdag8, 1, 7); (cdag8, 2, 49); (cdag8, 2, 5) ]
+
+let test_bfs_assignment_first_claim () =
+  (* independent spec of the documented ownership rule: a vertex claimed
+     by several depth-d subtrees (via id range, a_in or b_in) belongs to
+     the one with the smallest subtree_lo; unclaimed vertices keep the
+     round-robin-by-id default *)
+  List.iter
+    (fun (cdag, depth, procs) ->
+      let n = Cd.n_vertices cdag in
+      let assignment = PE.bfs_assignment cdag ~depth ~procs in
+      let subtrees =
+        List.filter (fun nd -> nd.Cd.depth = depth) (Cd.nodes cdag)
+        |> List.sort (fun a b -> compare a.Cd.subtree_lo b.Cd.subtree_lo)
+      in
+      let claimants = Array.make n [] in
+      List.iteri
+        (fun idx nd ->
+          let note v = claimants.(v) <- idx :: claimants.(v) in
+          for v = nd.Cd.subtree_lo to nd.Cd.subtree_hi do note v done;
+          Array.iter note nd.Cd.a_in;
+          Array.iter note nd.Cd.b_in)
+        subtrees;
+      for v = 0 to n - 1 do
+        let expected =
+          match List.rev claimants.(v) with
+          | [] -> v mod procs (* unclaimed: round-robin default *)
+          | first :: _ -> first mod procs
+        in
+        Alcotest.(check int) (Printf.sprintf "vertex %d owner" v) expected
+          assignment.(v)
+      done;
+      (* determinism + the static analyzer blesses the partition *)
+      Alcotest.(check bool) "deterministic" true
+        (PE.bfs_assignment cdag ~depth ~procs = assignment);
+      let sta = Apc.check (W.of_cdag cdag) ~procs ~assignment in
+      Alcotest.(check int) "no static errors" 0
+        (Fmm_analysis.Diagnostic.n_errors sta.Apc.report);
+      Alcotest.(check int) "no races" 0 sta.Apc.races)
+    [ (cdag4, 1, 7); (cdag4, 1, 3); (cdag8, 1, 7); (cdag8, 2, 49) ]
+
+(* --- differential: seeded random workloads through all three
+   schedulers; every trace replays clean through both the dynamic
+   machine and the static analyzer, and the scheduler hierarchy
+   (belady <= lru, remat stores only outputs) holds on DAGs with no
+   recursive structure at all --- *)
+
+let random_workload ~seed =
+  let rng = Fmm_util.Prng.create ~seed in
+  let g = Fmm_graph.Digraph.create () in
+  let n_inputs = 6 + Fmm_util.Prng.int rng 6 in
+  let n_internal = 30 + Fmm_util.Prng.int rng 30 in
+  let inputs = Fmm_graph.Digraph.add_vertices g n_inputs in
+  let internal = Fmm_graph.Digraph.add_vertices g n_internal in
+  (* edges run strictly low id -> high id, so the DAG property and a
+     topological order (ascending ids) come for free *)
+  Array.iter
+    (fun v ->
+      let arity = 1 + Fmm_util.Prng.int rng 3 in
+      List.iter
+        (fun p -> Fmm_graph.Digraph.add_edge g p v)
+        (Fmm_util.Prng.sample rng (min arity v) v))
+    internal;
+  let outputs =
+    Fmm_graph.Digraph.sinks g
+    |> List.filter (fun v -> v >= n_inputs)
+    |> Array.of_list
+  in
+  let w =
+    W.make ~name:(Printf.sprintf "random-%d" seed) ~graph:g ~inputs ~outputs ()
+  in
+  (w, Array.to_list internal)
+
+let test_schedulers_differential_random () =
+  List.iter
+    (fun seed ->
+      let w, order = random_workload ~seed in
+      let max_indeg =
+        List.fold_left
+          (fun acc v -> max acc (Fmm_graph.Digraph.in_degree w.W.graph v))
+          0 order
+      in
+      List.iter
+        (fun m ->
+          let ctx = Printf.sprintf "seed %d M=%d" seed m in
+          let lru = Sch.run_lru w ~cache_size:m order in
+          let bel = Sch.run_belady w ~cache_size:m order in
+          (* rematerialization pins whole recompute chains, so tight
+             caches can legitimately refuse; at M=64 it must succeed *)
+          let rem =
+            try Some (Sch.run_rematerialize w ~cache_size:m order)
+            with Failure _ when m < 64 -> None
+          in
+          let runs =
+            [ ("lru", false, Some lru); ("belady", false, Some bel);
+              ("remat", true, rem) ]
+          in
+          (* every trace replays clean, dynamically and statically *)
+          List.iter
+            (fun (name, allow_recompute, res) ->
+              match res with
+              | None -> ()
+              | Some (res : Sch.result) ->
+                let c =
+                  CM.replay { CM.cache_size = m; allow_recompute } w res.Sch.trace
+                in
+                Alcotest.(check int)
+                  (Printf.sprintf "%s %s replay io" ctx name)
+                  (Tr.io res.Sch.counters) (Tr.io c);
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s statically clean" ctx name)
+                  true
+                  (Tc.clean ~cache_size:m ~allow_recompute w res.Sch.trace))
+            runs;
+          (* the hierarchy *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s belady <= lru" ctx)
+            true
+            (Tr.io bel.Sch.counters <= Tr.io lru.Sch.counters);
+          match rem with
+          | None -> ()
+          | Some rem ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s remat stores only outputs" ctx)
+              (Array.length w.W.outputs)
+              rem.Sch.counters.Tr.stores)
+        [ max_indeg + 2; max_indeg + 8; 64 ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
 (* --- segment analysis (Lemma 3.6) --- *)
 
 let test_segments_partition_io () =
@@ -559,8 +702,16 @@ let () =
           Alcotest.test_case "validation" `Quick test_par_exec_validation;
           Alcotest.test_case "limited memory" `Quick test_par_exec_limited_memory;
           Alcotest.test_case "memory monotone" `Quick test_par_exec_limited_monotone;
+          Alcotest.test_case "limited counters exact" `Quick
+            test_par_exec_limited_counters_exact;
+          Alcotest.test_case "bfs first-claim" `Quick test_bfs_assignment_first_claim;
           Alcotest.test_case "static cross-check" `Quick
             test_par_exec_static_cross_check;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random workloads" `Quick
+            test_schedulers_differential_random;
         ] );
       ( "parallel",
         [
