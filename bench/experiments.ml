@@ -12,6 +12,7 @@
      F3      Figure 3 / Lemma 3.11: disjoint-path counts vs the bound
      L36     Lemma 3.6: per-segment I/O of real schedules
      L37     Lemma 3.7: exact min dominators vs |Z|/2
+     DEEP    the full Engine.deep_check_algorithm battery on the domain pool
      TH1seq  Theorem 1.1, sequential: measured I/O vs bound over (n, M)
      TH1par  Theorem 1.1, parallel: both regimes, crossover, executed BFS
      TH4     Theorem 4.1: alternative basis
@@ -58,31 +59,56 @@ let f x = Obs.Float x
 let s x = Obs.Str x
 let mark ok = s (if ok then "ok" else "FAIL")
 
+(* When `fmmlab bench --jobs N` runs experiments on the domain pool,
+   bodies that fan out their own lemma samples (DEEP, L37) read the
+   level from here; everything they produce is deterministic at any
+   level, so this knob only moves wall clocks. *)
+let inner_jobs = Atomic.make 1
+let set_jobs n = Atomic.set inner_jobs (max 1 n)
+let jobs () = Atomic.get inner_jobs
+
 (* Cache built CDAGs/orders: several experiments reuse them. Keys are
    structural fingerprints, not display names — two algorithms sharing
    a name (e.g. basis-search variants of "Strassen") must never alias
-   each other's CDAGs. *)
+   each other's CDAGs. The caches are the only state shared between
+   experiment bodies, so they are mutex-guarded (experiments run
+   concurrently under --jobs). The value is built outside the lock —
+   builds are deterministic in the key, so a racing duplicate build is
+   wasted work, never wrong results — and the first finished build
+   wins. *)
+let cache_lock = Mutex.create ()
+
+let cached tbl key build =
+  let found =
+    Mutex.lock cache_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock cache_lock)
+      (fun () -> Hashtbl.find_opt tbl key)
+  in
+  match found with
+  | Some v -> v
+  | None ->
+    let v = build () in
+    Mutex.lock cache_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock cache_lock)
+      (fun () ->
+        match Hashtbl.find_opt tbl key with
+        | Some v' -> v'
+        | None ->
+          Hashtbl.replace tbl key v;
+          v)
+
 let cdag_cache : (string * int, Cd.t) Hashtbl.t = Hashtbl.create 8
 
 let cdag alg n =
-  let key = (A.fingerprint alg, n) in
-  match Hashtbl.find_opt cdag_cache key with
-  | Some c -> c
-  | None ->
-    let c = Cd.build alg ~n in
-    Hashtbl.replace cdag_cache key c;
-    c
+  cached cdag_cache (A.fingerprint alg, n) (fun () -> Cd.build alg ~n)
 
 let order_cache : (string * int, int list) Hashtbl.t = Hashtbl.create 8
 
 let dfs_order alg n =
-  let key = (A.fingerprint alg, n) in
-  match Hashtbl.find_opt order_cache key with
-  | Some o -> o
-  | None ->
-    let o = Ord.recursive_dfs (cdag alg n) in
-    Hashtbl.replace order_cache key o;
-    o
+  cached order_cache (A.fingerprint alg, n) (fun () ->
+      Ord.recursive_dfs (cdag alg n))
 
 let work alg n = Fmm_machine.Workload.of_cdag (cdag alg n)
 
@@ -346,7 +372,8 @@ let _l37 =
         (fun (alg, n, r) ->
           let samples =
             Obs.time m "min_dominator" (fun () ->
-                DL.sample_min_dominators (cdag alg n) ~r ~trials:8 ~seed:7)
+                DL.sample_min_dominators ~jobs:(jobs ()) (cdag alg n) ~r
+                  ~trials:8 ~seed:7)
           in
           let worst =
             List.fold_left (fun acc smp -> min acc smp.DL.min_dominator) max_int samples
@@ -363,6 +390,55 @@ let _l37 =
           (S.strassen, 8, 4); (S.winograd, 4, 2); (S.winograd, 4, 4);
           (AB.ks_core, 4, 2); (AB.ks_core, 4, 4);
         ])
+
+(* ----- DEEP: the full lemma battery on the domain pool ----- *)
+
+let _deep =
+  define ~id:"DEEP"
+    ~title:"deep lemma battery (Engine.deep_check_algorithm on the domain pool)"
+    ~doc:
+      "The Section III battery end to end per algorithm: encoder lemmas, the \
+       Lemma 2.2 census, and the exact max-flow samples of Lemmas 3.7/3.11, \
+       fanned out on the Fmm_par pool. Rows are identical at any --jobs; \
+       only the deep_battery_s timer and the experiment wall clock move."
+    (fun m ->
+      let section = "Engine.deep_check_algorithm (per-sample derived seeds)" in
+      List.iter
+        (fun (alg, n, trials) ->
+          let d =
+            Obs.time m "deep_battery" (fun () ->
+                Fmm_lemmas.Engine.deep_check_algorithm ~n ~trials ~seed:7
+                  ~jobs:(jobs ()) alg)
+          in
+          let module Eng = Fmm_lemmas.Engine in
+          let worst_dom =
+            List.fold_left
+              (fun acc smp -> min acc smp.DL.min_dominator)
+              max_int d.Eng.lemma_3_7
+          in
+          let worst_paths =
+            List.fold_left
+              (fun acc smp -> min acc smp.PL.disjoint_paths)
+              max_int d.Eng.lemma_3_11
+          in
+          Obs.rowf m ~section
+            ~params:[ ("algorithm", s (A.name alg)); ("n", i n) ]
+            [
+              ("3.7 samples", i (List.length d.Eng.lemma_3_7));
+              ("min |Gamma|", i worst_dom);
+              ("3.11 samples", i (List.length d.Eng.lemma_3_11));
+              ("min paths", i worst_paths);
+              ("2.2", mark d.Eng.lemma_2_2_ok);
+              ("deep ok", mark d.Eng.deep_ok);
+            ])
+        [
+          (S.strassen, 16, 24); (S.winograd, 16, 24); (AB.ks_core, 4, 16);
+          (S.classical_2x2, 4, 16);
+        ];
+      Obs.note m
+        "(classical <2,2,2;8> flags deep ok = FAIL through its encoder lemmas,";
+      Obs.note m
+        " exactly as in F2 — its CDAG-level 3.7/3.11 samples still hold)")
 
 (* ----- TH1seq ----- *)
 
@@ -947,3 +1023,10 @@ let _perf =
 let all () = Exp.Registry.all registry
 let ids () = Exp.Registry.ids registry
 let select filter = Exp.Registry.select registry filter
+
+(* Run a selection on the pool: outcomes in input order, inner
+   fan-outs (DEEP, L37) at the same level. Deterministic at any
+   [jobs] modulo wall clocks. *)
+let run_selected ?(jobs = 1) es =
+  set_jobs jobs;
+  Exp.run_all ~jobs es

@@ -1,19 +1,25 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index) and times the heavy kernels with
    bechamel. The experiments themselves live in the registry
-   (Fmm_experiments.Experiments); this executable just runs them all in
-   order and prints each outcome through the table sink. Absolute
-   constants differ from the paper (our substrate is a simulator, not
-   the authors' testbed — there is none: it is a theory paper, and this
-   harness is the empirical counterpart of its proofs).
+   (Fmm_experiments.Experiments); this executable runs them on the
+   Fmm_par domain pool (FMMLAB_JOBS, default 1 = sequential) and prints
+   each outcome through the table sink, in registration order
+   regardless of the pool schedule. Absolute constants differ from the
+   paper (our substrate is a simulator, not the authors' testbed —
+   there is none: it is a theory paper, and this harness is the
+   empirical counterpart of its proofs).
 
-   `fmmlab bench` runs the same registry with filtering, JSON output and
-   baseline regression gating. *)
+   `fmmlab bench` runs the same registry with filtering, JSON output,
+   baseline regression gating and an explicit --jobs flag. *)
 
 let () =
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun e ->
-      Fmm_obs.Sink.print_outcome (Fmm_obs.Experiment.run e))
-    (Fmm_experiments.Experiments.all ());
-  Printf.printf "\nall benches done in %.1f s\n" (Unix.gettimeofday () -. t0)
+  let jobs = Fmm_par.Pool.jobs_from_env () in
+  let outcomes =
+    Fmm_experiments.Experiments.run_selected ~jobs
+      (Fmm_experiments.Experiments.all ())
+  in
+  List.iter Fmm_obs.Sink.print_outcome outcomes;
+  Printf.printf "\nall benches done in %.1f s (jobs=%d)\n"
+    (Unix.gettimeofday () -. t0)
+    jobs

@@ -7,8 +7,13 @@
      fmmlab analyze   -n 8 -m 64 [--corrupt x]  static CDAG/trace/parallel lint
      fmmlab pebble    [--red 4]                 exact pebbling studies
      fmmlab cdag      -a Strassen -n 4 [-o f]   build/export a CDAG
-     fmmlab bench     [--filter T1,RC] [--json f] [--baseline f] experiments
-     fmmlab table1                              regenerate Table I *)
+     fmmlab bench     [--filter T1,RC] [--json f] [--baseline f] [--jobs N]
+     fmmlab table1                              regenerate Table I
+
+   verify and bench accept --jobs N (env FMMLAB_JOBS, default 1): run
+   independent work — registry experiments, per-algorithm batteries,
+   lemma samples — on N domains. Results and reports are byte-identical
+   at any N; only wall clocks move. *)
 
 open Cmdliner
 
@@ -48,6 +53,16 @@ let m_arg default =
 let p_arg default =
   Arg.(value & opt int default & info [ "p"; "procs" ] ~doc:"Processor count")
 
+let jobs_arg =
+  let doc =
+    "Run independent work (registry experiments, per-algorithm batteries, \
+     lemma samples) on $(docv) domains. Results are byte-identical at any \
+     $(docv); only wall clocks change. 1 = sequential."
+  in
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~env:(Cmd.Env.info "FMMLAB_JOBS") ~doc ~docv:"N")
+
 (* --- bounds --- *)
 
 let bounds_cmd =
@@ -75,20 +90,44 @@ let bounds_cmd =
 (* --- verify --- *)
 
 let verify_cmd =
-  let run name all deep =
+  let run name all deep jobs =
+    let jobs = max 1 jobs in
     let algorithms = if all then S.registry else [ find_algorithm name ] in
+    (* --all fans out across algorithms; a single algorithm hands the
+       pool to the engine's per-sample fan-out instead. Never both, so
+       at most [jobs] domains are ever live. *)
+    let outer = if List.length algorithms > 1 then jobs else 1 in
+    let inner = if List.length algorithms > 1 then 1 else jobs in
+    (* The deep battery builds H^{n x n}, which needs a square base and
+       an n that is a power of the base dimension: prefer n = 4, fall
+       back to one recursion level, skip rectangular bases. *)
+    let deep_n alg =
+      let n0, m0, k0 = Fmm_bilinear.Algorithm.dims alg in
+      if n0 <> m0 || m0 <> k0 then None
+      else if Fmm_util.Combinat.is_power_of ~base:n0 4 then Some 4
+      else Some n0
+    in
+    let reports =
+      Fmm_par.Pool.map ~jobs:outer
+        (fun alg ->
+          match (deep, deep_n alg) with
+          | true, Some n ->
+            Fmm_lemmas.Engine.deep_report_to_string
+              (Fmm_lemmas.Engine.deep_check_algorithm ~n ~jobs:inner alg)
+          | true, None ->
+            Fmm_lemmas.Engine.report_to_string
+              (Fmm_lemmas.Engine.check_algorithm alg)
+            ^ "\n  (deep checks skipped: base case is not square)"
+          | false, _ ->
+            Fmm_lemmas.Engine.report_to_string
+              (Fmm_lemmas.Engine.check_algorithm alg))
+        algorithms
+    in
     List.iter
-      (fun alg ->
-        if deep then
-          print_endline
-            (Fmm_lemmas.Engine.deep_report_to_string
-               (Fmm_lemmas.Engine.deep_check_algorithm alg))
-        else
-          print_endline
-            (Fmm_lemmas.Engine.report_to_string
-               (Fmm_lemmas.Engine.check_algorithm alg));
+      (fun r ->
+        print_endline r;
         print_newline ())
-      algorithms
+      reports
   in
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Check every registered algorithm")
@@ -100,7 +139,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Machine-check the Section III lemmas on an algorithm")
-    Term.(const run $ algorithm_arg $ all_arg $ deep_arg)
+    Term.(const run $ algorithm_arg $ all_arg $ deep_arg $ jobs_arg)
 
 (* --- simulate --- *)
 
@@ -418,12 +457,13 @@ let bench_cmd =
   let module Exp = Fmm_obs.Experiment in
   let module Sink = Fmm_obs.Sink in
   let module Json = Fmm_obs.Json in
-  let run filter json_out baseline tolerance time_tolerance list quiet =
+  let run filter json_out baseline tolerance time_tolerance list quiet jobs =
     if list then
       List.iter
         (fun e -> Printf.printf "%-8s %s\n" (Exp.id e) (Exp.title e))
         (Fmm_experiments.Experiments.all ())
     else begin
+      let jobs = max 1 jobs in
       let filter =
         match String.trim filter with
         | "" -> None
@@ -432,11 +472,10 @@ let bench_cmd =
             (String.split_on_char ',' s |> List.map String.trim
             |> List.filter (fun x -> x <> ""))
       in
+      (* a filter that selects nothing (typo, or only separators) is an
+         error, not a vacuous success: exit 2 with the known ids *)
       let selected =
         match Fmm_experiments.Experiments.select filter with
-        | Ok [] ->
-          Printf.eprintf "fmmlab bench: empty experiment selection\n";
-          exit 2
         | Ok es -> es
         | Error msg ->
           Printf.eprintf
@@ -444,13 +483,21 @@ let bench_cmd =
             msg;
           exit 2
       in
+      Fmm_experiments.Experiments.set_jobs jobs;
       let outcomes =
-        List.map
-          (fun e ->
-            let o = Exp.run e in
-            if not quiet then Sink.print_outcome ~wall:true o;
-            o)
-          selected
+        if jobs = 1 then
+          (* sequential: stream each outcome as it finishes *)
+          List.map
+            (fun e ->
+              let o = Exp.run e in
+              if not quiet then Sink.print_outcome ~wall:true o;
+              o)
+            selected
+        else begin
+          let os = Exp.run_all ~jobs selected in
+          if not quiet then List.iter (Sink.print_outcome ~wall:true) os;
+          os
+        end
       in
       (match json_out with
       | None -> ()
@@ -531,7 +578,7 @@ let bench_cmd =
           regression gating")
     Term.(
       const run $ filter_arg $ json_arg $ baseline_arg $ tolerance_arg
-      $ time_tolerance_arg $ list_arg $ quiet_arg)
+      $ time_tolerance_arg $ list_arg $ quiet_arg $ jobs_arg)
 
 (* --- table1 --- *)
 

@@ -19,27 +19,35 @@ type sample_result = {
   holds : bool;
 }
 
-(** Sample [trials] subsets Z of V_out(SUB_H^{r x r}) of size r^2 and
-    compute the exact minimum dominator size for each. *)
-let sample_min_dominators cdag ~r ~trials ~seed =
+(** Sample ONE subset Z of V_out(SUB_H^{r x r}) of size r^2 from its
+    own generator and compute its exact minimum dominator size. The
+    unit of work the pool fans out. *)
+let sample_one cdag ~r ~seed =
   let outputs = Array.of_list (Cd.sub_outputs cdag ~r) in
   let z_target = r * r in
   if Array.length outputs < z_target then
-    invalid_arg "Dominator_lemma.sample_min_dominators: not enough outputs";
+    invalid_arg "Dominator_lemma.sample_one: not enough outputs";
   let rng = P.create ~seed in
   let sources = Array.to_list (Cd.inputs cdag) in
-  List.init trials (fun _ ->
-      let idxs = P.sample rng z_target (Array.length outputs) in
-      let z = List.map (fun i -> outputs.(i)) idxs in
-      let res = VC.min_dominator (Cd.graph cdag) ~sources ~targets:z in
-      let bound = z_target / 2 in
-      {
-        r;
-        z_size = z_target;
-        min_dominator = res.VC.size;
-        bound;
-        holds = 2 * res.VC.size >= z_target;
-      })
+  let idxs = P.sample rng z_target (Array.length outputs) in
+  let z = List.map (fun i -> outputs.(i)) idxs in
+  let res = VC.min_dominator (Cd.graph cdag) ~sources ~targets:z in
+  {
+    r;
+    z_size = z_target;
+    min_dominator = res.VC.size;
+    bound = z_target / 2;
+    holds = 2 * res.VC.size >= z_target;
+  }
+
+(** Sample [trials] subsets Z, each from a seed derived from
+    [(seed, r, trial)] — trials are decorrelated across r and
+    independent of each other, so they can run on [jobs] domains with a
+    result that does not depend on [jobs]. *)
+let sample_min_dominators ?(jobs = 1) cdag ~r ~trials ~seed =
+  Fmm_par.Pool.map ~jobs
+    (fun trial -> sample_one cdag ~r ~seed:(P.derive ~seed [ 37; r; trial ]))
+    (List.init trials (fun t -> t))
 
 (** Worst case over all single sub-problems: Z = the full output set of
     one size-r sub-CDAG (a natural extremal choice). *)

@@ -11,10 +11,20 @@ type sample_result = {
   holds : bool;  (** 2 * min_dominator >= |Z| *)
 }
 
+val sample_one : Fmm_cdag.Cdag.t -> r:int -> seed:int -> sample_result
+(** One random Z subset of size r^2 drawn from its own generator — the
+    unit of work the {!Fmm_par} pool fans out. Raises when the CDAG has
+    fewer than r^2 size-r sub-outputs. *)
+
 val sample_min_dominators :
+  ?jobs:int ->
   Fmm_cdag.Cdag.t -> r:int -> trials:int -> seed:int -> sample_result list
-(** Random Z subsets of size r^2. Raises when the CDAG has fewer than
-    r^2 size-r sub-outputs. *)
+(** [trials] random Z subsets of size r^2, each sampled from a seed
+    derived from [(seed, r, trial)] via {!Fmm_util.Prng.derive} — so
+    the trials are decorrelated across configurations and independent
+    of each other, and the result is the same at every [jobs]
+    (default 1, sequential). Raises when the CDAG has fewer than r^2
+    size-r sub-outputs. *)
 
 val per_subproblem_min_dominators :
   Fmm_cdag.Cdag.t -> r:int -> sample_result list

@@ -47,8 +47,15 @@ type deep_report = {
 (** Extended battery: build H^{n x n} and sample the dominator and
     disjoint-path lemmas on it (exact max-flow computations), plus the
     Lemma 2.2 census. Heavier than [check_algorithm]; n = 4 is
-    instant, n = 8 takes seconds. *)
-let deep_check_algorithm ?(n = 4) ?(trials = 5) ?(seed = 7) alg =
+    instant, n = 8 takes seconds.
+
+    Every sample draws from its own seed, derived from
+    [(seed, lemma, r, z, gamma, trial)] — configurations are
+    decorrelated (the old code fed the same fixed seed to every
+    dominator call and every paths call) and mutually independent, so
+    the whole battery fans out on [jobs] domains with a result that
+    does not depend on [jobs]. *)
+let deep_check_algorithm ?(n = 4) ?(trials = 5) ?(seed = 7) ?(jobs = 1) alg =
   let base = check_algorithm alg in
   let cdag = Fmm_cdag.Cdag.build alg ~n in
   let n0, _, _ = Fmm_bilinear.Algorithm.dims alg in
@@ -65,15 +72,40 @@ let deep_check_algorithm ?(n = 4) ?(trials = 5) ?(seed = 7) alg =
         = Fmm_util.Combinat.pow_int t_rank (levels - j) * r * r)
       (List.init (levels + 1) (fun j -> j))
   in
-  let lemma_3_7 =
+  (* One flat task list across both lemmas: per-r dominator trials and
+     the (z, gamma) paths configurations all land on the same pool, so
+     a single map call load-balances the whole battery. *)
+  let dominator_tasks =
     List.concat_map
-      (fun r -> Dominator_lemma.sample_min_dominators cdag ~r ~trials ~seed)
-      [ n0; n ]
+      (fun r ->
+        List.init trials (fun t ->
+            `Dominator (r, Fmm_util.Prng.derive ~seed [ 37; r; t ])))
+      (List.sort_uniq compare [ n0; n ])
+  in
+  (* A one-level instance (n = n0) has only n0^2 sub-outputs at r = n0,
+     so the |Z| = 2 n0^2 configuration does not exist there — keep only
+     the configurations the instance supports. *)
+  let available = List.length (Fmm_cdag.Cdag.sub_outputs cdag ~r:n0) in
+  let paths_tasks =
+    List.filter_map
+      (fun (z, g) ->
+        if z > available then None
+        else Some (`Paths (z, g, Fmm_util.Prng.derive ~seed [ 311; n0; z; g ])))
+      [ (n0 * n0, 0); (2 * n0 * n0, n0 * n0 / 2) ]
+  in
+  let samples =
+    Fmm_par.Pool.map ~jobs
+      (function
+        | `Dominator (r, s) -> `Dominator (Dominator_lemma.sample_one cdag ~r ~seed:s)
+        | `Paths (z, g, s) ->
+          `Paths (Paths_lemma.sample cdag ~r:n0 ~z_size:z ~gamma_size:g ~seed:s))
+      (dominator_tasks @ paths_tasks)
+  in
+  let lemma_3_7 =
+    List.filter_map (function `Dominator s -> Some s | `Paths _ -> None) samples
   in
   let lemma_3_11 =
-    List.map
-      (fun (z, g) -> Paths_lemma.sample cdag ~r:n0 ~z_size:z ~gamma_size:g ~seed)
-      [ (n0 * n0, 0); (2 * n0 * n0, n0 * n0 / 2) ]
+    List.filter_map (function `Paths s -> Some s | `Dominator _ -> None) samples
   in
   {
     base;

@@ -18,7 +18,10 @@ val report_to_string : report -> string
 
 (** Extended battery: the CDAG-level lemmas sampled on a concrete
     H^{n x n} (exact max-flow computations) on top of the encoder
-    checks. *)
+    checks. Every sample draws from its own
+    {!Fmm_util.Prng.derive}d seed, so configurations are decorrelated
+    and the battery fans out on [jobs] domains ({!Fmm_par.Pool}) with
+    a result independent of [jobs]. *)
 type deep_report = {
   base : report;
   n : int;
@@ -29,7 +32,14 @@ type deep_report = {
 }
 
 val deep_check_algorithm :
-  ?n:int -> ?trials:int -> ?seed:int -> Fmm_bilinear.Algorithm.t -> deep_report
+  ?n:int ->
+  ?trials:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  Fmm_bilinear.Algorithm.t ->
+  deep_report
+(** [jobs] (default 1) bounds the domains used for the max-flow
+    samples; the report is byte-identical at every [jobs]. *)
 
 val pp_deep_report : Format.formatter -> deep_report -> unit
 val deep_report_to_string : deep_report -> string

@@ -74,7 +74,9 @@ let analyze cdag ~cache_size ~r ?quota (trace : Trace.t) =
     r;
     quota;
     segments = List.rev !segments;
-    bound = (r * r / 2) - cache_size;
+    (* ceil(r^2 / 2): truncating division silently weakened the check
+       by one for odd r *)
+    bound = ((r * r) + 1) / 2 - cache_size;
     cache_size;
   }
 

@@ -17,7 +17,7 @@ type analysis = {
   r : int;
   quota : int;
   segments : segment list;
-  bound : int;  (** r^2/2 - M; may be nonpositive (vacuous) *)
+  bound : int;  (** ceil(r^2/2) - M; may be nonpositive (vacuous) *)
   cache_size : int;
 }
 

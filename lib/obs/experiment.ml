@@ -42,6 +42,14 @@ let run e =
     wall_s;
   }
 
+(* Experiments are mutually independent by construction — each [run]
+   allocates a fresh Metrics registry, so bodies never share collector
+   state — which is what lets the bench registry execute on the domain
+   pool. Outcomes come back in input order, so every sink downstream
+   (tables, JSON report, baseline diff) emits the same bytes at any
+   [jobs]. *)
+let run_all ?(jobs = 1) es = Fmm_par.Pool.map ~jobs run es
+
 module Registry = struct
   type experiment = t
 
@@ -66,16 +74,23 @@ module Registry = struct
   let find reg id = List.find_opt (fun (e : experiment) -> e.id = id) reg.rev
 
   (* Select by id, preserving REGISTRATION order regardless of the
-     filter's order, erroring on unknown ids (a typo in --filter must
-     not silently run nothing). *)
+     filter's order, erroring on unknown ids AND on a selection that
+     matches nothing (a typo in --filter must not silently run nothing
+     and exit 0 — a CI smoke gate would pass vacuously). *)
   let select reg = function
     | None -> Ok (all reg)
-    | Some wanted ->
+    | Some wanted -> (
       let unknown = List.filter (fun id -> find reg id = None) wanted in
       if unknown <> [] then
         Error
           (Printf.sprintf "unknown experiment id(s): %s (known: %s)"
              (String.concat ", " unknown)
              (String.concat ", " (ids reg)))
-      else Ok (List.filter (fun (e : experiment) -> List.mem e.id wanted) (all reg))
+      else
+        match List.filter (fun (e : experiment) -> List.mem e.id wanted) (all reg) with
+        | [] ->
+          Error
+            (Printf.sprintf "empty experiment selection (known: %s)"
+               (String.concat ", " (ids reg)))
+        | selected -> Ok selected)
 end

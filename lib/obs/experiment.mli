@@ -22,6 +22,14 @@ val doc : t -> string
 
 val run : t -> outcome
 
+val run_all : ?jobs:int -> t list -> outcome list
+(** Run every experiment on an {!Fmm_par.Pool} of [jobs] domains
+    (default 1, sequential), returning outcomes in input order. Safe
+    because each {!run} allocates its own {!Metrics} registry —
+    experiment bodies share no collector state — so the outcome list
+    (and every report derived from it) is identical at any [jobs],
+    modulo the measured wall clocks. *)
+
 (** An ordered, duplicate-free collection of experiments. *)
 module Registry : sig
   type experiment = t
@@ -44,6 +52,7 @@ module Registry : sig
 
   val select : t -> string list option -> (experiment list, string) result
   (** [select reg (Some ids)] keeps the named experiments in
-      registration order; [Error] names any unknown id. [None] selects
-      everything. *)
+      registration order; [Error] names any unknown id, and an empty
+      selection is also an [Error] listing the known ids (a typo must
+      not silently select nothing). [None] selects everything. *)
 end

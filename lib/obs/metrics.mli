@@ -31,6 +31,13 @@ val ratio : row -> float option
 type t
 
 val create : unit -> t
+(** Domain-safety contract: a [t] is an unsynchronized collector owned
+    by the single experiment body writing through it — it must stay
+    confined to the domain running that body. Cross-experiment
+    parallelism gets its safety from each {!Experiment.run} allocating
+    a fresh [t], never from locking here; anything genuinely shared
+    between experiment bodies (e.g. memoized CDAG caches) must be
+    mutex-guarded by its owner. *)
 
 val incr : ?by:int -> t -> string -> unit
 val gauge : t -> string -> float -> unit

@@ -83,6 +83,21 @@ let print_outcome ?(wall = false) (o : Experiment.outcome) =
 
 let schema_version = 1
 
+(* The only report fields that legitimately differ between two runs of
+   the same experiment: the wall clock and the [_s]-suffixed timer
+   scalars of Metrics.snapshot. Everything left is deterministic at any
+   --jobs; the differential determinism suite strips outcomes and
+   compares the resulting reports byte-for-byte. *)
+let strip_volatile (o : Experiment.outcome) =
+  {
+    o with
+    Experiment.wall_s = 0.;
+    scalars =
+      List.filter
+        (fun (k, _) -> not (String.ends_with ~suffix:"_s" k))
+        o.Experiment.scalars;
+  }
+
 let fields_to_json fields =
   Json.Obj (List.map (fun (k, v) -> (k, Metrics.value_to_json v)) fields)
 

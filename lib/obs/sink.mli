@@ -13,6 +13,13 @@ val print_outcome : ?wall:bool -> Experiment.outcome -> unit
 
 val schema_version : int
 
+val strip_volatile : Experiment.outcome -> Experiment.outcome
+(** Zero the wall clock and drop the [_s]-suffixed timer scalars — the
+    only report fields that legitimately differ between two runs of
+    the same experiment. What remains is deterministic at any
+    [--jobs]: the differential determinism suite compares reports of
+    stripped outcomes byte-for-byte. *)
+
 val report_to_json :
   ?generator:string -> created:float -> Experiment.outcome list -> Json.t
 (** The [BENCH_*.json] document: [schema_version], [generator],

@@ -1,0 +1,62 @@
+(* A fixed-size Domain work pool over the stdlib only (no domainslib).
+   The repo's unit of parallelism is an *independent deterministic
+   task* — a lemma sample, a registry experiment, an algorithm's
+   battery — so the one primitive everything shares is an order-
+   preserving parallel [map]. Tasks are claimed from a shared atomic
+   counter (work stealing degenerates to striping for uniform work),
+   results land in their input slot, and exceptions are re-raised in
+   input order, so callers observe exactly the sequential semantics:
+   [map ~jobs:1] and [map ~jobs:64] return (or raise) the same thing.
+
+   Determinism contract: [f] must not communicate between tasks. Under
+   that contract the result is independent of [jobs] and of the OS
+   schedule, which is what lets `fmmlab bench --jobs N` emit
+   byte-identical reports at any N. *)
+
+type 'b slot = Done of 'b | Failed of exn * Printexc.raw_backtrace | Pending
+
+let sequential_map f xs =
+  (* explicit left-to-right evaluation: the jobs = 1 path must raise the
+     first exception by index, same as the pool path *)
+  List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
+
+let map ~jobs f xs =
+  if jobs < 1 then invalid_arg "Fmm_par.Pool.map: jobs < 1";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> sequential_map f xs
+  | _ ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+          (match f items.(i) with
+          | v -> Done v
+          | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+        worker ()
+      end
+    in
+    (* the calling domain is worker #1; spawn the rest *)
+    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+           | Pending -> assert false (* every index < n was claimed *))
+         results)
+
+let jobs_from_env ?(var = "FMMLAB_JOBS") ?(default = 1) () =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ -> default)

@@ -1,0 +1,21 @@
+(** A fixed-size [Domain] work pool (stdlib only) whose single
+    primitive is an order-preserving parallel map. Tasks must be
+    independent — no communication between invocations of [f] — and
+    under that contract the observable behaviour is identical at every
+    [jobs], which is the foundation of the repo-wide guarantee that
+    reports are byte-identical at any [--jobs]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on at most
+    [jobs] domains (the calling domain included) and returns the
+    results in input order. If any task raises, the exception of the
+    *smallest failing index* is re-raised with its original backtrace
+    — exactly what sequential left-to-right [List.map] would have
+    raised first. [jobs = 1] runs plain sequential code with no domain
+    spawned. Raises [Invalid_argument] on [jobs < 1]. [jobs] beyond
+    [List.length xs] is harmless: surplus workers exit immediately. *)
+
+val jobs_from_env : ?var:string -> ?default:int -> unit -> int
+(** Parallelism level from the environment ([FMMLAB_JOBS] by default):
+    the variable's value if it parses as an int >= 1, else [default]
+    (itself defaulting to 1, sequential). *)

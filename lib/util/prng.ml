@@ -63,3 +63,20 @@ let sample t k n =
 let choose t = function
   | [] -> invalid_arg "Prng.choose: empty list"
   | l -> List.nth l (int t (List.length l))
+
+(** [derive ~seed path] folds the integers of [path] into the splitmix
+    state one by one (xor with a golden-ratio multiple, then one
+    finalizer round) and returns a nonnegative seed. Distinct paths
+    yield independent streams, so samplers that run many configurations
+    from one master seed can give every configuration its own
+    decorrelated generator — and every sample can run in parallel
+    without sharing a stream. *)
+let derive ~seed path =
+  let t = create ~seed in
+  ignore (next_int64 t);
+  List.iter
+    (fun c ->
+      t.state <- Int64.logxor t.state (Int64.mul golden (Int64.of_int c));
+      ignore (next_int64 t))
+    path;
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)

@@ -32,3 +32,12 @@ val sample : t -> int -> int -> int list
 
 val choose : t -> 'a list -> 'a
 (** Uniform element of a nonempty list. *)
+
+val derive : seed:int -> int list -> int
+(** [derive ~seed path] deterministically maps a master seed plus a
+    list of configuration coordinates (lemma tag, r, z, gamma, trial
+    index, ...) to a fresh nonnegative seed. Distinct paths give
+    decorrelated streams; the same path always gives the same seed.
+    This is how the lemma battery hands every sample its own
+    independent generator (and how those samples can then run on the
+    {!Fmm_par} pool without sharing PRNG state). *)

@@ -600,6 +600,22 @@ let test_segments_on_rematerialized_trace () =
     (List.length (Cd.sub_outputs cdag8 ~r:4))
     counted
 
+let test_segments_odd_r_ceiling () =
+  (* Regression: the Lemma 3.6 bound is ceil(r^2/2) - M. Truncating
+     division made it r^2/2 - M — one too weak whenever r is odd. With
+     r = 3 and M = 4 the bound is ceil(9/2) - 4 = 1, not 0 (vacuous). *)
+  let alg = Fmm_bilinear.Algorithm.classical ~n:3 ~m:3 ~k:3 in
+  let cdag = Cd.build alg ~n:3 in
+  let w = W.of_cdag cdag in
+  let res = Sch.run_lru w ~cache_size:8 (Ord.recursive_dfs cdag) in
+  let a = Seg.analyze cdag ~cache_size:4 ~r:3 ~quota:4 res.Sch.trace in
+  Alcotest.(check int) "ceil(9/2) - 4" 1 a.Seg.bound;
+  Alcotest.(check bool) "Lemma 3.6 holds at odd r" true (Seg.lemma_3_6_holds a);
+  (* even r is unaffected by the ceiling: r = 4, M = 4 -> 8 - 4 = 4 *)
+  let res8 = Sch.run_lru w8 ~cache_size:16 (Ord.recursive_dfs cdag8) in
+  let a8 = Seg.analyze cdag8 ~cache_size:4 ~r:4 res8.Sch.trace in
+  Alcotest.(check int) "even r bound unchanged" 4 a8.Seg.bound
+
 (* --- parallel models --- *)
 
 let test_cannon () =
@@ -691,6 +707,7 @@ let () =
           Alcotest.test_case "lemma 3.6" `Quick test_segments_lemma_3_6;
           Alcotest.test_case "recomputing trace" `Quick
             test_segments_on_rematerialized_trace;
+          Alcotest.test_case "odd r ceiling" `Quick test_segments_odd_r_ceiling;
         ] );
       ( "par_exec",
         [

@@ -260,6 +260,18 @@ let test_registry_select () =
   (match Exp.Registry.select reg (Some [ "A"; "ZZ" ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown id accepted");
+  (* a filter that matches nothing is an error naming the known ids,
+     never a silent Ok [] *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Exp.Registry.select reg (Some []) with
+  | Error e ->
+    Alcotest.(check bool) "empty selection lists known ids" true
+      (contains e "A" && contains e "B" && contains e "C")
+  | Ok _ -> Alcotest.fail "empty selection accepted");
   Alcotest.check_raises "duplicate id"
     (Invalid_argument "Experiment.Registry.register: duplicate id \"A\"") (fun () ->
       ignore (Exp.Registry.define reg ~id:"A" ~title:"dup" (fun _ -> ())))

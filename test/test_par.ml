@@ -1,0 +1,135 @@
+(* Tests for fmm_par (the fixed-size domain pool) and the determinism
+   contract it underwrites: a pool [map] is observationally a [List.map]
+   at every [jobs], so the lemma battery and the experiment registry
+   must emit byte-identical reports whether run sequentially or fanned
+   out on domains. *)
+
+module Pool = Fmm_par.Pool
+module Exp = Fmm_obs.Experiment
+module Sink = Fmm_obs.Sink
+module Json = Fmm_obs.Json
+module E = Fmm_lemmas.Engine
+module S = Fmm_bilinear.Strassen
+
+(* --- pool semantics --- *)
+
+let test_pool_order_preserved () =
+  let xs = List.init 100 (fun i -> i) in
+  let expected = List.map (fun x -> (x * x) + 1) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs (fun x -> (x * x) + 1) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_jobs_exceed_length () =
+  (* more workers than tasks is harmless: spawns at most |list| - 1 *)
+  Alcotest.(check (list int)) "jobs > length" [ 2; 4; 6 ]
+    (Pool.map ~jobs:16 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_edge_cases () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map ~jobs:4 (fun x -> x * x) [ 3 ]);
+  Alcotest.check_raises "jobs = 0" (Invalid_argument "Fmm_par.Pool.map: jobs < 1")
+    (fun () -> ignore (Pool.map ~jobs:0 (fun x -> x) [ 1 ]))
+
+let test_pool_exception_first_index () =
+  (* several tasks fail; map re-raises the one with the smallest index,
+     independently of which domain hit its failure first *)
+  let f x = if x mod 2 = 0 then failwith (string_of_int x) else x in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "first failing index at jobs=%d" jobs)
+        (Failure "2")
+        (fun () -> ignore (Pool.map ~jobs f [ 1; 3; 2; 5; 4; 6 ])))
+    [ 1; 4 ]
+
+let test_pool_exception_runs_all_claimed () =
+  (* a failure does not poison unrelated tasks: with jobs=1 the
+     sequential path still raises, and the side effects before the
+     failing index happened *)
+  let hits = ref [] in
+  (try
+     ignore
+       (Pool.map ~jobs:1
+          (fun x ->
+            hits := x :: !hits;
+            if x = 3 then failwith "boom";
+            x)
+          [ 1; 2; 3; 4 ])
+   with Failure _ -> ());
+  Alcotest.(check (list int)) "prefix ran" [ 3; 2; 1 ] !hits
+
+let test_jobs_from_env () =
+  let var = "FMM_PAR_TEST_JOBS" in
+  Unix.putenv var "3";
+  Alcotest.(check int) "parses" 3 (Pool.jobs_from_env ~var ());
+  Unix.putenv var "0";
+  Alcotest.(check int) "rejects < 1" 1 (Pool.jobs_from_env ~var ());
+  Unix.putenv var "not-a-number";
+  Alcotest.(check int) "rejects junk" 1 (Pool.jobs_from_env ~var ());
+  Unix.putenv var "8";
+  Alcotest.(check int) "custom default unused" 8
+    (Pool.jobs_from_env ~var ~default:2 ());
+  Alcotest.(check int) "unset -> default" 5
+    (Pool.jobs_from_env ~var:"FMM_PAR_TEST_UNSET" ~default:5 ())
+
+(* --- differential determinism: lemma battery --- *)
+
+let test_deep_check_jobs_invariant () =
+  let r1 = E.deep_check_algorithm ~n:4 ~trials:3 ~seed:1 ~jobs:1 S.strassen in
+  let r4 = E.deep_check_algorithm ~n:4 ~trials:3 ~seed:1 ~jobs:4 S.strassen in
+  Alcotest.(check bool) "structurally equal" true (r1 = r4);
+  Alcotest.(check string) "rendered reports byte-identical"
+    (E.deep_report_to_string r1)
+    (E.deep_report_to_string r4)
+
+(* --- differential determinism: experiment registry --- *)
+
+let report_string outcomes =
+  (* strip the only legitimately run-dependent fields (wall clocks and
+     [_s] timer scalars), pin [created], then serialize *)
+  Json.to_string ~indent:2
+    (Sink.report_to_json ~generator:"test_par" ~created:0.
+       (List.map Sink.strip_volatile outcomes))
+
+let registry_minus_perf () =
+  (* PERF rows are bechamel timings — nondeterministic by nature, and
+     already excluded from the determinism contract *)
+  List.filter
+    (fun e -> Exp.id e <> "PERF")
+    (Fmm_experiments.Experiments.all ())
+
+let test_registry_jobs_invariant () =
+  let es = registry_minus_perf () in
+  let seq = Fmm_experiments.Experiments.run_selected ~jobs:1 es in
+  let par = Fmm_experiments.Experiments.run_selected ~jobs:4 es in
+  Alcotest.(check int) "same cardinality" (List.length seq) (List.length par);
+  Alcotest.(check string) "schema-v1 JSON byte-identical at jobs 1 vs 4"
+    (report_string seq) (report_string par)
+
+let () =
+  Alcotest.run "fmm_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_pool_order_preserved;
+          Alcotest.test_case "jobs > length" `Quick test_pool_jobs_exceed_length;
+          Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
+          Alcotest.test_case "exception = first index" `Quick
+            test_pool_exception_first_index;
+          Alcotest.test_case "sequential side effects" `Quick
+            test_pool_exception_runs_all_claimed;
+          Alcotest.test_case "jobs_from_env" `Quick test_jobs_from_env;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "deep_check jobs-invariant" `Quick
+            test_deep_check_jobs_invariant;
+          Alcotest.test_case "registry jobs-invariant" `Slow
+            test_registry_jobs_invariant;
+        ] );
+    ]

@@ -135,6 +135,27 @@ let test_prng_shuffle_permutes () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "is permutation" (Array.init 20 (fun i -> i)) sorted
 
+let test_prng_derive () =
+  (* derive is a pure function of (seed, path) *)
+  Alcotest.(check int)
+    "deterministic"
+    (P.derive ~seed:7 [ 37; 4; 0 ])
+    (P.derive ~seed:7 [ 37; 4; 0 ]);
+  let paths =
+    [ []; [ 0 ]; [ 1 ]; [ 37; 4; 0 ]; [ 37; 4; 1 ]; [ 37; 8; 0 ]; [ 4; 37; 0 ] ]
+  in
+  let seeds = List.map (fun p -> P.derive ~seed:7 p) paths in
+  Alcotest.(check int)
+    "distinct paths give distinct seeds"
+    (List.length paths)
+    (List.length (List.sort_uniq compare seeds));
+  Alcotest.(check bool)
+    "distinct base seeds differ" true
+    (P.derive ~seed:7 [ 1; 2 ] <> P.derive ~seed:8 [ 1; 2 ]);
+  List.iter
+    (fun s -> Alcotest.(check bool) "nonnegative" true (s >= 0))
+    seeds
+
 let prop_prng_uniformish =
   QCheck2.Test.make ~name:"prng roughly uniform" ~count:5
     (QCheck2.Gen.int_range 1 1000) (fun seed ->
@@ -221,6 +242,7 @@ let () =
           Alcotest.test_case "bounds" `Quick test_prng_bounds;
           Alcotest.test_case "sample" `Quick test_prng_sample;
           Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "derive" `Quick test_prng_derive;
           qc prop_prng_uniformish;
         ] );
     ]
