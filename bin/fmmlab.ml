@@ -7,6 +7,7 @@
      fmmlab analyze   -n 8 -m 64 [--corrupt x]  static CDAG/trace/parallel lint
      fmmlab pebble    [--red 4]                 exact pebbling studies
      fmmlab cdag      -a Strassen -n 4 [-o f]   build/export a CDAG
+     fmmlab optimize  -n 16 -m 64 [--beam 4] [--iters 4] [--seed 1] [--json f]
      fmmlab bench     [--filter T1,RC] [--json f] [--baseline f] [--jobs N]
      fmmlab table1                              regenerate Table I
 
@@ -580,6 +581,103 @@ let bench_cmd =
       const run $ filter_arg $ json_arg $ baseline_arg $ tolerance_arg
       $ time_tolerance_arg $ list_arg $ quiet_arg $ jobs_arg)
 
+(* --- optimize --- *)
+
+let optimize_cmd =
+  let module O = Fmm_opt.Optimizer in
+  let module Json = Fmm_obs.Json in
+  let run name n m beam iters seed json_out jobs =
+    let alg = find_algorithm name in
+    let cdag = Cd.build alg ~n in
+    let jobs = max 1 jobs in
+    let r = O.optimize_cdag cdag ~cache_size:m ~beam ~iters ~seed ~jobs in
+    let best = r.O.best in
+    let c = best.O.result.Sch.counters in
+    Printf.printf "workload    %s\nM           %d\n" r.O.workload m;
+    Printf.printf "search      beam %d, %d iteration(s), seed %d\n" r.O.beam_width
+      r.O.iterations r.O.seed;
+    Printf.printf "evaluated   %d candidate(s), %d infeasible, %d oracle-checked\n"
+      r.O.evaluated r.O.rejected r.O.accepted;
+    List.iter
+      (fun (pname, io) ->
+        Printf.printf "baseline    %-8s %s\n" pname
+          (match io with Some io -> string_of_int io | None -> "infeasible"))
+      r.O.baselines;
+    Printf.printf "history     %s\n"
+      (String.concat " -> " (List.map string_of_int r.O.history));
+    Printf.printf "best        %s\n" best.O.candidate.O.provenance;
+    Printf.printf "  policy    %s\n" (O.policy_name best.O.candidate.O.policy);
+    Printf.printf "  I/O       %d (loads %d, stores %d)\n" best.O.io c.Tr.loads
+      c.Tr.stores;
+    Printf.printf "  computes  %d (recomputed %d)\n" c.Tr.computes c.Tr.recomputes;
+    let bound = B.fast_sequential ~n ~m () in
+    Printf.printf "  Thm 1.1   %.1f   (best/bound = %.3f)\n" bound
+      (float_of_int best.O.io /. bound);
+    match json_out with
+    | None -> ()
+    | Some path ->
+      let j =
+        Json.Obj
+          [
+            ("workload", Json.Str r.O.workload);
+            ("algorithm", Json.Str (A.name alg));
+            ("n", Json.Int n);
+            ("cache_size", Json.Int r.O.cache_size);
+            ("seed", Json.Int r.O.seed);
+            ("beam", Json.Int r.O.beam_width);
+            ("iters", Json.Int r.O.iterations);
+            ("evaluated", Json.Int r.O.evaluated);
+            ("rejected", Json.Int r.O.rejected);
+            ("accepted", Json.Int r.O.accepted);
+            ( "baselines",
+              Json.Obj
+                (List.map
+                   (fun (pname, io) ->
+                     ( pname,
+                       match io with Some io -> Json.Int io | None -> Json.Null ))
+                   r.O.baselines) );
+            ("history", Json.List (List.map (fun x -> Json.Int x) r.O.history));
+            ( "best",
+              Json.Obj
+                [
+                  ("provenance", Json.Str best.O.candidate.O.provenance);
+                  ("policy", Json.Str (O.policy_name best.O.candidate.O.policy));
+                  ("io", Json.Int best.O.io);
+                  ("loads", Json.Int c.Tr.loads);
+                  ("stores", Json.Int c.Tr.stores);
+                  ("computes", Json.Int c.Tr.computes);
+                  ("recomputes", Json.Int c.Tr.recomputes);
+                ] );
+            ("bound", Json.Float bound);
+            ("ratio", Json.Float (float_of_int best.O.io /. bound));
+          ]
+      in
+      Json.to_file path j;
+      Printf.printf "wrote %s\n" path
+  in
+  let beam_arg =
+    Arg.(value & opt int 4 & info [ "beam" ] ~doc:"Beam width" ~docv:"B")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 4 & info [ "iters" ] ~doc:"Search iterations" ~docv:"K")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master PRNG seed" ~docv:"S")
+  in
+  let json_arg =
+    let doc = "Write the optimizer report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Beam-search schedules (order x spill-vs-recompute) against the \
+          Theorem 1.1 bound")
+    Term.(
+      const run $ algorithm_arg $ n_arg 16 $ m_arg 64 $ beam_arg $ iters_arg
+      $ seed_arg $ json_arg $ jobs_arg)
+
 (* --- table1 --- *)
 
 let table1_cmd =
@@ -613,4 +711,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
-            cdag_cmd; fft_cmd; parallel_cmd; search_cmd; bench_cmd; table1_cmd ]))
+            cdag_cmd; fft_cmd; parallel_cmd; search_cmd; optimize_cmd;
+            bench_cmd; table1_cmd ]))

@@ -53,21 +53,46 @@ let fast_sequential ?(omega0 = omega_strassen) ~n ~m () =
 (** The crossover processor count P* where the memory-independent bound
     overtakes the memory-dependent one (found numerically; the closed
     form is P* = (n^omega0 / (n^2 M^{omega0/2 - 1}))^{omega0/(omega0-2)}
-    up to constants). Returns the smallest P with memind >= memdep. *)
+    up to constants). Returns the smallest P with memind >= memdep.
+
+    Total: the bracket starts at [1, 2] and doubles until it contains
+    the crossover, so the answer never silently saturates at an
+    arbitrary upper limit. memind/memdep ~ P^{1 - 2/omega0} decreases
+    in P whenever omega0 < 2, so if P = 1 has not crossed yet no P ever
+    will — that case (and any bracket past 2^60, unreachable for the
+    omega0 > 2 regime the bound describes) raises [Invalid_argument]
+    instead of returning a wrong P. *)
 let crossover_p ?(omega0 = omega_strassen) ~n ~m () =
   check_params ~n ~m ~p:1 ();
+  let crossed p = fast_memind ~omega0 ~n ~p () >= fast_memdep ~omega0 ~n ~m ~p () in
+  let no_crossover () =
+    invalid_arg
+      (Printf.sprintf
+         "Bounds.crossover_p: memory-independent bound never overtakes the \
+          memory-dependent one (omega0 = %g, n = %d, M = %d)"
+         omega0 n m)
+  in
+  let max_hi = 1 lsl 60 in
+  let rec grow hi =
+    if crossed hi then hi
+    else if hi >= max_hi then no_crossover ()
+    else grow (2 * hi)
+  in
   let rec search lo hi =
+    (* invariant: not (crossed lo) && crossed hi *)
     if hi - lo <= 1 then hi
     else begin
-      let mid = (lo + hi) / 2 in
-      if fast_memind ~omega0 ~n ~p:mid () >= fast_memdep ~omega0 ~n ~m ~p:mid ()
-      then search lo mid
-      else search mid hi
+      let mid = lo + ((hi - lo) / 2) in
+      if crossed mid then search lo mid else search mid hi
     end
   in
-  let d = fast_memdep ~omega0 ~n ~m ~p:1 () in
-  let i = fast_memind ~omega0 ~n ~p:1 () in
-  if i >= d then 1 else search 1 (1 lsl 40)
+  if crossed 1 then 1
+  else if omega0 <= 2. then
+    (* the ratio is non-increasing in P: P = 1 already decided it *)
+    no_crossover ()
+  else
+    let hi = grow 2 in
+    search (hi / 2) hi
 
 (* --- row 5: rectangular fast matrix multiplication [22] --- *)
 

@@ -36,7 +36,11 @@ val fast_sequential : ?omega0:float -> n:int -> m:int -> unit -> float
 
 val crossover_p : ?omega0:float -> n:int -> m:int -> unit -> int
 (** Smallest P at which the memory-independent bound overtakes the
-    memory-dependent one (binary search). *)
+    memory-dependent one (growing-bracket binary search; 1 when it has
+    already crossed at P = 1, e.g. at the n <= sqrt M boundary).
+    Total: when no crossover exists — the ratio memind/memdep is
+    non-increasing for omega0 <= 2, or the bracket would pass 2^60 —
+    it raises [Invalid_argument] instead of returning a wrong P. *)
 
 (** {2 Rectangular fast MM (row 5, [22])} *)
 

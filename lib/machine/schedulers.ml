@@ -231,15 +231,25 @@ let run_belady work ~cache_size order =
     match drop !(future.(v)) with [] -> max_int | t :: _ -> t
   in
   (* Belady eviction: scan residents for the farthest next use. O(M)
-     per eviction — fine at simulator scale. *)
+     per eviction — fine at simulator scale. Ties on the next-use
+     distance are broken toward a CLEAN victim (already in slow memory,
+     or dead so never written back): evicting it is free, while a dirty
+     co-leader would cost a Store the clean choice avoids. Within the
+     same cleanliness class the smallest vertex id wins, keeping the
+     policy deterministic. *)
   let evict_belady now =
     let victim = ref (-1) and victim_next = ref (-1) in
+    let victim_dirty = ref false in
+    let is_dirty v = writeback v && not core.in_slow.(v) in
     for v = 0 to n - 1 do
       if core.in_cache.(v) && not core.pinned.(v) then begin
         let nu = next_use_after v now in
-        if nu > !victim_next then begin
+        let dirty = is_dirty v in
+        if nu > !victim_next || (nu = !victim_next && !victim_dirty && not dirty)
+        then begin
           victim := v;
-          victim_next := nu
+          victim_next := nu;
+          victim_dirty := dirty
         end
       end
     done;
@@ -323,6 +333,20 @@ let run_rematerialize ?(max_flops = 200_000_000) work ~cache_size order =
      already in slow memory, outputs are stored at first compute. *)
   let writeback _ = false in
   let flops = ref 0 in
+  (* The flop cap is charged BEFORE each compute, deep inside the
+     recursive descent: the run aborts at the exact step that would
+     exceed the budget, so a failed run never performs more than
+     [max_flops] computations (the cap cannot be overshot while a
+     recomputation subtree drains). *)
+  let charge_flop v =
+    if !flops >= max_flops then
+      failwith
+        (Printf.sprintf
+           "Schedulers.run_rematerialize: flop budget exceeded (cap %d) at \
+            compute of vertex %d"
+           max_flops v);
+    incr flops
+  in
   let rec materialize v =
     if core.in_cache.(v) then touch core v
     else if core.input_mask v then begin
@@ -338,11 +362,9 @@ let run_rematerialize ?(max_flops = 200_000_000) work ~cache_size order =
           if not core.in_cache.(p) then materialize p;
           core.pinned.(p) <- true)
         preds;
+      charge_flop v;
       ensure_room core ~writeback;
       emit core (Trace.Compute v);
-      incr flops;
-      if !flops > max_flops then
-        failwith "Schedulers.run_rematerialize: flop budget exceeded";
       if computed_once.(v) then core.recomputes <- core.recomputes + 1;
       computed_once.(v) <- true;
       core.in_cache.(v) <- true;
@@ -363,4 +385,114 @@ let run_rematerialize ?(max_flops = 200_000_000) work ~cache_size order =
       materialize v;
       core.pinned.(v) <- false)
     order;
+  result_of core
+
+(* --- hybrid execution: per-value spill-vs-recompute --- *)
+
+(** Execute [order] with LRU victim selection but a per-value policy
+    for what eviction of a live value does: [recompute v = false]
+    spills it (write back, reload on demand, exactly run_lru's rule)
+    while [recompute v = true] drops it and rebuilds it recursively
+    when next needed (run_rematerialize's rule). The two fixed policies
+    are the constant functions; everything in between is the search
+    space of Fmm_opt. *)
+let run_hybrid ?(max_flops = 200_000_000) work ~cache_size ~recompute order =
+  let g = work.W.graph in
+  let core = make_core work ~cache_size in
+  let n = W.n_vertices work in
+  let remaining_uses = Array.init n (fun v -> D.out_degree g v) in
+  let computed_once = Array.make n false in
+  (* A victim is written back when it is still live (a first-time use
+     remains, or it is an output not yet saved) and the policy says
+     spill. Outputs always spill: dropping one only defers a store it
+     must eventually pay anyway, plus the recompute. *)
+  let writeback v =
+    (remaining_uses.(v) > 0 || core.output_pred v)
+    && (core.output_pred v || not (recompute v))
+  in
+  let flops = ref 0 in
+  (* Same cap discipline as run_rematerialize: charged before the
+     compute, so the budget is never overshot. *)
+  let charge_flop v =
+    if !flops >= max_flops then
+      failwith
+        (Printf.sprintf
+           "Schedulers.run_hybrid: flop budget exceeded (cap %d) at compute \
+            of vertex %d"
+           max_flops v);
+    incr flops
+  in
+  let rec materialize v =
+    if core.in_cache.(v) then touch core v
+    else if core.in_slow.(v) then begin
+      (* inputs, spilled values, stored outputs: reload *)
+      core.pinned.(v) <- true;
+      load core v ~writeback
+    end
+    else begin
+      (* dropped under the recompute policy (or freed when dead and
+         re-demanded by a later recomputation): rebuild it *)
+      let preds = D.in_neighbors g v in
+      List.iter materialize preds;
+      List.iter
+        (fun p ->
+          if not core.in_cache.(p) then materialize p;
+          core.pinned.(p) <- true)
+        preds;
+      charge_flop v;
+      ensure_room core ~writeback;
+      emit core (Trace.Compute v);
+      if computed_once.(v) then core.recomputes <- core.recomputes + 1;
+      computed_once.(v) <- true;
+      core.in_cache.(v) <- true;
+      core.occupancy <- core.occupancy + 1;
+      core.computes <- core.computes + 1;
+      core.pinned.(v) <- true;
+      touch core v;
+      List.iter (fun p -> core.pinned.(p) <- false) preds
+    end
+  in
+  List.iteri
+    (fun step v ->
+      if core.in_cache.(v) || computed_once.(v) then
+        failwith
+          (Printf.sprintf
+             "Schedulers.run_hybrid: order step %d recomputes vertex %d" step v);
+      let preds = D.in_neighbors g v in
+      List.iter
+        (fun p ->
+          if core.in_cache.(p) then touch core p else materialize p;
+          core.pinned.(p) <- true)
+        preds;
+      charge_flop v;
+      ensure_room core ~writeback;
+      emit core (Trace.Compute v);
+      computed_once.(v) <- true;
+      core.in_cache.(v) <- true;
+      core.occupancy <- core.occupancy + 1;
+      core.computes <- core.computes + 1;
+      touch core v;
+      List.iter
+        (fun p ->
+          core.pinned.(p) <- false;
+          remaining_uses.(p) <- remaining_uses.(p) - 1;
+          (* Dead values leave the cache for free; a later recompute
+             that re-demands one rebuilds it through [materialize]. *)
+          if remaining_uses.(p) = 0 && not (core.output_pred p) && core.in_cache.(p)
+          then begin
+            emit core (Trace.Evict p);
+            core.in_cache.(p) <- false;
+            core.occupancy <- core.occupancy - 1;
+            forget core p
+          end)
+        preds)
+    order;
+  Array.iter
+    (fun v ->
+      if core.in_cache.(v) && not core.in_slow.(v) then begin
+        emit core (Trace.Store v);
+        core.in_slow.(v) <- true;
+        core.stores <- core.stores + 1
+      end)
+    work.W.outputs;
   result_of core

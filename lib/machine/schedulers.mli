@@ -29,4 +29,24 @@ val run_rematerialize :
     as aggressively as possible — the strategy whose futility for fast
     MM is the paper's headline. Needs a cache a few times the DAG
     depth (operand pinning along the recursion path); raises [Failure]
-    when the cache is too small or [max_flops] is exceeded. *)
+    when the cache is too small or when the run would exceed
+    [max_flops]. The cap is charged before each compute, deep inside
+    the recursive descent, so a failed run never performs more than
+    [max_flops] computations. *)
+
+val run_hybrid :
+  ?max_flops:int ->
+  Workload.t ->
+  cache_size:int ->
+  recompute:(int -> bool) ->
+  int list ->
+  result
+(** Per-value mix of the two policies, with LRU victim selection:
+    evicting a live value [v] spills it (write back + reload on
+    demand) when [recompute v] is false, and drops it (rebuild
+    recursively when next needed) when true. Inputs and outputs ignore
+    the flag — inputs are always in slow memory, outputs always spill.
+    [recompute = fun _ -> false] reproduces {!run_lru}'s trace
+    exactly; this is the schedule space {!Fmm_opt.Optimizer} searches.
+    Raises [Failure] like the fixed policies; same [max_flops]
+    discipline as {!run_rematerialize}. *)

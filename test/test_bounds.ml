@@ -58,6 +58,40 @@ let test_crossover () =
   let pstar_bigm = B.crossover_p ~n ~m:(4 * m) () in
   Alcotest.(check bool) "bigger M crosses earlier" true (pstar_bigm <= pstar)
 
+let test_crossover_boundary () =
+  (* n <= sqrt M: memdep degenerates, memind dominates already at P = 1 *)
+  Alcotest.(check int) "n = sqrt M crosses at P = 1" 1
+    (B.crossover_p ~n:8 ~m:64 ());
+  Alcotest.(check int) "n < sqrt M crosses at P = 1" 1
+    (B.crossover_p ~n:4 ~m:64 ());
+  (* just past the boundary the crossover moves off 1, and the P = 1
+     edge of the bracket is still handled exactly *)
+  let pstar = B.crossover_p ~n:64 ~m:64 () in
+  Alcotest.(check bool) "n > sqrt M crosses later" true (pstar > 1);
+  Alcotest.(check bool) "at pstar" true
+    (B.fast_memind ~n:64 ~p:pstar () >= B.fast_memdep ~n:64 ~m:64 ~p:pstar ());
+  Alcotest.(check bool) "below pstar" true
+    (B.fast_memind ~n:64 ~p:(pstar - 1) ()
+    < B.fast_memdep ~n:64 ~m:64 ~p:(pstar - 1) ());
+  (* the search is total: huge n still terminates (the bracket grows
+     geometrically instead of scanning) *)
+  Alcotest.(check bool) "huge n terminates" true
+    (B.crossover_p ~n:(1 lsl 20) ~m:64 () > 1)
+
+let test_crossover_never () =
+  (* omega0 < 2 makes the memind/memdep ratio non-increasing in P: if
+     P = 1 does not cross (n < sqrt M), nothing ever does — a
+     documented error, not an infinite loop *)
+  Alcotest.check_raises "omega0 < 2, n < sqrt M never crosses"
+    (Invalid_argument
+       "Bounds.crossover_p: memory-independent bound never overtakes the \
+        memory-dependent one (omega0 = 1.9, n = 4, M = 64)")
+    (fun () -> ignore (B.crossover_p ~omega0:1.9 ~n:4 ~m:64 ()));
+  (* omega0 = 2 is the degenerate equality: both bounds are n^2/P, so
+     the crossover is (weakly) satisfied already at P = 1 *)
+  Alcotest.(check int) "omega0 = 2 ties at P = 1" 1
+    (B.crossover_p ~omega0:2.0 ~n:1024 ~m:16 ())
+
 let test_rectangular () =
   (* q = 11, t = 3, base <2,2,3>: m0*p0 = 6 => exponent log_6 11 - 1 *)
   let v = B.rectangular ~m0:2 ~p0:3 ~q:11 ~t:3 ~m:64 ~p:2 in
@@ -115,6 +149,8 @@ let () =
           Alcotest.test_case "scaling exponents" `Quick test_scaling_exponents;
           Alcotest.test_case "parallel max" `Quick test_parallel_max;
           Alcotest.test_case "crossover" `Quick test_crossover;
+          Alcotest.test_case "crossover boundary" `Quick test_crossover_boundary;
+          Alcotest.test_case "crossover never" `Quick test_crossover_never;
           Alcotest.test_case "rectangular" `Quick test_rectangular;
           Alcotest.test_case "fft" `Quick test_fft;
           Alcotest.test_case "validation" `Quick test_param_validation;

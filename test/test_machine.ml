@@ -547,6 +547,133 @@ let test_schedulers_differential_random () =
         [ max_indeg + 2; max_indeg + 8; 64 ])
     [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
+(* --- bugfix regressions: flop cap, Belady tie-break, hybrid --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_remat_flop_cap_never_overshoots () =
+  let order = Ord.recursive_dfs cdag8 in
+  let m = 48 in
+  let unrestricted = Sch.run_rematerialize w8 ~cache_size:m order in
+  let flops = unrestricted.Sch.counters.Tr.computes in
+  (* the exact budget is feasible: the run spends all of it, no more *)
+  let exact = Sch.run_rematerialize ~max_flops:flops w8 ~cache_size:m order in
+  Alcotest.(check int) "cap = F runs exactly F computes" flops
+    exact.Sch.counters.Tr.computes;
+  (* one flop less — or much less — must abort mid-descent, never
+     finish over budget (the cap is charged before each compute) *)
+  List.iter
+    (fun cap ->
+      match Sch.run_rematerialize ~max_flops:cap w8 ~cache_size:m order with
+      | _ -> Alcotest.failf "cap %d should have raised" cap
+      | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "cap %d raises the budget error" cap)
+          true
+          (contains msg "flop budget"))
+    [ flops - 1; flops / 2; 1 ]
+
+(* A hand-built DAG where Belady faces a tie: a computed-but-unstored
+   value [a] (dirty) and an input [b] (clean) are both next used by the
+   final output compute. Evicting [a] costs a Store + a reload; [b]
+   reloads for free. The ids are arranged so a naive
+   first-maximum-wins scan would pick the dirty one. *)
+let test_belady_tie_prefers_clean () =
+  let g = Fmm_graph.Digraph.create () in
+  (match Fmm_graph.Digraph.add_vertices g 6 with
+  | [| 0; 1; 2; 3; 4; 5 |] -> ()
+  | _ -> Alcotest.fail "unexpected vertex ids");
+  (* 0 = a (internal, dirty at the tie), 1 = b (input, clean),
+     2 = i0 (input), 3 = d1, 4 = d2 (pressure), 5 = z (output) *)
+  List.iter
+    (fun (p, v) -> Fmm_graph.Digraph.add_edge g p v)
+    [ (2, 0); (1, 3); (3, 4); (0, 5); (1, 5) ];
+  let w =
+    W.make ~name:"belady-tie" ~graph:g ~inputs:[| 1; 2 |] ~outputs:[| 5 |] ()
+  in
+  let order = [ 0; 3; 4; 5 ] in
+  Alcotest.(check bool) "order valid" true (W.is_valid_order w order);
+  let bel = Sch.run_belady w ~cache_size:3 order in
+  (* clean victim: the only Store in the whole run is the output flush;
+     evicting dirty [a] at the tie would make it two *)
+  Alcotest.(check int) "stores" 1 bel.Sch.counters.Tr.stores;
+  Alcotest.(check int) "loads" 3 bel.Sch.counters.Tr.loads;
+  let c = CM.replay (cfg 3) w bel.Sch.trace in
+  Alcotest.(check int) "replay io" (Tr.io bel.Sch.counters) (Tr.io c);
+  let lru = Sch.run_lru w ~cache_size:3 order in
+  Alcotest.(check bool) "belady <= lru" true
+    (Tr.io bel.Sch.counters <= Tr.io lru.Sch.counters)
+
+let test_hybrid_all_false_is_lru () =
+  (* recompute = never: run_hybrid must reproduce run_lru event for
+     event, on the recursive CDAG and on unstructured random DAGs *)
+  let check name w order m =
+    let lru = Sch.run_lru w ~cache_size:m order in
+    let hyb = Sch.run_hybrid w ~cache_size:m ~recompute:(fun _ -> false) order in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s M=%d traces equal" name m)
+      true
+      (lru.Sch.trace = hyb.Sch.trace);
+    Alcotest.(check int)
+      (Printf.sprintf "%s M=%d io equal" name m)
+      (Tr.io lru.Sch.counters) (Tr.io hyb.Sch.counters)
+  in
+  let order8 = Ord.recursive_dfs cdag8 in
+  List.iter (fun m -> check "strassen-8" w8 order8 m) [ 16; 32; 64; 256 ];
+  List.iter
+    (fun seed ->
+      let w, order = random_workload ~seed in
+      List.iter (fun m -> check (Printf.sprintf "random-%d" seed) w order m)
+        [ 8; 16; 64 ])
+    [ 1; 2; 3 ]
+
+let test_hybrid_differential_random () =
+  (* arbitrary recompute flags: every trace must replay clean through
+     both oracles, and flagged non-outputs must never be stored *)
+  List.iter
+    (fun seed ->
+      let w, order = random_workload ~seed in
+      let is_input = W.is_input w and is_output = W.is_output w in
+      let flags =
+        [
+          ("remat-like", fun v -> (not (is_input v)) && not (is_output v));
+          ("even", fun v -> v mod 2 = 0);
+          ("thirds", fun v -> v mod 3 = 0);
+        ]
+      in
+      List.iter
+        (fun (fname, recompute) ->
+          let ctx = Printf.sprintf "seed %d %s" seed fname in
+          match Sch.run_hybrid w ~cache_size:64 ~recompute order with
+          | exception Failure _ -> Alcotest.failf "%s: M=64 refused" ctx
+          | res ->
+            let c =
+              CM.replay
+                { CM.cache_size = 64; allow_recompute = true }
+                w res.Sch.trace
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "%s replay io" ctx)
+              (Tr.io res.Sch.counters) (Tr.io c);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s statically clean" ctx)
+              true
+              (Tc.clean ~cache_size:64 w res.Sch.trace);
+            List.iter
+              (function
+                | Tr.Store v ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s stores only spill-or-output %d" ctx v)
+                    true
+                    (is_output v || not (recompute v))
+                | _ -> ())
+              res.Sch.trace)
+        flags)
+    [ 1; 2; 3; 4; 5 ]
+
 (* --- segment analysis (Lemma 3.6) --- *)
 
 let test_segments_partition_io () =
@@ -729,6 +856,17 @@ let () =
         [
           Alcotest.test_case "random workloads" `Quick
             test_schedulers_differential_random;
+        ] );
+      ( "bugfixes",
+        [
+          Alcotest.test_case "remat flop cap" `Quick
+            test_remat_flop_cap_never_overshoots;
+          Alcotest.test_case "belady clean tie-break" `Quick
+            test_belady_tie_prefers_clean;
+          Alcotest.test_case "hybrid all-false = lru" `Quick
+            test_hybrid_all_false_is_lru;
+          Alcotest.test_case "hybrid differential" `Quick
+            test_hybrid_differential_random;
         ] );
       ( "parallel",
         [

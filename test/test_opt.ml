@@ -1,0 +1,190 @@
+(* Tests for Fmm_opt.Optimizer: the two-sided acceptance sandwich
+   (best found <= best fixed policy, >= the Theorem 1.1 bound), the
+   legality of every schedule the search accepts (re-verified here,
+   independently of the optimizer's internal oracle), and the
+   determinism contract — identical reports at any --jobs, including
+   the OPT registry experiments' JSON. *)
+
+module O = Fmm_opt.Optimizer
+module Cd = Fmm_cdag.Cdag
+module S = Fmm_bilinear.Strassen
+module W = Fmm_machine.Workload
+module Sch = Fmm_machine.Schedulers
+module Tr = Fmm_machine.Trace
+module CM = Fmm_machine.Cache_machine
+module Ord = Fmm_machine.Orders
+module Tc = Fmm_analysis.Trace_check
+module Diag = Fmm_analysis.Diagnostic
+module B = Fmm_bounds.Bounds
+module Exp = Fmm_obs.Experiment
+module Sink = Fmm_obs.Sink
+module Json = Fmm_obs.Json
+
+let cdag8 = Cd.build S.strassen ~n:8
+let w8 = W.of_cdag cdag8
+
+let report ?(jobs = 1) ?(seed = 1) ?(n = 8) ?(m = 32) () =
+  O.optimize_cdag (Cd.build S.strassen ~n) ~cache_size:m ~beam:3 ~iters:2 ~seed
+    ~jobs
+
+(* --- the acceptance sandwich --- *)
+
+let test_sandwich () =
+  List.iter
+    (fun (n, m) ->
+      let r = report ~n ~m () in
+      let fixed = List.filter_map snd r.O.baselines in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: some fixed policy ran" n)
+        true (fixed <> []);
+      let best_fixed = List.fold_left min max_int fixed in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d M=%d: best <= best fixed (%d vs %d)" n m
+           r.O.best.O.io best_fixed)
+        true
+        (r.O.best.O.io <= best_fixed);
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d M=%d: best >= Thm 1.1 bound" n m)
+        true
+        (float_of_int r.O.best.O.io >= B.fast_sequential ~n ~m ()))
+    [ (4, 16); (8, 32); (8, 64) ]
+
+let test_history_monotone () =
+  let r = report () in
+  Alcotest.(check int) "history length" (r.O.iterations + 1)
+    (List.length r.O.history);
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a >= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "elitist: best never regresses" true
+    (mono r.O.history);
+  Alcotest.(check int) "last history entry is the best" r.O.best.O.io
+    (List.fold_left (fun _ x -> x) 0 r.O.history)
+
+(* --- every accepted schedule is legal (independent re-check) --- *)
+
+let test_accepted_schedules_legal () =
+  List.iter
+    (fun seed ->
+      let r = report ~seed () in
+      List.iter
+        (fun ev ->
+          let ctx = ev.O.candidate.O.provenance in
+          (* the candidate is a valid topological order *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: order valid" ctx)
+            true
+            (W.is_valid_order w8 (Array.to_list ev.O.candidate.O.order));
+          (* dynamic replay agrees with the scheduler's counters *)
+          let c =
+            CM.replay
+              { CM.cache_size = 32; allow_recompute = true }
+              w8 ev.O.result.Sch.trace
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: replay io" ctx)
+            ev.O.io (Tr.io c);
+          (* static check: zero violations AND zero lint findings *)
+          let tc = Tc.check ~cache_size:32 w8 ev.O.result.Sch.trace in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: no violations" ctx)
+            0
+            (Diag.n_errors tc.Tc.report);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: no dead loads" ctx)
+            0 tc.Tc.dead_loads;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: no redundant stores" ctx)
+            0 tc.Tc.redundant_stores)
+        r.O.beam)
+    [ 1; 2; 5 ]
+
+(* --- determinism: same report at any jobs --- *)
+
+let strip_results r = (r.O.best.O.io, r.O.evaluated, r.O.rejected, r.O.accepted,
+                       r.O.history,
+                       List.map (fun ev -> (ev.O.io, ev.O.candidate.O.provenance))
+                         r.O.beam,
+                       r.O.baselines)
+
+let test_search_jobs_invariant () =
+  let seq = report ~jobs:1 () in
+  let par = report ~jobs:4 () in
+  Alcotest.(check bool) "jobs 1 = jobs 4" true
+    (strip_results seq = strip_results par);
+  (* and the traces themselves, not just the summaries *)
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: identical trace" a.O.candidate.O.provenance)
+        true
+        (a.O.result.Sch.trace = b.O.result.Sch.trace))
+    seq.O.beam par.O.beam
+
+let test_seed_sensitivity () =
+  (* different seeds explore different candidates (the searches are
+     genuinely seeded, not ignoring the parameter) *)
+  let a = report ~seed:1 () and b = report ~seed:2 () in
+  Alcotest.(check bool) "provenances differ across seeds" true
+    (List.map (fun ev -> ev.O.candidate.O.provenance) a.O.beam
+    <> List.map (fun ev -> ev.O.candidate.O.provenance) b.O.beam
+    || a.O.evaluated <> b.O.evaluated
+    || strip_results a <> strip_results b)
+
+(* --- argument validation --- *)
+
+let test_validation () =
+  let order = Ord.recursive_dfs cdag8 in
+  Alcotest.(check bool) "rejects invalid seed order" true
+    (try
+       ignore
+         (O.search w8 ~cache_size:32 ~orders:[ ("bogus", List.rev order) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects empty orders" true
+    (try
+       ignore (O.search w8 ~cache_size:32 ~orders:[]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- the OPT registry experiments: byte-identical JSON at any jobs --- *)
+
+let report_string outcomes =
+  Json.to_string ~indent:2
+    (Sink.report_to_json ~generator:"test_opt" ~created:0.
+       (List.map Sink.strip_volatile outcomes))
+
+let test_opt_experiments_jobs_invariant () =
+  let es =
+    match Fmm_experiments.Experiments.select (Some [ "OPT1"; "OPT3" ]) with
+    | Ok es -> es
+    | Error msg -> Alcotest.fail msg
+  in
+  let seq = Fmm_experiments.Experiments.run_selected ~jobs:1 es in
+  let par = Fmm_experiments.Experiments.run_selected ~jobs:4 es in
+  Alcotest.(check string) "OPT JSON byte-identical at jobs 1 vs 4"
+    (report_string seq) (report_string par)
+
+let () =
+  Alcotest.run "fmm_opt"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "acceptance sandwich" `Quick test_sandwich;
+          Alcotest.test_case "history monotone" `Quick test_history_monotone;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "legality",
+        [
+          Alcotest.test_case "accepted schedules" `Quick
+            test_accepted_schedules_legal;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs invariant" `Quick test_search_jobs_invariant;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "registry OPT jobs invariant" `Quick
+            test_opt_experiments_jobs_invariant;
+        ] );
+    ]
