@@ -27,6 +27,9 @@
      OPT1    optimizer smoke: Strassen H^{8x8}, fixed seed, 2 iterations
      OPT2    optimizer at depth: Strassen H^{16x16} at M = 64
      OPT3    optimizer on the FFT butterfly (generic hot windows)
+     FT1     fault injection: fault-free parity with the plain executor
+     FT2     fault injection: single-failure overhead per recovery policy
+     FT3     fault injection: overhead vs failure count (recompute policy)
      PERF    bechamel kernel timings
 
    Rows carry a "ratio" metric wherever the paper compares a measured
@@ -1052,6 +1055,151 @@ let _opt3 =
       opt_row m ~section:"beam search vs fixed policies (butterfly, seed 1)"
         ~params:[ ("n", i n); ("M", i mm); ("beam", i 4); ("iters", i 4) ]
         ~bound:(B.fft_memdep ~n ~m:mm ~p:1) r)
+
+(* ----- FT1..FT3: fault injection and recovery ----- *)
+
+module Sim = Fmm_fault.Sim
+
+(* Shared helper: run the seeded simulator, cross-validate the event
+   log with the replay checker, and fail the experiment (not just a
+   row) if the recovered execution violates read-before-send or loses
+   an output — these are correctness invariants, not measurements. *)
+let fault_run ~id w ~procs ~assignment ~policy ~fail ~seed ~bound =
+  let r = Sim.simulate w ~procs ~assignment ~policy ~fail ~seed ~bound () in
+  let replay = Sim.check w r in
+  let errs = Fmm_analysis.Diagnostic.n_errors replay.Fmm_analysis.Par_check.report in
+  if errs <> 0 || replay.Fmm_analysis.Par_check.lost_outputs <> 0 then
+    failwith
+      (Printf.sprintf
+         "%s: recovered run invalid (policy %s, fail %d): %d replay errors, %d \
+          lost outputs"
+         id (Sim.policy_name policy) fail errs
+         replay.Fmm_analysis.Par_check.lost_outputs);
+  r
+
+let _ft1 =
+  define ~id:"FT1" ~title:"fault injection - fault-free parity with Par_exec"
+    ~doc:
+      "With zero failures every policy must reproduce the plain \
+       executor's per-processor census exactly (Replicate 1 pushes no \
+       replicas). This is the CI smoke: any divergence is a simulator \
+       bug, so it fails the experiment rather than shading a ratio."
+    (fun m ->
+      let section = "fault-free parity (BFS Strassen)" in
+      List.iter
+        (fun (n, depth) ->
+          let c = cdag S.strassen n in
+          let w = work S.strassen n in
+          let r0 = PE.strassen_bfs_experiment c ~depth in
+          let assignment = PE.bfs_assignment c ~depth ~procs:r0.PE.procs in
+          List.iter
+            (fun policy ->
+              let r =
+                fault_run ~id:"FT1" w ~procs:r0.PE.procs ~assignment ~policy
+                  ~fail:0 ~seed:1 ~bound:(B.fast_memind ~n ~p:r0.PE.procs ())
+              in
+              if
+                r.Sim.total_words <> r0.PE.total_words
+                || r.Sim.sent <> r0.PE.sent
+                || r.Sim.received <> r0.PE.received
+              then
+                failwith
+                  (Printf.sprintf
+                     "FT1: zero-failure %s diverged from Par_exec.run at n=%d \
+                      depth=%d (%d vs %d words)"
+                     (Sim.policy_name policy) n depth r.Sim.total_words
+                     r0.PE.total_words);
+              Obs.incr m "parity_checks";
+              Obs.rowf m ~section
+                ~params:
+                  [
+                    ("n", i n);
+                    ("P", i r0.PE.procs);
+                    ("policy", s (Sim.policy_name policy));
+                  ]
+                [
+                  ("total words", i r.Sim.total_words);
+                  ("parity", mark (r.Sim.total_words = r0.PE.total_words));
+                ])
+            [ Sim.Recompute_local; Sim.Refetch_owner; Sim.Replicate 1 ])
+        [ (16, 1); (16, 2) ])
+
+let _ft2 =
+  define ~id:"FT2" ~title:"fault injection - single-failure overhead per policy"
+    ~doc:
+      "One seeded crash mid-sweep; each recovery policy replays to \
+       completion. Overhead is total words vs the fault-free run of \
+       the same partition; the ratio rows are baseline-gated. \
+       Replicate pays its replication up front, so its overhead \
+       dominates on these small instances."
+    (fun m ->
+      let n = 16 and depth = 1 in
+      let c = cdag S.strassen n in
+      let w = work S.strassen n in
+      let procs = 7 in
+      let assignment = PE.bfs_assignment c ~depth ~procs in
+      let bound = B.fast_memind ~n ~p:procs () in
+      let section =
+        Printf.sprintf "one crash, BFS Strassen n = %d on P = %d (seed 7)" n
+          procs
+      in
+      List.iter
+        (fun policy ->
+          let r =
+            fault_run ~id:"FT2" w ~procs ~assignment ~policy ~fail:1 ~seed:7
+              ~bound
+          in
+          Obs.rowf m ~section
+            ~params:[ ("policy", s (Sim.policy_name policy)) ]
+            [
+              ("total words", i r.Sim.total_words);
+              ("max words/proc", f r.Sim.max_words);
+              ("recovery words", i r.Sim.recovery_words);
+              ("replication words", i r.Sim.replication_words);
+              ("recomputed", i r.Sim.recomputed);
+              ("ratio", f r.Sim.overhead_total);
+            ])
+        [ Sim.Recompute_local; Sim.Refetch_owner; Sim.Replicate 2 ])
+
+let _ft3 =
+  define ~id:"FT3" ~title:"fault injection - overhead vs failure count"
+    ~doc:
+      "Recompute-local recovery under an increasing seeded failure \
+       load on one fixed BFS partition. Overhead grows roughly \
+       linearly in the failure count here: each crash loses one \
+       processor's subtree and its resident foreign words, and the \
+       re-derivation re-fetches a bounded operand set."
+    (fun m ->
+      let n = 16 and depth = 2 in
+      let c = cdag S.strassen n in
+      let w = work S.strassen n in
+      let procs = 49 in
+      let assignment = PE.bfs_assignment c ~depth ~procs in
+      let bound = B.fast_memind ~n ~p:procs () in
+      let section =
+        Printf.sprintf
+          "recompute-local, BFS Strassen n = %d on P = %d (seed 11)" n procs
+      in
+      List.iter
+        (fun fail ->
+          let r =
+            fault_run ~id:"FT3" w ~procs ~assignment
+              ~policy:Sim.Recompute_local ~fail ~seed:11 ~bound
+          in
+          Obs.rowf m ~section
+            ~params:[ ("failures", i fail) ]
+            [
+              ("total words", i r.Sim.total_words);
+              ("max words/proc", f r.Sim.max_words);
+              ("recovery words", i r.Sim.recovery_words);
+              ("recomputed", i r.Sim.recomputed);
+              ("ratio", f r.Sim.overhead_total);
+              ( "bound ratio",
+                f (Option.value ~default:nan r.Sim.bound_ratio) );
+            ])
+        [ 0; 1; 2; 4; 8 ];
+      Obs.note m
+        "(fail = 0 is the parity row: ratio exactly 1.0 by construction)")
 
 (* ----- PERF: bechamel timings ----- *)
 

@@ -8,6 +8,7 @@
      fmmlab pebble    [--red 4]                 exact pebbling studies
      fmmlab cdag      -a Strassen -n 4 [-o f]   build/export a CDAG
      fmmlab optimize  -n 16 -m 64 [--beam 4] [--iters 4] [--seed 1] [--json f]
+     fmmlab faults    -n 16 --fail 2 [--policy recompute,refetch] [--json f]
      fmmlab bench     [--filter T1,RC] [--json f] [--baseline f] [--jobs N]
      fmmlab table1                              regenerate Table I
 
@@ -678,6 +679,190 @@ let optimize_cmd =
       const run $ algorithm_arg $ n_arg 16 $ m_arg 64 $ beam_arg $ iters_arg
       $ seed_arg $ json_arg $ jobs_arg)
 
+(* --- faults --- *)
+
+let faults_cmd =
+  let module Sim = Fmm_fault.Sim in
+  let module PE = Fmm_machine.Par_exec in
+  let module Json = Fmm_obs.Json in
+  let run name n depth procs policy_spec fail seed json_out jobs =
+    let alg = find_algorithm name in
+    let cdag = Cd.build alg ~n in
+    let work = Fmm_machine.Workload.of_cdag cdag in
+    let procs =
+      if procs > 0 then procs
+      else Fmm_util.Combinat.pow_int (A.rank alg) depth
+    in
+    let assignment = PE.bfs_assignment cdag ~depth ~procs in
+    let policies =
+      String.split_on_char ',' policy_spec
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map (fun s ->
+             match Sim.policy_of_string s with
+             | Some p -> p
+             | None ->
+               Printf.eprintf
+                 "unknown policy %S; known: recompute, refetch, replicate-k\n"
+                 s;
+               exit 2)
+    in
+    if policies = [] then begin
+      prerr_endline "no recovery policy given";
+      exit 2
+    end;
+    let bound = B.fast_memind ~n ~p:procs () in
+    (* one simulation per policy on the domain pool; the simulator is
+       pure in (workload, assignment, policy, fail, seed), so the
+       report is byte-identical at any --jobs *)
+    let reports =
+      Fmm_par.Pool.map ~jobs:(max 1 jobs)
+        (fun policy ->
+          let r = Sim.simulate work ~procs ~assignment ~policy ~fail ~seed ~bound () in
+          (r, Sim.check work r))
+        policies
+    in
+    let baseline =
+      match reports with
+      | (r, _) :: _ -> r.Sim.baseline_total
+      | [] -> 0
+    in
+    Printf.printf "workload    %s n=%d (BFS depth %d, P = %d)\n" (A.name alg) n
+      depth procs;
+    Printf.printf "failures    %d seeded crash(es), seed %d\n" fail seed;
+    Printf.printf "fault-free  %d words total\n" baseline;
+    let t =
+      T.create ~title:"recovery policies"
+        ~headers:
+          [ "policy"; "total"; "max/proc"; "recovery"; "replication";
+            "recomputed"; "overhead"; "vs Thm 1.1"; "replay" ]
+        ~aligns:
+          [ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right;
+            T.Right; T.Left ] ()
+    in
+    let ok = ref true in
+    List.iter
+      (fun (r, replay) ->
+        let errs =
+          Fmm_analysis.Diagnostic.n_errors
+            replay.Fmm_analysis.Par_check.report
+          + replay.Fmm_analysis.Par_check.lost_outputs
+        in
+        if errs > 0 then ok := false;
+        T.add_row t
+          [
+            Sim.policy_name r.Sim.policy;
+            string_of_int r.Sim.total_words;
+            Printf.sprintf "%.0f" r.Sim.max_words;
+            string_of_int r.Sim.recovery_words;
+            string_of_int r.Sim.replication_words;
+            string_of_int r.Sim.recomputed;
+            Printf.sprintf "%.3f" r.Sim.overhead_total;
+            (match r.Sim.bound_ratio with
+            | Some x -> Printf.sprintf "%.2f" x
+            | None -> "-");
+            (if errs = 0 then "clean" else Printf.sprintf "%d ERRORS" errs);
+          ])
+      reports;
+    T.print t;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      (* no wall clocks in this report: a fixed (algorithm, n, depth,
+         procs, fail, seed) tuple must serialize byte-identically at
+         any --jobs *)
+      let j =
+        Json.Obj
+          [
+            ("schema", Json.Str "fmm-faults/v1");
+            ("algorithm", Json.Str (A.name alg));
+            ("n", Json.Int n);
+            ("depth", Json.Int depth);
+            ("procs", Json.Int procs);
+            ("fail", Json.Int fail);
+            ("seed", Json.Int seed);
+            ("baseline_total", Json.Int baseline);
+            ("bound", Json.Float bound);
+            ( "policies",
+              Json.List
+                (List.map
+                   (fun (r, replay) ->
+                     Json.Obj
+                       [
+                         ("policy", Json.Str (Sim.policy_name r.Sim.policy));
+                         ( "failures",
+                           Json.List
+                             (List.map
+                                (fun e ->
+                                  Json.Obj
+                                    [
+                                      ("proc", Json.Int e.Sim.proc);
+                                      ("step", Json.Int e.Sim.step);
+                                    ])
+                                r.Sim.failures) );
+                         ("total_words", Json.Int r.Sim.total_words);
+                         ("max_words", Json.Float r.Sim.max_words);
+                         ("recovery_words", Json.Int r.Sim.recovery_words);
+                         ( "replication_words",
+                           Json.Int r.Sim.replication_words );
+                         ("recomputed", Json.Int r.Sim.recomputed);
+                         ("overhead_total", Json.Float r.Sim.overhead_total);
+                         ("overhead_max", Json.Float r.Sim.overhead_max);
+                         ( "bound_ratio",
+                           match r.Sim.bound_ratio with
+                           | Some x -> Json.Float x
+                           | None -> Json.Null );
+                         ( "replay_errors",
+                           Json.Int
+                             (Fmm_analysis.Diagnostic.n_errors
+                                replay.Fmm_analysis.Par_check.report) );
+                         ( "lost_outputs",
+                           Json.Int replay.Fmm_analysis.Par_check.lost_outputs
+                         );
+                       ])
+                   reports) );
+          ]
+      in
+      Json.to_file path j;
+      Printf.printf "wrote %s\n" path);
+    if not !ok then exit 1
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "depth" ] ~doc:"BFS partition depth" ~docv:"D")
+  in
+  let policy_arg =
+    let doc =
+      "Comma-separated recovery policies: recompute, refetch, replicate-k."
+    in
+    Arg.(
+      value
+      & opt string "recompute,refetch,replicate-2"
+      & info [ "policy" ] ~doc ~docv:"P,...")
+  in
+  let fail_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fail" ] ~doc:"Number of seeded crashes" ~docv:"K")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Failure-schedule PRNG seed" ~docv:"S")
+  in
+  let json_arg =
+    let doc = "Write the fault report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Inject seeded processor crashes into the distributed run and price \
+          the recovery policies")
+    Term.(
+      const run $ algorithm_arg $ n_arg 16 $ depth_arg $ p_arg 0 $ policy_arg
+      $ fail_arg $ seed_arg $ json_arg $ jobs_arg)
+
 (* --- table1 --- *)
 
 let table1_cmd =
@@ -712,4 +897,4 @@ let () =
        (Cmd.group info
           [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
             cdag_cmd; fft_cmd; parallel_cmd; search_cmd; optimize_cmd;
-            bench_cmd; table1_cmd ]))
+            faults_cmd; bench_cmd; table1_cmd ]))

@@ -212,3 +212,152 @@ let check ?order (work : W.t) ~procs ~assignment =
     total_words = !total_words;
     races = !races;
   }
+
+(* --- fault-aware replay validation --- *)
+
+(* The static [check] above validates a fault-free (assignment, order)
+   description, where "u was computed before v" is the whole story. A
+   recovered execution is richer: processors crash (losing every word
+   they hold except their own durable inputs), values are re-computed
+   and re-sent, and a read is legal iff a live copy is present at the
+   reader AT THAT EVENT — position comparison cannot express this.
+   [check_log] therefore replays the executor's own event log against
+   per-processor holdings: the read-before-send rule under failures. *)
+
+type ev =
+  | Compute of { vertex : int; proc : int }
+  | Transfer of { value : int; src : int; dst : int }
+  | Crash of { proc : int }
+
+type replay = {
+  report : Dg.report;
+  computes : int;
+  transfers : int;
+  crashes : int;
+  lost_outputs : int;
+}
+
+let replay_pass = "par-replay"
+
+let check_log (work : W.t) ~procs ~assignment ~log =
+  let c = Dg.Collector.create ~pass:replay_pass ~title:"fault replay check" in
+  let err ~code loc fmt = Dg.Collector.addf c Dg.Error ~code loc fmt in
+  let g = work.W.graph in
+  let n = W.n_vertices work in
+  let is_input = W.is_input work in
+  let procs = max procs 0 in
+  if procs = 0 then err ~code:"no-procs" Dg.Global "processor count is zero";
+  if Array.length assignment <> n then
+    err ~code:"shape" Dg.Global
+      "assignment length %d does not match the %d workload vertices"
+      (Array.length assignment) n;
+  let valid_proc p = p >= 0 && p < procs in
+  let owner v =
+    if v >= 0 && v < Array.length assignment then Some assignment.(v) else None
+  in
+  (* holds.(p) = values processor p currently has a live copy of.
+     Owners hold their own input values durably: initial operand data
+     survives a crash (it is re-readable), unlike computed words. *)
+  let holds : (int, unit) Hashtbl.t array =
+    Array.init (max procs 1) (fun _ -> Hashtbl.create 64)
+  in
+  let own_inputs = Array.make (max procs 1) [] in
+  Array.iter
+    (fun v ->
+      match owner v with
+      | Some p when valid_proc p ->
+        own_inputs.(p) <- v :: own_inputs.(p);
+        Hashtbl.replace holds.(p) v ()
+      | _ -> ())
+    work.W.inputs;
+  let ever_computed = Array.make (max n 1) false in
+  let computes = ref 0 and transfers = ref 0 and crashes = ref 0 in
+  List.iteri
+    (fun step ev ->
+      match ev with
+      | Compute { vertex = v; proc = p } -> (
+        incr computes;
+        if v < 0 || v >= n then
+          err ~code:"bad-vertex" (Dg.Step { step; vertex = Some v })
+            "compute event references vertex %d outside [0, %d)" v n
+        else if not (valid_proc p) then
+          err ~code:"bad-proc" (Dg.Step { step; vertex = Some v })
+            "vertex %d computed on invalid processor %d" v p
+        else if is_input v then
+          err ~code:"compute-input" (Dg.Step { step; vertex = Some v })
+            "input vertex %d appears as a compute event" v
+        else
+          match owner v with
+          | Some ow when ow <> p ->
+            err ~code:"not-owner" (Dg.Step { step; vertex = Some v })
+              "vertex %d computed on processor %d, but owner-computes \
+               assigns it to %d"
+              v p ow
+          | _ ->
+            List.iter
+              (fun u ->
+                if not (Hashtbl.mem holds.(p) u) then
+                  err ~code:"race" (Dg.Edge { src = u; dst = v })
+                    "read-before-send: processor %d computes vertex %d at \
+                     event %d without a live copy of operand %d (owner %d)"
+                    p v step u
+                    (match owner u with Some q -> q | None -> -1))
+              (D.in_neighbors g v);
+            Hashtbl.replace holds.(p) v ();
+            ever_computed.(v) <- true)
+      | Transfer { value = u; src; dst } ->
+        incr transfers;
+        if u < 0 || u >= n then
+          err ~code:"bad-vertex" (Dg.Step { step; vertex = Some u })
+            "transfer event references vertex %d outside [0, %d)" u n
+        else if not (valid_proc src && valid_proc dst) then
+          err ~code:"bad-proc" (Dg.Step { step; vertex = Some u })
+            "transfer of vertex %d between invalid processors %d -> %d" u src
+            dst
+        else if src = dst then
+          err ~code:"self-transfer" (Dg.Step { step; vertex = Some u })
+            "processor %d transfers vertex %d to itself" src u
+        else begin
+          if not (Hashtbl.mem holds.(src) u) then
+            err ~code:"send-unheld" (Dg.Step { step; vertex = Some u })
+              "processor %d sends vertex %d it does not hold (lost in a \
+               crash, or never computed/received)"
+              src u;
+          Hashtbl.replace holds.(dst) u ()
+        end
+      | Crash { proc = p } ->
+        incr crashes;
+        if not (valid_proc p) then
+          err ~code:"bad-proc" (Dg.Step { step; vertex = None })
+            "crash event names invalid processor %d" p
+        else begin
+          Hashtbl.reset holds.(p);
+          List.iter (fun v -> Hashtbl.replace holds.(p) v ()) own_inputs.(p)
+        end)
+    log;
+  for v = 0 to n - 1 do
+    if (not (is_input v)) && not ever_computed.(v) then
+      err ~code:"never-computed" (Dg.Vertex v)
+        "vertex %d is never computed by any event" v
+  done;
+  let lost = ref 0 in
+  Array.iter
+    (fun v ->
+      match owner v with
+      | Some p when valid_proc p ->
+        if not (Hashtbl.mem holds.(p) v) then begin
+          incr lost;
+          err ~code:"lost-output" (Dg.Vertex v)
+            "output vertex %d is not held by its owner %d when the log ends \
+             (lost in a crash and never recovered)"
+            v p
+        end
+      | _ -> ())
+    work.W.outputs;
+  {
+    report = Dg.Collector.report c;
+    computes = !computes;
+    transfers = !transfers;
+    crashes = !crashes;
+    lost_outputs = !lost;
+  }

@@ -37,6 +37,48 @@ val check :
     schedule you actually intend to run to get hazard detection.
     Positions in diagnostics are indices into [order]. *)
 
+(** {2 Fault-aware replay validation}
+
+    {!check} validates a fault-free description, where "computed at an
+    earlier position" is the whole availability story. Under failures
+    it is not: a crash wipes copies that positions alone would call
+    live. [check_log] replays an executor's full event log against
+    per-processor holdings instead — the read-before-send rule at
+    event granularity, crash-aware. {!Fmm_fault.Sim} emits exactly
+    this log; the test suite cross-validates every recovered run. *)
+
+(** One event of a distributed execution, in occurrence order. *)
+type ev =
+  | Compute of { vertex : int; proc : int }
+      (** [proc] derives [vertex] locally (initial computation or a
+          recovery re-derivation) *)
+  | Transfer of { value : int; src : int; dst : int }
+      (** one word moves [src] -> [dst] ([dst] may be the owner,
+          restoring a copy lost in a crash) *)
+  | Crash of { proc : int }
+      (** [proc] loses every held word except its own durable inputs *)
+
+type replay = {
+  report : Diagnostic.report;
+  computes : int;
+  transfers : int;
+  crashes : int;
+  lost_outputs : int;
+      (** output vertices not held by their owner when the log ends *)
+}
+
+val check_log :
+  Fmm_machine.Workload.t ->
+  procs:int ->
+  assignment:int array ->
+  log:ev list ->
+  replay
+(** Replay [log] and report every violation: a compute whose operand
+    has no live copy at the reader ([race]), a send of an unheld word
+    ([send-unheld]), owner-computes violations, vertices never
+    computed, and outputs lost to an unrecovered crash. A log is a
+    valid recovered execution iff the report has zero errors. *)
+
 val phased_order : Fmm_machine.Workload.t -> procs:int -> assignment:int array -> int list
 (** The processor-phased order: processor 0's vertices first, then
     processor 1's, ... (each processor's program in locally

@@ -1,0 +1,125 @@
+(** Deterministic fault injection and recovery on the distributed
+    word-counting executor ({!Fmm_machine.Par_exec}).
+
+    Recomputation — the paper's central object — is also the classic
+    {e recovery} mechanism of distributed linear algebra: when a
+    processor fails, its lost sub-CDAG can be re-derived instead of
+    checkpointed. This simulator prices that resilience in the same
+    currency as Theorem 1.1: words moved per processor. A seeded
+    failure schedule kills processors at chosen points of the
+    topological sweep — each crash wipes the victim's resident foreign
+    words and un-computes its owned vertices (its own {e input} values
+    are durable: initial operand data is re-readable, computed words
+    are not) — and one of three recovery policies replays the run to
+    completion:
+
+    - {!Recompute_local}: the failed processor re-derives every lost
+      value it or a consumer still needs, recursively, re-fetching the
+      foreign operands its wiped cache no longer holds (recomputation
+      is free in words, the re-fetches are not);
+    - {!Refetch_owner}: a lost word is re-pulled from the
+      smallest-id surviving holder — a consumer that fetched a copy
+      earlier — charging that sender/receiver pair; re-derivation is
+      the fallback when no copy survives;
+    - {!Replicate k}: k-way ownership — every computed word is pushed
+      to its [k - 1] replica processors {e up front} (proactive
+      replication traffic, charged even on fault-free runs), and
+      recovery pulls from a replica.
+
+    Determinism contract: the failure schedule is derived from the
+    seed alone ({!Fmm_util.Prng.derive}), the sweep is sequential, and
+    nothing reads clocks or scheduler state — a (workload, assignment,
+    policy, fail, seed) tuple yields a byte-identical report at any
+    [--jobs]. With [fail = 0] (and [Replicate 1], which pushes no
+    replicas) the counters reproduce {!Fmm_machine.Par_exec.run}
+    exactly — the parity the FT1 experiment gates in CI. *)
+
+type policy =
+  | Recompute_local
+  | Refetch_owner
+  | Replicate of int
+      (** [Replicate k]: owner plus [k - 1] replicas; requires
+          [1 <= k <= procs]. [Replicate 1] is plain ownership. *)
+
+val policy_name : policy -> string
+(** ["recompute"], ["refetch"], ["replicate-k"]. *)
+
+val policy_of_string : string -> policy option
+(** Inverse of {!policy_name}; also accepts ["replicate:k"]. *)
+
+type event = { proc : int; step : int }
+(** Processor [proc] crashes immediately before the sweep executes the
+    compute step at position [step] (an index into the topological
+    order of non-input vertices). *)
+
+type report = {
+  procs : int;
+  policy : policy;
+  seed : int;
+  assignment : int array;  (** the ownership map the run executed *)
+  failures : event list;
+  sent : int array;
+  received : int array;
+  total_words : int;
+  max_words : float;  (** max over processors of sent + received *)
+  replication_words : int;
+      (** proactive replica pushes (only nonzero under [Replicate k],
+          k > 1) *)
+  recovery_words : int;
+      (** transfers attributable to recovery: re-fetches of wiped
+          copies, survivor pulls, and every fetch made while
+          re-deriving a lost value *)
+  recomputed : int;  (** vertices re-derived after a crash *)
+  baseline_total : int;  (** fault-free {!Fmm_machine.Par_exec.run} *)
+  baseline_max : float;
+  overhead_total : float;
+      (** [total_words / baseline_total] (1.0 when both are 0) *)
+  overhead_max : float;
+  bound : float option;
+      (** the memory-independent Theorem 1.1 bound, when supplied *)
+  bound_ratio : float option;  (** [max_words / bound] *)
+  log : Fmm_analysis.Par_check.ev list;
+      (** the full event log, validated by
+          {!Fmm_analysis.Par_check.check_log} *)
+}
+
+val derive_failures :
+  procs:int -> steps:int -> fail:int -> seed:int -> event list
+(** [fail] crash events, each with processor and step drawn from an
+    independent {!Fmm_util.Prng.derive}d stream, sorted by (step,
+    proc). Pure in its arguments. Raises [Invalid_argument] on
+    negative [fail] or nonpositive [procs]; empty when [steps = 0]. *)
+
+val run :
+  Fmm_machine.Workload.t ->
+  procs:int ->
+  assignment:int array ->
+  policy:policy ->
+  failures:event list ->
+  ?bound:float ->
+  ?seed:int ->
+  unit ->
+  report
+(** Execute the workload under an explicit failure schedule. Raises
+    [Invalid_argument] on shape errors (as {!Fmm_machine.Par_exec.run}),
+    a [Replicate k] outside [1, procs], or an event outside the sweep.
+    [seed] is recorded in the report only. *)
+
+val simulate :
+  Fmm_machine.Workload.t ->
+  procs:int ->
+  assignment:int array ->
+  policy:policy ->
+  fail:int ->
+  seed:int ->
+  ?bound:float ->
+  unit ->
+  report
+(** {!derive_failures} composed with {!run}: the seeded entry point
+    used by [fmmlab faults], the FT experiments and the tests. *)
+
+val check : Fmm_machine.Workload.t -> report -> Fmm_analysis.Par_check.replay
+(** Cross-validate a report's event log with
+    {!Fmm_analysis.Par_check.check_log}: zero errors iff the recovered
+    run still satisfies read-before-send at every event and every
+    output survived to its owner. *)

@@ -33,8 +33,26 @@ let run (work : Workload.t) ~procs ~assignment =
     (fun p -> if p < 0 || p >= procs then invalid_arg "Par_exec.run: bad processor id")
     assignment;
   let sent = Array.make procs 0 and received = Array.make procs 0 in
-  (* transferred.(v) = list of processors already holding v *)
-  let transferred = Array.make n [] in
+  (* transferred.(v) = bitset over processor ids already holding v,
+     allocated lazily on v's first transfer. The former [int list] made
+     every probe O(|holders|), so broadcast-hot values (depth-0 operand
+     arrays read by every processor) turned the census superlinear at
+     high P; the bitset probe is O(1) and the memory is one byte per 8
+     processors per actually-shared value. *)
+  let transferred = Array.make n Bytes.empty in
+  let holds value consumer =
+    let b = transferred.(value) in
+    Bytes.length b > 0
+    && Char.code (Bytes.unsafe_get b (consumer lsr 3)) land (1 lsl (consumer land 7)) <> 0
+  in
+  let mark value consumer =
+    if Bytes.length transferred.(value) = 0 then
+      transferred.(value) <- Bytes.make ((procs + 7) / 8) '\000';
+    let b = transferred.(value) in
+    let i = consumer lsr 3 in
+    Bytes.unsafe_set b i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get b i) lor (1 lsl (consumer land 7))))
+  in
   let order =
     match Fmm_graph.Digraph.topo_sort g with
     | Some o -> o
@@ -43,8 +61,8 @@ let run (work : Workload.t) ~procs ~assignment =
   let total = ref 0 in
   let fetch value consumer =
     let owner = assignment.(value) in
-    if owner <> consumer && not (List.mem consumer transferred.(value)) then begin
-      transferred.(value) <- consumer :: transferred.(value);
+    if owner <> consumer && not (holds value consumer) then begin
+      mark value consumer;
       sent.(owner) <- sent.(owner) + 1;
       received.(consumer) <- received.(consumer) + 1;
       incr total

@@ -25,13 +25,16 @@ type cost = {
   rounds : int;
 }
 
-let int_cbrt p =
-  let c = int_of_float (Float.round (float_of_int p ** (1. /. 3.))) in
-  if c * c * c = p then Some c else None
+(* Grid sizes must be EXACT integer roots: the former float-based
+   [int_of_float (Float.round (float p ** (1. /. 3.)))] mis-identified
+   perfect powers once rounding bit (large p), silently mis-tiling the
+   2.5D/SUMMA-style models. [Combinat.iroot] brackets the root with
+   integer arithmetic only; a remainder means p is not a perfect power
+   and the model raises the documented [Invalid_argument] rather than
+   costing a grid that does not exist. *)
+let int_cbrt p = if p < 1 then None else Fmm_util.Combinat.iroot_exact ~k:3 p
 
-let int_sqrt p =
-  let s = int_of_float (Float.round (sqrt (float_of_int p))) in
-  if s * s = p then Some s else None
+let int_sqrt p = if p < 1 then None else Fmm_util.Combinat.iroot_exact ~k:2 p
 
 (** Cannon's algorithm on a sqrt(P) x sqrt(P) grid. Requires square P
     dividing n. *)

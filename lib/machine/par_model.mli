@@ -15,12 +15,16 @@ type cost = {
 
 val cannon_2d : n:int -> p:int -> cost
 (** Cannon's algorithm on a sqrt(P) x sqrt(P) grid;
-    words = Theta(n^2/sqrt P). Raises unless P is a perfect square
-    dividing n. *)
+    words = Theta(n^2/sqrt P). Raises [Invalid_argument] unless P is a
+    perfect square (decided by exact integer root extraction —
+    [Fmm_util.Combinat.iroot] — never float rounding) whose root
+    divides n. A non-square P is an error, not a round-down: costing a
+    truncated grid would silently under-count the model's traffic. *)
 
 val classical_3d : n:int -> p:int -> cost
 (** 3D classical with P^{1/3} replication; words = Theta(n^2/P^{2/3}).
-    Raises unless P is a perfect cube with P^{2/3} | n^2. *)
+    Raises [Invalid_argument] unless P is a perfect cube (exact integer
+    cube root, same contract as {!cannon_2d}) with P^{2/3} | n^2. *)
 
 type caps_step = BFS | DFS
 

@@ -15,13 +15,32 @@
 
 type 'b slot = Done of 'b | Failed of exn * Printexc.raw_backtrace | Pending
 
+(* A task may classify its own failure as retryable by raising
+   [Transient]: the worker that claimed it re-runs it in place, up to
+   [retries] extra attempts, before the failure is recorded for the
+   usual smallest-index re-raise. Retries are per task, immediate, and
+   happen inside the claiming worker, so they change neither result
+   order nor the determinism contract: a task that deterministically
+   raises [Transient] fails identically at every [jobs]. *)
+exception Transient of string
+
+let with_retries ~retries f x =
+  let rec attempt k =
+    match f x with
+    | v -> v
+    | exception Transient _ when k < retries -> attempt (k + 1)
+  in
+  attempt 0
+
 let sequential_map f xs =
   (* explicit left-to-right evaluation: the jobs = 1 path must raise the
      first exception by index, same as the pool path *)
   List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
 
-let map ~jobs f xs =
+let map ?(retries = 0) ~jobs f xs =
   if jobs < 1 then invalid_arg "Fmm_par.Pool.map: jobs < 1";
+  if retries < 0 then invalid_arg "Fmm_par.Pool.map: retries < 0";
+  let f = if retries = 0 then f else with_retries ~retries f in
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]

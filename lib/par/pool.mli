@@ -5,15 +5,28 @@
     [jobs], which is the foundation of the repo-wide guarantee that
     reports are byte-identical at any [--jobs]. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+exception Transient of string
+(** A task raises [Transient] to mark its failure as retryable (a
+    simulated crash, a flaky external resource). Any other exception is
+    final immediately. *)
+
+val map : ?retries:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] on at most
     [jobs] domains (the calling domain included) and returns the
     results in input order. If any task raises, the exception of the
     *smallest failing index* is re-raised with its original backtrace
     — exactly what sequential left-to-right [List.map] would have
     raised first. [jobs = 1] runs plain sequential code with no domain
-    spawned. Raises [Invalid_argument] on [jobs < 1]. [jobs] beyond
-    [List.length xs] is harmless: surplus workers exit immediately. *)
+    spawned. Raises [Invalid_argument] on [jobs < 1] or [retries < 0].
+    [jobs] beyond [List.length xs] is harmless: surplus workers exit
+    immediately.
+
+    [retries] (default 0) bounds per-task crash recovery: a task that
+    raises {!Transient} is re-run immediately, in the worker that
+    claimed it, up to [retries] extra attempts; only the attempt that
+    exhausts the budget records the failure. Retried tasks keep their
+    input slot, so results stay in input order and the smallest-index
+    re-raise rule is unchanged — deterministic at every [jobs]. *)
 
 val jobs_from_env : ?var:string -> ?default:int -> unit -> int
 (** Parallelism level from the environment ([FMMLAB_JOBS] by default):

@@ -63,6 +63,44 @@ let ceil_div a b =
   if b <= 0 then invalid_arg "Combinat.ceil_div: nonpositive divisor";
   if a >= 0 then (a + b - 1) / b else a / b
 
+(** [iroot ~k n] is the floor of the [k]-th root of [n], computed with
+    exact integer arithmetic (overflow-safe bracketed binary search) —
+    never through [Float.( ** )], whose rounding mis-identifies perfect
+    powers once they exceed 2^53. Raises [Invalid_argument] on
+    [k < 1] or [n < 0]. *)
+let iroot ~k n =
+  if k < 1 then invalid_arg "Combinat.iroot: k < 1";
+  if n < 0 then invalid_arg "Combinat.iroot: n < 0";
+  if n <= 1 || k = 1 then n
+  else begin
+    (* r^k <= n without ever overflowing: bail as soon as the partial
+       product would exceed n on the next multiply *)
+    let pow_leq r =
+      r <= 1
+      ||
+      let rec go acc i =
+        if i = 0 then true else if acc > n / r then false else go (acc * r) (i - 1)
+      in
+      go 1 k
+    in
+    let lo = ref 1 and hi = ref 2 in
+    while pow_leq !hi do
+      lo := !hi;
+      hi := !hi * 2
+    done;
+    (* invariant: pow_leq lo && not (pow_leq hi) *)
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if pow_leq mid then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+(** [iroot_exact ~k n] is [Some r] iff [r{^k} = n] exactly. *)
+let iroot_exact ~k n =
+  let r = iroot ~k n in
+  if pow_int r k = n then Some r else None
+
 let is_power_of ~base n =
   if base < 2 then invalid_arg "Combinat.is_power_of: base < 2";
   let rec go n = n = 1 || (n mod base = 0 && go (n / base)) in

@@ -26,6 +26,17 @@ val pow_int : int -> int -> int
 val ceil_div : int -> int -> int
 (** Integer ceiling division. Raises on nonpositive divisor. *)
 
+val iroot : k:int -> int -> int
+(** [iroot ~k n] is the floor of the [k]-th root of [n], by exact
+    integer arithmetic (no float detour, so perfect powers are never
+    mis-identified by rounding). Raises [Invalid_argument] on [k < 1]
+    or [n < 0]. *)
+
+val iroot_exact : k:int -> int -> int option
+(** [iroot_exact ~k n] is [Some r] iff [r{^k} = n] exactly, [None]
+    otherwise (the caller decides whether a remainder is an error or a
+    round-down). *)
+
 val is_power_of : base:int -> int -> bool
 (** [is_power_of ~base n] holds iff [n = base{^k}] for some [k >= 0]. *)
 

@@ -420,6 +420,46 @@ let test_par_exec_limited_counters_exact () =
       Alcotest.(check (float 0.)) "max words agrees" a.PE.max_words b.PE.max_words)
     [ (cdag4, 1, 7); (cdag8, 1, 7); (cdag8, 2, 49); (cdag8, 2, 5) ]
 
+let test_par_exec_census_reference () =
+  (* regression for the bitset rewrite of the transfer-dedup check: an
+     independent census that remembers (value, consumer) pairs in plain
+     lists — the shape of the code the bitsets replaced — must agree
+     with run's counters exactly on BFS Strassen n=16 depth 2 *)
+  let c = Cd.build S.strassen ~n:16 in
+  let w = W.of_cdag c in
+  let procs = 49 in
+  let assignment = PE.bfs_assignment c ~depth:2 ~procs in
+  let r = PE.run w ~procs ~assignment in
+  let g = w.W.graph in
+  let n = W.n_vertices w in
+  let sent = Array.make procs 0 and received = Array.make procs 0 in
+  let transferred = Array.make n [] in
+  let total = ref 0 in
+  let is_input = W.is_input w in
+  let order =
+    match Fmm_graph.Digraph.topo_sort g with
+    | Some o -> o
+    | None -> Alcotest.fail "not a DAG"
+  in
+  List.iter
+    (fun v ->
+      if not (is_input v) then
+        let p = assignment.(v) in
+        List.iter
+          (fun u ->
+            let owner = assignment.(u) in
+            if owner <> p && not (List.mem p transferred.(u)) then begin
+              transferred.(u) <- p :: transferred.(u);
+              sent.(owner) <- sent.(owner) + 1;
+              received.(p) <- received.(p) + 1;
+              incr total
+            end)
+          (Fmm_graph.Digraph.in_neighbors g v))
+    order;
+  Alcotest.(check (array int)) "sent" sent r.PE.sent;
+  Alcotest.(check (array int)) "received" received r.PE.received;
+  Alcotest.(check int) "total" !total r.PE.total_words
+
 let test_bfs_assignment_first_claim () =
   (* independent spec of the documented ownership rule: a vertex claimed
      by several depth-d subtrees (via id range, a_in or b_in) belongs to
@@ -458,6 +498,83 @@ let test_bfs_assignment_first_claim () =
         (Fmm_analysis.Diagnostic.n_errors sta.Apc.report);
       Alcotest.(check int) "no races" 0 sta.Apc.races)
     [ (cdag4, 1, 7); (cdag4, 1, 3); (cdag8, 1, 7); (cdag8, 2, 49) ]
+
+let test_bfs_assignment_properties () =
+  (* property sweep at depths 1-3 with processor counts that do NOT
+     divide the 7^d subtree count, so the round-robin deal wraps
+     unevenly *)
+  List.iter
+    (fun depth ->
+      List.iter
+        (fun procs ->
+          let label fmt =
+            Printf.ksprintf
+              (fun s -> Printf.sprintf "d=%d P=%d: %s" depth procs s)
+              fmt
+          in
+          let assignment = PE.bfs_assignment cdag8 ~depth ~procs in
+          let subtrees =
+            List.filter (fun nd -> nd.Cd.depth = depth) (Cd.nodes cdag8)
+            |> List.sort (fun a b -> compare a.Cd.subtree_lo b.Cd.subtree_lo)
+          in
+          Alcotest.(check int) (label "7^d subtrees")
+            (Fmm_util.Combinat.pow_int 7 depth)
+            (List.length subtrees);
+          (* claimed ranges are contiguous intervals, pairwise disjoint *)
+          let _ =
+            List.fold_left
+              (fun prev_hi nd ->
+                Alcotest.(check bool) (label "range is an interval") true
+                  (nd.Cd.subtree_lo <= nd.Cd.subtree_hi);
+                Alcotest.(check bool) (label "ranges disjoint, sorted") true
+                  (prev_hi < nd.Cd.subtree_lo);
+                nd.Cd.subtree_hi)
+              (-1) subtrees
+          in
+          (* order-independence: dealing from a shuffled node list gives
+             the identical partition, because the claim order is fixed
+             by the subtree_lo sort, not by list position *)
+          List.iter
+            (fun seed ->
+              let arr = Array.of_list subtrees in
+              let rng = Fmm_util.Prng.create ~seed in
+              Fmm_util.Prng.shuffle rng arr;
+              let shuffled =
+                List.sort
+                  (fun a b -> compare a.Cd.subtree_lo b.Cd.subtree_lo)
+                  (Array.to_list arr)
+              in
+              let n = Cd.n_vertices cdag8 in
+              let reference = Array.init n (fun v -> v mod procs) in
+              let claimed = Array.make n false in
+              let claim p v =
+                if not claimed.(v) then begin
+                  claimed.(v) <- true;
+                  reference.(v) <- p
+                end
+              in
+              List.iteri
+                (fun idx nd ->
+                  let p = idx mod procs in
+                  for v = nd.Cd.subtree_lo to nd.Cd.subtree_hi do
+                    claim p v
+                  done;
+                  Array.iter (claim p) nd.Cd.a_in;
+                  Array.iter (claim p) nd.Cd.b_in)
+                shuffled;
+              Alcotest.(check (array int))
+                (label "shuffled deal agrees (seed %d)" seed)
+                reference assignment;
+              (* unclaimed vertices keep the round-robin-by-id default *)
+              Array.iteri
+                (fun v c ->
+                  if not c then
+                    Alcotest.(check int) (label "unclaimed %d round-robin" v)
+                      (v mod procs) assignment.(v))
+                claimed)
+            [ 1; 2; 3 ])
+        [ 2; 3; 5 ])
+    [ 1; 2; 3 ]
 
 (* --- differential: seeded random workloads through all three
    schedulers; every trace replays clean through both the dynamic
@@ -761,6 +878,27 @@ let test_3d () =
   let c2 = Par.cannon_2d ~n:64 ~p:64 in
   Alcotest.(check bool) "3d < 2d" true (c2.Par.words_per_proc > c.Par.words_per_proc)
 
+let test_parallel_grid_boundaries () =
+  (* the grid checks use exact integer roots: P one off a perfect
+     square / cube must be rejected, the exact powers accepted. The
+     float-rounding path this replaced could mis-tile near the
+     boundary. *)
+  List.iter
+    (fun p ->
+      Alcotest.check_raises (Printf.sprintf "cannon p=%d" p)
+        (Invalid_argument "Par_model.cannon_2d: P must be a perfect square")
+        (fun () -> ignore (Par.cannon_2d ~n:64 ~p)))
+    [ 15; 17; 35; 37 ];
+  Alcotest.(check int) "cannon p=16 accepted" 16 (Par.cannon_2d ~n:64 ~p:16).Par.p;
+  Alcotest.(check int) "cannon p=36 accepted" 36 (Par.cannon_2d ~n:36 ~p:36).Par.p;
+  List.iter
+    (fun p ->
+      Alcotest.check_raises (Printf.sprintf "3d p=%d" p)
+        (Invalid_argument "Par_model.classical_3d: P must be a perfect cube")
+        (fun () -> ignore (Par.classical_3d ~n:36 ~p)))
+    [ 26; 28 ];
+  Alcotest.(check int) "3d p=27 accepted" 27 (Par.classical_3d ~n:36 ~p:27).Par.p
+
 let test_caps_regimes () =
   let n = 1 lsl 10 in
   (* plentiful memory: all-BFS *)
@@ -848,7 +986,11 @@ let () =
           Alcotest.test_case "memory monotone" `Quick test_par_exec_limited_monotone;
           Alcotest.test_case "limited counters exact" `Quick
             test_par_exec_limited_counters_exact;
+          Alcotest.test_case "census vs list reference" `Quick
+            test_par_exec_census_reference;
           Alcotest.test_case "bfs first-claim" `Quick test_bfs_assignment_first_claim;
+          Alcotest.test_case "bfs properties" `Quick
+            test_bfs_assignment_properties;
           Alcotest.test_case "static cross-check" `Quick
             test_par_exec_static_cross_check;
         ] );
@@ -872,6 +1014,8 @@ let () =
         [
           Alcotest.test_case "cannon" `Quick test_cannon;
           Alcotest.test_case "3d" `Quick test_3d;
+          Alcotest.test_case "grid boundaries" `Quick
+            test_parallel_grid_boundaries;
           Alcotest.test_case "caps regimes" `Quick test_caps_regimes;
           Alcotest.test_case "caps vs bounds" `Quick test_caps_tracks_bounds;
           Alcotest.test_case "strong scaling" `Quick test_caps_strong_scaling_monotone;

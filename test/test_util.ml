@@ -54,6 +54,43 @@ let test_pow_and_logs () =
     (Invalid_argument "Combinat.log2_exact: not a power of two") (fun () ->
       ignore (C.log2_exact 48))
 
+let test_iroot () =
+  Alcotest.(check int) "cbrt 27" 3 (C.iroot ~k:3 27);
+  Alcotest.(check int) "cbrt 26" 2 (C.iroot ~k:3 26);
+  Alcotest.(check int) "cbrt 28" 3 (C.iroot ~k:3 28);
+  Alcotest.(check int) "sqrt 0" 0 (C.iroot ~k:2 0);
+  Alcotest.(check int) "sqrt 1" 1 (C.iroot ~k:2 1);
+  Alcotest.(check int) "sqrt 2" 1 (C.iroot ~k:2 2);
+  Alcotest.(check int) "k=1 identity" 5 (C.iroot ~k:1 5);
+  (* the float path this replaced mis-rounds past 2^53: float (s^2 - 1)
+     rounds up to s^2, so sqrt-and-round calls s^2 - 1 a perfect
+     square. The exact root must not. *)
+  let s = (1 lsl 31) - 1 in
+  Alcotest.(check int) "huge square" s (C.iroot ~k:2 (s * s));
+  Alcotest.(check int) "huge square - 1" (s - 1) (C.iroot ~k:2 ((s * s) - 1));
+  Alcotest.(check bool) "huge square exact" true
+    (C.iroot_exact ~k:2 (s * s) = Some s);
+  Alcotest.(check bool) "huge near-square rejected" true
+    (C.iroot_exact ~k:2 ((s * s) - 1) = None);
+  let c = 1 lsl 20 in
+  Alcotest.(check int) "2^60 cube root" c (C.iroot ~k:3 (c * c * c));
+  Alcotest.(check int) "2^60 - 1 cube root" (c - 1) (C.iroot ~k:3 ((c * c * c) - 1));
+  Alcotest.(check bool) "2^60 - 1 not a cube" true
+    (C.iroot_exact ~k:3 ((c * c * c) - 1) = None);
+  (* k larger than any power that fits: root collapses to 1 *)
+  Alcotest.(check int) "62nd root of max_int" 1 (C.iroot ~k:62 max_int);
+  Alcotest.(check bool) "boundary exacts" true
+    (C.iroot_exact ~k:2 16 = Some 4
+    && C.iroot_exact ~k:2 15 = None
+    && C.iroot_exact ~k:2 17 = None
+    && C.iroot_exact ~k:3 27 = Some 3
+    && C.iroot_exact ~k:3 26 = None
+    && C.iroot_exact ~k:3 28 = None);
+  Alcotest.check_raises "k = 0" (Invalid_argument "Combinat.iroot: k < 1")
+    (fun () -> ignore (C.iroot ~k:0 4));
+  Alcotest.check_raises "negative n" (Invalid_argument "Combinat.iroot: n < 0")
+    (fun () -> ignore (C.iroot ~k:2 (-1)))
+
 let test_ceil_div () =
   Alcotest.(check int) "7/2" 4 (C.ceil_div 7 2);
   Alcotest.(check int) "8/2" 4 (C.ceil_div 8 2);
@@ -221,6 +258,7 @@ let () =
           Alcotest.test_case "all_subsets" `Quick test_all_subsets;
           Alcotest.test_case "binomial" `Quick test_binomial;
           Alcotest.test_case "pow/log" `Quick test_pow_and_logs;
+          Alcotest.test_case "iroot" `Quick test_iroot;
           Alcotest.test_case "ceil_div" `Quick test_ceil_div;
           Alcotest.test_case "cartesian" `Quick test_cartesian;
           Alcotest.test_case "permutations" `Quick test_permutations;
