@@ -27,6 +27,8 @@
      OPT1    optimizer smoke: Strassen H^{8x8}, fixed seed, 2 iterations
      OPT2    optimizer at depth: Strassen H^{16x16} at M = 64
      OPT3    optimizer on the FFT butterfly (generic hot windows)
+     AN1     certifier: static MAXLIVE / I/O lower bound vs measured policies
+     AN2     incremental legality oracle vs full replay (byte-identical search)
      FT1     fault injection: fault-free parity with the plain executor
      FT2     fault injection: single-failure overhead per recovery policy
      FT3     fault injection: overhead vs failure count (recompute policy)
@@ -1055,6 +1057,178 @@ let _opt3 =
       opt_row m ~section:"beam search vs fixed policies (butterfly, seed 1)"
         ~params:[ ("n", i n); ("M", i mm); ("beam", i 4); ("iters", i 4) ]
         ~bound:(B.fft_memdep ~n ~m:mm ~p:1) r)
+
+(* ----- AN: the dataflow certifier and the incremental oracle ----- *)
+
+let _an1 =
+  define ~id:"AN1"
+    ~title:"certifier - static MAXLIVE / I/O lower bound vs measured policies"
+    ~doc:
+      "Certify.run on several (algorithm, n, M) points: the static \
+       min-cache from Dataflow.trace_profile must equal the dynamic peak \
+       occupancy of every policy trace, and the interval-liveness I/O \
+       lower bound must sit under every no-recomputation policy — the \
+       sandwich lb <= belady <= lru, with rematerialization beside it. \
+       The gated ratio is belady/lb: it drifting up means the bound got \
+       looser or Belady got worse."
+    (fun m ->
+      let module Ct = Fmm_analysis.Certify in
+      let section = "static vs dynamic certification (dfs order)" in
+      List.iter
+        (fun (alg, n, mm) ->
+          let c =
+            Obs.time m (Printf.sprintf "certify %s n=%d M=%d" (A.name alg) n mm)
+              (fun () ->
+                Ct.run ~jobs:(jobs ()) ~cdag:(cdag alg n) ~cache_size:mm
+                  (work alg n) ~order:(dfs_order alg n))
+          in
+          let io name =
+            match List.find_opt (fun r -> r.Ct.policy = name) c.Ct.rows with
+            | Some r when r.Ct.feasible -> r.Ct.io
+            | _ -> -1
+          in
+          let agree = List.for_all (fun r -> r.Ct.agree) c.Ct.rows in
+          let lb = c.Ct.io_lower_bound in
+          let belady = io "belady" in
+          Obs.rowf m ~section
+            ~params:[ ("algorithm", s (A.name alg)); ("n", i n); ("M", i mm) ]
+            [
+              ("maxlive", i c.Ct.maxlive);
+              ("static lb", i lb);
+              ("belady", i belady);
+              ("lru", i (io "lru"));
+              ("remat", i (io "remat"));
+              ("ratio", f (float_of_int belady /. float_of_int lb));
+              ("agree", mark agree);
+              ("verdict", mark (Ct.certified c && belady >= lb));
+            ])
+        [
+          (S.strassen, 8, 32);
+          (S.strassen, 16, 64);
+          (S.winograd, 8, 32);
+          (AB.ks_core, 4, 16);
+        ];
+      Obs.note m
+        "(the certifier itself errors on any static/dynamic disagreement — \
+         'agree' failing would also fail the --certify CI gate)")
+
+let _an2 =
+  define ~id:"AN2"
+    ~title:"incremental oracle - check_delta vs full replay in the beam search"
+    ~doc:
+      "The OPT2 configuration under both oracle modes. The oracle can \
+       only veto, so the searches must coincide byte-for-byte: same best \
+       schedule, same trajectory, same beam, same trace. The incremental \
+       mode re-interprets only the mutated window of each admitted \
+       schedule (plus one full pass per re-memoization); rows carry the \
+       deterministic event accounting, while the wall-clock speedup goes \
+       to the volatile _s scalars — timings are load-sensitive, registry \
+       rows are not."
+    (fun m ->
+      let module O = Fmm_opt.Optimizer in
+      let module Tc = Fmm_analysis.Trace_check in
+      let module CM = Fmm_machine.Cache_machine in
+      let n = 16 and mm = 64 in
+      let c = cdag S.strassen n in
+      let t0 = Unix.gettimeofday () in
+      let full =
+        O.optimize_cdag c ~cache_size:mm ~beam:3 ~iters:2 ~seed:1
+          ~oracle_mode:O.Full_replay ~jobs:(jobs ())
+      in
+      let t1 = Unix.gettimeofday () in
+      let inc =
+        O.optimize_cdag c ~cache_size:mm ~beam:3 ~iters:2 ~seed:1
+          ~oracle_mode:O.Incremental ~jobs:(jobs ())
+      in
+      let t2 = Unix.gettimeofday () in
+      Obs.gauge m "search_full_replay_s" (t1 -. t0);
+      Obs.gauge m "search_incremental_s" (t2 -. t1);
+      let beam_key r =
+        List.map (fun ev -> (ev.O.io, ev.O.candidate.O.provenance)) r.O.beam
+      in
+      let same =
+        full.O.best.O.io = inc.O.best.O.io
+        && full.O.best.O.candidate.O.provenance
+           = inc.O.best.O.candidate.O.provenance
+        && full.O.history = inc.O.history
+        && full.O.accepted = inc.O.accepted
+        && beam_key full = beam_key inc
+        && full.O.best.O.result.Sch.trace = inc.O.best.O.result.Sch.trace
+      in
+      let bound = B.fast_sequential ~n ~m:mm () in
+      Obs.rowf m ~section:"oracle modes (Strassen H^{16x16}, M = 64, seed 1)"
+        ~params:[ ("n", i n); ("M", i mm); ("beam", i 3); ("iters", i 2) ]
+        [
+          ("best io", i inc.O.best.O.io);
+          ("accepted", i inc.O.accepted);
+          ("events total", i inc.O.oracle_total);
+          ("events replayed", i inc.O.oracle_replayed);
+          ( "reuse %",
+            f
+              (100.
+              *. float_of_int (inc.O.oracle_total - inc.O.oracle_replayed)
+              /. float_of_int (max 1 inc.O.oracle_total)) );
+          ("ratio", f (float_of_int inc.O.best.O.io /. bound));
+          ("identical", mark same);
+          ("verdict", mark (same && full.O.oracle_replayed = full.O.oracle_total));
+        ];
+      (* The oracle in isolation, free of candidate-evaluation noise:
+         one admitted schedule, one small legal mutation (two adjacent
+         Loads swapped), K verdicts per mode. This is the unit of work
+         the beam pays per entrant whose move stayed local. *)
+      let w = work S.strassen n in
+      let o = dfs_order S.strassen n in
+      let trace = (Sch.run_lru w ~cache_size:mm o).Sch.trace in
+      let _, base = Tc.check_cached ~cache_size:mm w trace in
+      let mutated =
+        let arr = Array.of_list trace in
+        let k = ref (-1) in
+        (try
+           for p = Array.length arr / 2 to Array.length arr - 2 do
+             match (arr.(p), arr.(p + 1)) with
+             | Tr.Load a, Tr.Load b when a <> b ->
+               k := p;
+               raise Exit
+             | _ -> ()
+           done
+         with Exit -> ());
+        if !k >= 0 then begin
+          let tmp = arr.(!k) in
+          arr.(!k) <- arr.(!k + 1);
+          arr.(!k + 1) <- tmp
+        end;
+        Array.to_list arr
+      in
+      let reps = 10 in
+      let t3 = Unix.gettimeofday () in
+      let v = ref (Tc.check_delta ~base w mutated) in
+      for _ = 2 to reps do
+        v := Tc.check_delta ~base w mutated
+      done;
+      let t4 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (CM.replay { CM.cache_size = mm; allow_recompute = true } w mutated);
+        ignore (Tc.check ~cache_size:mm w mutated)
+      done;
+      let t5 = Unix.gettimeofday () in
+      let delta_s = (t4 -. t3) /. float_of_int reps
+      and full_s = (t5 -. t4) /. float_of_int reps in
+      Obs.gauge m "oracle_delta_unit_s" delta_s;
+      Obs.gauge m "oracle_full_unit_s" full_s;
+      Obs.gauge m "oracle_speedup_s" (if delta_s > 0. then full_s /. delta_s else nan);
+      Obs.rowf m ~section:"oracle unit cost (one swapped-Load mutation)"
+        ~params:[ ("n", i n); ("M", i mm) ]
+        [
+          ("trace events", i (List.length trace));
+          ("replayed", i !v.Tc.replayed);
+          ("reused prefix", i !v.Tc.reused_prefix);
+          ("reused suffix", i !v.Tc.reused_suffix);
+          ("errors", i !v.Tc.v_errors);
+        ];
+      Obs.note m
+        "(wall clocks live in the _s scalars: search_full_replay_s vs \
+         search_incremental_s for the whole search, oracle_*_unit_s and \
+         oracle_speedup_s for the oracle alone)")
 
 (* ----- FT1..FT3: fault injection and recovery ----- *)
 

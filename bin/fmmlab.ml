@@ -191,8 +191,12 @@ let analyze_cmd =
   let module An_c = Fmm_analysis.Cdag_lint in
   let module An_t = Fmm_analysis.Trace_check in
   let module An_p = Fmm_analysis.Par_check in
+  let module An_cert = Fmm_analysis.Certify in
+  let module An_j = Fmm_analysis.Analyze_json in
   let module PE = Fmm_machine.Par_exec in
-  let run name n m order_name depth corrupt machine limit =
+  let module Json = Fmm_obs.Json in
+  let run name n m order_name depth corrupt machine limit certify max_warnings
+      json_out jobs =
     let alg = find_algorithm name in
     let cdag = Cd.build alg ~n in
     let work = Fmm_machine.Workload.of_cdag cdag in
@@ -268,6 +272,12 @@ let analyze_cmd =
       end
     in
     let par_result = An_p.check ~order:par_order work ~procs ~assignment in
+    (* pass 4 (--certify): static analyses vs dynamic scheduler evidence *)
+    let cert =
+      if certify then
+        Some (An_cert.run ~jobs:(max 1 jobs) ~cdag ~cache_size:m work ~order)
+      else None
+    in
     let reports =
       [
         (Printf.sprintf "CDAG lint: %s H^{%dx%d}" (A.name alg) n n, lint_report);
@@ -278,6 +288,15 @@ let analyze_cmd =
             depth procs,
           par_result.An_p.report );
       ]
+      @
+      match cert with
+      | None -> []
+      | Some c ->
+        [
+          ( Printf.sprintf "certifier: static vs dynamic at M=%d (%s order)" m
+              order_name,
+            c.An_cert.report );
+        ]
     in
     List.iter
       (fun (title, r) ->
@@ -290,14 +309,92 @@ let analyze_cmd =
           print_newline ()
         end)
       reports;
+    (match cert with
+    | Some c when not machine ->
+      Printf.printf
+        "certifier: MAXLIVE %d (inputs %d, outputs %d), static I/O lower \
+         bound %d at M=%d\n"
+        c.An_cert.maxlive c.An_cert.inputs_used c.An_cert.outputs_stored
+        c.An_cert.io_lower_bound m;
+      (match (c.An_cert.segment_r, c.An_cert.segment_bound) with
+      | Some r, Some b ->
+        Printf.printf "certifier: Lemma 3.6 at r=%d: bound %d, min \
+                       full-segment I/O %s\n" r b
+          (match c.An_cert.segment_min_io with
+          | Some x -> string_of_int x
+          | None -> "-")
+      | _ -> ());
+      let t =
+        T.create ~title:"policy cross-check (static min-cache vs dynamic peak)"
+          ~headers:
+            [ "policy"; "I/O"; "peak"; "min-cache"; "agree"; "dead";
+              "redundant"; "recomputes" ]
+          ~aligns:
+            [ T.Left; T.Right; T.Right; T.Right; T.Left; T.Right; T.Right;
+              T.Right ] ()
+      in
+      List.iter
+        (fun (row : An_cert.policy_row) ->
+          if row.An_cert.feasible then
+            T.add_row t
+              [
+                row.An_cert.policy;
+                string_of_int row.An_cert.io;
+                string_of_int row.An_cert.peak_occupancy;
+                string_of_int row.An_cert.min_cache;
+                (if row.An_cert.agree then "yes" else "NO");
+                string_of_int row.An_cert.dead_loads;
+                string_of_int row.An_cert.redundant_stores;
+                string_of_int row.An_cert.recomputes;
+              ]
+          else T.add_row t [ row.An_cert.policy; "-"; "-"; "-"; "-"; "-"; "-"; "-" ])
+        c.An_cert.rows;
+      T.print t;
+      Printf.printf "certified: %b\n\n" (An_cert.certified c)
+    | _ -> ());
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let t =
+        {
+          An_j.algorithm = A.name alg;
+          n;
+          cache_size = m;
+          order = order_name;
+          depth;
+          procs;
+          corrupt;
+          passes =
+            List.map
+              (fun (title, (r : An_d.report)) ->
+                { An_j.title; diags = r.An_d.diags })
+              reports;
+          certify = Option.map An_j.certify_of_result cert;
+        }
+      in
+      Json.to_file path (An_j.to_json t);
+      if not machine then Printf.printf "wrote %s (schema %s)\n" path An_j.schema);
     let total = An_d.merge ~title:"all" (List.map snd reports) in
     let errors = An_d.n_errors total in
+    let warnish = An_d.n_warnings total + An_d.n_lints total in
     if not machine then
-      Printf.printf "analyze: %d error(s), %d warning(s), %d info(s) across %d passes%s\n"
-        errors (An_d.n_warnings total) (An_d.n_infos total) (List.length reports)
+      Printf.printf
+        "analyze: %d error(s), %d warning(s), %d lint(s), %d info(s) across %d \
+         passes%s\n"
+        errors (An_d.n_warnings total) (An_d.n_lints total) (An_d.n_infos total)
+        (List.length reports)
         (if corrupt <> "none" then Printf.sprintf " [corruption: %s]" corrupt
          else "");
-    if errors > 0 then exit 1
+    (* exit contract: errors always fail; warnings + lints only fail
+       when the caller opted in with --max-warnings *)
+    if errors > 0 then exit 1;
+    match max_warnings with
+    | Some k when warnish > k ->
+      if not machine then
+        Printf.printf "analyze: %d warning(s)+lint(s) exceed --max-warnings %d\n"
+          warnish k;
+      exit 1
+    | _ -> ()
   in
   let order_arg =
     Arg.(value & opt string "dfs" & info [ "order" ] ~doc:"dfs | naive | random")
@@ -319,14 +416,37 @@ let analyze_cmd =
   let limit_arg =
     Arg.(value & opt int 25 & info [ "limit" ] ~doc:"Max diagnostics printed per pass")
   in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Run the certifier pass: static MAXLIVE/min-cache and the static \
+             I/O lower bound cross-checked against LRU/Belady/rematerialize \
+             traces, plus the Lemma 3.6 segment bound")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-warnings" ]
+          ~doc:
+            "Also exit 1 when warnings + lints exceed $(docv) (by default \
+             only errors affect the exit code)"
+          ~docv:"N")
+  in
+  let json_arg =
+    let doc = "Write the fmm-analyze/v1 report (passes + certifier) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically verify a CDAG, an LRU trace and a parallel assignment \
-          (exit 1 on errors)")
+          (exit 1 on errors; warnings/lints gate only under --max-warnings)")
     Term.(
       const run $ algorithm_arg $ n_arg 8 $ m_arg 64 $ order_arg $ depth_arg
-      $ corrupt_arg $ machine_arg $ limit_arg)
+      $ corrupt_arg $ machine_arg $ limit_arg $ certify_arg $ max_warnings_arg
+      $ json_arg $ jobs_arg)
 
 (* --- pebble --- *)
 
@@ -587,11 +707,14 @@ let bench_cmd =
 let optimize_cmd =
   let module O = Fmm_opt.Optimizer in
   let module Json = Fmm_obs.Json in
-  let run name n m beam iters seed json_out jobs =
+  let run name n m beam iters seed json_out full_replay jobs =
     let alg = find_algorithm name in
     let cdag = Cd.build alg ~n in
     let jobs = max 1 jobs in
-    let r = O.optimize_cdag cdag ~cache_size:m ~beam ~iters ~seed ~jobs in
+    let oracle_mode = if full_replay then O.Full_replay else O.Incremental in
+    let r =
+      O.optimize_cdag cdag ~cache_size:m ~beam ~iters ~seed ~oracle_mode ~jobs
+    in
     let best = r.O.best in
     let c = best.O.result.Sch.counters in
     Printf.printf "workload    %s\nM           %d\n" r.O.workload m;
@@ -599,6 +722,14 @@ let optimize_cmd =
       r.O.iterations r.O.seed;
     Printf.printf "evaluated   %d candidate(s), %d infeasible, %d oracle-checked\n"
       r.O.evaluated r.O.rejected r.O.accepted;
+    Printf.printf "oracle      %s: re-interpreted %d of %d trace event(s)%s\n"
+      (O.oracle_mode_name r.O.oracle_mode)
+      r.O.oracle_replayed r.O.oracle_total
+      (if r.O.oracle_total > 0 then
+         Printf.sprintf " (%.1f%%)"
+           (100. *. float_of_int r.O.oracle_replayed
+           /. float_of_int r.O.oracle_total)
+       else "");
     List.iter
       (fun (pname, io) ->
         Printf.printf "baseline    %-8s %s\n" pname
@@ -630,6 +761,9 @@ let optimize_cmd =
             ("evaluated", Json.Int r.O.evaluated);
             ("rejected", Json.Int r.O.rejected);
             ("accepted", Json.Int r.O.accepted);
+            ("oracle_mode", Json.Str (O.oracle_mode_name r.O.oracle_mode));
+            ("oracle_replayed", Json.Int r.O.oracle_replayed);
+            ("oracle_total", Json.Int r.O.oracle_total);
             ( "baselines",
               Json.Obj
                 (List.map
@@ -670,6 +804,16 @@ let optimize_cmd =
     let doc = "Write the optimizer report as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
+  let full_replay_arg =
+    Arg.(
+      value & flag
+      & info [ "full-replay" ]
+          ~doc:
+            "Run the legality oracle in full-replay mode (Cache_machine + \
+             full Trace_check per admitted schedule) instead of the default \
+             incremental check-delta mode. Search results are identical; \
+             this is the slow differential reference.")
+  in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:
@@ -677,7 +821,7 @@ let optimize_cmd =
           Theorem 1.1 bound")
     Term.(
       const run $ algorithm_arg $ n_arg 16 $ m_arg 64 $ beam_arg $ iters_arg
-      $ seed_arg $ json_arg $ jobs_arg)
+      $ seed_arg $ json_arg $ full_replay_arg $ jobs_arg)
 
 (* --- faults --- *)
 

@@ -1,0 +1,362 @@
+(* fmm-analyze/v1: the deterministic JSON form of an `fmmlab analyze`
+   run. Same conventions as fmm-faults/v1: "schema" is the first
+   field, no wall clocks or other volatile values anywhere, so a fixed
+   (algorithm, n, M, order, depth, corrupt) tuple serializes
+   byte-identically at any --jobs and in every process.
+
+   The parser is strict: unknown fields, missing fields, type
+   mismatches and summary counts that disagree with the diagnostics
+   all reject with a located message. to_json/of_json are exact
+   inverses (round-trip enforced by the test suite). *)
+
+module Json = Fmm_obs.Json
+module Dg = Diagnostic
+
+let schema = "fmm-analyze/v1"
+
+type pass = { title : string; diags : Dg.t list }
+
+type certify_summary = {
+  workload : string;
+  order_len : int;
+  maxlive : int;
+  inputs_used : int;
+  outputs_stored : int;
+  io_lower_bound : int;
+  segment_r : int option;
+  segment_bound : int option;
+  segment_min_io : int option;
+  policies : Certify.policy_row list;
+}
+
+type t = {
+  algorithm : string;
+  n : int;
+  cache_size : int;
+  order : string;
+  depth : int;
+  procs : int;
+  corrupt : string;
+  passes : pass list;
+  certify : certify_summary option;
+}
+
+let certify_of_result (c : Certify.t) =
+  {
+    workload = c.Certify.workload;
+    order_len = c.Certify.order_len;
+    maxlive = c.Certify.maxlive;
+    inputs_used = c.Certify.inputs_used;
+    outputs_stored = c.Certify.outputs_stored;
+    io_lower_bound = c.Certify.io_lower_bound;
+    segment_r = c.Certify.segment_r;
+    segment_bound = c.Certify.segment_bound;
+    segment_min_io = c.Certify.segment_min_io;
+    policies = c.Certify.rows;
+  }
+
+(* --- emission --- *)
+
+let opt_int = function Some i -> Json.Int i | None -> Json.Null
+
+let loc_to_json = function
+  | Dg.Vertex v -> Json.Obj [ ("kind", Json.Str "vertex"); ("vertex", Json.Int v) ]
+  | Dg.Step { step; vertex } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "step");
+        ("step", Json.Int step);
+        ("vertex", opt_int vertex);
+      ]
+  | Dg.Processor p -> Json.Obj [ ("kind", Json.Str "proc"); ("proc", Json.Int p) ]
+  | Dg.Edge { src; dst } ->
+    Json.Obj
+      [ ("kind", Json.Str "edge"); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Dg.Global -> Json.Obj [ ("kind", Json.Str "global") ]
+
+let diag_to_json (d : Dg.t) =
+  Json.Obj
+    [
+      ("severity", Json.Str (Dg.severity_to_string d.Dg.severity));
+      ("pass", Json.Str d.Dg.pass);
+      ("code", Json.Str d.Dg.code);
+      ("loc", loc_to_json d.Dg.loc);
+      ("message", Json.Str d.Dg.message);
+    ]
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.Dg.severity = sev) diags)
+
+let pass_to_json p =
+  Json.Obj
+    [
+      ("title", Json.Str p.title);
+      ("errors", Json.Int (count Dg.Error p.diags));
+      ("warnings", Json.Int (count Dg.Warning p.diags));
+      ("lints", Json.Int (count Dg.Lint p.diags));
+      ("infos", Json.Int (count Dg.Info p.diags));
+      ("diagnostics", Json.List (List.map diag_to_json p.diags));
+    ]
+
+let policy_to_json (r : Certify.policy_row) =
+  Json.Obj
+    [
+      ("policy", Json.Str r.Certify.policy);
+      ("feasible", Json.Bool r.Certify.feasible);
+      ("io", Json.Int r.Certify.io);
+      ("peak_occupancy", Json.Int r.Certify.peak_occupancy);
+      ("min_cache", Json.Int r.Certify.min_cache);
+      ("dead_loads", Json.Int r.Certify.dead_loads);
+      ("redundant_stores", Json.Int r.Certify.redundant_stores);
+      ("recomputes", Json.Int r.Certify.recomputes);
+      ("agree", Json.Bool r.Certify.agree);
+    ]
+
+let certify_to_json c =
+  Json.Obj
+    [
+      ("workload", Json.Str c.workload);
+      ("order_len", Json.Int c.order_len);
+      ("maxlive", Json.Int c.maxlive);
+      ("inputs_used", Json.Int c.inputs_used);
+      ("outputs_stored", Json.Int c.outputs_stored);
+      ("io_lower_bound", Json.Int c.io_lower_bound);
+      ("segment_r", opt_int c.segment_r);
+      ("segment_bound", opt_int c.segment_bound);
+      ("segment_min_io", opt_int c.segment_min_io);
+      ("policies", Json.List (List.map policy_to_json c.policies));
+    ]
+
+let to_json t =
+  let all = List.concat_map (fun p -> p.diags) t.passes in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("algorithm", Json.Str t.algorithm);
+      ("n", Json.Int t.n);
+      ("cache_size", Json.Int t.cache_size);
+      ("order", Json.Str t.order);
+      ("depth", Json.Int t.depth);
+      ("procs", Json.Int t.procs);
+      ("corrupt", Json.Str t.corrupt);
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Int (count Dg.Error all));
+            ("warnings", Json.Int (count Dg.Warning all));
+            ("lints", Json.Int (count Dg.Lint all));
+            ("infos", Json.Int (count Dg.Info all));
+          ] );
+      ("passes", Json.List (List.map pass_to_json t.passes));
+      ( "certify",
+        match t.certify with None -> Json.Null | Some c -> certify_to_json c );
+    ]
+
+(* --- strict parsing --- *)
+
+exception Reject of string
+
+let rejectf fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+(* Every object is destructured through [fields]: the field list must
+   match the expected names exactly (order-insensitive, no extras). *)
+let fields ctx expected j =
+  match j with
+  | Json.Obj kvs ->
+    let names = List.map fst kvs in
+    List.iter
+      (fun name ->
+        if not (List.mem name expected) then
+          rejectf "%s: unknown field %S" ctx name)
+      names;
+    List.iter
+      (fun name ->
+        if not (List.mem name names) then
+          rejectf "%s: missing field %S" ctx name)
+      expected;
+    fun name ->
+      (match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> rejectf "%s: missing field %S" ctx name)
+  | _ -> rejectf "%s: expected an object" ctx
+
+let str ctx = function
+  | Json.Str s -> s
+  | _ -> rejectf "%s: expected a string" ctx
+
+let int ctx = function
+  | Json.Int i -> i
+  | _ -> rejectf "%s: expected an integer" ctx
+
+let boolean ctx = function
+  | Json.Bool b -> b
+  | _ -> rejectf "%s: expected a boolean" ctx
+
+let opt_int_of ctx = function
+  | Json.Null -> None
+  | Json.Int i -> Some i
+  | _ -> rejectf "%s: expected an integer or null" ctx
+
+let list ctx = function
+  | Json.List l -> l
+  | _ -> rejectf "%s: expected a list" ctx
+
+let loc_of_json ctx j =
+  let kind =
+    match Json.member "kind" j with
+    | Some (Json.Str k) -> k
+    | _ -> rejectf "%s.loc: missing kind" ctx
+  in
+  match kind with
+  | "vertex" ->
+    let f = fields (ctx ^ ".loc") [ "kind"; "vertex" ] j in
+    Dg.Vertex (int (ctx ^ ".loc.vertex") (f "vertex"))
+  | "step" ->
+    let f = fields (ctx ^ ".loc") [ "kind"; "step"; "vertex" ] j in
+    Dg.Step
+      {
+        step = int (ctx ^ ".loc.step") (f "step");
+        vertex = opt_int_of (ctx ^ ".loc.vertex") (f "vertex");
+      }
+  | "proc" ->
+    let f = fields (ctx ^ ".loc") [ "kind"; "proc" ] j in
+    Dg.Processor (int (ctx ^ ".loc.proc") (f "proc"))
+  | "edge" ->
+    let f = fields (ctx ^ ".loc") [ "kind"; "src"; "dst" ] j in
+    Dg.Edge
+      {
+        src = int (ctx ^ ".loc.src") (f "src");
+        dst = int (ctx ^ ".loc.dst") (f "dst");
+      }
+  | "global" ->
+    ignore (fields (ctx ^ ".loc") [ "kind" ] j : string -> Json.t);
+    Dg.Global
+  | k -> rejectf "%s.loc: unknown kind %S" ctx k
+
+let diag_of_json ctx j =
+  let f = fields ctx [ "severity"; "pass"; "code"; "loc"; "message" ] j in
+  let sev_name = str (ctx ^ ".severity") (f "severity") in
+  let severity =
+    match Dg.severity_of_string sev_name with
+    | Some s -> s
+    | None -> rejectf "%s: unknown severity %S" ctx sev_name
+  in
+  {
+    Dg.severity;
+    pass = str (ctx ^ ".pass") (f "pass");
+    code = str (ctx ^ ".code") (f "code");
+    loc = loc_of_json ctx (f "loc");
+    message = str (ctx ^ ".message") (f "message");
+  }
+
+let check_counts ctx f diags =
+  List.iter
+    (fun (name, sev) ->
+      let claimed = int (ctx ^ "." ^ name) (f name) in
+      let actual = count sev diags in
+      if claimed <> actual then
+        rejectf "%s: %s count %d disagrees with the %d diagnostic(s)" ctx name
+          claimed actual)
+    [
+      ("errors", Dg.Error);
+      ("warnings", Dg.Warning);
+      ("lints", Dg.Lint);
+      ("infos", Dg.Info);
+    ]
+
+let pass_of_json i j =
+  let ctx = Printf.sprintf "passes[%d]" i in
+  let f =
+    fields ctx
+      [ "title"; "errors"; "warnings"; "lints"; "infos"; "diagnostics" ]
+      j
+  in
+  let diags =
+    List.mapi
+      (fun k d -> diag_of_json (Printf.sprintf "%s.diagnostics[%d]" ctx k) d)
+      (list (ctx ^ ".diagnostics") (f "diagnostics"))
+  in
+  check_counts ctx f diags;
+  { title = str (ctx ^ ".title") (f "title"); diags }
+
+let policy_of_json i j =
+  let ctx = Printf.sprintf "certify.policies[%d]" i in
+  let f =
+    fields ctx
+      [
+        "policy"; "feasible"; "io"; "peak_occupancy"; "min_cache"; "dead_loads";
+        "redundant_stores"; "recomputes"; "agree";
+      ]
+      j
+  in
+  {
+    Certify.policy = str (ctx ^ ".policy") (f "policy");
+    feasible = boolean (ctx ^ ".feasible") (f "feasible");
+    io = int (ctx ^ ".io") (f "io");
+    peak_occupancy = int (ctx ^ ".peak_occupancy") (f "peak_occupancy");
+    min_cache = int (ctx ^ ".min_cache") (f "min_cache");
+    dead_loads = int (ctx ^ ".dead_loads") (f "dead_loads");
+    redundant_stores = int (ctx ^ ".redundant_stores") (f "redundant_stores");
+    recomputes = int (ctx ^ ".recomputes") (f "recomputes");
+    agree = boolean (ctx ^ ".agree") (f "agree");
+  }
+
+let certify_of_json j =
+  let ctx = "certify" in
+  let f =
+    fields ctx
+      [
+        "workload"; "order_len"; "maxlive"; "inputs_used"; "outputs_stored";
+        "io_lower_bound"; "segment_r"; "segment_bound"; "segment_min_io";
+        "policies";
+      ]
+      j
+  in
+  {
+    workload = str (ctx ^ ".workload") (f "workload");
+    order_len = int (ctx ^ ".order_len") (f "order_len");
+    maxlive = int (ctx ^ ".maxlive") (f "maxlive");
+    inputs_used = int (ctx ^ ".inputs_used") (f "inputs_used");
+    outputs_stored = int (ctx ^ ".outputs_stored") (f "outputs_stored");
+    io_lower_bound = int (ctx ^ ".io_lower_bound") (f "io_lower_bound");
+    segment_r = opt_int_of (ctx ^ ".segment_r") (f "segment_r");
+    segment_bound = opt_int_of (ctx ^ ".segment_bound") (f "segment_bound");
+    segment_min_io = opt_int_of (ctx ^ ".segment_min_io") (f "segment_min_io");
+    policies =
+      List.mapi policy_of_json (list (ctx ^ ".policies") (f "policies"));
+  }
+
+let of_json j =
+  match
+    let f =
+      fields "report"
+        [
+          "schema"; "algorithm"; "n"; "cache_size"; "order"; "depth"; "procs";
+          "corrupt"; "summary"; "passes"; "certify";
+        ]
+        j
+    in
+    let s = str "schema" (f "schema") in
+    if s <> schema then rejectf "schema: expected %S, got %S" schema s;
+    let passes = List.mapi pass_of_json (list "passes" (f "passes")) in
+    let sf =
+      fields "summary" [ "errors"; "warnings"; "lints"; "infos" ] (f "summary")
+    in
+    check_counts "summary" sf (List.concat_map (fun p -> p.diags) passes);
+    {
+      algorithm = str "algorithm" (f "algorithm");
+      n = int "n" (f "n");
+      cache_size = int "cache_size" (f "cache_size");
+      order = str "order" (f "order");
+      depth = int "depth" (f "depth");
+      procs = int "procs" (f "procs");
+      corrupt = str "corrupt" (f "corrupt");
+      passes;
+      certify =
+        (match f "certify" with
+        | Json.Null -> None
+        | c -> Some (certify_of_json c));
+    }
+  with
+  | t -> Ok t
+  | exception Reject msg -> Error msg

@@ -1,0 +1,46 @@
+(** The [fmm-analyze/v1] report schema: a typed, deterministic JSON
+    form of one [fmmlab analyze] run — its pass diagnostics and the
+    optional {!Certify} summary. Same conventions as [fmm-faults/v1]:
+    ["schema"] first, clock-free, byte-identical at any [--jobs].
+    {!to_json} and {!of_json} are exact inverses; the parser is strict
+    (unknown or missing fields, type mismatches, and summary counts
+    that disagree with the listed diagnostics all reject). *)
+
+val schema : string
+(** ["fmm-analyze/v1"] *)
+
+type pass = { title : string; diags : Diagnostic.t list }
+
+type certify_summary = {
+  workload : string;
+  order_len : int;
+  maxlive : int;
+  inputs_used : int;
+  outputs_stored : int;
+  io_lower_bound : int;
+  segment_r : int option;
+  segment_bound : int option;
+  segment_min_io : int option;
+  policies : Certify.policy_row list;
+}
+
+type t = {
+  algorithm : string;
+  n : int;
+  cache_size : int;
+  order : string;
+  depth : int;
+  procs : int;
+  corrupt : string;
+  passes : pass list;
+  certify : certify_summary option;
+}
+
+val certify_of_result : Certify.t -> certify_summary
+(** Everything from a {!Certify.t} except its report (which travels as
+    one of the [passes]). *)
+
+val to_json : t -> Fmm_obs.Json.t
+
+val of_json : Fmm_obs.Json.t -> (t, string) result
+(** Strict parse; the error message names the offending field path. *)

@@ -129,14 +129,15 @@ let lint_graph ~graph ~role ~inputs ~outputs ~base () =
           (role_name r))
     outputs;
   (* reachability hygiene: sound sub-CDAG selection (Lemmas 2.2/3.7)
-     needs every vertex on an input-to-output path *)
-  let reach = D.reachable graph (Array.to_list inputs) in
-  let coreach = D.coreachable graph (Array.to_list outputs) in
+     needs every vertex on an input-to-output path — the boolean
+     forward/backward instances of the Dataflow fixpoint *)
+  let reach = Dataflow.reachable graph (Array.to_list inputs) in
+  let coreach = Dataflow.needed graph (Array.to_list outputs) in
   for v = 0 to n - 1 do
-    if not reach.(v) then
+    if not (Dataflow.Bitset.mem reach v) then
       err ~code:"unreachable" (Dg.Vertex v)
         "%s vertex unreachable from the inputs" (role_name (role v));
-    if not coreach.(v) then
+    if not (Dataflow.Bitset.mem coreach v) then
       warn ~code:"dead-vertex" (Dg.Vertex v)
         "%s vertex feeds no output" (role_name (role v))
   done;
@@ -170,15 +171,17 @@ let lint_workload (work : Fmm_machine.Workload.t) =
       warn ~code:"computable-source" (Dg.Vertex v)
         "non-input vertex has no operands (free constant?)"
   done;
-  let reach = D.reachable g (Array.to_list work.Fmm_machine.Workload.inputs) in
+  let reach =
+    Dataflow.reachable g (Array.to_list work.Fmm_machine.Workload.inputs)
+  in
   let coreach =
-    D.coreachable g (Array.to_list work.Fmm_machine.Workload.outputs)
+    Dataflow.needed g (Array.to_list work.Fmm_machine.Workload.outputs)
   in
   for v = 0 to n - 1 do
-    if (not reach.(v)) && not (is_input v) then
+    if (not (Dataflow.Bitset.mem reach v)) && not (is_input v) then
       warn ~code:"disconnected" (Dg.Vertex v)
         "vertex unreachable from the inputs";
-    if not coreach.(v) then
+    if not (Dataflow.Bitset.mem coreach v) then
       warn ~code:"dead-vertex" (Dg.Vertex v) "vertex feeds no output"
   done;
   Dg.Collector.report c

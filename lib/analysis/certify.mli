@@ -1,0 +1,67 @@
+(** The certifier pass ([fmmlab analyze --certify]): cross-checks the
+    static analyses of {!Dataflow} against the dynamic evidence of the
+    schedulers, on one workload and compute order.
+
+    Checks, each a located [Error] diagnostic on failure:
+    - {b maxlive-mismatch}: {!Dataflow.trace_profile}'s static
+      min-cache must equal {!Trace_check.check}'s dynamic
+      [peak_occupancy] on every policy trace;
+    - {b illegal-trace}: every scheduler trace checks clean;
+    - {b peak-exceeds-cache}: no trace's peak exceeds the declared M;
+    - {b lb-violated}: no recomputation-free policy's measured I/O
+      beats the static {!Dataflow.io_lower_bound} for the order
+      (rematerialization is exempt — beating this bound is what
+      recomputation is {e for}, and the report rows expose the
+      sandwich [static lb <= belady <= lru] next to remat);
+    - {b segment-bound} (CDAG runs): Lemma 3.6 holds for the LRU trace
+      at the default (or given) segment granularity [r].
+
+    Deterministic and clock-free; [jobs] only fans the three policy
+    runs over the order-preserving {!Fmm_par.Pool}. *)
+
+type policy_row = {
+  policy : string;  (** ["lru"] | ["belady"] | ["remat"] *)
+  feasible : bool;  (** the scheduler executed at this [cache_size] *)
+  io : int;  (** loads + stores; -1 when infeasible *)
+  peak_occupancy : int;  (** dynamic, from {!Trace_check} *)
+  min_cache : int;  (** static, from {!Dataflow.trace_profile} *)
+  dead_loads : int;
+  redundant_stores : int;
+  recomputes : int;
+  agree : bool;  (** [min_cache = peak_occupancy] *)
+}
+
+type t = {
+  workload : string;
+  cache_size : int;
+  order_len : int;
+  maxlive : int;  (** spill-free minimum cache of the order *)
+  inputs_used : int;
+  outputs_stored : int;
+  io_lower_bound : int;  (** {!Dataflow.io_lower_bound} at [cache_size] *)
+  segment_r : int option;
+  segment_bound : int option;  (** ceil(r^2/2) - M *)
+  segment_min_io : int option;  (** min measured I/O over full segments *)
+  rows : policy_row list;
+  report : Diagnostic.report;
+}
+
+val run :
+  ?jobs:int ->
+  ?cdag:Fmm_cdag.Cdag.t ->
+  ?segment_r:int ->
+  ?max_flops:int ->
+  cache_size:int ->
+  Fmm_machine.Workload.t ->
+  order:int list ->
+  t
+(** [order] must be a valid topological order of the non-input
+    vertices (the schedulers' contract). [cdag], when given, enables
+    the Lemma 3.6 segment check ([segment_r] overrides the default
+    granularity — the largest power of the base dimension within
+    [2 sqrt M]). *)
+
+val certified : t -> bool
+(** No error diagnostics: every static/dynamic cross-check agreed. *)
+
+val default_segment_r : Fmm_cdag.Cdag.t -> cache_size:int -> int option

@@ -1,0 +1,364 @@
+(* The dataflow core every static pass runs on: flat-array bitsets,
+   a deterministic worklist fixpoint over Digraph, Zobrist state
+   hashing for the incremental trace oracle, and the schedule-level
+   liveness analyses (MAXLIVE, static I/O lower bound, trace
+   occupancy/live profiles).
+
+   Determinism is the design constraint that shapes everything here:
+   the worklist is a flat int ring seeded in id order with dedup, the
+   Zobrist tables are Prng-derived, the profiles are single passes in
+   trace order — no Hashtbl, no physical-equality hashing, identical
+   results in every process and at every --jobs. *)
+
+module W = Fmm_machine.Workload
+module Tr = Fmm_machine.Trace
+module D = Fmm_graph.Digraph
+module Prng = Fmm_util.Prng
+
+module Bitset = struct
+  (* 32 ids per word: [lsr 5]/[land 31] index math keeps membership a
+     couple of instructions, and an int word still popcounts fast. *)
+  type t = { words : int array; n : int }
+
+  let create n =
+    if n < 0 then invalid_arg "Bitset.create: negative capacity";
+    { words = Array.make ((n + 31) / 32) 0; n }
+
+  let capacity t = t.n
+
+  let mem t v = t.words.(v lsr 5) land (1 lsl (v land 31)) <> 0
+
+  let add t v = t.words.(v lsr 5) <- t.words.(v lsr 5) lor (1 lsl (v land 31))
+
+  let remove t v =
+    t.words.(v lsr 5) <- t.words.(v lsr 5) land lnot (1 lsl (v land 31))
+
+  let copy t = { t with words = Array.copy t.words }
+
+  let blit ~src ~dst =
+    if src.n <> dst.n then invalid_arg "Bitset.blit: capacity mismatch";
+    Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+  let popcount w =
+    let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+    go 0 w
+
+  let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+  let equal a b = a.n = b.n && a.words = b.words
+
+  let iter f t =
+    for v = 0 to t.n - 1 do
+      if mem t v then f v
+    done
+
+  let to_list t =
+    let acc = ref [] in
+    for v = t.n - 1 downto 0 do
+      if mem t v then acc := v :: !acc
+    done;
+    !acc
+end
+
+module Zobrist = struct
+  type t = { keys : int array; props : int }
+
+  (* 62-bit nonnegative keys so xor-accumulated hashes stay positive
+     native ints on 64-bit platforms. *)
+  let mask = (1 lsl 62) - 1
+
+  let create ~seed ~n ~props =
+    if n < 0 || props <= 0 then invalid_arg "Zobrist.create";
+    let rng = Prng.create ~seed in
+    let keys =
+      Array.init (n * props) (fun _ -> Int64.to_int (Prng.next_int64 rng) land mask)
+    in
+    { keys; props }
+
+  let key t v ~prop = t.keys.((v * t.props) + prop)
+end
+
+module type DOMAIN = sig
+  type fact
+
+  val equal : fact -> fact -> bool
+  val join : fact -> fact -> fact
+end
+
+module Fixpoint (Dom : DOMAIN) = struct
+  let solve g ~direction ~init ~transfer =
+    let n = D.n_vertices g in
+    let deps, succs =
+      match direction with
+      | `Forward -> (D.in_neighbors g, D.out_neighbors g)
+      | `Backward -> (D.out_neighbors g, D.in_neighbors g)
+    in
+    let out = Array.init n init in
+    if n > 0 then begin
+      (* flat ring queue; on_queue dedup bounds residency to n *)
+      let queue = Array.make n 0 in
+      let on_queue = Array.make n false in
+      let head = ref 0 and tail = ref 0 and filled = ref 0 in
+      let push v =
+        if not on_queue.(v) then begin
+          on_queue.(v) <- true;
+          queue.(!tail) <- v;
+          tail := (!tail + 1) mod n;
+          incr filled
+        end
+      in
+      (match direction with
+      | `Forward -> for v = 0 to n - 1 do push v done
+      | `Backward -> for v = n - 1 downto 0 do push v done);
+      while !filled > 0 do
+        let v = queue.(!head) in
+        head := (!head + 1) mod n;
+        decr filled;
+        on_queue.(v) <- false;
+        let fact =
+          List.fold_left (fun acc p -> Dom.join acc out.(p)) (init v) (deps v)
+        in
+        let fresh = transfer v fact in
+        if not (Dom.equal fresh out.(v)) then begin
+          out.(v) <- fresh;
+          List.iter push (succs v)
+        end
+      done
+    end;
+    out
+end
+
+module Bool_fix = Fixpoint (struct
+  type fact = bool
+
+  let equal = Bool.equal
+  let join = ( || )
+end)
+
+let reach_bits g seeds ~direction =
+  let n = D.n_vertices g in
+  let seed_set = Bitset.create n in
+  List.iter
+    (fun v -> if v >= 0 && v < n then Bitset.add seed_set v)
+    seeds;
+  let out =
+    Bool_fix.solve g ~direction
+      ~init:(fun v -> Bitset.mem seed_set v)
+      ~transfer:(fun _ f -> f)
+  in
+  let bits = Bitset.create n in
+  Array.iteri (fun v b -> if b then Bitset.add bits v) out;
+  bits
+
+let reachable g seeds = reach_bits g seeds ~direction:`Forward
+let needed g seeds = reach_bits g seeds ~direction:`Backward
+
+(* --- interval liveness of a compute order (MAXLIVE) --- *)
+
+type liveness = {
+  order : int array;
+  def_pos : int array;
+  first_use : int array;
+  last_use : int array;
+  live_at : int array;
+  maxlive : int;
+  inputs_used : int;
+  outputs_stored : int;
+}
+
+let order_liveness work order =
+  let n = W.n_vertices work in
+  let g = work.W.graph in
+  let is_input = W.is_input work in
+  let len = Array.length order in
+  let def_pos = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "order_liveness: vertex %d out of range" v);
+      if is_input v then
+        invalid_arg (Printf.sprintf "order_liveness: input %d in order" v);
+      if def_pos.(v) >= 0 then
+        invalid_arg (Printf.sprintf "order_liveness: vertex %d repeated" v);
+      def_pos.(v) <- i)
+    order;
+  let first_use = Array.make n (-1) and last_use = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun p ->
+          if first_use.(p) < 0 then first_use.(p) <- i;
+          last_use.(p) <- max last_use.(p) i)
+        (D.in_neighbors g v))
+    order;
+  (* a value is live on [start..stop]: inputs from their first use,
+     computed values from their definition, both through their last
+     use (a defined-but-unused value still occupies its own slot at
+     its definition instant) *)
+  let diff = Array.make (len + 1) 0 in
+  let inputs_used = ref 0 in
+  for v = 0 to n - 1 do
+    let start, stop =
+      if is_input v then begin
+        if first_use.(v) >= 0 then incr inputs_used;
+        (first_use.(v), last_use.(v))
+      end
+      else if def_pos.(v) >= 0 then (def_pos.(v), max def_pos.(v) last_use.(v))
+      else (-1, -1)
+    in
+    if start >= 0 then begin
+      diff.(start) <- diff.(start) + 1;
+      diff.(stop + 1) <- diff.(stop + 1) - 1
+    end
+  done;
+  let live_at = Array.make len 0 in
+  let running = ref 0 in
+  for i = 0 to len - 1 do
+    running := !running + diff.(i);
+    live_at.(i) <- !running
+  done;
+  let maxlive = Array.fold_left max 0 live_at in
+  let outputs_stored =
+    Array.fold_left
+      (fun acc v -> if is_input v then acc else acc + 1)
+      0 work.W.outputs
+  in
+  {
+    order;
+    def_pos;
+    first_use;
+    last_use;
+    live_at;
+    maxlive;
+    inputs_used = !inputs_used;
+    outputs_stored;
+  }
+
+let io_lower_bound lv ~cache_size =
+  let excess =
+    Array.fold_left (fun acc l -> max acc (l - cache_size)) 0 lv.live_at
+  in
+  lv.inputs_used + lv.outputs_stored + excess
+
+(* --- per-position profile of a concrete trace --- *)
+
+type profile = {
+  occupancy_at : int array;
+  live_at_event : int array;
+  peak_occupancy : int;
+  peak_live : int;
+  min_cache : int;
+}
+
+(* Access kinds in per-vertex access streams. *)
+let k_def = 0 (* Load v / Compute v: (re)materializes v in cache *)
+let k_read = 1 (* Store v / operand read: residency serves a use *)
+let k_drop = 2 (* Evict v *)
+
+let trace_profile work trace =
+  let n = W.n_vertices work in
+  let g = work.W.graph in
+  let events = Array.of_list trace in
+  let t_len = Array.length events in
+  let in_range v = v >= 0 && v < n in
+  (* pass 1: per-vertex access counts (operands of a compute are one
+     access each; out-of-range vertices are skipped — the tolerant
+     discipline of Trace_check) *)
+  let cnt = Array.make n 0 in
+  let tally v = if in_range v then cnt.(v) <- cnt.(v) + 1 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Tr.Load v | Tr.Store v | Tr.Evict v -> tally v
+      | Tr.Compute v ->
+        if in_range v then begin
+          List.iter tally (D.in_neighbors g v);
+          tally v
+        end)
+    events;
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + cnt.(v)
+  done;
+  let kinds = Array.make (max 1 off.(n)) 0 in
+  let cursor = Array.copy off in
+  let record v k =
+    if in_range v then begin
+      kinds.(cursor.(v)) <- k;
+      cursor.(v) <- cursor.(v) + 1
+    end
+  in
+  Array.iter
+    (fun e ->
+      match e with
+      | Tr.Load v -> record v k_def
+      | Tr.Store v -> record v k_read
+      | Tr.Evict v -> record v k_drop
+      | Tr.Compute v ->
+        if in_range v then begin
+          List.iter (fun p -> record p k_read) (D.in_neighbors g v);
+          record v k_def
+        end)
+    events;
+  (* pass 2: replay residency; a resident value is *live* when its
+     next access (before any eviction) is a read *)
+  let ptr = Array.sub off 0 n in
+  let resident = Bitset.create n in
+  let live = Bitset.create n in
+  let occ = ref 0 and live_n = ref 0 in
+  let peak_occ = ref 0 and peak_live = ref 0 in
+  let occupancy_at = Array.make t_len 0 in
+  let live_at_event = Array.make t_len 0 in
+  let touch v k =
+    if in_range v then begin
+      ptr.(v) <- ptr.(v) + 1;
+      (if k = k_def then begin
+         if not (Bitset.mem resident v) then begin
+           Bitset.add resident v;
+           incr occ;
+           if !occ > !peak_occ then peak_occ := !occ
+         end
+       end
+       else if k = k_drop then
+         if Bitset.mem resident v then begin
+           Bitset.remove resident v;
+           decr occ
+         end);
+      let now_live =
+        Bitset.mem resident v
+        && ptr.(v) < off.(v + 1)
+        && kinds.(ptr.(v)) = k_read
+      in
+      if now_live <> Bitset.mem live v then
+        if now_live then begin
+          Bitset.add live v;
+          incr live_n;
+          if !live_n > !peak_live then peak_live := !live_n
+        end
+        else begin
+          Bitset.remove live v;
+          decr live_n
+        end
+    end
+  in
+  Array.iteri
+    (fun t e ->
+      (match e with
+      | Tr.Load v -> touch v k_def
+      | Tr.Store v -> touch v k_read
+      | Tr.Evict v -> touch v k_drop
+      | Tr.Compute v ->
+        if in_range v then begin
+          List.iter (fun p -> touch p k_read) (D.in_neighbors g v);
+          touch v k_def
+        end);
+      occupancy_at.(t) <- !occ;
+      live_at_event.(t) <- !live_n)
+    events;
+  {
+    occupancy_at;
+    live_at_event;
+    peak_occupancy = !peak_occ;
+    peak_live = !peak_live;
+    min_cache = !peak_occ;
+  }

@@ -6,12 +6,20 @@
    violations yields k diagnostics, unlike the first-failure dynamic
    oracle. *)
 
-type severity = Error | Warning | Info
+type severity = Error | Warning | Lint | Info
 
 let severity_to_string = function
   | Error -> "error"
   | Warning -> "warning"
+  | Lint -> "lint"
   | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "lint" -> Some Lint
+  | "info" -> Some Info
+  | _ -> None
 
 type location =
   | Vertex of int
@@ -67,11 +75,13 @@ let count sev r =
 
 let n_errors = count Error
 let n_warnings = count Warning
+let n_lints = count Lint
 let n_infos = count Info
 let is_clean r = n_errors r = 0
 let is_silent r = r.diags = []
 let errors r = List.filter (fun d -> d.severity = Error) r.diags
 let warnings r = List.filter (fun d -> d.severity = Warning) r.diags
+let lints r = List.filter (fun d -> d.severity = Lint) r.diags
 
 let merge ~title reports =
   { title; diags = List.concat_map (fun r -> r.diags) reports }
@@ -83,7 +93,7 @@ let render ?(machine = false) ?(limit = max_int) r =
     let buf = Buffer.create 256 in
     Buffer.add_string buf (Printf.sprintf "== %s ==\n" r.title);
     let by sev = List.filter (fun d -> d.severity = sev) r.diags in
-    let ordered = by Error @ by Warning @ by Info in
+    let ordered = by Error @ by Warning @ by Lint @ by Info in
     List.iteri
       (fun i d ->
         if i < limit then begin
@@ -95,8 +105,8 @@ let render ?(machine = false) ?(limit = max_int) r =
             (Printf.sprintf "  ... (%d more)\n" (List.length ordered - limit)))
       ordered;
     Buffer.add_string buf
-      (Printf.sprintf "  %d error(s), %d warning(s), %d info(s)%s"
-         (n_errors r) (n_warnings r) (n_infos r)
+      (Printf.sprintf "  %d error(s), %d warning(s), %d lint(s), %d info(s)%s"
+         (n_errors r) (n_warnings r) (n_lints r) (n_infos r)
          (if is_silent r then " — clean" else ""));
     Buffer.contents buf
   end

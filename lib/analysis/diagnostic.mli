@@ -5,9 +5,20 @@
     which raises on the first violation, a report holds {e all} of them
     and renders both human- and machine-readable. *)
 
-type severity = Error | Warning | Info
+(** Severity grades, strongest first. [Error] is a legality violation
+    (the artifact is wrong); [Warning] is a suspicious-but-legal
+    structure worth a human look; [Lint] is a mechanical hygiene
+    finding (wasted work such as a dead load or redundant store) that
+    tools may gate on but that never makes a trace illegal; [Info] is
+    commentary. The {!val:Fmm_analysis} CLI exit-code contract:
+    [fmmlab analyze] exits 1 iff a report contains errors — warnings
+    and lints only affect the exit code under [--max-warnings N]. *)
+type severity = Error | Warning | Lint | Info
 
 val severity_to_string : severity -> string
+
+val severity_of_string : string -> severity option
+(** Inverse of {!severity_to_string}; [None] on unknown names. *)
 
 (** Where a diagnostic points: a CDAG vertex, a step of a machine
     trace (optionally with the vertex the event touches), a processor
@@ -41,6 +52,7 @@ type report = { title : string; diags : t list }
 
 val n_errors : report -> int
 val n_warnings : report -> int
+val n_lints : report -> int
 val n_infos : report -> int
 
 val is_clean : report -> bool
@@ -51,13 +63,14 @@ val is_silent : report -> bool
 
 val errors : report -> t list
 val warnings : report -> t list
+val lints : report -> t list
 
 val merge : title:string -> report list -> report
 (** Concatenate several passes' findings under one title. *)
 
 val render : ?machine:bool -> ?limit:int -> report -> string
 (** Full report: header, every diagnostic (errors first, then
-    warnings, then infos — emission order preserved within a
+    warnings, lints, infos — emission order preserved within a
     severity), summary line. [machine] selects
     {!to_machine_string} lines with no header/summary; [limit] caps
     the printed diagnostics (an ellipsis line reports the rest). *)

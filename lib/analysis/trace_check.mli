@@ -13,7 +13,20 @@
     express: dead loads (loaded, then evicted or dropped at trace end
     without ever being read), redundant stores (the value is already
     in slow memory — stores never change a value in this model), and a
-    per-vertex attribution of recomputation events. *)
+    per-vertex attribution of recomputation events. Dead loads and
+    redundant stores carry {!Diagnostic.severity} [Lint]: they never
+    make a trace illegal, but the optimizer's oracle still rejects
+    them (wasted I/O an "optimal" schedule must not contain).
+
+    The interpreter itself runs on {!Dataflow.Bitset} abstract state.
+    {!check_cached} additionally memoizes the whole run — per-step
+    cumulative counters, Zobrist state hashes and periodic bitset
+    checkpoints — into a {!cache}, and {!check_delta} then verifies a
+    {e mutated} trace in time proportional to the affected window: it
+    restores the checkpoint preceding the first divergence, replays
+    until the hashed abstract state reconverges with the base run on a
+    common suffix, and splices the memoized remainder. This is the
+    optimizer's incremental legality oracle. *)
 
 type result = {
   report : Diagnostic.report;
@@ -44,3 +57,48 @@ val clean :
   Fmm_machine.Trace.t ->
   bool
 (** [true] iff {!check} reports zero errors. *)
+
+(** The incremental oracle's verdict: the same legality summary
+    {!check} computes (no diagnostics — counts only), plus how much of
+    the base run was reused. [reused_prefix + replayed + reused_suffix]
+    is the checked trace's length. *)
+type verdict = {
+  v_counters : Fmm_machine.Trace.counters;
+  v_errors : int;
+  v_dead_loads : int;
+  v_redundant_stores : int;
+  v_peak_occupancy : int;
+  reused_prefix : int;
+  replayed : int;
+  reused_suffix : int;
+}
+
+type cache
+(** A memoized {!check} run over one (workload, cache_size, trace):
+    per-step cumulative counters, double-Zobrist state hashes and
+    periodic bitset checkpoints. *)
+
+val check_cached :
+  cache_size:int ->
+  ?allow_recompute:bool ->
+  Fmm_machine.Workload.t ->
+  Fmm_machine.Trace.t ->
+  verdict * cache
+(** One full silent check (same verdict as {!check}, field for field)
+    plus the memoization that makes {!check_delta} incremental. *)
+
+val check_delta : base:cache -> Fmm_machine.Workload.t -> Fmm_machine.Trace.t -> verdict
+(** Verdict for a trace that (typically) shares a long prefix and/or
+    suffix with [base]'s trace. Equal to running {!check_cached} from
+    scratch on the new trace — enforced by the differential fuzz suite
+    — but costs O(window between the first divergence and abstract-
+    state reconvergence) instead of O(trace). Convergence detection is
+    probabilistic (two independent 62-bit Zobrist hashes plus the
+    occupancy must all match), so a false splice needs a double
+    collision. Raises [Invalid_argument] when [work] has a different
+    vertex count than the base. *)
+
+val cache_verdict : cache -> verdict
+(** The base trace's own verdict (what {!check_cached} returned). *)
+
+val cache_trace_length : cache -> int

@@ -46,6 +46,12 @@ type candidate = { order : int array; policy : policy; provenance : string }
 
 type eval = { candidate : candidate; result : Sch.result; io : int }
 
+type oracle_mode = Full_replay | Incremental
+
+let oracle_mode_name = function
+  | Full_replay -> "full-replay"
+  | Incremental -> "incremental"
+
 type report = {
   workload : string;
   cache_size : int;
@@ -59,6 +65,9 @@ type report = {
   beam : eval list;
   history : int list;
   baselines : (string * int option) list;
+  oracle_mode : oracle_mode;
+  oracle_replayed : int;
+  oracle_total : int;
 }
 
 exception Illegal_schedule of string
@@ -81,20 +90,35 @@ let evaluate work ~cache_size ~max_flops cand =
   | result -> Some { candidate = cand; result; io = Tr.io result.Sch.counters }
   | exception Failure _ -> None
 
-(* The legality oracle: the dynamic machine must replay the trace with
-   the exact counters the scheduler claimed, and the static checker
-   must find zero violations AND zero lint findings (a dead load or a
-   redundant store would mean the optimizer "improved" I/O it never
-   needed to spend). *)
-let oracle work ~cache_size ev =
-  let fail fmt =
-    Printf.ksprintf
-      (fun s ->
-        raise
-          (Illegal_schedule
-             (Printf.sprintf "%s [candidate %s]" s ev.candidate.provenance)))
-      fmt
-  in
+(* The legality oracle: the checked trace must carry the exact I/O the
+   scheduler claimed, with zero violations AND zero lint findings (a
+   dead load or a redundant store would mean the optimizer "improved"
+   I/O it never needed to spend).
+
+   Two modes, identical verdicts (the differential fuzz suite holds
+   them together):
+
+   - Full_replay: the original debug reference — a Cache_machine
+     replay plus a full Trace_check pass, both O(trace) per entrant.
+   - Incremental: Trace_check.check_delta against the memoized run of
+     the entrant's closest beam ancestor. A candidate's provenance is
+     its ancestry string, and every move appends to it, so the longest
+     provenance-prefix match among the memoized bases is the nearest
+     ancestor; the delta check then costs O(mutated window). When no
+     base matches (seeds) or the window covered most of the trace
+     (policy flips), the entrant is re-memoized with check_cached so
+     its own descendants diff against a close base. *)
+
+let fail_candidate ev fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise
+        (Illegal_schedule
+           (Printf.sprintf "%s [candidate %s]" s ev.candidate.provenance)))
+    fmt
+
+let oracle_full work ~cache_size ev =
+  let fail fmt = fail_candidate ev fmt in
   (match
      CM.replay { CM.cache_size; allow_recompute = true } work ev.result.Sch.trace
    with
@@ -108,6 +132,17 @@ let oracle work ~cache_size ev =
   if r.Tc.dead_loads > 0 then fail "Trace_check: %d dead load(s)" r.Tc.dead_loads;
   if r.Tc.redundant_stores > 0 then
     fail "Trace_check: %d redundant store(s)" r.Tc.redundant_stores
+
+let check_verdict ev (v : Tc.verdict) =
+  let fail fmt = fail_candidate ev fmt in
+  if v.Tc.v_errors > 0 then fail "Trace_check: %d violation(s)" v.Tc.v_errors;
+  if v.Tc.v_dead_loads > 0 then
+    fail "Trace_check: %d dead load(s)" v.Tc.v_dead_loads;
+  if v.Tc.v_redundant_stores > 0 then
+    fail "Trace_check: %d redundant store(s)" v.Tc.v_redundant_stores;
+  if Tr.io v.Tc.v_counters <> ev.io then
+    fail "checked I/O %d disagrees with scheduler's %d"
+      (Tr.io v.Tc.v_counters) ev.io
 
 (* --- move helpers --- *)
 
@@ -408,7 +443,8 @@ let take_beam width evals =
 (* --- the search --- *)
 
 let search ?(jobs = 1) ?(beam = 4) ?(iters = 4) ?(seed = 1)
-    ?(max_flops = 200_000_000) ?cdag work ~cache_size ~orders =
+    ?(max_flops = 200_000_000) ?(oracle_mode = Incremental) ?cdag work
+    ~cache_size ~orders =
   if beam < 1 then invalid_arg "Optimizer.search: beam < 1";
   if iters < 0 then invalid_arg "Optimizer.search: iters < 0";
   if orders = [] then invalid_arg "Optimizer.search: no seed orders";
@@ -456,12 +492,76 @@ let search ?(jobs = 1) ?(beam = 4) ?(iters = 4) ?(seed = 1)
       [ Lru; Belady; Remat ]
   in
   (* oracle + accounting for every schedule entering a beam *)
+  let oracle_replayed = ref 0 and oracle_total = ref 0 in
+  (* Memoized check runs keyed by provenance, most-recent-first, capped
+     so at most ~one base per beam lineage is alive. Everything here is
+     driven only by provenance strings and admission order, both
+     deterministic, so reports stay identical at every [jobs]. *)
+  let bases : (string * Tc.cache) list ref = ref [] in
+  let base_cap = beam + 2 in
+  let store_base prov c =
+    let rest = List.filter (fun (k, _) -> k <> prov) !bases in
+    let rec take k = function
+      | [] -> []
+      | x :: tl -> if k <= 0 then [] else x :: take (k - 1) tl
+    in
+    bases := (prov, c) :: take (base_cap - 1) rest
+  in
+  (* Nearest memoized ancestor: the longest key that is a prefix of the
+     entrant's provenance (moves only ever append "/move" suffixes). *)
+  let find_base prov =
+    let plen = String.length prov in
+    List.fold_left
+      (fun acc (k, c) ->
+        let klen = String.length k in
+        if klen <= plen && String.sub prov 0 klen = k then
+          match acc with
+          | Some (k0, _) when String.length k0 >= klen -> acc
+          | _ -> Some (k, c)
+        else acc)
+      None !bases
+  in
+  let oracle_incremental ev =
+    let trace = ev.result.Sch.trace in
+    let prov = ev.candidate.provenance in
+    let memoize () =
+      let v, c = Tc.check_cached ~cache_size work trace in
+      store_base prov c;
+      v
+    in
+    let v =
+      match find_base prov with
+      | None -> memoize ()
+      | Some (_, base) ->
+        let v = Tc.check_delta ~base work trace in
+        let total = v.Tc.reused_prefix + v.Tc.replayed + v.Tc.reused_suffix in
+        (* The mutation window covered most of the trace (typically a
+           policy flip): this lineage has drifted too far from its
+           base, so pay one full pass now to give its descendants a
+           close base again. The verdict [v] itself is already exact. *)
+        if 2 * v.Tc.replayed > total then ignore (memoize ());
+        v
+    in
+    oracle_replayed := !oracle_replayed + v.Tc.replayed;
+    oracle_total :=
+      !oracle_total + v.Tc.reused_prefix + v.Tc.replayed + v.Tc.reused_suffix;
+    check_verdict ev v
+  in
+  let oracle ev =
+    match oracle_mode with
+    | Incremental -> oracle_incremental ev
+    | Full_replay ->
+      let t = List.length ev.result.Sch.trace in
+      oracle_replayed := !oracle_replayed + t;
+      oracle_total := !oracle_total + t;
+      oracle_full work ~cache_size ev
+  in
   let checked = ref [] in
   let admit evs =
     List.iter
       (fun ev ->
         if not (List.memq ev !checked) then begin
-          oracle work ~cache_size ev;
+          oracle ev;
           incr accepted;
           checked := ev :: !checked
         end)
@@ -499,9 +599,13 @@ let search ?(jobs = 1) ?(beam = 4) ?(iters = 4) ?(seed = 1)
     beam = !current;
     history = List.rev !history;
     baselines;
+    oracle_mode;
+    oracle_replayed = !oracle_replayed;
+    oracle_total = !oracle_total;
   }
 
-let optimize_cdag ?jobs ?beam ?iters ?(seed = 1) ?max_flops cdag ~cache_size =
+let optimize_cdag ?jobs ?beam ?iters ?(seed = 1) ?max_flops ?oracle_mode cdag
+    ~cache_size =
   let work = W.of_cdag cdag in
   let orders =
     [
@@ -510,4 +614,5 @@ let optimize_cdag ?jobs ?beam ?iters ?(seed = 1) ?max_flops cdag ~cache_size =
       ("random", Ord.random_topo ~seed:(Prng.derive ~seed [ 0x5eed ]) cdag);
     ]
   in
-  search ?jobs ?beam ?iters ~seed ?max_flops ~cdag work ~cache_size ~orders
+  search ?jobs ?beam ?iters ~seed ?max_flops ?oracle_mode ~cdag work ~cache_size
+    ~orders

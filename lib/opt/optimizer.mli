@@ -8,11 +8,19 @@
     adds is the interior: {!Fmm_machine.Schedulers.run_hybrid}
     schedules reached by segment-local moves.
 
-    Every schedule accepted into the beam is replayed through
-    {!Fmm_machine.Cache_machine} and checked by
-    {!Fmm_analysis.Trace_check} (zero violations, zero dead-load /
-    redundant-store lints) — the legality oracle; a failure raises
-    {!Illegal_schedule}, it is never silently kept.
+    Every schedule accepted into the beam passes the legality oracle
+    (zero violations, zero dead-load / redundant-store lints, checked
+    I/O equal to the scheduler's claim); a failure raises
+    {!Illegal_schedule}, it is never silently kept. The oracle runs in
+    one of two modes with identical verdicts and byte-identical search
+    results:
+    - {!Incremental} (default): {!Fmm_analysis.Trace_check.check_delta}
+      against the memoized run of the entrant's nearest beam ancestor
+      (longest provenance prefix), costing O(mutated window) instead of
+      O(trace) per entrant;
+    - {!Full_replay} (debug / differential reference): a full
+      {!Fmm_machine.Cache_machine} replay plus a full
+      {!Fmm_analysis.Trace_check.check} pass.
 
     Determinism contract: with a fixed [seed], the report is identical
     at every [jobs] — candidate generation is sequential and seeded by
@@ -40,6 +48,13 @@ type eval = {
   io : int;
 }
 
+type oracle_mode =
+  | Full_replay  (** debug reference: Cache_machine + full Trace_check *)
+  | Incremental  (** default: Trace_check.check_delta vs nearest ancestor *)
+
+val oracle_mode_name : oracle_mode -> string
+(** ["full-replay"] | ["incremental"] *)
+
 type report = {
   workload : string;
   cache_size : int;
@@ -58,6 +73,14 @@ type report = {
       (** fixed-policy I/O on the first seed order: [("lru", _);
           ("belady", _); ("remat", _)] — [None] when that policy could
           not execute (e.g. rematerialization with a too-small cache) *)
+  oracle_mode : oracle_mode;
+  oracle_replayed : int;
+      (** trace events the oracle actually re-interpreted across all
+          admissions (in [Full_replay] mode this equals
+          [oracle_total]) *)
+  oracle_total : int;
+      (** total trace events across all admitted schedules; the
+          replayed/total ratio is the incremental oracle's work saving *)
 }
 
 exception Illegal_schedule of string
@@ -70,6 +93,7 @@ val search :
   ?iters:int ->
   ?seed:int ->
   ?max_flops:int ->
+  ?oracle_mode:oracle_mode ->
   ?cdag:Fmm_cdag.Cdag.t ->
   Fmm_machine.Workload.t ->
   cache_size:int ->
@@ -84,7 +108,10 @@ val search :
     the current best trace instead of a generic hot window. Raises
     [Invalid_argument] on an invalid seed order and [Failure] when no
     seed candidate executes at all. Defaults: [jobs 1], [beam 4],
-    [iters 4], [seed 1], [max_flops] as the schedulers. *)
+    [iters 4], [seed 1], [max_flops] as the schedulers,
+    [oracle_mode Incremental]. The search path is independent of
+    [oracle_mode]: both modes admit or reject identically, so reports
+    differ only in the [oracle_replayed] accounting. *)
 
 val optimize_cdag :
   ?jobs:int ->
@@ -92,6 +119,7 @@ val optimize_cdag :
   ?iters:int ->
   ?seed:int ->
   ?max_flops:int ->
+  ?oracle_mode:oracle_mode ->
   Fmm_cdag.Cdag.t ->
   cache_size:int ->
   report

@@ -324,7 +324,17 @@ let test_trace_warnings () =
   Alcotest.(check bool) "dead load located at load step" true
     (dead.Dg.loc = Dg.Step { step = 2; vertex = Some ids.(1) });
   Alcotest.(check bool) "redundant store present" true
-    (has_code chk.Tc.report "redundant-store")
+    (has_code chk.Tc.report "redundant-store");
+  (* hygiene findings are Lint severity: they never fail `fmmlab
+     analyze` on their own, only under --max-warnings *)
+  Alcotest.(check int) "two lints" 2 (Dg.n_lints chk.Tc.report);
+  Alcotest.(check int) "zero warnings" 0 (Dg.n_warnings chk.Tc.report);
+  Alcotest.(check bool) "dead-load severity is Lint" true
+    (dead.Dg.severity = Dg.Lint);
+  Alcotest.(check bool) "redundant-store severity is Lint" true
+    ((find_code chk.Tc.report "redundant-store").Dg.severity = Dg.Lint);
+  Alcotest.(check bool) "lint severity round-trips" true
+    (Dg.severity_of_string (Dg.severity_to_string Dg.Lint) = Some Dg.Lint)
 
 let test_trace_illegal_message_has_step () =
   (* satellite: the dynamic oracle names step and vertex too *)

@@ -23,9 +23,9 @@ module Json = Fmm_obs.Json
 let cdag8 = Cd.build S.strassen ~n:8
 let w8 = W.of_cdag cdag8
 
-let report ?(jobs = 1) ?(seed = 1) ?(n = 8) ?(m = 32) () =
+let report ?(jobs = 1) ?(seed = 1) ?(n = 8) ?(m = 32) ?oracle_mode () =
   O.optimize_cdag (Cd.build S.strassen ~n) ~cache_size:m ~beam:3 ~iters:2 ~seed
-    ~jobs
+    ~jobs ?oracle_mode
 
 (* --- the acceptance sandwich --- *)
 
@@ -122,6 +122,39 @@ let test_search_jobs_invariant () =
         (a.O.result.Sch.trace = b.O.result.Sch.trace))
     seq.O.beam par.O.beam
 
+(* the incremental oracle must not change the search: byte-identical
+   best schedule, beam, history and counters vs the full-replay
+   reference, while re-interpreting strictly fewer trace events *)
+let test_oracle_modes_identical () =
+  List.iter
+    (fun (n, m) ->
+      let full = report ~n ~m ~oracle_mode:O.Full_replay () in
+      let inc = report ~n ~m ~oracle_mode:O.Incremental () in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d M=%d: identical search" n m)
+        true
+        (strip_results full = strip_results inc);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: identical trace" a.O.candidate.O.provenance)
+            true
+            (a.O.result.Sch.trace = b.O.result.Sch.trace))
+        full.O.beam inc.O.beam;
+      (* full replay re-interprets everything, by definition *)
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d: full replay replays all" n)
+        full.O.oracle_total full.O.oracle_replayed;
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d: same admitted volume" n)
+        full.O.oracle_total inc.O.oracle_total;
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: incremental replays less (%d of %d)" n
+           inc.O.oracle_replayed inc.O.oracle_total)
+        true
+        (inc.O.oracle_replayed < inc.O.oracle_total))
+    [ (4, 16); (8, 32) ]
+
 let test_seed_sensitivity () =
   (* different seeds explore different candidates (the searches are
      genuinely seeded, not ignoring the parameter) *)
@@ -183,6 +216,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "jobs invariant" `Quick test_search_jobs_invariant;
+          Alcotest.test_case "oracle modes identical" `Quick
+            test_oracle_modes_identical;
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "registry OPT jobs invariant" `Quick
             test_opt_experiments_jobs_invariant;
