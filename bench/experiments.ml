@@ -32,6 +32,8 @@
      FT1     fault injection: fault-free parity with the plain executor
      FT2     fault injection: single-failure overhead per recovery policy
      FT3     fault injection: overhead vs failure count (recompute policy)
+     IC1     implicit CDAG: censuses + streaming segment I/O at n = 256
+     IC2     implicit CDAG: streaming MAXLIVE + exact bound arithmetic
      PERF    bechamel kernel timings
 
    Rows carry a "ratio" metric wherever the paper compares a measured
@@ -1377,6 +1379,117 @@ let _ft3 =
 
 (* ----- PERF: bechamel timings ----- *)
 
+(* ----- IC1/IC2: implicit recursion-indexed CDAG at scale ----- *)
+
+let _ic1 =
+  define ~id:"IC1"
+    ~title:"implicit CDAG: censuses + streaming segment I/O at n = 256"
+    (fun m ->
+      let module Im = Fmm_cdag.Implicit in
+      let section = "implicit CDAG (no materialized graph)" in
+      (* parity with the explicit builder where both exist *)
+      let cd16 = cdag S.strassen 16 in
+      Obs.rowf m ~section
+        ~params:[ ("alg", s "Strassen"); ("n", i 16) ]
+        [
+          ("stats parity", mark (Cd.stats cd16 = Im.stats (Im.of_cdag cd16)));
+          ( "V_out parity",
+            mark
+              (List.sort compare (Cd.sub_outputs cd16 ~r:4)
+              = List.sort compare (Im.sub_outputs (Im.of_cdag cd16) ~r:4)) );
+        ];
+      (* closed-form censuses at scales the explicit builder cannot reach *)
+      List.iter
+        (fun (alg, n) ->
+          let imp = Im.create alg ~n in
+          Obs.rowf m ~section
+            ~params:[ ("alg", s (A.name alg)); ("n", i n) ]
+            [
+              ("vertices", i (Im.n_vertices imp));
+              ("edges", i (Im.n_edges imp));
+              ("mult", i (List.assoc "mult" (Im.stats imp)));
+              ("|V_out| r=n/2", i (Im.sub_output_count imp ~r:(n / 2)));
+            ])
+        [ (S.strassen, 256); (S.winograd, 256); (S.strassen, 1024) ];
+      (* Theorem 1.1 instantiation at n = 256, M = 4096: s = 64,
+         r = 2 sqrt(M) = 128, quota = 4M — the regime the explicit path
+         could never execute (40M vertices, 80M edges) *)
+      let mm = 4096 and r = 128 in
+      List.iter
+        (fun alg ->
+          let imp = Im.create alg ~n:256 in
+          let seg, counters = Seg.analyze_implicit imp ~cache_size:mm ~r () in
+          let memdep = B.fast_sequential ~n:256 ~m:mm () in
+          Obs.rowf m ~section
+            ~params:
+              [ ("alg", s (A.name alg)); ("n", i 256); ("M", i mm); ("r", i r) ]
+            ([
+               ("I/O", i (Tr.io counters));
+               ("ratio", f (float_of_int (Tr.io counters) /. memdep));
+               ("full segs", i (List.length (Seg.full_segments seg)));
+             ]
+            @ (match Seg.min_io_full_segments seg with
+              | Some x -> [ ("min seg I/O", i x) ]
+              | None -> [])
+            @ [
+                ("bound", i seg.Seg.bound);
+                ("holds", mark (Seg.lemma_3_6_holds seg));
+              ]))
+        [ S.strassen; S.winograd ];
+      Obs.note m
+        "(streaming LRU on the canonical ascending-id order; segment bound = \
+         r^2/2 - M)")
+
+let _ic2 =
+  define ~id:"IC2"
+    ~title:"implicit CDAG: streaming MAXLIVE + exact bound arithmetic"
+    (fun m ->
+      let module Im = Fmm_cdag.Implicit in
+      let module Df = Fmm_analysis.Dataflow in
+      let section = "streaming liveness of the canonical order" in
+      (* event-for-event parity with the explicit scheduler *)
+      let cd8 = cdag S.strassen 8 in
+      let imp8 = Im.of_cdag cd8 in
+      let order8 =
+        List.init
+          (Im.n_vertices imp8 - Im.n_inputs imp8)
+          (fun k -> Im.n_inputs imp8 + k)
+      in
+      let er = Sch.run_lru (work S.strassen 8) ~cache_size:32 order8 in
+      let ir = Fmm_machine.Stream_exec.run_lru_collect imp8 ~cache_size:32 in
+      Obs.rowf m ~section
+        ~params:[ ("alg", s "Strassen"); ("n", i 8); ("M", i 32) ]
+        [
+          ("trace parity", mark (er.Sch.trace = ir.Sch.trace));
+          ("counter parity", mark (er.Sch.counters = ir.Sch.counters));
+        ];
+      (* MAXLIVE and the policy-independent I/O lower bound at n = 256 *)
+      List.iter
+        (fun alg ->
+          let imp = Im.create alg ~n:256 in
+          let sl = Df.implicit_order_liveness imp in
+          Obs.rowf m ~section
+            ~params:[ ("alg", s (A.name alg)); ("n", i 256) ]
+            [
+              ("maxlive", i sl.Df.Streamed.maxlive);
+              ("inputs used", i sl.Df.Streamed.inputs_used);
+              ( "I/O bound M=4096",
+                i (Df.streamed_io_lower_bound sl ~cache_size:4096) );
+            ])
+        [ S.strassen; S.winograd ];
+      (* exact big-integer crossover vs the old float pipeline's turf *)
+      Obs.rowf m ~section:"exact classical crossover (P^2 M^3 >= n^6)"
+        ~params:[ ("n", s "2^20"); ("M", s "2^20") ]
+        [
+          ("P*", i (B.classical_crossover_p ~n:(1 lsl 20) ~m:(1 lsl 20)));
+          ( "= 2^30",
+            mark (B.classical_crossover_p ~n:(1 lsl 20) ~m:(1 lsl 20) = 1 lsl 30)
+          );
+        ];
+      Obs.note m
+        "(MAXLIVE via interval sweep with a stop-position heap; no per-vertex \
+         arrays)")
+
 let _perf =
   define ~id:"PERF" ~title:"kernel timings (bechamel, monotonic clock)"
     (fun m ->
@@ -1412,6 +1525,11 @@ let _perf =
                    ~targets:(Array.to_list (Cd.outputs c4))));
           mk "lru simulation n=8 M=32" (fun () ->
               ignore (Sch.run_lru w8 ~cache_size:32 o8));
+          mk "implicit create n=256" (fun () ->
+              ignore (Fmm_cdag.Implicit.create strassen ~n:256));
+          mk "implicit stream lru n=16 M=64" (fun () ->
+              let imp = Fmm_cdag.Implicit.create strassen ~n:16 in
+              ignore (Fmm_machine.Stream_exec.run_lru imp ~cache_size:64 ()));
           mk "par_exec_limited n=16 M=64" (fun () ->
               let c = cdag strassen 16 in
               let w = Fmm_machine.Workload.of_cdag c in

@@ -499,6 +499,109 @@ let cdag_cmd =
     (Cmd.info "cdag" ~doc:"Build H^{nxn} and print its census / export DOT")
     Term.(const run $ algorithm_arg $ n_arg 4 $ out_arg)
 
+(* --- census (implicit CDAG; n = 256..1024 and beyond) --- *)
+
+let census_cmd =
+  let run name n analyze maxlive do_lint m r_opt =
+    let alg = find_algorithm name in
+    let module Im = Fmm_cdag.Implicit in
+    let imp = Im.create alg ~n in
+    Printf.printf "implicit CDAG %s H^{%dx%d} (%d recursion levels)\n"
+      (A.name alg) n n (Im.levels imp);
+    List.iter (fun (k, v) -> Printf.printf "%-10s %d\n" k v) (Im.stats imp);
+    (* Lemma 2.2 table: every sub-problem size of the recursion *)
+    let n0, _, _ = A.dims alg in
+    Printf.printf "\nLemma 2.2 sub-problem selections:\n";
+    Printf.printf "%8s %8s %14s %16s %16s\n" "depth" "r" "nodes" "|V_out|"
+      "|V_inp|";
+    for d = 0 to Im.levels imp do
+      let r = n / Fmm_util.Combinat.pow_int n0 d in
+      Printf.printf "%8d %8d %14d %16d %16d\n" d r
+        (Im.node_count_at_depth imp ~depth:d)
+        (Im.sub_output_count imp ~r)
+        (Im.sub_input_count imp ~r)
+    done;
+    if do_lint then begin
+      let report = Fmm_analysis.Cdag_lint.lint_implicit imp in
+      Printf.printf "\nimplicit lint: %d error(s), %d warning(s)\n"
+        (Fmm_analysis.Diagnostic.n_errors report)
+        (Fmm_analysis.Diagnostic.n_warnings report);
+      if not (Fmm_analysis.Diagnostic.is_clean report) then
+        print_string (Fmm_analysis.Diagnostic.render report)
+    end;
+    if maxlive then begin
+      let s = Fmm_analysis.Dataflow.implicit_order_liveness imp in
+      Printf.printf
+        "\ncanonical order: MAXLIVE = %d, inputs used = %d, outputs stored = %d\n"
+        s.Fmm_analysis.Dataflow.Streamed.maxlive
+        s.Fmm_analysis.Dataflow.Streamed.inputs_used
+        s.Fmm_analysis.Dataflow.Streamed.outputs_stored;
+      Printf.printf "no-recomputation I/O lower bound at M = %d: %d\n" m
+        (Fmm_analysis.Dataflow.streamed_io_lower_bound s ~cache_size:m)
+    end;
+    if analyze then begin
+      (* Theorem 1.1 instantiation: r = 2 sqrt(M), rounded down to a
+         valid sub-problem size *)
+      let r =
+        match r_opt with
+        | Some r -> r
+        | None ->
+          let target = 2. *. sqrt (float_of_int m) in
+          let rec best r = if float_of_int (r * n0) <= target then best (r * n0) else r in
+          best 1
+      in
+      let module Seg = Fmm_machine.Segments in
+      let t0 = Unix.gettimeofday () in
+      let seg, counters = Seg.analyze_implicit imp ~cache_size:m ~r () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "\nstreaming LRU at M = %d (%.1fs): %s\n" m dt
+        (Format.asprintf "%a" Tr.pp_counters counters);
+      Printf.printf "segments at r = %d, quota = %d: %d total, %d full\n" r
+        seg.Seg.quota
+        (List.length seg.Seg.segments)
+        (List.length (Seg.full_segments seg));
+      (match Seg.min_io_full_segments seg with
+      | Some min_io ->
+        Printf.printf "min I/O over full segments = %d vs bound %d\n" min_io
+          seg.Seg.bound
+      | None -> Printf.printf "no full segments (quota not reached)\n");
+      Printf.printf "Lemma 3.6 holds: %b\n" (Seg.lemma_3_6_holds seg);
+      let memdep = B.fast_sequential ~n ~m () in
+      Printf.printf "I/O = %d, memdep bound = %.1f, ratio = %.2f\n"
+        (Tr.io counters) memdep
+        (float_of_int (Tr.io counters) /. memdep)
+    end
+  in
+  let analyze_arg =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:"Stream the canonical LRU execution and segment its I/O")
+  in
+  let maxlive_arg =
+    Arg.(
+      value & flag
+      & info [ "maxlive" ] ~doc:"Compute MAXLIVE of the canonical order")
+  in
+  let lint_arg =
+    Arg.(value & flag & info [ "lint" ] ~doc:"Run the sampled implicit lint")
+  in
+  let r_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "r" ] ~doc:"Sub-problem size for the segment analysis")
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Censuses and streaming analyses of the implicit (recursion-indexed) \
+          CDAG — runs at n = 256..1024 where the explicit graph cannot be \
+          built")
+    Term.(
+      const run $ algorithm_arg $ n_arg 256 $ analyze_arg $ maxlive_arg
+      $ lint_arg $ m_arg 4096 $ r_arg)
+
 (* --- fft --- *)
 
 let fft_cmd =
@@ -1040,5 +1143,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
-            cdag_cmd; fft_cmd; parallel_cmd; search_cmd; optimize_cmd;
-            faults_cmd; bench_cmd; table1_cmd ]))
+            cdag_cmd; census_cmd; fft_cmd; parallel_cmd; search_cmd;
+            optimize_cmd; faults_cmd; bench_cmd; table1_cmd ]))

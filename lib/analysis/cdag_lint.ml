@@ -148,6 +148,147 @@ let lint cdag =
     ~inputs:(Cd.inputs cdag) ~outputs:(Cd.outputs cdag)
     ~base:(Cd.base_algorithm cdag) ()
 
+(* Sampled structural lint of an implicit CDAG. A full sweep is the
+   point of lint_graph and impossible at n = 256+ (40M+ vertices), so
+   this pass checks (a) the closed-form census identities that must
+   hold globally, and (b) the per-vertex invariants of Fact 2.1 /
+   Definition 2.1 on an id-stride sample plus the layout boundary ids,
+   including adjacency reciprocity and the ascending-id topological
+   property (acyclicity witness: every edge goes low -> high, so no
+   cycle can exist through a checked vertex). *)
+let lint_implicit ?(samples = 4096) imp =
+  let module Im = Fmm_cdag.Implicit in
+  let c = Dg.Collector.create ~pass ~title:"implicit CDAG lint" in
+  let err ~code loc fmt = Dg.Collector.addf c Dg.Error ~code loc fmt in
+  let base = Im.base_algorithm imp in
+  let enc_a_max = max_row_nnz (A.u_matrix base) in
+  let enc_b_max = max_row_nnz (A.v_matrix base) in
+  let dec_max = max_row_nnz (A.w_matrix base) in
+  let nv = Im.n_vertices imp in
+  let n_inp = Im.n_inputs imp in
+  let n2 = n_inp / 2 in
+  (* global census identities *)
+  let st = Im.stats imp in
+  let get k = match List.assoc_opt k st with Some v -> v | None -> -1 in
+  if
+    get "inputs" + get "enc_a" + get "enc_b" + get "mult" + get "dec"
+    <> get "vertices"
+  then err ~code:"census" Dg.Global "role censuses do not sum to the vertex count";
+  if get "inputs" <> n_inp then
+    err ~code:"census" Dg.Global "input census %d <> 2 n^2 = %d" (get "inputs")
+      n_inp;
+  if get "outputs" <> n2 then
+    err ~code:"census" Dg.Global "output census %d <> n^2 = %d" (get "outputs") n2;
+  if Im.sub_output_count imp ~r:(Im.size imp) <> n2 then
+    err ~code:"census" Dg.Global "root V_out count is not n^2";
+  (* sampled per-vertex checks *)
+  let side_a = function Cd.Input_a _ | Cd.Enc_a -> true | _ -> false in
+  let side_b = function Cd.Input_b _ | Cd.Enc_b -> true | _ -> false in
+  let check_vertex v =
+    let role = Im.role imp v in
+    let preds = Im.preds imp v in
+    let indeg = List.length preds in
+    if indeg <> Im.in_degree imp v then
+      err ~code:"degree" (Dg.Vertex v) "in_degree disagrees with enumerated preds";
+    (* ascending-id topological property + reciprocity *)
+    List.iter
+      (fun (p, _) ->
+        if p >= v then
+          err ~code:"order" (Dg.Edge { src = p; dst = v })
+            "edge does not go from a lower to a higher id";
+        if not (List.mem v (Im.succs imp p)) then
+          err ~code:"reciprocity" (Dg.Edge { src = p; dst = v })
+            "pred edge not mirrored in succs")
+      preds;
+    List.iter
+      (fun s ->
+        if s <= v then
+          err ~code:"order" (Dg.Edge { src = v; dst = s })
+            "edge does not go from a lower to a higher id";
+        if not (List.exists (fun (p, _) -> p = v) (Im.preds imp s)) then
+          err ~code:"reciprocity" (Dg.Edge { src = v; dst = s })
+            "succ edge not mirrored in preds")
+      (Im.succs imp v);
+    (* Fact 2.1 / Definition 2.1 *)
+    (match role with
+    | Cd.Input_a _ | Cd.Input_b _ ->
+      if indeg > 0 then
+        err ~code:"input-with-preds" (Dg.Vertex v)
+          "input vertex has %d in-edge(s); inputs must be sources" indeg;
+      if not (Im.is_input imp v) then
+        err ~code:"role-mismatch" (Dg.Vertex v)
+          "vertex has input role but is not in the input id range"
+    | Cd.Enc_a ->
+      if indeg = 0 || indeg > enc_a_max then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: encA in-degree %d outside [1, %d]" indeg enc_a_max;
+      List.iter
+        (fun (p, _) ->
+          match Im.role imp p with
+          | Cd.Input_a _ | Cd.Enc_a -> ()
+          | r ->
+            err ~code:"role-edge" (Dg.Edge { src = p; dst = v })
+              "illegal edge: %s may not feed Enc_a" (role_name r))
+        preds
+    | Cd.Enc_b ->
+      if indeg = 0 || indeg > enc_b_max then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: encB in-degree %d outside [1, %d]" indeg enc_b_max;
+      List.iter
+        (fun (p, _) ->
+          match Im.role imp p with
+          | Cd.Input_b _ | Cd.Enc_b -> ()
+          | r ->
+            err ~code:"role-edge" (Dg.Edge { src = p; dst = v })
+              "illegal edge: %s may not feed Enc_b" (role_name r))
+        preds
+    | Cd.Mult ->
+      if indeg <> 2 then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: Mult vertex has %d operand(s), expected exactly 2" indeg
+      else begin
+        let roles = List.map (fun (p, _) -> Im.role imp p) preds in
+        let a_ops = List.length (List.filter side_a roles) in
+        let b_ops = List.length (List.filter side_b roles) in
+        if a_ops <> 1 || b_ops <> 1 then
+          err ~code:"role-edge" (Dg.Vertex v)
+            "Mult operands must be one A-side and one B-side vertex (got %d/%d)"
+            a_ops b_ops
+      end
+    | Cd.Dec ->
+      if indeg = 0 || indeg > dec_max then
+        err ~code:"degree-bound" (Dg.Vertex v)
+          "Fact 2.1: decoder in-degree %d outside [1, %d]" indeg dec_max;
+      List.iter
+        (fun (p, _) ->
+          match Im.role imp p with
+          | Cd.Mult | Cd.Dec -> ()
+          | r ->
+            err ~code:"role-edge" (Dg.Edge { src = p; dst = v })
+              "illegal edge: %s may not feed Dec" (role_name r))
+        preds);
+    if Im.is_output imp v then
+      match role with
+      | Cd.Dec | Cd.Mult -> ()
+      | r ->
+        err ~code:"output-role" (Dg.Vertex v)
+          "output vertex has role %s; outputs must be decoders (or the Mult \
+           of a degenerate 1x1 problem)"
+          (role_name r)
+  in
+  let stride = max 1 (nv / max 1 samples) in
+  let v = ref 0 in
+  while !v < nv do
+    check_vertex !v;
+    v := !v + stride
+  done;
+  (* layout boundaries: first/last of each input block, the root
+     subtree base, the output range start, the last vertex *)
+  List.iter
+    (fun v -> if v >= 0 && v < nv then check_vertex v)
+    [ 0; n2 - 1; n2; n_inp - 1; n_inp; nv - n2; nv - 1 ];
+  Dg.Collector.report c
+
 (* Role-free hygiene for arbitrary workloads (pebbling instances,
    butterflies, random layered DAGs). *)
 let lint_workload (work : Fmm_machine.Workload.t) =

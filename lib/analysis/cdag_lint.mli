@@ -26,6 +26,12 @@ val lint_graph :
     (the append-only {!Fmm_graph.Digraph} cannot delete edges, so
     corruption tests rebuild the graph minus an edge). *)
 
+val lint_implicit : ?samples:int -> Fmm_cdag.Implicit.t -> Diagnostic.report
+(** Lint an implicit CDAG: global closed-form census identities plus
+    the Fact 2.1 / role-edge / reciprocity / ascending-id checks on an
+    id-stride sample of [samples] vertices (default 4096) and the
+    layout boundary ids. Runs at any n the arithmetic supports. *)
+
 val lint_workload : Fmm_machine.Workload.t -> Diagnostic.report
 (** Role-free DAG hygiene for arbitrary workloads and pebbling
     instances: acyclic, inputs are sources, non-inputs have operands,

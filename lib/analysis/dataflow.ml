@@ -240,6 +240,108 @@ let io_lower_bound lv ~cache_size =
   in
   lv.inputs_used + lv.outputs_stored + excess
 
+(* --- streaming MAXLIVE of an implicit CDAG's canonical order --- *)
+
+module Streamed = struct
+  type t = {
+    length : int;
+    maxlive : int;
+    inputs_used : int;
+    outputs_stored : int;
+  }
+end
+
+(** [order_liveness] of the ascending-id order, computed as a single
+    sweep over positions with a min-heap of interval stop positions —
+    O(maxlive) live state instead of O(V) position arrays. An interval
+    opens at a vertex's definition (or an input's first use, detected
+    as "this consumer is my minimum successor") and closes after its
+    last use; the running count at each position is the liveness. *)
+let implicit_order_liveness imp =
+  let module Im = Fmm_cdag.Implicit in
+  let n_inp = Im.n_inputs imp in
+  let len = Im.n_vertices imp - n_inp in
+  (* binary min-heap of stop positions *)
+  let heap = ref (Array.make 1024 0) in
+  let hn = ref 0 in
+  let swap a i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let push x =
+    if !hn = Array.length !heap then begin
+      let bigger = Array.make (2 * !hn) 0 in
+      Array.blit !heap 0 bigger 0 !hn;
+      heap := bigger
+    end;
+    let a = !heap in
+    a.(!hn) <- x;
+    let i = ref !hn in
+    incr hn;
+    while !i > 0 && a.((!i - 1) / 2) > a.(!i) do
+      swap a ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+  in
+  let pop () =
+    let a = !heap in
+    decr hn;
+    a.(0) <- a.(!hn);
+    let i = ref 0 in
+    let break = ref false in
+    while not !break do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < !hn && a.(l) < a.(!m) then m := l;
+      if r < !hn && a.(r) < a.(!m) then m := r;
+      if !m = !i then break := true
+      else begin
+        swap a !i !m;
+        i := !m
+      end
+    done
+  in
+  let running = ref 0 and maxlive = ref 0 and inputs_used = ref 0 in
+  for i = 0 to len - 1 do
+    let v = n_inp + i in
+    while !hn > 0 && !heap.(0) < i do
+      pop ();
+      decr running
+    done;
+    (* v is live from its definition through its last use *)
+    let stop = ref i in
+    Im.iter_succs imp v ~f:(fun s -> if s - n_inp > !stop then stop := s - n_inp);
+    push !stop;
+    incr running;
+    (* an input's interval opens at its first use: v is that first use
+       iff v is the input's minimum successor *)
+    Im.iter_preds imp v ~f:(fun p _ ->
+        if p < n_inp then begin
+          let mn = ref max_int and mx = ref (-1) in
+          Im.iter_succs imp p ~f:(fun s ->
+              if s < !mn then mn := s;
+              if s > !mx then mx := s);
+          if !mn = v then begin
+            incr inputs_used;
+            push (!mx - n_inp);
+            incr running
+          end
+        end);
+    if !running > !maxlive then maxlive := !running
+  done;
+  {
+    Streamed.length = len;
+    maxlive = !maxlive;
+    inputs_used = !inputs_used;
+    (* CDAG outputs are Mult/Dec vertices, never inputs *)
+    outputs_stored = Array.length (Fmm_cdag.Implicit.outputs imp);
+  }
+
+let streamed_io_lower_bound (s : Streamed.t) ~cache_size =
+  s.Streamed.inputs_used + s.Streamed.outputs_stored
+  + max 0 (s.Streamed.maxlive - cache_size)
+
 (* --- per-position profile of a concrete trace --- *)
 
 type profile = {

@@ -133,6 +133,26 @@ val io_lower_bound : liveness -> cache_size:int -> int
     recomputation are all bound by it (recomputation escapes it, which
     is the paper's point). *)
 
+(** Summary of {!order_liveness} computable by streaming (no
+    per-position arrays). *)
+module Streamed : sig
+  type t = {
+    length : int;  (** number of scheduled (non-input) vertices *)
+    maxlive : int;
+    inputs_used : int;
+    outputs_stored : int;
+  }
+end
+
+val implicit_order_liveness : Fmm_cdag.Implicit.t -> Streamed.t
+(** MAXLIVE of the canonical ascending-id order of an implicit CDAG,
+    via a position sweep with a min-heap of interval stops. Agrees
+    with [order_liveness] on the same order wherever the explicit
+    graph fits in memory; runs at n = 256+ where it does not. *)
+
+val streamed_io_lower_bound : Streamed.t -> cache_size:int -> int
+(** The {!io_lower_bound} formula on a streamed summary. *)
+
 (** Per-position cache profile of a concrete trace. *)
 type profile = {
   occupancy_at : int array;

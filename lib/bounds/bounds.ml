@@ -13,6 +13,15 @@ let check_params ?(need_m = true) ~n ~m ~p () =
 
 let log2 x = log x /. log 2.
 
+(* log2 of an integer, exact (an integer float) at powers of two —
+   [log2 (float 2^k)] is already exact in binary floating point, but
+   routing through [Combinat.log2_exact] makes the intent checkable
+   and keeps the exactness independent of libm. *)
+let log2_int x =
+  if Fmm_util.Combinat.is_power_of ~base:2 x then
+    float_of_int (Fmm_util.Combinat.log2_exact x)
+  else log2 (float_of_int x)
+
 (** omega_0 of Strassen-like algorithms: log2 7. *)
 let omega_strassen = log2 7.
 
@@ -25,7 +34,38 @@ let classical_memdep ~n ~m ~p =
 
 let classical_memind ~n ~p =
   check_params ~n ~m:1 ~p ();
-  float_of_int (n * n) /. (float_of_int p ** (2. /. 3.))
+  (* P^{2/3} is exact when P is a perfect cube; [x ** (2. /. 3.)]
+     is not even then (e.g. 8^(2/3) <> 4 in floats), so take the
+     integer root first. *)
+  match Fmm_util.Combinat.iroot_exact ~k:3 p with
+  | Some c -> float_of_int (n * n) /. float_of_int (c * c)
+  | None -> float_of_int (n * n) /. (float_of_int p ** (2. /. 3.))
+
+(** Smallest P with classical_memind >= classical_memdep, decided in
+    exact integer arithmetic: n^2 / P^{2/3} >= n^3 / (M^{1/2} P)
+    <=> P^{1/3} M^{1/2} >= n <=> P^2 M^3 >= n^6. The float pipeline
+    this replaces mis-ranked the two sides near the boundary once
+    n^6 left the 53-bit mantissa (n >= ~500). *)
+let classical_crossover_p ~n ~m =
+  check_params ~n ~m ~p:1 ();
+  let module B = Fmm_ring.Bigint in
+  let n6 = B.pow (B.of_int n) 6 in
+  let m3 = B.pow (B.of_int m) 3 in
+  let crossed p = B.compare (B.mul (B.mul (B.of_int p) (B.of_int p)) m3) n6 >= 0 in
+  let rec grow hi = if crossed hi then hi else grow (2 * hi) in
+  let rec search lo hi =
+    (* invariant: not (crossed lo) && crossed hi *)
+    if hi - lo <= 1 then hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if crossed mid then search lo mid else search mid hi
+    end
+  in
+  if crossed 1 then 1
+  else begin
+    let hi = grow 2 in
+    search (hi / 2) hi
+  end
 
 (* --- rows 2-4: fast matrix multiplication (Theorem 1.1) --- *)
 
@@ -64,6 +104,8 @@ let fast_sequential ?(omega0 = omega_strassen) ~n ~m () =
     instead of returning a wrong P. *)
 let crossover_p ?(omega0 = omega_strassen) ~n ~m () =
   check_params ~n ~m ~p:1 ();
+  if omega0 = 3. then classical_crossover_p ~n ~m
+  else
   let crossed p = fast_memind ~omega0 ~n ~p () >= fast_memdep ~omega0 ~n ~m ~p () in
   let no_crossover () =
     invalid_arg
@@ -109,12 +151,15 @@ let rectangular ~m0 ~p0 ~q ~t ~m ~p =
 
 let fft_memdep ~n ~m ~p =
   check_params ~n ~m ~p ();
-  let nf = float_of_int n in
-  nf *. log2 nf /. (float_of_int p *. log2 (float_of_int m))
+  (* exact logs at powers of two — the only sizes the butterfly
+     workloads actually use *)
+  float_of_int n *. log2_int n /. (float_of_int p *. log2_int m)
 
 let fft_memind ~n ~p =
   check_params ~n ~m:1 ~p ();
   if n <= p then 0.
+  else if n mod p = 0 then
+    float_of_int n *. log2_int n /. (float_of_int p *. log2_int (n / p))
   else begin
     let nf = float_of_int n and pf = float_of_int p in
     nf *. log2 nf /. (pf *. log2 (nf /. pf))

@@ -16,7 +16,14 @@ val classical_memdep : n:int -> m:int -> p:int -> float
 (** (n/sqrt M)^3 M / P [2]. *)
 
 val classical_memind : n:int -> p:int -> float
-(** n^2 / P^{2/3} [1]. *)
+(** n^2 / P^{2/3} [1]; exact (integer-root) when P is a perfect
+    cube. *)
+
+val classical_crossover_p : n:int -> m:int -> int
+(** Smallest P with classical_memind >= classical_memdep, decided in
+    exact big-integer arithmetic (P^2 M^3 >= n^6) — immune to the
+    float mis-ranking near the boundary once n^6 exceeds 2^53. With
+    M = s^2 this is exactly ceil((n/s)^3). *)
 
 (** {2 Fast matrix multiplication (rows 2-4; Theorem 1.1)} *)
 
@@ -38,9 +45,11 @@ val crossover_p : ?omega0:float -> n:int -> m:int -> unit -> int
 (** Smallest P at which the memory-independent bound overtakes the
     memory-dependent one (growing-bracket binary search; 1 when it has
     already crossed at P = 1, e.g. at the n <= sqrt M boundary).
-    Total: when no crossover exists — the ratio memind/memdep is
-    non-increasing for omega0 <= 2, or the bracket would pass 2^60 —
-    it raises [Invalid_argument] instead of returning a wrong P. *)
+    At [omega0 = 3.] it delegates to the exact
+    {!classical_crossover_p}. Total: when no crossover exists — the
+    ratio memind/memdep is non-increasing for omega0 <= 2, or the
+    bracket would pass 2^60 — it raises [Invalid_argument] instead of
+    returning a wrong P. *)
 
 (** {2 Rectangular fast MM (row 5, [22])} *)
 
@@ -51,7 +60,11 @@ val rectangular : m0:int -> p0:int -> q:int -> t:int -> m:int -> p:int -> float
 (** {2 FFT (row 6)} *)
 
 val fft_memdep : n:int -> m:int -> p:int -> float
+(** n log2 n / (P log2 M); the logs are exact at powers of two. *)
+
 val fft_memind : n:int -> p:int -> float
+(** n log2 n / (P log2 (n/P)); 0 when n <= P. Exact logs whenever
+    P divides n and both quotient and n are powers of two. *)
 
 (** {2 Table I as data} *)
 

@@ -41,6 +41,42 @@ type node = {
   subtree_hi : int; (* ... occupy ids [subtree_lo, subtree_hi] *)
 }
 
+(* Interval index over the recursion nodes. Subtree id ranges form a
+   laminar family, so one ascending-lo stack sweep recovers the parent
+   relation, and per-subproblem selection becomes an array lookup
+   instead of a scan of the full node list. *)
+type node_index = {
+  by_lo : node array; (* all nodes, sorted by subtree_lo *)
+  parent : int array; (* index into by_lo of the enclosing node; -1 at root *)
+  by_depth : node array array; (* by_depth.(d): depth-d nodes, lo-ascending *)
+}
+
+let index_nodes nodes =
+  let by_lo = Array.of_list nodes in
+  Array.sort (fun a b -> compare a.subtree_lo b.subtree_lo) by_lo;
+  let k = Array.length by_lo in
+  let parent = Array.make k (-1) in
+  let stack = ref [] in
+  Array.iteri
+    (fun i nd ->
+      let rec pop () =
+        match !stack with
+        | j :: rest when by_lo.(j).subtree_hi < nd.subtree_lo ->
+          stack := rest;
+          pop ()
+        | _ -> ()
+      in
+      pop ();
+      (match !stack with j :: _ -> parent.(i) <- j | [] -> ());
+      stack := i :: !stack)
+    by_lo;
+  let max_depth = Array.fold_left (fun acc nd -> max acc nd.depth) 0 by_lo in
+  let by_depth =
+    Array.init (max_depth + 1) (fun d ->
+        Array.of_seq (Seq.filter (fun nd -> nd.depth = d) (Array.to_seq by_lo)))
+  in
+  { by_lo; parent; by_depth }
+
 type t = {
   graph : Fmm_graph.Digraph.t;
   roles : role array;
@@ -51,6 +87,7 @@ type t = {
   outputs : int array; (* n^2 ids *)
   nodes : node list; (* every recursion node, all depths *)
   coeffs : (int * int, int) Hashtbl.t; (* (src, dst) -> edge coefficient *)
+  index : node_index;
 }
 
 let graph t = t.graph
@@ -183,11 +220,71 @@ let build (alg : Fmm_bilinear.Algorithm.t) ~n =
     outputs = root.out;
     nodes = !nodes;
     coeffs;
+    index = index_nodes !nodes;
+  }
+
+(** Bridge constructor for [Implicit.to_explicit]: assembles a [t] from
+    parts produced by implicit arithmetic. Trusts the caller to supply
+    a well-formed CDAG (the differential tests compare the result with
+    [build] field by field). *)
+let of_parts ~graph ~roles ~n ~base ~a_inputs ~b_inputs ~outputs ~nodes
+    ~coeffs =
+  {
+    graph;
+    roles;
+    n;
+    base;
+    a_inputs;
+    b_inputs;
+    outputs;
+    nodes;
+    coeffs;
+    index = index_nodes nodes;
   }
 
 (* --- sub-CDAG selectors (SUB_H^{r x r}) --- *)
 
-let sub_nodes t ~r = List.filter (fun nd -> nd.r = r) t.nodes
+(** Depth-d recursion nodes in ascending [subtree_lo] order; [] when
+    out of range. O(1) bucket lookup. *)
+let nodes_at_depth t ~depth =
+  if depth < 0 || depth >= Array.length t.index.by_depth then []
+  else Array.to_list t.index.by_depth.(depth)
+
+(* All nodes at one depth share the same r, so size-r selection is the
+   depth-bucket lookup (previously a linear scan of the full list). *)
+let sub_nodes t ~r =
+  let buckets = t.index.by_depth in
+  let rec go d =
+    if d >= Array.length buckets then []
+    else if Array.length buckets.(d) > 0 && buckets.(d).(0).r = r then
+      Array.to_list buckets.(d)
+    else go (d + 1)
+  in
+  go 0
+
+(** Innermost recursion node whose subtree interval contains [v], or
+    [None] (true inputs lie outside every subtree). Binary search for
+    the greatest [subtree_lo <= v], then — if that node's interval ends
+    before [v] — climb the parent links: laminarity puts [v] inside an
+    ancestor whenever it is inside anything. O(log #nodes + depth). *)
+let enclosing_node t v =
+  let by_lo = t.index.by_lo in
+  let k = Array.length by_lo in
+  if k = 0 || v < by_lo.(0).subtree_lo then None
+  else begin
+    (* greatest index with subtree_lo <= v *)
+    let lo = ref 0 and hi = ref (k - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if by_lo.(mid).subtree_lo <= v then lo := mid else hi := mid - 1
+    done;
+    let rec climb i =
+      if i < 0 then None
+      else if by_lo.(i).subtree_hi >= v then Some by_lo.(i)
+      else climb t.index.parent.(i)
+    in
+    climb !lo
+  end
 
 (** V_out(SUB_H^{r x r}): all output vertices of size-r sub-problems.
     Lemma 2.2: this has (n/r)^{log_{n0} t} * r^2 elements. *)

@@ -35,6 +35,20 @@ val build : Fmm_bilinear.Algorithm.t -> n:int -> t
 (** Build H^{n x n}. The base case must be square and [n] a power of
     its dimension. *)
 
+val of_parts :
+  graph:Fmm_graph.Digraph.t ->
+  roles:role array ->
+  n:int ->
+  base:Fmm_bilinear.Algorithm.t ->
+  a_inputs:int array ->
+  b_inputs:int array ->
+  outputs:int array ->
+  nodes:node list ->
+  coeffs:(int * int, int) Hashtbl.t ->
+  t
+(** Bridge constructor used by [Implicit.to_explicit]; trusts the
+    caller to supply a well-formed CDAG. *)
+
 val graph : t -> Fmm_graph.Digraph.t
 val role : t -> int -> role
 val size : t -> int
@@ -48,6 +62,18 @@ val n_vertices : t -> int
 val n_edges : t -> int
 
 val sub_nodes : t -> r:int -> node list
+(** Size-r recursion nodes in ascending [subtree_lo] order, via the
+    depth-bucket index (no list scan). *)
+
+val nodes_at_depth : t -> depth:int -> node list
+(** Depth-d recursion nodes in ascending [subtree_lo] order; [] when
+    out of range. *)
+
+val enclosing_node : t -> int -> node option
+(** Innermost recursion node whose subtree id interval contains the
+    vertex ([None] for the true inputs, which lie outside every
+    subtree). Binary search over the sorted interval index plus a
+    parent-chain climb — O(log #nodes + depth). *)
 
 val sub_outputs : t -> r:int -> int list
 (** V_out(SUB_H^{r x r}); Lemma 2.2: (n/r)^{log_{n0} t} r^2 elements. *)

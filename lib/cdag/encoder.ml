@@ -37,18 +37,27 @@ let decoder_bipartite (alg : Fmm_bilinear.Algorithm.t) =
   (* X = products, Y = outputs: build with nx = t. *)
   Fmm_graph.Matching.make_bipartite ~nx:t ~ny !edges
 
+(** Inverse adjacency of a bipartite graph: for every y, the sorted set
+    of X-side neighbors. One O(nx + E) sweep — the bipartite structure
+    only stores adjacency by x, and testing [List.mem y ys] per x
+    (the previous implementation) cost O(E) per queried y, quadratic
+    over all ys on dense encoder rows. *)
+let neighbors_by_y (g : Fmm_graph.Matching.bipartite) =
+  let acc = Array.make (max g.Fmm_graph.Matching.ny 1) [] in
+  Array.iteri
+    (fun x ys -> List.iter (fun y -> acc.(y) <- x :: acc.(y)) ys)
+    g.Fmm_graph.Matching.adj;
+  Array.map (List.sort_uniq compare) acc
+
 (** Neighbor set of encoded operand [y] (paper's N(y)): the input
     entries it depends on. *)
-let neighbors_of_y (g : Fmm_graph.Matching.bipartite) y =
-  let acc = ref [] in
-  Array.iteri
-    (fun x ys -> if List.mem y ys then acc := x :: !acc)
-    g.Fmm_graph.Matching.adj;
-  List.sort compare !acc
+let neighbors_of_y (g : Fmm_graph.Matching.bipartite) y = (neighbors_by_y g).(y)
 
-(** Neighbor sets for a set of Y vertices (union). *)
+(** Neighbor sets for a set of Y vertices (union). The inverse
+    adjacency is built once and shared across the queried ys. *)
 let neighbors_of_ys g ys =
-  List.sort_uniq compare (List.concat_map (fun y -> neighbors_of_y g y) ys)
+  let inv = neighbors_by_y g in
+  List.sort_uniq compare (List.concat_map (fun y -> inv.(y)) ys)
 
 (** The encoder as a standalone 2-layer digraph (for DOT export /
     Figure 2 rendering): vertex ids 0..nx-1 are X, nx..nx+ny-1 are Y. *)

@@ -1,0 +1,515 @@
+(* The recursion-indexed CDAG. See the .mli for the id layout; the
+   short version is that a vertex id is decoded by walking the
+   recursion tables (subtree sizes S(r), per-child chunk sizes C(r))
+   from the root, peeling one tau digit per level, until the id falls
+   in an encoder block, a decoder block, or a leaf Mult. Predecessors
+   and successors then come straight out of the base algorithm's U/V/W
+   rows and columns — the graph is never stored.
+
+   Everything here must reproduce Cdag.build's allocation order
+   bit-exactly: encA block then encB block then child subtree per tau,
+   decoders last, decoder vertices in (p, q, i, j) loop order while the
+   out array is row-major (a computable permutation between the two). *)
+
+module A = Fmm_bilinear.Algorithm
+
+type t = {
+  base : A.t;
+  n : int;
+  levels : int; (* L: n = n0^L *)
+  n0 : int;
+  m0 : int;
+  k0 : int;
+  t_rank : int;
+  u : int array array;
+  v : int array array;
+  w : int array array;
+  size_at : int array; (* size_at.(d) = n / n0^d, d in 0..L *)
+  sub_size : int array; (* S(size_at.(d)): vertex count of a depth-d subtree *)
+  chunk : int array; (* per-child chunk 2 h^2 + S(h) at depth d, d < L *)
+  dec_off : int array; (* t_rank * chunk.(d): decoder block offset, d < L *)
+  n2 : int;
+  root_lo : int; (* 2 n^2 *)
+  nv : int;
+  ne : int;
+}
+
+let nnz_matrix m =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun k c -> if c <> 0 then k + 1 else k) acc row)
+    0 m
+
+let create (alg : A.t) ~n =
+  let n0, m0, k0 = A.dims alg in
+  if n0 <> m0 || m0 <> k0 then
+    invalid_arg "Implicit.create: base case must be square";
+  if not (Fmm_util.Combinat.is_power_of ~base:n0 n) then
+    invalid_arg "Implicit.create: n must be a power of the base dimension";
+  let t_rank = A.rank alg in
+  let u = A.u_matrix alg and v = A.v_matrix alg and w = A.w_matrix alg in
+  let levels =
+    let rec go l r = if r = 1 then l else go (l + 1) (r / n0) in
+    go 0 n
+  in
+  let size_at = Array.init (levels + 1) (fun d -> n / Fmm_util.Combinat.pow_int n0 d) in
+  let sub_size = Array.make (levels + 1) 1 in
+  let chunk = Array.make (max levels 1) 0 in
+  let dec_off = Array.make (max levels 1) 0 in
+  for d = levels - 1 downto 0 do
+    let r = size_at.(d) and h = size_at.(d + 1) in
+    chunk.(d) <- (2 * h * h) + sub_size.(d + 1);
+    dec_off.(d) <- t_rank * chunk.(d);
+    sub_size.(d) <- dec_off.(d) + (r * r)
+  done;
+  let n2 = n * n in
+  let nv = (2 * n2) + sub_size.(0) in
+  let ne =
+    if levels = 0 then 2
+    else begin
+      let per_node = nnz_matrix u + nnz_matrix v + nnz_matrix w in
+      let e = ref 2 in
+      (* E(r) = h^2 (nnz U + nnz V + nnz W) + t E(h), E(1) = 2 *)
+      for d = levels - 1 downto 0 do
+        let h = size_at.(d + 1) in
+        e := (h * h * per_node) + (t_rank * !e)
+      done;
+      !e
+    end
+  in
+  {
+    base = alg;
+    n;
+    levels;
+    n0;
+    m0;
+    k0;
+    t_rank;
+    u;
+    v;
+    w;
+    size_at;
+    sub_size;
+    chunk;
+    dec_off;
+    n2;
+    root_lo = 2 * n2;
+    nv;
+    ne;
+  }
+
+let of_cdag cdag = create (Cdag.base_algorithm cdag) ~n:(Cdag.size cdag)
+let size t = t.n
+let base_algorithm t = t.base
+let levels t = t.levels
+let n_vertices t = t.nv
+let n_edges t = t.ne
+let n_inputs t = 2 * t.n2
+let a_inputs t = Array.init t.n2 (fun i -> i)
+let b_inputs t = Array.init t.n2 (fun i -> t.n2 + i)
+let is_input t id = id >= 0 && id < 2 * t.n2
+
+let is_output t id =
+  (* the root's out vertices are the last n^2 allocated ids (the out
+     ARRAY is a permutation of them, but as a set they are the tail) *)
+  id >= t.nv - t.n2 && id < t.nv
+
+(* --- id decoding --- *)
+
+type ctx = {
+  d : int; (* depth of the node *)
+  lo : int; (* subtree_lo *)
+  a_base : int; (* a_in.(i) = a_base + i *)
+  b_base : int;
+  p_lo : int; (* parent's subtree_lo; -1 at the root *)
+  tau_in : int; (* index of this node in its parent; -1 at the root *)
+}
+
+type loc =
+  | L_inp_a of int
+  | L_inp_b of int
+  | L_enc of bool * ctx * int * int * int (* a-side?, creating node, tau, i, j *)
+  | L_mult of ctx
+  | L_dec of ctx * int * int * int * int (* node, p, q, i, j *)
+
+let decode t id =
+  if id < 0 || id >= t.nv then
+    invalid_arg (Printf.sprintf "Implicit: vertex id %d out of range" id);
+  if id < t.n2 then L_inp_a id
+  else if id < 2 * t.n2 then L_inp_b (id - t.n2)
+  else begin
+    let rec go d lo a_base b_base p_lo tau_in =
+      let ctx = { d; lo; a_base; b_base; p_lo; tau_in } in
+      if d = t.levels then L_mult ctx
+      else begin
+        let rel = id - lo in
+        if rel >= t.dec_off.(d) then begin
+          let h = t.size_at.(d + 1) in
+          let alloc = rel - t.dec_off.(d) in
+          let j = alloc mod h in
+          let rest = alloc / h in
+          let i = rest mod h in
+          let pq = rest / h in
+          L_dec (ctx, pq / t.k0, pq mod t.k0, i, j)
+        end
+        else begin
+          let c = t.chunk.(d) in
+          let tau = rel / c and rem = rel mod c in
+          let h = t.size_at.(d + 1) in
+          let h2 = h * h in
+          if rem < h2 then L_enc (true, ctx, tau, rem / h, rem mod h)
+          else if rem < 2 * h2 then begin
+            let rem = rem - h2 in
+            L_enc (false, ctx, tau, rem / h, rem mod h)
+          end
+          else begin
+            let child_a = lo + (tau * c) in
+            go (d + 1) (child_a + (2 * h2)) child_a (child_a + h2) lo tau
+          end
+        end
+      end
+    in
+    go 0 t.root_lo 0 t.n2 (-1) (-1)
+  end
+
+let role t id =
+  match decode t id with
+  | L_inp_a i -> Cdag.Input_a i
+  | L_inp_b i -> Cdag.Input_b i
+  | L_enc (true, _, _, _, _) -> Cdag.Enc_a
+  | L_enc (false, _, _, _, _) -> Cdag.Enc_b
+  | L_mult _ -> Cdag.Mult
+  | L_dec _ -> Cdag.Dec
+
+(* id of out-array entry [pos] (row-major) of the node at (d, lo) *)
+let out_entry_id t ~d ~lo pos =
+  if d = t.levels then lo
+  else begin
+    let r = t.size_at.(d) and h = t.size_at.(d + 1) in
+    let row = pos / r and col = pos mod r in
+    let p = row / h and i = row mod h in
+    let q = col / h and j = col mod h in
+    lo + t.dec_off.(d) + ((((((p * t.k0) + q) * h) + i) * h) + j)
+  end
+
+(* --- predecessors --- *)
+
+let iter_preds t id ~f =
+  match decode t id with
+  | L_inp_a _ | L_inp_b _ -> ()
+  | L_mult ctx ->
+    f ctx.a_base None;
+    f ctx.b_base None
+  | L_enc (is_a, ctx, tau, i, j) ->
+    let r = t.size_at.(ctx.d) and h = t.size_at.(ctx.d + 1) in
+    let rows = if is_a then t.u else t.v in
+    let cols0 = if is_a then t.m0 else t.k0 in
+    let base = if is_a then ctx.a_base else ctx.b_base in
+    Array.iteri
+      (fun b c ->
+        if c <> 0 then begin
+          let row = ((b / cols0) * h) + i and col = ((b mod cols0) * h) + j in
+          f (base + (row * r) + col) (Some c)
+        end)
+      rows.(tau)
+  | L_dec (ctx, p, q, i, j) ->
+    let h = t.size_at.(ctx.d + 1) in
+    Array.iteri
+      (fun tau c ->
+        if c <> 0 then begin
+          let child_lo = ctx.lo + (tau * t.chunk.(ctx.d)) + (2 * h * h) in
+          f (out_entry_id t ~d:(ctx.d + 1) ~lo:child_lo ((i * h) + j)) (Some c)
+        end)
+      t.w.((p * t.k0) + q)
+
+let preds t id =
+  let acc = ref [] in
+  iter_preds t id ~f:(fun p c -> acc := (p, c) :: !acc);
+  List.rev !acc
+
+let in_degree t id =
+  let k = ref 0 in
+  iter_preds t id ~f:(fun _ _ -> incr k);
+  !k
+
+let edge_coeff t src dst =
+  let found = ref None in
+  iter_preds t dst ~f:(fun p c -> if p = src then found := c);
+  !found
+
+(* --- successors --- *)
+
+(* consumers of operand-array entry [pos] of the node at (d, lo):
+   the node's encoder vertices whose U (A side) / V (B side) row has a
+   nonzero coefficient at this entry's base-case block — or the Mult
+   itself at a leaf *)
+let iter_operand_succs t ~is_a ~d ~lo pos ~f =
+  if d = t.levels then f lo
+  else begin
+    let r = t.size_at.(d) and h = t.size_at.(d + 1) in
+    let row = pos / r and col = pos mod r in
+    let p = row / h and i = row mod h in
+    let q = col / h and j = col mod h in
+    let cols0 = if is_a then t.m0 else t.k0 in
+    let rows = if is_a then t.u else t.v in
+    let b = (p * cols0) + q in
+    let off = (if is_a then 0 else h * h) + (i * h) + j in
+    for tau = 0 to t.t_rank - 1 do
+      if rows.(tau).(b) <> 0 then f (lo + (tau * t.chunk.(d)) + off)
+    done
+  end
+
+(* consumers of out-array entry [pos] of the node at depth d whose
+   parent subtree starts at p_lo: the parent's decoders with a nonzero
+   W coefficient at column tau_in. Root out entries have none. *)
+let iter_out_succs t ~d ~p_lo ~tau_in pos ~f =
+  if d > 0 then begin
+    let rc = t.size_at.(d) in
+    let i = pos / rc and j = pos mod rc in
+    let dec_base = p_lo + t.dec_off.(d - 1) in
+    for p = 0 to t.n0 - 1 do
+      for q = 0 to t.k0 - 1 do
+        if t.w.((p * t.k0) + q).(tau_in) <> 0 then
+          f (dec_base + (((((p * t.k0) + q) * rc) + i) * rc) + j)
+      done
+    done
+  end
+
+let iter_succs t id ~f =
+  match decode t id with
+  | L_inp_a idx -> iter_operand_succs t ~is_a:true ~d:0 ~lo:t.root_lo idx ~f
+  | L_inp_b idx -> iter_operand_succs t ~is_a:false ~d:0 ~lo:t.root_lo idx ~f
+  | L_enc (is_a, ctx, tau, i, j) ->
+    (* this vertex is operand entry (i, j) of child [tau] *)
+    let h = t.size_at.(ctx.d + 1) in
+    let child_lo = ctx.lo + (tau * t.chunk.(ctx.d)) + (2 * h * h) in
+    iter_operand_succs t ~is_a ~d:(ctx.d + 1) ~lo:child_lo ((i * h) + j) ~f
+  | L_mult ctx -> iter_out_succs t ~d:ctx.d ~p_lo:ctx.p_lo ~tau_in:ctx.tau_in 0 ~f
+  | L_dec (ctx, p, q, i, j) ->
+    let r = t.size_at.(ctx.d) and h = t.size_at.(ctx.d + 1) in
+    let pos = (((p * h) + i) * r) + ((q * h) + j) in
+    iter_out_succs t ~d:ctx.d ~p_lo:ctx.p_lo ~tau_in:ctx.tau_in pos ~f
+
+let succs t id =
+  let acc = ref [] in
+  iter_succs t id ~f:(fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let out_degree t id =
+  let k = ref 0 in
+  iter_succs t id ~f:(fun _ -> incr k);
+  !k
+
+let outputs t =
+  Array.init t.n2 (fun pos -> out_entry_id t ~d:0 ~lo:t.root_lo pos)
+
+(* --- recursion nodes --- *)
+
+type node_info = {
+  depth : int;
+  r : int;
+  lo : int;
+  hi : int;
+  a_base : int;
+  b_base : int;
+}
+
+let depth_of_r t ~r =
+  let rec go d =
+    if d > t.levels then None
+    else if t.size_at.(d) = r then Some d
+    else go (d + 1)
+  in
+  if r >= 1 then go 0 else None
+
+let node_count_at_depth t ~depth =
+  if depth < 0 || depth > t.levels then
+    invalid_arg "Implicit.node_count_at_depth: bad depth";
+  Fmm_util.Combinat.pow_int t.t_rank depth
+
+let node_info_at t ~d ~lo ~a_base ~b_base =
+  {
+    depth = d;
+    r = t.size_at.(d);
+    lo;
+    hi = lo + t.sub_size.(d) - 1;
+    a_base;
+    b_base;
+  }
+
+let iter_nodes_at_depth t ~depth ~f =
+  if depth < 0 || depth > t.levels then
+    invalid_arg "Implicit.iter_nodes_at_depth: bad depth";
+  let rec go d lo a_base b_base =
+    if d = depth then f (node_info_at t ~d ~lo ~a_base ~b_base)
+    else begin
+      let h = t.size_at.(d + 1) in
+      let h2 = h * h in
+      for tau = 0 to t.t_rank - 1 do
+        let child_a = lo + (tau * t.chunk.(d)) in
+        go (d + 1) (child_a + (2 * h2)) child_a (child_a + h2)
+      done
+    end
+  in
+  go 0 t.root_lo 0 t.n2
+
+let node_of_path t path =
+  let depth = Array.length path in
+  if depth > t.levels then invalid_arg "Implicit.node_of_path: path too deep";
+  let d = ref 0 and lo = ref t.root_lo and a_base = ref 0 and b_base = ref t.n2 in
+  Array.iter
+    (fun tau ->
+      if tau < 0 || tau >= t.t_rank then
+        invalid_arg "Implicit.node_of_path: tau digit out of range";
+      let h = t.size_at.(!d + 1) in
+      let child_a = !lo + (tau * t.chunk.(!d)) in
+      a_base := child_a;
+      b_base := child_a + (h * h);
+      lo := child_a + (2 * h * h);
+      incr d)
+    path;
+  node_info_at t ~d:!d ~lo:!lo ~a_base:!a_base ~b_base:!b_base
+
+let out_entry t nd pos = out_entry_id t ~d:nd.depth ~lo:nd.lo pos
+
+let sub_node_count t ~r =
+  match depth_of_r t ~r with
+  | None -> 0
+  | Some d -> node_count_at_depth t ~depth:d
+
+let sub_output_count t ~r = sub_node_count t ~r * r * r
+let sub_input_count t ~r = 2 * sub_output_count t ~r
+
+let sub_outputs t ~r =
+  match depth_of_r t ~r with
+  | None -> []
+  | Some depth ->
+    let acc = ref [] in
+    iter_nodes_at_depth t ~depth ~f:(fun nd ->
+        for pos = (r * r) - 1 downto 0 do
+          acc := out_entry t nd pos :: !acc
+        done);
+    List.rev !acc
+
+let sub_inputs t ~r =
+  match depth_of_r t ~r with
+  | None -> []
+  | Some depth ->
+    let acc = ref [] in
+    iter_nodes_at_depth t ~depth ~f:(fun nd ->
+        for pos = (r * r) - 1 downto 0 do
+          acc := (nd.b_base + pos) :: !acc
+        done;
+        for pos = (r * r) - 1 downto 0 do
+          acc := (nd.a_base + pos) :: !acc
+        done);
+    List.rev !acc
+
+let is_sub_output t ~r id =
+  match decode t id with
+  | L_mult _ -> r = 1
+  | L_dec (ctx, _, _, _, _) -> t.size_at.(ctx.d) = r
+  | _ -> false
+
+(* --- censuses --- *)
+
+let stats t =
+  let pow = Fmm_util.Combinat.pow_int in
+  let enc_each = ref 0 and dec = ref 0 in
+  for d = 0 to t.levels - 1 do
+    let h = t.size_at.(d + 1) and r = t.size_at.(d) in
+    enc_each := !enc_each + (pow t.t_rank (d + 1) * h * h);
+    dec := !dec + (pow t.t_rank d * r * r)
+  done;
+  [
+    ("vertices", t.nv);
+    ("edges", t.ne);
+    ("inputs", 2 * t.n2);
+    ("enc_a", !enc_each);
+    ("enc_b", !enc_each);
+    ("mult", pow t.t_rank t.levels);
+    ("dec", !dec);
+    ("outputs", t.n2);
+  ]
+
+(* --- CSR expansion --- *)
+
+type csr = {
+  lo : int;
+  hi : int;
+  row_off : int array;
+  cols : int array;
+  weights : int array;
+}
+
+let csr_preds t ~lo ~hi =
+  if lo < 0 || hi > t.nv || lo > hi then
+    invalid_arg "Implicit.csr_preds: bad id range";
+  let rows = hi - lo in
+  let row_off = Array.make (rows + 1) 0 in
+  for id = lo to hi - 1 do
+    row_off.(id - lo + 1) <- row_off.(id - lo) + in_degree t id
+  done;
+  let total = row_off.(rows) in
+  let cols = Array.make total 0 and weights = Array.make total 0 in
+  let cursor = ref 0 in
+  for id = lo to hi - 1 do
+    iter_preds t id ~f:(fun p c ->
+        cols.(!cursor) <- p;
+        weights.(!cursor) <- (match c with Some c -> c | None -> 0);
+        incr cursor)
+  done;
+  { lo; hi; row_off; cols; weights }
+
+(* --- bridges to the explicit representation --- *)
+
+let to_digraph t =
+  let g = Fmm_graph.Digraph.create ~capacity:(max t.nv 1) () in
+  ignore (Fmm_graph.Digraph.add_vertices g t.nv);
+  (* ascending consumer id, predecessors in builder operand order:
+     reproduces the explicit builder's global edge-insertion order, so
+     both cons'd adjacency directions come out identical *)
+  for id = 0 to t.nv - 1 do
+    iter_preds t id ~f:(fun p _ -> Fmm_graph.Digraph.add_edge g p id)
+  done;
+  g
+
+let to_explicit t =
+  let g = Fmm_graph.Digraph.create ~capacity:(max t.nv 1) () in
+  ignore (Fmm_graph.Digraph.add_vertices g t.nv);
+  let coeffs = Hashtbl.create 1024 in
+  for id = 0 to t.nv - 1 do
+    iter_preds t id ~f:(fun p c ->
+        Fmm_graph.Digraph.add_edge g p id;
+        match c with Some c -> Hashtbl.replace coeffs (p, id) c | None -> ())
+  done;
+  let roles = Array.init t.nv (fun id -> role t id) in
+  (* nodes in the builder's list order: each node is prepended at
+     completion (children before parent), so replay the same DFS *)
+  let nodes = ref [] in
+  let rec build_node d lo a_base b_base =
+    let r = t.size_at.(d) in
+    (if d < t.levels then begin
+       let h = t.size_at.(d + 1) in
+       let h2 = h * h in
+       for tau = 0 to t.t_rank - 1 do
+         let child_a = lo + (tau * t.chunk.(d)) in
+         build_node (d + 1) (child_a + (2 * h2)) child_a (child_a + h2)
+       done
+     end);
+    let node =
+      {
+        Cdag.r;
+        depth = d;
+        a_in = Array.init (r * r) (fun i -> a_base + i);
+        b_in = Array.init (r * r) (fun i -> b_base + i);
+        out = Array.init (r * r) (fun pos -> out_entry_id t ~d ~lo pos);
+        subtree_lo = lo;
+        subtree_hi = lo + t.sub_size.(d) - 1;
+      }
+    in
+    nodes := node :: !nodes
+  in
+  build_node 0 t.root_lo 0 t.n2;
+  Cdag.of_parts ~graph:g ~roles ~n:t.n ~base:t.base ~a_inputs:(a_inputs t)
+    ~b_inputs:(b_inputs t) ~outputs:(outputs t) ~nodes:!nodes ~coeffs

@@ -204,13 +204,8 @@ let bfs_assignment cdag ~depth ~procs =
       assignment.(v) <- p
     end
   in
-  let subtrees =
-    List.filter (fun nd -> nd.Fmm_cdag.Cdag.depth = depth) (Fmm_cdag.Cdag.nodes cdag)
-  in
-  (* stable order: by subtree range start *)
-  let subtrees =
-    List.sort (fun a b -> compare a.Fmm_cdag.Cdag.subtree_lo b.Fmm_cdag.Cdag.subtree_lo) subtrees
-  in
+  (* the depth-bucket index already yields ascending subtree_lo order *)
+  let subtrees = Fmm_cdag.Cdag.nodes_at_depth cdag ~depth in
   List.iteri
     (fun idx nd ->
       let p = idx mod procs in
@@ -220,6 +215,39 @@ let bfs_assignment cdag ~depth ~procs =
       Array.iter (claim p) nd.Fmm_cdag.Cdag.a_in;
       Array.iter (claim p) nd.Fmm_cdag.Cdag.b_in)
     subtrees;
+  assignment
+
+(** [bfs_assignment] computed from the implicit CDAG alone: the same
+    round-robin default, the same first-claim sweep over depth-[depth]
+    nodes in ascending subtree order — identical output by
+    construction (operand arrays are contiguous id blocks in the
+    implicit indexing). *)
+let bfs_assignment_implicit imp ~depth ~procs =
+  let module Im = Fmm_cdag.Implicit in
+  let n = Im.n_vertices imp in
+  let assignment = Array.init n (fun v -> v mod procs) in
+  let claimed = Bytes.make ((n + 7) / 8) '\000' in
+  let claim p v =
+    if Char.code (Bytes.get claimed (v lsr 3)) land (1 lsl (v land 7)) = 0 then begin
+      Bytes.set claimed (v lsr 3)
+        (Char.chr (Char.code (Bytes.get claimed (v lsr 3)) lor (1 lsl (v land 7))));
+      assignment.(v) <- p
+    end
+  in
+  let idx = ref 0 in
+  Im.iter_nodes_at_depth imp ~depth ~f:(fun nd ->
+      let p = !idx mod procs in
+      incr idx;
+      for v = nd.Im.lo to nd.Im.hi do
+        claim p v
+      done;
+      let r2 = nd.Im.r * nd.Im.r in
+      for i = 0 to r2 - 1 do
+        claim p (nd.Im.a_base + i)
+      done;
+      for i = 0 to r2 - 1 do
+        claim p (nd.Im.b_base + i)
+      done);
   assignment
 
 (** Single-processor baseline: everything local, zero communication. *)

@@ -35,6 +35,12 @@ val bfs_assignment : Fmm_cdag.Cdag.t -> depth:int -> procs:int -> int array
     and the first claimant wins, so the resulting census is a
     deterministic function of the CDAG — not of iteration order. *)
 
+val bfs_assignment_implicit :
+  Fmm_cdag.Implicit.t -> depth:int -> procs:int -> int array
+(** Identical assignment computed from the implicit CDAG alone (no
+    node list, no graph) — agrees with {!bfs_assignment} entry for
+    entry. *)
+
 val sequential_assignment : Workload.t -> int array
 
 val strassen_bfs_experiment : Fmm_cdag.Cdag.t -> depth:int -> result

@@ -27,17 +27,27 @@ type analysis = {
   cache_size : int;
 }
 
-(** Cut [trace] into segments of [quota] first-time computations of
-    V_out(SUB_H^{r x r}) and count the I/O in each. The final partial
-    segment is included (callers typically exclude it from minima, as
-    the theorem does). *)
-let analyze cdag ~cache_size ~r ?quota (trace : Trace.t) =
+(** The shared fold: cut an event stream into segments of [quota]
+    first-time computations of V_out(SUB_H^{r x r}) and count the I/O
+    in each. The final partial segment is included (callers typically
+    exclude it from minima, as the theorem does). [iter] drives the
+    fold — a trace list for the explicit path, a live streaming
+    execution for the implicit one — and [is_sub_output] is a
+    predicate, so membership can be an array lookup or O(log n)
+    arithmetic. First-time-ness is tracked in a bitset (V/8 bytes). *)
+let analyze_events ~n_vertices ~is_sub_output ~cache_size ~r ?quota iter =
   let quota =
     match quota with Some q -> q | None -> max 1 (4 * cache_size)
   in
-  let is_sub_output = Array.make (Cd.n_vertices cdag) false in
-  List.iter (fun v -> is_sub_output.(v) <- true) (Cd.sub_outputs cdag ~r);
-  let computed = Array.make (Cd.n_vertices cdag) false in
+  let computed = Bytes.make ((n_vertices + 7) / 8) '\000' in
+  let computed_mem v =
+    Char.code (Bytes.unsafe_get computed (v lsr 3)) land (1 lsl (v land 7)) <> 0
+  in
+  let computed_set v =
+    Bytes.unsafe_set computed (v lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get computed (v lsr 3)) lor (1 lsl (v land 7))))
+  in
   let segments = ref [] in
   let seg_outputs = ref 0 and seg_loads = ref 0 and seg_stores = ref 0 in
   let seg_index = ref 0 in
@@ -56,19 +66,17 @@ let analyze cdag ~cache_size ~r ?quota (trace : Trace.t) =
     seg_loads := 0;
     seg_stores := 0
   in
-  List.iter
-    (fun event ->
+  iter (fun event ->
       match event with
       | Trace.Load _ -> incr seg_loads
       | Trace.Store _ -> incr seg_stores
       | Trace.Evict _ -> ()
       | Trace.Compute v ->
-        if is_sub_output.(v) && not computed.(v) then begin
-          computed.(v) <- true;
+        if is_sub_output v && not (computed_mem v) then begin
+          computed_set v;
           incr seg_outputs;
           if !seg_outputs = quota then close_segment ()
-        end)
-    trace;
+        end);
   if !seg_outputs > 0 || !seg_loads + !seg_stores > 0 then close_segment ();
   {
     r;
@@ -79,6 +87,31 @@ let analyze cdag ~cache_size ~r ?quota (trace : Trace.t) =
     bound = ((r * r) + 1) / 2 - cache_size;
     cache_size;
   }
+
+let analyze cdag ~cache_size ~r ?quota (trace : Trace.t) =
+  let is_sub_output = Array.make (Cd.n_vertices cdag) false in
+  List.iter (fun v -> is_sub_output.(v) <- true) (Cd.sub_outputs cdag ~r);
+  analyze_events ~n_vertices:(Cd.n_vertices cdag)
+    ~is_sub_output:(fun v -> is_sub_output.(v))
+    ~cache_size ~r ?quota
+    (fun f -> List.iter f trace)
+
+(** Segment analysis of the canonical LRU execution of an implicit
+    CDAG: the streaming executor feeds the fold event-by-event, so no
+    trace is ever materialized. Returns the executor's counters
+    alongside. *)
+let analyze_implicit imp ~cache_size ~r ?quota () =
+  let module Im = Fmm_cdag.Implicit in
+  let result = ref None in
+  let analysis =
+    analyze_events ~n_vertices:(Im.n_vertices imp)
+      ~is_sub_output:(fun v -> Im.is_sub_output imp ~r v)
+      ~cache_size ~r ?quota
+      (fun f -> result := Some (Stream_exec.run_lru imp ~cache_size ~on_event:f ()))
+  in
+  match !result with
+  | Some counters -> (analysis, counters)
+  | None -> assert false
 
 (** Full segments only (the theorem's counting excludes the last,
     possibly partial, one). *)

@@ -25,6 +25,29 @@ val analyze :
   Fmm_cdag.Cdag.t -> cache_size:int -> r:int -> ?quota:int -> Trace.t -> analysis
 (** [quota] defaults to [4 * cache_size], the theorem's choice. *)
 
+val analyze_events :
+  n_vertices:int ->
+  is_sub_output:(int -> bool) ->
+  cache_size:int ->
+  r:int ->
+  ?quota:int ->
+  ((Trace.event -> unit) -> unit) ->
+  analysis
+(** The shared fold under [analyze]: segment an event stream driven by
+    the given iterator, with V_out membership as a predicate. *)
+
+val analyze_implicit :
+  Fmm_cdag.Implicit.t ->
+  cache_size:int ->
+  r:int ->
+  ?quota:int ->
+  unit ->
+  analysis * Trace.counters
+(** Segment the canonical streaming LRU execution
+    ({!Stream_exec.run_lru}) of an implicit CDAG without materializing
+    the trace; also returns the execution's I/O counters. Agrees with
+    [analyze] over [Schedulers.run_lru] on the ascending order. *)
+
 val full_segments : analysis -> segment list
 (** Segments that reached the quota (the theorem's counting excludes
     the final partial one). *)

@@ -1,0 +1,194 @@
+(* Streaming LRU execution of an implicit CDAG: the exact event
+   sequence [Schedulers.run_lru] produces on the canonical ascending-id
+   order, computed without ever materializing the graph or the trace.
+
+   The graph is queried arithmetically ([Implicit.iter_preds] /
+   [iter_succs]); residency is two bitsets plus an intrusive
+   doubly-linked LRU list whose size is bounded by the cache, so the
+   whole run is O(E log 1) time and O(V / 8 + M) space — n = 256
+   (40M vertices) fits in a few tens of MB where the explicit
+   machinery needs tens of GB.
+
+   Equivalence notes (checked event-for-event by [test_implicit]):
+   - [Digraph.in_neighbors] returns cons'd (reverse-insertion) order,
+     so operands are visited in reverse [Implicit.iter_preds] order.
+   - [remaining_uses.(w)] at the pre-compute phase of step v equals
+     #{s in succs(w) | s >= v} because the order is ascending ids and
+     each successor consumes each operand exactly once (the CDAG has
+     no parallel edges); the post-compute dead test uses s > v.
+   - The LRU victim (least-recently-touched unpinned resident) is the
+     tail of the linked list, skipping pinned entries — the same
+     vertex [Schedulers]' time-keyed map minimum selects. *)
+
+module Im = Fmm_cdag.Implicit
+
+(* Flat bitset over vertex ids; Bytes-backed so n = 1024 (2G vertices)
+   costs 256MB only when such a run is actually attempted. *)
+module Bits = struct
+  let create n = Bytes.make ((n + 7) / 8) '\000'
+  let mem b i = Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let set b i =
+    Bytes.unsafe_set b (i lsr 3)
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+  let clear b i =
+    Bytes.unsafe_set b (i lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get b (i lsr 3)) land lnot (1 lsl (i land 7))))
+end
+
+(* Intrusive doubly-linked recency list with a cyclic sentinel:
+   sentinel.next = most recent, sentinel.prev = least recent. Only
+   resident vertices have nodes, so the table stays cache-sized. *)
+type lnode = { v : int; mutable prev : lnode; mutable next : lnode }
+
+type lru = { sentinel : lnode; nodes : (int, lnode) Hashtbl.t }
+
+let lru_create () =
+  let rec s = { v = -1; prev = s; next = s } in
+  { sentinel = s; nodes = Hashtbl.create 1024 }
+
+let unlink nd =
+  nd.prev.next <- nd.next;
+  nd.next.prev <- nd.prev
+
+let push_front lru nd =
+  nd.prev <- lru.sentinel;
+  nd.next <- lru.sentinel.next;
+  lru.sentinel.next.prev <- nd;
+  lru.sentinel.next <- nd
+
+let touch lru v =
+  match Hashtbl.find_opt lru.nodes v with
+  | Some nd ->
+    unlink nd;
+    push_front lru nd
+  | None ->
+    let nd = { v; prev = lru.sentinel; next = lru.sentinel } in
+    push_front lru nd;
+    Hashtbl.add lru.nodes v nd
+
+let forget lru v =
+  match Hashtbl.find_opt lru.nodes v with
+  | Some nd ->
+    unlink nd;
+    Hashtbl.remove lru.nodes v
+  | None -> ()
+
+(* Least-recently-touched resident vertex that is not pinned. *)
+let victim lru ~pinned =
+  let rec walk nd =
+    if nd == lru.sentinel then
+      failwith "Stream_exec: cache too small (everything pinned)"
+    else if Bits.mem pinned nd.v then walk nd.prev
+    else nd.v
+  in
+  walk lru.sentinel.prev
+
+let run_lru imp ~cache_size ?(on_event = fun (_ : Trace.event) -> ()) () =
+  if cache_size < 1 then invalid_arg "Stream_exec.run_lru: cache_size < 1";
+  let nv = Im.n_vertices imp in
+  let n_inp = Im.n_inputs imp in
+  let in_cache = Bits.create nv in
+  let in_slow = Bits.create nv in
+  let pinned = Bits.create nv in
+  for i = 0 to n_inp - 1 do
+    Bits.set in_slow i
+  done;
+  let lru = lru_create () in
+  let occupancy = ref 0 in
+  let loads = ref 0 and stores = ref 0 and computes = ref 0 in
+  (* #{s in succs(w) | s >= from_}: the scheduler's remaining-uses
+     counter, recovered arithmetically. *)
+  let uses_from w ~from_ =
+    let k = ref 0 in
+    Im.iter_succs imp w ~f:(fun s -> if s >= from_ then incr k);
+    !k
+  in
+  (* Current order vertex; evictions only happen while making room for
+     it, so remaining uses are always counted from here. *)
+  let cur = ref n_inp in
+  let writeback w = uses_from w ~from_:!cur > 0 || Im.is_output imp w in
+  let evict_one () =
+    let w = victim lru ~pinned in
+    if writeback w && not (Bits.mem in_slow w) then begin
+      on_event (Trace.Store w);
+      Bits.set in_slow w;
+      incr stores
+    end;
+    on_event (Trace.Evict w);
+    Bits.clear in_cache w;
+    decr occupancy;
+    forget lru w
+  in
+  let ensure_room () =
+    while !occupancy >= cache_size do
+      evict_one ()
+    done
+  in
+  for v = n_inp to nv - 1 do
+    cur := v;
+    (* in_neighbors order = reverse builder insertion order. *)
+    let preds = ref [] in
+    Im.iter_preds imp v ~f:(fun p _ -> preds := p :: !preds);
+    let preds = !preds in
+    List.iter
+      (fun p ->
+        if not (Bits.mem in_cache p) then begin
+          if not (Bits.mem in_slow p) then
+            failwith
+              (Printf.sprintf
+                 "Stream_exec.run_lru: order step %d (vertex %d): operand %d lost"
+                 (v - n_inp) v p);
+          Bits.set pinned p;
+          ensure_room ();
+          on_event (Trace.Load p);
+          Bits.set in_cache p;
+          incr occupancy;
+          incr loads;
+          touch lru p
+        end
+        else begin
+          Bits.set pinned p;
+          touch lru p
+        end)
+      preds;
+    ensure_room ();
+    on_event (Trace.Compute v);
+    Bits.set in_cache v;
+    incr occupancy;
+    incr computes;
+    touch lru v;
+    List.iter
+      (fun p ->
+        Bits.clear pinned p;
+        if
+          uses_from p ~from_:(v + 1) = 0
+          && (not (Im.is_output imp p))
+          && Bits.mem in_cache p
+        then begin
+          on_event (Trace.Evict p);
+          Bits.clear in_cache p;
+          decr occupancy;
+          forget lru p
+        end)
+      preds
+  done;
+  Array.iter
+    (fun v ->
+      if Bits.mem in_cache v && not (Bits.mem in_slow v) then begin
+        on_event (Trace.Store v);
+        Bits.set in_slow v;
+        incr stores
+      end)
+    (Im.outputs imp);
+  { Trace.loads = !loads; stores = !stores; computes = !computes; recomputes = 0 }
+
+(* Materializing variant for differential tests at small n. *)
+let run_lru_collect imp ~cache_size =
+  let events = ref [] in
+  let counters =
+    run_lru imp ~cache_size ~on_event:(fun e -> events := e :: !events) ()
+  in
+  ({ Schedulers.trace = List.rev !events; counters } : Schedulers.result)

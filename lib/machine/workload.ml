@@ -35,6 +35,24 @@ let of_cdag cdag =
         (Fmm_cdag.Cdag.size cdag) (Fmm_cdag.Cdag.size cdag);
   }
 
+(* Expands the graph (use only where an explicit workload is wanted
+   anyway — e.g. cross-validating against the streaming path); the
+   name matches [of_cdag] so downstream reports are indistinguishable. *)
+let of_implicit imp =
+  let n = Fmm_cdag.Implicit.size imp in
+  {
+    graph = Fmm_cdag.Implicit.to_digraph imp;
+    inputs =
+      Array.append
+        (Fmm_cdag.Implicit.a_inputs imp)
+        (Fmm_cdag.Implicit.b_inputs imp);
+    outputs = Fmm_cdag.Implicit.outputs imp;
+    name =
+      Printf.sprintf "%s H^{%dx%d}"
+        (Fmm_bilinear.Algorithm.name (Fmm_cdag.Implicit.base_algorithm imp))
+        n n;
+  }
+
 let n_vertices t = Fmm_graph.Digraph.n_vertices t.graph
 
 let is_input t =

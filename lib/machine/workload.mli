@@ -21,6 +21,11 @@ val make :
 
 val of_cdag : Fmm_cdag.Cdag.t -> t
 
+val of_implicit : Fmm_cdag.Implicit.t -> t
+(** Expand an implicit CDAG into an explicit workload (same graph,
+    inputs, outputs and name as [of_cdag] on the equivalent explicit
+    build). Small n only — this materializes the graph. *)
+
 val n_vertices : t -> int
 
 val is_input : t -> int -> bool

@@ -107,6 +107,39 @@ let test_fft () =
   Alcotest.(check bool) "fft memind" true (close (B.fft_memind ~n:1024 ~p:4) 320.);
   Alcotest.(check bool) "fft n<=P degenerate" true (close (B.fft_memind ~n:4 ~p:4) 0.)
 
+let test_exact_crossover () =
+  (* M = s^2 -> P* = (n/s)^3 exactly; floats used to mis-rank the two
+     sides once n^6 left the 53-bit mantissa *)
+  Alcotest.(check int) "n=16 M=16" 64 (B.classical_crossover_p ~n:16 ~m:16);
+  Alcotest.(check int) "omega0=3 delegates" 64
+    (B.crossover_p ~omega0:3. ~n:16 ~m:16 ());
+  Alcotest.(check int) "n=2^20 M=2^20" (1 lsl 30)
+    (B.classical_crossover_p ~n:(1 lsl 20) ~m:(1 lsl 20));
+  Alcotest.(check int) "n=2^20 M=2^20 via crossover_p" (1 lsl 30)
+    (B.crossover_p ~omega0:3. ~n:(1 lsl 20) ~m:(1 lsl 20) ());
+  (* boundary: P* is non-increasing in M around a perfect square *)
+  let p_at m = B.classical_crossover_p ~n:64 ~m in
+  Alcotest.(check bool) "monotone at s^2 - 1" true (p_at 255 >= p_at 256);
+  Alcotest.(check bool) "monotone at s^2 + 1" true (p_at 256 >= p_at 257);
+  Alcotest.(check int) "exact at s^2" 4096 (p_at 16);
+  (* already crossed at P = 1 when n <= sqrt M *)
+  Alcotest.(check int) "degenerate" 1 (B.classical_crossover_p ~n:8 ~m:64)
+
+let test_exact_memind () =
+  (* perfect-cube P takes the integer-root path: 27^{2/3} = 9 exactly *)
+  Alcotest.(check (float 0.)) "p=27" (4096. /. 9.)
+    (B.classical_memind ~n:64 ~p:27);
+  Alcotest.(check (float 0.)) "p=8" 1024. (B.classical_memind ~n:64 ~p:8);
+  Alcotest.(check (float 0.)) "p=1" 4096. (B.classical_memind ~n:64 ~p:1)
+
+let test_exact_fft () =
+  (* powers of two take the exact-log path: these are equalities, not
+     tolerance checks *)
+  Alcotest.(check (float 0.)) "memdep" 2048. (B.fft_memdep ~n:1024 ~m:32 ~p:1);
+  Alcotest.(check (float 0.)) "memind" 320. (B.fft_memind ~n:1024 ~p:4);
+  Alcotest.(check (float 0.)) "memdep p=2" 1024.
+    (B.fft_memdep ~n:1024 ~m:32 ~p:2)
+
 let test_param_validation () =
   Alcotest.check_raises "bad n" (Invalid_argument "Bounds: n must be positive")
     (fun () -> ignore (B.classical_memdep ~n:0 ~m:4 ~p:1));
@@ -151,6 +184,9 @@ let () =
           Alcotest.test_case "crossover" `Quick test_crossover;
           Alcotest.test_case "crossover boundary" `Quick test_crossover_boundary;
           Alcotest.test_case "crossover never" `Quick test_crossover_never;
+          Alcotest.test_case "exact crossover" `Quick test_exact_crossover;
+          Alcotest.test_case "exact memind" `Quick test_exact_memind;
+          Alcotest.test_case "exact fft" `Quick test_exact_fft;
           Alcotest.test_case "rectangular" `Quick test_rectangular;
           Alcotest.test_case "fft" `Quick test_fft;
           Alcotest.test_case "validation" `Quick test_param_validation;

@@ -164,6 +164,90 @@ let test_neighbors_of_y () =
   Alcotest.(check (list int)) "M3 neighbors" [ 0 ] (Enc.neighbors_of_y g 2);
   Alcotest.(check (list int)) "union" [ 0; 3 ] (Enc.neighbors_of_ys g [ 0; 2 ])
 
+(* Regression for the quadratic inverse-adjacency scan: the rewritten
+   [neighbors_of_y] must return exactly what the per-x [List.mem] probe
+   returned, for every y of every encoder/decoder bipartite graph of
+   every registered base. *)
+let test_neighbors_regression () =
+  let reference g y =
+    let acc = ref [] in
+    Array.iteri
+      (fun x ys -> if List.mem y ys then acc := x :: !acc)
+      g.M.adj;
+    List.sort_uniq compare !acc
+  in
+  let check_graph name g =
+    for y = 0 to g.M.ny - 1 do
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s y=%d" name y)
+        (reference g y) (Enc.neighbors_of_y g y)
+    done;
+    (* union queries against the same reference *)
+    let all = List.init g.M.ny (fun y -> y) in
+    Alcotest.(check (list int))
+      (name ^ " union")
+      (List.sort_uniq compare (List.concat_map (reference g) all))
+      (Enc.neighbors_of_ys g all)
+  in
+  List.iter
+    (fun alg ->
+      let name = A.name alg in
+      check_graph (name ^ " encA") (Enc.encoder_bipartite alg Enc.A_side);
+      check_graph (name ^ " encB") (Enc.encoder_bipartite alg Enc.B_side);
+      check_graph (name ^ " dec") (Enc.decoder_bipartite alg))
+    S.registry
+
+(* The sorted interval index behind [sub_nodes] / [nodes_at_depth] /
+   [enclosing_node] must agree with plain list scans over [Cd.nodes]. *)
+let test_node_index () =
+  List.iter
+    (fun (alg, n) ->
+      let cd = Cd.build alg ~n in
+      let nodes = Cd.nodes cd in
+      let rs = List.sort_uniq compare (List.map (fun nd -> nd.Cd.r) nodes) in
+      List.iter
+        (fun r ->
+          let reference =
+            List.sort
+              (fun a b -> compare a.Cd.subtree_lo b.Cd.subtree_lo)
+              (List.filter (fun nd -> nd.Cd.r = r) nodes)
+          in
+          if Cd.sub_nodes cd ~r <> reference then
+            Alcotest.failf "sub_nodes r=%d differs from list scan" r)
+        rs;
+      Alcotest.(check (list int)) "bogus r" []
+        (List.map (fun nd -> nd.Cd.subtree_lo) (Cd.sub_nodes cd ~r:(n + 1)));
+      let depths = List.sort_uniq compare (List.map (fun nd -> nd.Cd.depth) nodes) in
+      List.iter
+        (fun depth ->
+          let reference =
+            List.sort
+              (fun a b -> compare a.Cd.subtree_lo b.Cd.subtree_lo)
+              (List.filter (fun nd -> nd.Cd.depth = depth) nodes)
+          in
+          if Cd.nodes_at_depth cd ~depth <> reference then
+            Alcotest.failf "nodes_at_depth %d differs from list scan" depth)
+        depths;
+      for v = 0 to Cd.n_vertices cd - 1 do
+        let reference =
+          List.fold_left
+            (fun acc nd ->
+              if nd.Cd.subtree_lo <= v && v <= nd.Cd.subtree_hi then
+                match acc with
+                | Some best when best.Cd.subtree_lo >= nd.Cd.subtree_lo -> acc
+                | _ -> Some nd
+              else acc)
+            None nodes
+        in
+        if Cd.enclosing_node cd v <> reference then
+          Alcotest.failf "enclosing_node %d differs from list scan" v
+      done)
+    [
+      (S.strassen, 16);
+      (S.winograd, 8);
+      (Option.get (S.find "classical <3,3,3;27>"), 9);
+    ]
+
 let test_encoder_digraph () =
   let g = Enc.encoder_digraph S.strassen Enc.A_side in
   Alcotest.(check int) "vertices" 11 (D.n_vertices g);
@@ -215,6 +299,9 @@ let () =
           Alcotest.test_case "shapes" `Quick test_encoder_shapes;
           Alcotest.test_case "edges = nnz" `Quick test_encoder_edges_match_nnz;
           Alcotest.test_case "neighbors" `Quick test_neighbors_of_y;
+          Alcotest.test_case "neighbors regression" `Quick
+            test_neighbors_regression;
+          Alcotest.test_case "node index" `Quick test_node_index;
           Alcotest.test_case "digraph" `Quick test_encoder_digraph;
         ] );
     ]
