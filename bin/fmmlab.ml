@@ -42,9 +42,17 @@ let find_algorithm name =
     | "Winograd^T" -> S.winograd_transposed
     | "KS" | "ks" -> Fmm_bilinear.Alt_basis.ks_core
     | _ ->
-      Printf.eprintf "unknown algorithm %S; known: %s\n" name
-        (String.concat ", " (List.map A.name S.registry));
-      exit 2)
+      (* tolerate case variations: "strassen" = "Strassen" *)
+      let canon = String.lowercase_ascii in
+      (match
+         List.find_opt (fun a -> canon (A.name a) = canon name) S.registry
+       with
+      | Some alg -> alg
+      | None when canon name = "winograd^t" -> S.winograd_transposed
+      | None ->
+        Printf.eprintf "unknown algorithm %S; known: %s\n" name
+          (String.concat ", " (List.map A.name S.registry));
+        exit 2))
 
 let n_arg default =
   Arg.(value & opt int default & info [ "n" ] ~doc:"Matrix dimension")
@@ -501,9 +509,21 @@ let cdag_cmd =
 
 (* --- census (implicit CDAG; n = 256..1024 and beyond) --- *)
 
+(* Degenerate configurations (n = 1, rectangular or 1x1 bases, n not a
+   power of the base dimension) have no recursive CDAG to census or
+   execute; reject them up front with a diagnostic and exit code 2 —
+   the same convention as unknown algorithm/policy names. *)
+let check_config alg ~n ~cmd =
+  match Fmm_exec.Executor.validate_config alg ~n with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "fmmlab %s: unsupported configuration: %s\n" cmd msg;
+    exit 2
+
 let census_cmd =
   let run name n analyze maxlive do_lint m r_opt =
     let alg = find_algorithm name in
+    check_config alg ~n ~cmd:"census";
     let module Im = Fmm_cdag.Implicit in
     let imp = Im.create alg ~n in
     Printf.printf "implicit CDAG %s H^{%dx%d} (%d recursion levels)\n"
@@ -601,6 +621,162 @@ let census_cmd =
     Term.(
       const run $ algorithm_arg $ n_arg 256 $ analyze_arg $ maxlive_arg
       $ lint_arg $ m_arg 4096 $ r_arg)
+
+(* --- exec (numeric execution backend) --- *)
+
+let exec_cmd =
+  let module Ex = Fmm_exec.Executor in
+  let module Json = Fmm_obs.Json in
+  let run name n m policy_name backend_spec seed tol json_out jobs =
+    let alg = find_algorithm name in
+    check_config alg ~n ~cmd:"exec";
+    let policy =
+      match Ex.policy_of_string policy_name with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown policy %S (lru|belady|remat)\n" policy_name;
+        exit 2
+    in
+    let backends =
+      String.split_on_char ',' backend_spec
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map (fun s ->
+             match Ex.backend_kind_of_string (String.trim s) with
+             | Some k -> k
+             | None ->
+               Printf.eprintf
+                 "unknown backend %S; known: float64, zp65537, rat, bigint\n" s;
+               exit 2)
+    in
+    if backends = [] then begin
+      prerr_endline "no backend given";
+      exit 2
+    end;
+    let cdag = Cd.build alg ~n in
+    let sched = Ex.schedule cdag ~cache_size:m policy in
+    let pc = sched.Sch.counters in
+    (* one execution per backend on the domain pool; each backend
+       derives its own operand seed, so the report is byte-identical at
+       any --jobs *)
+    let reports =
+      Fmm_par.Pool.map ~jobs:(max 1 jobs)
+        (fun k -> Ex.run_backend ~tol cdag ~cache_size:m ~sched ~seed k)
+        backends
+    in
+    Printf.printf "algorithm   %s\nn           %d\nM           %d\npolicy      %s\n"
+      (A.name alg) n m policy_name;
+    Printf.printf "scheduled   loads %d, stores %d, I/O %d, computes %d (recomputed %d)\n"
+      pc.Tr.loads pc.Tr.stores (Tr.io pc) pc.Tr.computes pc.Tr.recomputes;
+    let t =
+      T.create ~title:"executed vs predicted"
+        ~headers:
+          [ "backend"; "result"; "max rel err"; "counters"; "loads"; "stores";
+            "computes"; "peak occ" ]
+        ~aligns:
+          [ T.Left; T.Left; T.Right; T.Left; T.Right; T.Right; T.Right;
+            T.Right ] ()
+    in
+    List.iter
+      (fun r ->
+        T.add_row t
+          [
+            r.Ex.backend;
+            (if r.Ex.result_ok then if r.Ex.exact then "exact" else "ok"
+             else "MISMATCH");
+            (if r.Ex.exact then "0" else Printf.sprintf "%.2e" r.Ex.max_err);
+            (if r.Ex.counters_ok then "match" else "DIVERGED");
+            string_of_int r.Ex.executed.Tr.loads;
+            string_of_int r.Ex.executed.Tr.stores;
+            string_of_int r.Ex.executed.Tr.computes;
+            string_of_int r.Ex.peak_occupancy;
+          ])
+      reports;
+    T.print t;
+    let ok = List.for_all Ex.report_ok reports in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      (* no wall clocks: a fixed (algorithm, n, M, policy, seed) tuple
+         must serialize byte-identically at any --jobs *)
+      let j =
+        Json.Obj
+          [
+            ("schema", Json.Str "fmm-exec/v1");
+            ("algorithm", Json.Str (A.name alg));
+            ("n", Json.Int n);
+            ("m", Json.Int m);
+            ("policy", Json.Str policy_name);
+            ("seed", Json.Int seed);
+            ("tol", Json.Float tol);
+            ( "predicted",
+              Json.Obj
+                [
+                  ("loads", Json.Int pc.Tr.loads);
+                  ("stores", Json.Int pc.Tr.stores);
+                  ("computes", Json.Int pc.Tr.computes);
+                  ("recomputes", Json.Int pc.Tr.recomputes);
+                ] );
+            ( "backends",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("backend", Json.Str r.Ex.backend);
+                         ("exact", Json.Bool r.Ex.exact);
+                         ("max_rel_err", Json.Float r.Ex.max_err);
+                         ("result_ok", Json.Bool r.Ex.result_ok);
+                         ("counters_ok", Json.Bool r.Ex.counters_ok);
+                         ("loads", Json.Int r.Ex.executed.Tr.loads);
+                         ("stores", Json.Int r.Ex.executed.Tr.stores);
+                         ("computes", Json.Int r.Ex.executed.Tr.computes);
+                         ("recomputes", Json.Int r.Ex.executed.Tr.recomputes);
+                         ("peak_occupancy", Json.Int r.Ex.peak_occupancy);
+                       ])
+                   reports) );
+            ("ok", Json.Bool ok);
+          ]
+      in
+      Json.to_file path j;
+      Printf.printf "wrote %s\n" path);
+    if not ok then exit 1
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "lru"
+      & info [ "policy" ] ~doc:"Schedule policy: lru | belady | remat"
+          ~docv:"P")
+  in
+  let backend_arg =
+    let doc =
+      "Comma-separated element backends: float64, zp65537, rat, bigint."
+    in
+    Arg.(
+      value & opt string "float64,zp65537"
+      & info [ "backend" ] ~doc ~docv:"B,...")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~doc:"Operand PRNG master seed" ~docv:"S")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "tol" ] ~doc:"float64 max relative error tolerance" ~docv:"T")
+  in
+  let json_arg =
+    let doc = "Write the execution report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Execute a verified schedule on real matrices and check the result \
+          against classical multiplication and the predicted I/O counters")
+    Term.(
+      const run $ algorithm_arg $ n_arg 16 $ m_arg 512 $ policy_arg
+      $ backend_arg $ seed_arg $ tol_arg $ json_arg $ jobs_arg)
 
 (* --- fft --- *)
 
@@ -1139,9 +1315,19 @@ let () =
     Cmd.info "fmmlab" ~version:"1.0.0"
       ~doc:"I/O-complexity laboratory for fast matrix multiplication with recomputations"
   in
+  (* GNU-style tolerance: accept --x for the single-char options, which
+     cmdliner only registers in short form *)
+  let argv =
+    Array.map
+      (function
+        | ("--n" | "--m" | "--p" | "--a" | "--j") as s ->
+          String.sub s 1 (String.length s - 1)
+        | s -> s)
+      Sys.argv
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group info
           [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
-            cdag_cmd; census_cmd; fft_cmd; parallel_cmd; search_cmd;
+            cdag_cmd; census_cmd; exec_cmd; fft_cmd; parallel_cmd; search_cmd;
             optimize_cmd; faults_cmd; bench_cmd; table1_cmd ]))

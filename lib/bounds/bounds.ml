@@ -25,6 +25,35 @@ let log2_int x =
 (** omega_0 of Strassen-like algorithms: log2 7. *)
 let omega_strassen = log2 7.
 
+(* t^e in native ints, None on overflow — the guard that keeps the
+   exact integer paths below honest at 2^20-scale inputs without
+   silently wrapping at 2^62. *)
+let ipow_opt t e =
+  let rec go acc e =
+    if e = 0 then Some acc
+    else if acc > max_int / t then None
+    else go (acc * t) (e - 1)
+  in
+  if t <= 0 || e < 0 then None else go 1 e
+
+(* [omega0] values that are exactly log2 of an integer rank-per-level
+   [t] (log2 7 for Strassen-like, 3. = log2 8 for classical): the
+   detection recomputes log2 t through the same expression that
+   produced [omega0], so it is bit-exact, and [None] for transcendental
+   or tuned exponents (e.g. the 2.85 row) falls back to floats. *)
+let rank_of_omega0 omega0 =
+  let t = int_of_float (Float.round (2. ** omega0)) in
+  if t >= 2 && log2_int t = omega0 then Some t else None
+
+(* Exponent e with base^e = x, for integer base >= 2. *)
+let log_of ~base x =
+  let rec go acc e =
+    if acc = x then Some e
+    else if acc > x / base then None
+    else go (acc * base) (e + 1)
+  in
+  if base < 2 || x < 1 then None else go 1 0
+
 (* --- row 1: classical matrix multiplication [2], [1] --- *)
 
 let classical_memdep ~n ~m ~p =
@@ -75,13 +104,58 @@ let classical_crossover_p ~n ~m =
     bases without recomputation [8]-[10]. *)
 let fast_memdep ?(omega0 = omega_strassen) ~n ~m ~p () =
   check_params ~n ~m ~p ();
-  let nf = float_of_int n and mf = float_of_int m and pf = float_of_int p in
-  (nf /. sqrt mf) ** omega0 *. mf /. pf
+  (* Exact integer route at the boundaries the experiments actually
+     probe: omega0 = log2 t, M a perfect square whose root divides n
+     with a power-of-two quotient. Then (n / sqrt M)^omega0 * M =
+     t^log2(n/s) * M exactly, where the float pipeline below drifts by
+     ulps as soon as (n/s)^omega0 leaves the mantissa (mirrors the
+     classical_crossover_p fix). *)
+  let exact =
+    match rank_of_omega0 omega0 with
+    | None -> None
+    | Some t -> (
+      match Fmm_util.Combinat.iroot_exact ~k:2 m with
+      | Some s
+        when s > 0 && n mod s = 0 && Fmm_util.Combinat.is_power_of ~base:2 (n / s)
+        -> (
+        let e = Fmm_util.Combinat.log2_exact (n / s) in
+        match ipow_opt t e with
+        | Some te when te <= max_int / m ->
+          Some (float_of_int (te * m) /. float_of_int p)
+        | _ -> None)
+      | _ -> None)
+  in
+  match exact with
+  | Some v -> v
+  | None ->
+    let nf = float_of_int n and mf = float_of_int m and pf = float_of_int p in
+    (nf /. sqrt mf) ** omega0 *. mf /. pf
 
-(** Memory-independent bound n^2 / P^{2/omega0} [1]. *)
+(** Memory-independent bound n^2 / P^{2/omega0} [1]. Exact when
+    omega0 = log2 t and P = t^k (then P^{2/omega0} = 4^k in integers);
+    omega0 = 3 delegates to {!classical_memind}'s perfect-cube route.
+    The float fallback [p ** (2. /. omega0)] is wrong in the last ulps
+    even at exact powers (e.g. 7^(2 / log2 7) <> 4 in floats). *)
 let fast_memind ?(omega0 = omega_strassen) ~n ~p () =
   check_params ~n ~m:1 ~p ();
-  float_of_int (n * n) /. (float_of_int p ** (2. /. omega0))
+  if omega0 = 3. then classical_memind ~n ~p
+  else
+    let exact =
+      match rank_of_omega0 omega0 with
+      | None -> None
+      | Some t -> (
+        match log_of ~base:t p with
+        | Some k -> (
+          match ipow_opt 4 k with
+          | Some p_pow when n * n mod p_pow = 0 ->
+            Some (float_of_int (n * n / p_pow))
+          | Some p_pow -> Some (float_of_int (n * n) /. float_of_int p_pow)
+          | None -> None)
+        | None -> None)
+    in
+    (match exact with
+    | Some v -> v
+    | None -> float_of_int (n * n) /. (float_of_int p ** (2. /. omega0)))
 
 (** Theorem 1.1 parallel bound: the max of the two regimes. *)
 let fast_parallel ?(omega0 = omega_strassen) ~n ~m ~p () =
@@ -143,9 +217,28 @@ let crossover_p ?(omega0 = omega_strassen) ~n ~m () =
 let rectangular ~m0 ~p0 ~q ~t ~m ~p =
   if m0 < 1 || p0 < 1 || q < 1 || t < 0 then invalid_arg "Bounds.rectangular";
   check_params ~n:1 ~m ~p ();
-  let exponent = (log (float_of_int q) /. log (float_of_int (m0 * p0))) -. 1. in
-  (float_of_int q ** float_of_int t)
-  /. (float_of_int p *. (float_of_int m ** exponent))
+  (* Exact route at power-of-two boundaries: q = 2^a, m0*p0 = 2^b,
+     M = 2^j with b | j*(a-b) gives q^t / M^(a/b - 1) = 2^(a*t - j*(a-b)/b)
+     — a pure ldexp, where the float log ratio puts the exponent off by
+     an ulp and the power off by much more. *)
+  let exact =
+    match (log_of ~base:2 q, log_of ~base:2 (m0 * p0), log_of ~base:2 m) with
+    | Some a, Some b, Some j when b > 0 && j * (a - b) mod b = 0 ->
+      Some (Float.ldexp 1.0 ((a * t) - (j * (a - b) / b)) /. float_of_int p)
+    | _ -> None
+  in
+  match exact with
+  | Some v -> v
+  | None ->
+    let exponent = (log (float_of_int q) /. log (float_of_int (m0 * p0))) -. 1. in
+    (* q^t itself is integral: route it through integers when it fits
+       so the numerator at least is exactly rounded. *)
+    let qt =
+      match ipow_opt q t with
+      | Some v -> float_of_int v
+      | None -> float_of_int q ** float_of_int t
+    in
+    qt /. (float_of_int p *. (float_of_int m ** exponent))
 
 (* --- row 6: fast Fourier transform [12], [5], [11], [13] --- *)
 

@@ -1,0 +1,188 @@
+(** The numeric execution backend: interpret any replay-verified
+    schedule ({!Fmm_machine.Trace.t}) against concrete storage and real
+    matrix data, so the word-counting simulators are checked end to end
+    — executed output = classical MM (bit-exact over the exact rings,
+    within tolerance over float64) and executed counters = the
+    scheduler's prediction, event for event. *)
+
+exception Exec_error of string
+(** Raised when the trace is illegal for the machine model: loading a
+    value absent from slow memory, computing with a non-resident
+    operand, exceeding the fast-memory word budget, or finishing with
+    an output missing from slow memory. *)
+
+(** CDAG vertex semantics, compiled once per run. *)
+type op =
+  | Op_input_a of int  (** index into vec(A) *)
+  | Op_input_b of int
+  | Op_linear of (int * int) array  (** (source vertex, coefficient) *)
+  | Op_mult of int * int
+
+val compile : Fmm_cdag.Cdag.t -> op array
+
+(** Element storage: a slow memory indexed by vertex id and a fast
+    memory limited to [cache_size] words. Legality is checked by the
+    engine; backends only move data. *)
+module type BACKEND = sig
+  type elt
+  type t
+
+  val name : string
+  val create : n_vertices:int -> cache_size:int -> t
+  val set_slow : t -> int -> elt -> unit
+  val slow_present : t -> int -> bool
+  val get_slow : t -> int -> elt
+  val fast_present : t -> int -> bool
+  val occupancy : t -> int
+  val load : t -> int -> unit
+  val store : t -> int -> unit
+  val evict : t -> int -> unit
+  val compute : t -> int -> op -> unit
+end
+
+module Ring_backend (R : Fmm_ring.Sig_ring.S) : BACKEND with type elt = R.t
+(** Exact-ring storage (vertex-indexed arrays): the bit-exact oracle. *)
+
+module F64_backend : BACKEND with type elt = float
+(** Float64 storage with a physical fast memory: a [cache_size]-word
+    Bigarray arena, vertex -> slot table and free-slot stack, so the
+    M-word bound holds by construction. *)
+
+(** The trace interpreter over a storage backend. *)
+module Engine (B : BACKEND) : sig
+  type result = {
+    outputs : B.elt array;  (** vec(C): values at the CDAG outputs *)
+    counters : Fmm_machine.Trace.counters;
+        (** recounted from the interpreted events *)
+    peak_occupancy : int;
+  }
+
+  val run :
+    Fmm_cdag.Cdag.t ->
+    cache_size:int ->
+    a:B.elt array ->
+    b:B.elt array ->
+    Fmm_machine.Trace.t ->
+    result
+  (** Execute the trace on vec(A), vec(B) (row-major, length n^2).
+      Raises {!Exec_error} on any machine-model violation. *)
+end
+
+module F64 : sig
+  type result = {
+    outputs : float array;
+    counters : Fmm_machine.Trace.counters;
+    peak_occupancy : int;
+  }
+
+  val run :
+    Fmm_cdag.Cdag.t ->
+    cache_size:int ->
+    a:float array ->
+    b:float array ->
+    Fmm_machine.Trace.t ->
+    result
+end
+
+module Make_ring (R : Fmm_ring.Sig_ring.S) : sig
+  type result = {
+    outputs : R.t array;
+    counters : Fmm_machine.Trace.counters;
+    peak_occupancy : int;
+  }
+
+  val run :
+    Fmm_cdag.Cdag.t ->
+    cache_size:int ->
+    a:R.t array ->
+    b:R.t array ->
+    Fmm_machine.Trace.t ->
+    result
+end
+
+module Zp : module type of Make_ring (Fmm_ring.Zp.Z65537)
+module Q : module type of Make_ring (Fmm_ring.Rat.Field)
+module Big : module type of Make_ring (Fmm_ring.Sig_ring.Big)
+
+val validate_config :
+  Fmm_bilinear.Algorithm.t -> n:int -> (unit, string) result
+(** Reject degenerate executor/census configurations with a diagnostic:
+    rectangular base cases, 1 x 1 bases, n < 2, and n not a power of
+    the base dimension. The fmmlab CLI maps [Error] to exit code 2. *)
+
+type policy = Lru | Belady | Remat
+
+val all_policies : policy list
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+val schedule :
+  Fmm_cdag.Cdag.t -> cache_size:int -> policy -> Fmm_machine.Schedulers.result
+(** [Workload.of_cdag] + [Orders.recursive_dfs] + the policy's
+    scheduler. *)
+
+type backend_report = {
+  backend : string;
+  exact : bool;  (** exact ring comparison vs float tolerance *)
+  max_err : float;  (** 0 for exact backends *)
+  result_ok : bool;  (** executed result = classical MM *)
+  counters_ok : bool;  (** executed counters = scheduler's prediction *)
+  executed : Fmm_machine.Trace.counters;
+  peak_occupancy : int;
+}
+
+val report_ok : backend_report -> bool
+
+type backend_kind = [ `F64 | `Zp | `Rat | `Big ]
+
+val backend_kind_to_string : backend_kind -> string
+val backend_kind_of_string : string -> backend_kind option
+
+val run_backend :
+  ?tol:float ->
+  Fmm_cdag.Cdag.t ->
+  cache_size:int ->
+  sched:Fmm_machine.Schedulers.result ->
+  seed:int ->
+  backend_kind ->
+  backend_report
+(** Execute one schedule on one backend with seeded random operands
+    (seed is split per backend via {!Fmm_util.Prng.derive}) and check
+    the result against classical MM computed independently
+    ({!Fmm_matrix.Matrix} over the rings, {!Kernel.naive_mul} over
+    float64, tolerance [tol], default 1e-9). *)
+
+type verification = {
+  algorithm : string;
+  n : int;
+  cache_size : int;
+  policy_name : string;
+  predicted : Fmm_machine.Trace.counters;  (** the scheduler's counts *)
+  reports : backend_report list;
+}
+
+val verification_ok : verification -> bool
+
+val verify_sched :
+  ?seed:int ->
+  ?tol:float ->
+  ?backends:backend_kind list ->
+  Fmm_cdag.Cdag.t ->
+  cache_size:int ->
+  policy_name:string ->
+  Fmm_machine.Schedulers.result ->
+  verification
+(** Execute an already-produced schedule (hybrid, optimizer-found, ...)
+    on every requested backend (default float64 + Zp). *)
+
+val verify :
+  ?seed:int ->
+  ?tol:float ->
+  ?backends:backend_kind list ->
+  Fmm_bilinear.Algorithm.t ->
+  n:int ->
+  cache_size:int ->
+  policy:policy ->
+  verification
+(** Build the CDAG, schedule under [policy], execute and check. Raises
+    [Invalid_argument] on configurations {!validate_config} rejects. *)

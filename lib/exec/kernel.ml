@@ -1,0 +1,317 @@
+(* Dense float64 matrix kernels on Bigarray storage: the numeric
+   substrate of the execution backend (ROADMAP item 2). Three
+   multipliers, in increasing sophistication:
+
+   - [naive_mul]: the textbook triple loop — the correctness reference
+     every other path is compared against.
+   - [blocked_mul]: cache-blocked with copy-in packing and MU x NU
+     register micro-tiles, in the style of the hpmmm data-copying
+     exemplar (SNIPPETS.md): NB-sized panels of A and B are copied
+     into contiguous buffers (padded to full micro-tiles so the inner
+     kernel needs no edge cases), and an MU=4 x NU=2 micro-kernel
+     accumulates 8 scalars across the shared dimension.
+   - [fast_mul]: recursive fast MM over a bilinear <n0,n0,n0;t>
+     algorithm down to a cutoff, classical (blocked) below it — the
+     wall-clock side of the Strassen-vs-classical crossover experiment
+     (NE2). Its flop accounting mirrors Algorithm.Apply exactly, so
+     the counts are differential-testable against the exact-ring
+     recursion. *)
+
+module A1 = Bigarray.Array1
+
+type mat = {
+  n : int;
+  data : (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t;
+}
+
+let create n =
+  if n < 1 then invalid_arg "Kernel.create: n < 1";
+  let data = A1.create Bigarray.float64 Bigarray.c_layout (n * n) in
+  A1.fill data 0.0;
+  { n; data }
+
+let get m i j = A1.get m.data ((i * m.n) + j)
+let set m i j x = A1.set m.data ((i * m.n) + j) x
+
+let of_vec n v =
+  if Array.length v <> n * n then invalid_arg "Kernel.of_vec: length mismatch";
+  let m = create n in
+  Array.iteri (fun idx x -> A1.unsafe_set m.data idx x) v;
+  m
+
+let to_vec m = Array.init (m.n * m.n) (fun idx -> A1.unsafe_get m.data idx)
+
+(* Uniform in [-1, 1): keeps products O(1) so absolute and relative
+   error scales stay comparable across n. *)
+let random rng n =
+  let m = create n in
+  for idx = 0 to (n * n) - 1 do
+    A1.unsafe_set m.data idx ((2. *. Fmm_util.Prng.float rng) -. 1.)
+  done;
+  m
+
+let max_abs m =
+  let acc = ref 0.0 in
+  for idx = 0 to (m.n * m.n) - 1 do
+    let x = Float.abs (A1.unsafe_get m.data idx) in
+    if x > !acc then acc := x
+  done;
+  !acc
+
+let max_abs_diff a b =
+  if a.n <> b.n then invalid_arg "Kernel.max_abs_diff: dimension mismatch";
+  let acc = ref 0.0 in
+  for idx = 0 to (a.n * a.n) - 1 do
+    let d = Float.abs (A1.unsafe_get a.data idx -. A1.unsafe_get b.data idx) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+(* Error relative to the reference's largest-magnitude entry (floored
+   at 1 so all-zero references do not divide by zero) — the tolerance
+   contract documented in DESIGN.md section 14. *)
+let rel_err a ~reference = max_abs_diff a reference /. Float.max 1.0 (max_abs reference)
+
+let naive_mul a b =
+  if a.n <> b.n then invalid_arg "Kernel.naive_mul: dimension mismatch";
+  let n = a.n in
+  let c = create n in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let aik = A1.unsafe_get a.data ((i * n) + k) in
+      if aik <> 0.0 then
+        for j = 0 to n - 1 do
+          A1.unsafe_set c.data
+            ((i * n) + j)
+            (A1.unsafe_get c.data ((i * n) + j)
+            +. (aik *. A1.unsafe_get b.data ((k * n) + j)))
+        done
+    done
+  done;
+  c
+
+(* Blocking parameters (DESIGN.md section 14): NB x NB panels sized for
+   L1/L2 residency, MU x NU register tile. The hpmmm exemplar's values. *)
+let nb_default = 64
+let mu = 4
+let nu = 2
+
+let blocked_mul ?(nb = nb_default) a b =
+  if a.n <> b.n then invalid_arg "Kernel.blocked_mul: dimension mismatch";
+  if nb < 1 then invalid_arg "Kernel.blocked_mul: nb < 1";
+  let n = a.n in
+  let c = create n in
+  (* Packed panels, zero-padded to whole micro-tiles: the micro-kernel
+     then runs full MU x NU tiles unconditionally and only the store
+     filters edge rows/columns. *)
+  let mstrips_max = (nb + mu - 1) / mu in
+  let nstrips_max = (nb + nu - 1) / nu in
+  let ap = A1.create Bigarray.float64 Bigarray.c_layout (mstrips_max * mu * nb) in
+  let bp = A1.create Bigarray.float64 Bigarray.c_layout (nstrips_max * nu * nb) in
+  let nblocks = (n + nb - 1) / nb in
+  for jc = 0 to nblocks - 1 do
+    let j0 = jc * nb in
+    let jb = min nb (n - j0) in
+    let nstrips = (jb + nu - 1) / nu in
+    for pc = 0 to nblocks - 1 do
+      let p0 = pc * nb in
+      let pb = min nb (n - p0) in
+      (* Copy-in B[p0..p0+pb) x [j0..j0+jb) as NU-wide column strips:
+         bp.(strip * pb * nu + k * nu + cc). *)
+      A1.fill bp 0.0;
+      for t = 0 to nstrips - 1 do
+        let base = t * pb * nu in
+        let jlim = min nu (jb - (t * nu)) in
+        for k = 0 to pb - 1 do
+          for cc = 0 to jlim - 1 do
+            A1.unsafe_set bp
+              (base + (k * nu) + cc)
+              (A1.unsafe_get b.data (((p0 + k) * n) + j0 + (t * nu) + cc))
+          done
+        done
+      done;
+      for ic = 0 to nblocks - 1 do
+        let i0 = ic * nb in
+        let ib = min nb (n - i0) in
+        let mstrips = (ib + mu - 1) / mu in
+        (* Copy-in A[i0..i0+ib) x [p0..p0+pb) as MU-tall row strips:
+           ap.(strip * pb * mu + k * mu + r). *)
+        A1.fill ap 0.0;
+        for s = 0 to mstrips - 1 do
+          let base = s * pb * mu in
+          let ilim = min mu (ib - (s * mu)) in
+          for r = 0 to ilim - 1 do
+            let row = (i0 + (s * mu) + r) * n in
+            for k = 0 to pb - 1 do
+              A1.unsafe_set ap (base + (k * mu) + r) (A1.unsafe_get a.data (row + p0 + k))
+            done
+          done
+        done;
+        (* MU x NU register micro-kernel over the packed panels. *)
+        for s = 0 to mstrips - 1 do
+          let abase = s * pb * mu in
+          for t = 0 to nstrips - 1 do
+            let bbase = t * pb * nu in
+            let c00 = ref 0.0 and c01 = ref 0.0 in
+            let c10 = ref 0.0 and c11 = ref 0.0 in
+            let c20 = ref 0.0 and c21 = ref 0.0 in
+            let c30 = ref 0.0 and c31 = ref 0.0 in
+            for k = 0 to pb - 1 do
+              let ak = abase + (k * mu) and bk = bbase + (k * nu) in
+              let a0 = A1.unsafe_get ap ak in
+              let a1 = A1.unsafe_get ap (ak + 1) in
+              let a2 = A1.unsafe_get ap (ak + 2) in
+              let a3 = A1.unsafe_get ap (ak + 3) in
+              let b0 = A1.unsafe_get bp bk in
+              let b1 = A1.unsafe_get bp (bk + 1) in
+              c00 := !c00 +. (a0 *. b0);
+              c01 := !c01 +. (a0 *. b1);
+              c10 := !c10 +. (a1 *. b0);
+              c11 := !c11 +. (a1 *. b1);
+              c20 := !c20 +. (a2 *. b0);
+              c21 := !c21 +. (a2 *. b1);
+              c30 := !c30 +. (a3 *. b0);
+              c31 := !c31 +. (a3 *. b1)
+            done;
+            let store r cc v =
+              let i = i0 + (s * mu) + r and j = j0 + (t * nu) + cc in
+              if i < i0 + ib && j < j0 + jb then
+                A1.unsafe_set c.data ((i * n) + j) (A1.unsafe_get c.data ((i * n) + j) +. v)
+            in
+            store 0 0 !c00;
+            store 0 1 !c01;
+            store 1 0 !c10;
+            store 1 1 !c11;
+            store 2 0 !c20;
+            store 2 1 !c21;
+            store 3 0 !c30;
+            store 3 1 !c31
+          done
+        done
+      done
+    done
+  done;
+  c
+
+(* --- recursive fast multiplication (the NE2 crossover machinery) --- *)
+
+type flops = { mutable adds : int; mutable mults : int }
+
+(* Cost model identical to Algorithm.Apply.classical_mul: n*m*k
+   multiplications, n*(m-1)*k additions. *)
+let classical_flops n = { adds = n * (n - 1) * n; mults = n * n * n }
+
+let add_flops acc f =
+  acc.adds <- acc.adds + f.adds;
+  acc.mults <- acc.mults + f.mults
+
+(* Linear combination of equal-size blocks, with Algorithm.Apply's
+   exact cost accounting: z nonzero coefficients cost (z - 1) block
+   additions, plus one block "addition" per |c| > 1 coefficient (the
+   paper's models price all linear work uniformly); a leading +1 term
+   is a free copy. *)
+let combine fl coeffs (blocks : mat array) r =
+  let block_cost = r * r in
+  let acc = create r in
+  let started = ref false in
+  let apply c idx =
+    let src = blocks.(idx) in
+    let cf = float_of_int c in
+    if not !started then begin
+      started := true;
+      if c = 1 then A1.blit src.data acc.data
+      else begin
+        fl.adds <- fl.adds + block_cost;
+        for e = 0 to block_cost - 1 do
+          A1.unsafe_set acc.data e (cf *. A1.unsafe_get src.data e)
+        done
+      end
+    end
+    else begin
+      fl.adds <- fl.adds + block_cost;
+      if c <> 1 && c <> -1 then fl.adds <- fl.adds + block_cost;
+      for e = 0 to block_cost - 1 do
+        A1.unsafe_set acc.data e
+          (A1.unsafe_get acc.data e +. (cf *. A1.unsafe_get src.data e))
+      done
+    end
+  in
+  (* Mirror Apply.combine's term order: a +1 coefficient first (free
+     copy), then the rest in index order. *)
+  let ones = ref [] and others = ref [] in
+  Array.iteri
+    (fun idx c ->
+      if c = 1 then ones := idx :: !ones
+      else if c <> 0 then others := (c, idx) :: !others)
+    coeffs;
+  (match List.rev !ones with
+  | first :: rest ->
+    apply 1 first;
+    List.iter (fun idx -> apply 1 idx) rest
+  | [] -> ());
+  List.iter (fun (c, idx) -> apply c idx) (List.rev !others);
+  acc
+
+let sub_block src ~i0 ~j0 ~r =
+  let dst = create r in
+  for i = 0 to r - 1 do
+    for j = 0 to r - 1 do
+      A1.unsafe_set dst.data ((i * r) + j)
+        (A1.unsafe_get src.data (((i0 + i) * src.n) + j0 + j))
+    done
+  done;
+  dst
+
+let blit_block dst ~i0 ~j0 src =
+  let r = src.n in
+  for i = 0 to r - 1 do
+    for j = 0 to r - 1 do
+      A1.unsafe_set dst.data (((i0 + i) * dst.n) + j0 + j)
+        (A1.unsafe_get src.data ((i * r) + j))
+    done
+  done
+
+let fast_mul ?(cutoff = 1) ?(nb = nb_default) alg a b =
+  let n0, m0, k0 = Fmm_bilinear.Algorithm.dims alg in
+  if n0 <> m0 || m0 <> k0 then
+    invalid_arg "Kernel.fast_mul: base case must be square";
+  if a.n <> b.n then invalid_arg "Kernel.fast_mul: dimension mismatch";
+  let u = Fmm_bilinear.Algorithm.u_matrix alg in
+  let v = Fmm_bilinear.Algorithm.v_matrix alg in
+  let w = Fmm_bilinear.Algorithm.w_matrix alg in
+  let t = Fmm_bilinear.Algorithm.rank alg in
+  let fl = { adds = 0; mults = 0 } in
+  let rec go a b =
+    let n = a.n in
+    (* Same recursion guard as Algorithm.Apply.multiply, so the flop
+       counters agree level for level. *)
+    if n <= cutoff || n mod n0 <> 0 then begin
+      add_flops fl (classical_flops n);
+      blocked_mul ~nb a b
+    end
+    else begin
+      let r = n / n0 in
+      let a_blocks =
+        Array.init (n0 * n0) (fun idx ->
+            sub_block a ~i0:(idx / n0 * r) ~j0:(idx mod n0 * r) ~r)
+      in
+      let b_blocks =
+        Array.init (n0 * n0) (fun idx ->
+            sub_block b ~i0:(idx / n0 * r) ~j0:(idx mod n0 * r) ~r)
+      in
+      let products =
+        Array.init t (fun l ->
+            let ta = combine fl u.(l) a_blocks r in
+            let tb = combine fl v.(l) b_blocks r in
+            go ta tb)
+      in
+      let c = create n in
+      for o = 0 to (n0 * n0) - 1 do
+        let blk = combine fl w.(o) products r in
+        blit_block c ~i0:(o / n0 * r) ~j0:(o mod n0 * r) blk
+      done;
+      c
+    end
+  in
+  let c = go a b in
+  (c, fl)

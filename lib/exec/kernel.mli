@@ -1,0 +1,70 @@
+(** Dense float64 matrix kernels on Bigarray storage: the numeric
+    substrate of the execution backend. [blocked_mul] is a
+    cache-blocked, register-tiled classical multiplier in the style of
+    the hpmmm data-copying exemplar (NB-sized copy-in panels, MU x NU
+    micro-tiles); [fast_mul] is the recursive fast-MM path of the
+    Strassen-vs-classical wall-clock crossover experiment (NE2), with
+    flop accounting identical to {!Fmm_bilinear.Algorithm.Apply}. *)
+
+type mat = {
+  n : int;
+  data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+      (** row-major n x n *)
+}
+
+val create : int -> mat
+(** Zero-filled n x n matrix. *)
+
+val get : mat -> int -> int -> float
+val set : mat -> int -> int -> float -> unit
+
+val of_vec : int -> float array -> mat
+(** [of_vec n v] reshapes a row-major length-n^2 vector. *)
+
+val to_vec : mat -> float array
+
+val random : Fmm_util.Prng.t -> int -> mat
+(** Entries uniform in [-1, 1), drawn from the given deterministic
+    stream. *)
+
+val max_abs : mat -> float
+val max_abs_diff : mat -> mat -> float
+
+val rel_err : mat -> reference:mat -> float
+(** Max absolute entry difference relative to the reference's
+    largest-magnitude entry (floored at 1): the executor's float64
+    tolerance contract. *)
+
+val naive_mul : mat -> mat -> mat
+(** Textbook triple loop — the correctness reference. *)
+
+val nb_default : int
+(** Panel edge (64 words). *)
+
+val mu : int
+(** Micro-tile rows (4). *)
+
+val nu : int
+(** Micro-tile columns (2). *)
+
+val blocked_mul : ?nb:int -> mat -> mat -> mat
+(** Cache-blocked classical multiply: NB x NB copy-in panels of both
+    operands packed into contiguous buffers (zero-padded to whole
+    micro-tiles), MU x NU register-resident micro-kernel. Same
+    mathematical operation count as [naive_mul]; sums are reassociated,
+    so results agree to rounding only. *)
+
+type flops = { mutable adds : int; mutable mults : int }
+
+val classical_flops : int -> flops
+(** Cost of one classical n x n multiply under
+    {!Fmm_bilinear.Algorithm.Apply}'s convention: n^3 mults,
+    n^2 (n - 1) adds. *)
+
+val fast_mul :
+  ?cutoff:int -> ?nb:int -> Fmm_bilinear.Algorithm.t -> mat -> mat -> mat * flops
+(** Recursive fast multiplication over a square-base bilinear
+    algorithm, switching to [blocked_mul] at or below [cutoff] (or on
+    non-divisible sizes — the same guard as [Apply.multiply], so the
+    returned flop counters are exactly [Apply]'s for the same
+    [cutoff]). Raises [Invalid_argument] on rectangular bases. *)

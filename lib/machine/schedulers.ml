@@ -39,12 +39,16 @@ type core = {
   last_use : int array;
   mutable clock : int;
   mutable by_time : int IntMap.t; (* time -> vertex *)
+  mutable dead_by_time : int IntMap.t; (* dead residents, same keys *)
   mutable occupancy : int;
   mutable events : Trace.event list; (* reversed *)
   mutable loads : int;
   mutable stores : int;
   mutable computes : int;
   mutable recomputes : int;
+  mutable reloads : int; (* loads of a value that was resident before *)
+  mutable spill_stores : int; (* stores of non-output victims *)
+  ever_resident : bool array;
   pinned : bool array;
   output_pred : int -> bool;
 }
@@ -61,12 +65,16 @@ let make_core work ~cache_size =
       last_use = Array.make n (-1);
       clock = 0;
       by_time = IntMap.empty;
+      dead_by_time = IntMap.empty;
       occupancy = 0;
       events = [];
       loads = 0;
       stores = 0;
       computes = 0;
       recomputes = 0;
+      reloads = 0;
+      spill_stores = 0;
+      ever_resident = Array.make n false;
       pinned = Array.make n false;
       output_pred = W.is_output work;
     }
@@ -77,8 +85,12 @@ let make_core work ~cache_size =
 let emit core e = core.events <- e :: core.events
 
 let touch core v =
-  if core.last_use.(v) >= 0 then
+  if core.last_use.(v) >= 0 then begin
     core.by_time <- IntMap.remove core.last_use.(v) core.by_time;
+    (* A dead value that is used again (hybrid recomputation re-demands
+       it) is live for that consumer: it rejoins the plain LRU pool. *)
+    core.dead_by_time <- IntMap.remove core.last_use.(v) core.dead_by_time
+  end;
   core.clock <- core.clock + 1;
   core.last_use.(v) <- core.clock;
   core.by_time <- IntMap.add core.clock v core.by_time
@@ -86,23 +98,45 @@ let touch core v =
 let forget core v =
   if core.last_use.(v) >= 0 then begin
     core.by_time <- IntMap.remove core.last_use.(v) core.by_time;
+    core.dead_by_time <- IntMap.remove core.last_use.(v) core.dead_by_time;
     core.last_use.(v) <- -1
   end
 
-(* Evict the least-recently-used unpinned vertex. [writeback v] decides
-   whether the victim must be stored first. *)
+(* Mark a resident vertex as dead: its last use is behind us, so
+   evicting it can never cost a reload. Dead residents are preferred
+   victims — this is what makes the spill-free bound (io = inputs +
+   outputs whenever the cache holds MAXLIVE words) hold for run_lru and
+   run_hybrid, not just for Belady. *)
+let mark_dead core v =
+  if core.last_use.(v) >= 0 then
+    core.dead_by_time <- IntMap.add core.last_use.(v) v core.dead_by_time
+
+(* Evict a victim: the least-recently-used unpinned DEAD vertex when
+   one is resident (free in the demand-paging sense — it can never be
+   referenced again), otherwise the least-recently-used unpinned vertex
+   overall. [writeback v] decides whether the victim must be stored
+   first. *)
 let evict_one core ~writeback =
-  let rec pick t =
+  let rec pick_opt t =
     match IntMap.min_binding_opt t with
-    | None -> failwith "Schedulers: cache too small (everything pinned)"
+    | None -> None
     | Some (time, v) ->
-      if core.pinned.(v) then pick (IntMap.remove time t) else v
+      if core.pinned.(v) then pick_opt (IntMap.remove time t) else Some v
   in
-  let victim = pick core.by_time in
+  let victim =
+    match pick_opt core.dead_by_time with
+    | Some v -> v
+    | None -> (
+      match pick_opt core.by_time with
+      | Some v -> v
+      | None -> failwith "Schedulers: cache too small (everything pinned)")
+  in
   if writeback victim && not core.in_slow.(victim) then begin
     emit core (Trace.Store victim);
     core.in_slow.(victim) <- true;
-    core.stores <- core.stores + 1
+    core.stores <- core.stores + 1;
+    if not (core.output_pred victim) then
+      core.spill_stores <- core.spill_stores + 1
   end;
   emit core (Trace.Evict victim);
   core.in_cache.(victim) <- false;
@@ -120,6 +154,8 @@ let load core v ~writeback =
   core.in_cache.(v) <- true;
   core.occupancy <- core.occupancy + 1;
   core.loads <- core.loads + 1;
+  if core.ever_resident.(v) then core.reloads <- core.reloads + 1;
+  core.ever_resident.(v) <- true;
   touch core v
 
 let result_of core =
@@ -137,14 +173,22 @@ let result_of core =
 (* --- LRU / spilling execution --- *)
 
 (** Execute [order] (a valid topological order of non-input vertices)
-    with LRU replacement and write-back spilling. [cache_size] must
-    exceed the maximum in-degree. *)
+    with LRU replacement (dead residents evicted first) and write-back
+    spilling. [cache_size] must exceed the maximum in-degree. The run
+    tracks the live-set size as it goes and enforces Dataflow's
+    spill-free bound: when [cache_size >= MAXLIVE(order)] the trace
+    must contain zero spills (no reload, no store of a non-output) —
+    I/O is exactly compulsory. *)
 let run_lru work ~cache_size order =
   let g = work.W.graph in
   let core = make_core work ~cache_size in
   let remaining_uses = Array.init (W.n_vertices work) (fun v -> D.out_degree g v) in
   (* Spill policy: write back anything still needed, and outputs. *)
   let writeback v = remaining_uses.(v) > 0 || core.output_pred v in
+  (* Live-set size per Dataflow.order_liveness: an input is live from
+     its first use, a computed value from its definition; both die at
+     their last use (an unused value dies at its definition step). *)
+  let live = ref 0 and maxlive = ref 0 in
   List.iteri
     (fun step v ->
       let preds = D.in_neighbors g v in
@@ -157,6 +201,7 @@ let run_lru work ~cache_size order =
                 (Printf.sprintf
                    "Schedulers.run_lru: order step %d (vertex %d): operand %d lost"
                    step v p);
+            if core.input_mask p && not core.ever_resident.(p) then incr live;
             core.pinned.(p) <- true;
             load core p ~writeback
           end
@@ -168,22 +213,37 @@ let run_lru work ~cache_size order =
       ensure_room core ~writeback;
       emit core (Trace.Compute v);
       core.in_cache.(v) <- true;
+      core.ever_resident.(v) <- true;
       core.occupancy <- core.occupancy + 1;
       core.computes <- core.computes + 1;
+      incr live;
+      if !live > !maxlive then maxlive := !live;
       touch core v;
       List.iter
         (fun p ->
           core.pinned.(p) <- false;
           remaining_uses.(p) <- remaining_uses.(p) - 1;
-          (* Dead values leave the cache for free. *)
-          if remaining_uses.(p) = 0 && not (core.output_pred p) && core.in_cache.(p)
-          then begin
-            emit core (Trace.Evict p);
-            core.in_cache.(p) <- false;
-            core.occupancy <- core.occupancy - 1;
-            forget core p
+          if remaining_uses.(p) = 0 then begin
+            decr live;
+            if core.in_cache.(p) then
+              if core.output_pred p then
+                (* Unstored outputs stay resident but join the preferred-
+                   victim pool: evicting one only pays its one mandatory
+                   store early. *)
+                mark_dead core p
+              else begin
+                (* Dead values leave the cache for free. *)
+                emit core (Trace.Evict p);
+                core.in_cache.(p) <- false;
+                core.occupancy <- core.occupancy - 1;
+                forget core p
+              end
           end)
-        preds)
+        preds;
+      if remaining_uses.(v) = 0 then begin
+        decr live;
+        mark_dead core v
+      end)
     order;
   (* Flush outputs still dirty in cache. *)
   Array.iter
@@ -194,6 +254,12 @@ let run_lru work ~cache_size order =
         core.stores <- core.stores + 1
       end)
     work.W.outputs;
+  if cache_size >= !maxlive && (core.reloads > 0 || core.spill_stores > 0) then
+    failwith
+      (Printf.sprintf
+         "Schedulers.run_lru: spill-free invariant violated: cache_size=%d >= \
+          maxlive=%d yet reloads=%d spill_stores=%d"
+         cache_size !maxlive core.reloads core.spill_stores);
   result_of core
 
 (* --- Belady / offline-optimal replacement --- *)
@@ -230,29 +296,36 @@ let run_belady work ~cache_size order =
     in
     match drop !(future.(v)) with [] -> max_int | t :: _ -> t
   in
-  (* Belady eviction: scan residents for the farthest next use. O(M)
-     per eviction — fine at simulator scale. Ties on the next-use
-     distance are broken toward a CLEAN victim (already in slow memory,
-     or dead so never written back): evicting it is free, while a dirty
-     co-leader would cost a Store the clean choice avoids. Within the
-     same cleanliness class the smallest vertex id wins, keeping the
-     policy deterministic. *)
+  (* Belady eviction: scan the residents (the recency map — at most
+     cache_size entries, NOT the whole vertex set, which matters at
+     n = 64 where the CDAG has ~10^6 vertices) for the farthest next
+     use. Ties on the next-use distance are broken toward a CLEAN
+     victim (already in slow memory, or dead so never written back):
+     evicting it is free, while a dirty co-leader would cost a Store
+     the clean choice avoids. Within the same cleanliness class the
+     smallest vertex id wins; every clause is scan-order-independent,
+     so the policy stays deterministic. *)
   let evict_belady now =
     let victim = ref (-1) and victim_next = ref (-1) in
     let victim_dirty = ref false in
     let is_dirty v = writeback v && not core.in_slow.(v) in
-    for v = 0 to n - 1 do
-      if core.in_cache.(v) && not core.pinned.(v) then begin
-        let nu = next_use_after v now in
-        let dirty = is_dirty v in
-        if nu > !victim_next || (nu = !victim_next && !victim_dirty && not dirty)
-        then begin
-          victim := v;
-          victim_next := nu;
-          victim_dirty := dirty
-        end
-      end
-    done;
+    IntMap.iter
+      (fun _time v ->
+        if not core.pinned.(v) then begin
+          let nu = next_use_after v now in
+          let dirty = is_dirty v in
+          if
+            nu > !victim_next
+            || (nu = !victim_next
+               && ((!victim_dirty && not dirty)
+                  || (!victim_dirty = dirty && v < !victim)))
+          then begin
+            victim := v;
+            victim_next := nu;
+            victim_dirty := dirty
+          end
+        end)
+      core.by_time;
     if !victim < 0 then failwith "Schedulers: cache too small (everything pinned)";
     let v = !victim in
     if writeback v && not core.in_slow.(v) then begin
@@ -477,15 +550,19 @@ let run_hybrid ?(max_flops = 200_000_000) work ~cache_size ~recompute order =
           core.pinned.(p) <- false;
           remaining_uses.(p) <- remaining_uses.(p) - 1;
           (* Dead values leave the cache for free; a later recompute
-             that re-demands one rebuilds it through [materialize]. *)
-          if remaining_uses.(p) = 0 && not (core.output_pred p) && core.in_cache.(p)
-          then begin
-            emit core (Trace.Evict p);
-            core.in_cache.(p) <- false;
-            core.occupancy <- core.occupancy - 1;
-            forget core p
-          end)
-        preds)
+             that re-demands one rebuilds it through [materialize].
+             Dead unstored outputs become preferred victims instead,
+             exactly as in run_lru. *)
+          if remaining_uses.(p) = 0 && core.in_cache.(p) then
+            if core.output_pred p then mark_dead core p
+            else begin
+              emit core (Trace.Evict p);
+              core.in_cache.(p) <- false;
+              core.occupancy <- core.occupancy - 1;
+              forget core p
+            end)
+        preds;
+      if remaining_uses.(v) = 0 then mark_dead core v)
     order;
   Array.iter
     (fun v ->

@@ -11,8 +11,15 @@ type result = {
 
 val run_lru : Workload.t -> cache_size:int -> int list -> result
 (** LRU replacement with write-back spilling; no vertex is ever
-    computed twice. [cache_size] must exceed the maximum in-degree
-    (raises [Failure] otherwise). *)
+    computed twice. Dead residents (values past their last use —
+    in practice unstored outputs) are preferred victims, evicted in
+    least-recently-touched order before any live value; this makes the
+    spill-free bound exact: whenever [cache_size >= MAXLIVE(order)]
+    (per [Dataflow.order_liveness]) the trace contains zero spills —
+    no reload and no store of a non-output, so io = compulsory
+    inputs + outputs. That invariant is asserted at the end of every
+    run (raises [Failure] if violated). [cache_size] must exceed the
+    maximum in-degree (raises [Failure] otherwise). *)
 
 val run_belady : Workload.t -> cache_size:int -> int list -> result
 (** Offline-optimal (MIN) replacement for the given order: evict the
@@ -41,10 +48,11 @@ val run_hybrid :
   recompute:(int -> bool) ->
   int list ->
   result
-(** Per-value mix of the two policies, with LRU victim selection:
-    evicting a live value [v] spills it (write back + reload on
-    demand) when [recompute v] is false, and drops it (rebuild
-    recursively when next needed) when true. Inputs and outputs ignore
+(** Per-value mix of the two policies, with the same dead-first LRU
+    victim selection as {!run_lru}: evicting a live value [v] spills it
+    (write back + reload on demand) when [recompute v] is false, and
+    drops it (rebuild recursively when next needed) when true. Inputs
+    and outputs ignore
     the flag — inputs are always in slow memory, outputs always spill.
     [recompute = fun _ -> false] reproduces {!run_lru}'s trace
     exactly; this is the schedule space {!Fmm_opt.Optimizer} searches.

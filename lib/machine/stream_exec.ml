@@ -16,9 +16,14 @@
      #{s in succs(w) | s >= v} because the order is ascending ids and
      each successor consumes each operand exactly once (the CDAG has
      no parallel edges); the post-compute dead test uses s > v.
-   - The LRU victim (least-recently-touched unpinned resident) is the
-     tail of the linked list, skipping pinned entries — the same
-     vertex [Schedulers]' time-keyed map minimum selects. *)
+   - The LRU victim (least-recently-touched unpinned DEAD resident if
+     any, else least-recently-touched unpinned resident) is the tail
+     of the matching linked list, skipping pinned entries — the same
+     vertex [Schedulers]' time-keyed map minima select. Dead residents
+     are appended to the dead list in last-touch order (a value dies in
+     the post-compute phase of the step that touched it last, and the
+     per-step processing order equals the per-step touch order), so the
+     dead list's tail is the least-recently-touched dead resident. *)
 
 module Im = Fmm_cdag.Implicit
 
@@ -38,36 +43,55 @@ module Bits = struct
          (Char.code (Bytes.unsafe_get b (i lsr 3)) land lnot (1 lsl (i land 7))))
 end
 
-(* Intrusive doubly-linked recency list with a cyclic sentinel:
-   sentinel.next = most recent, sentinel.prev = least recent. Only
-   resident vertices have nodes, so the table stays cache-sized. *)
+(* Intrusive doubly-linked recency lists with cyclic sentinels:
+   sentinel.next = most recent, sentinel.prev = least recent. A
+   resident vertex's node lives on exactly one of the two lists — the
+   live list (ordered by recency of touch) or the dead list (values
+   past their last use, ordered by recency at death, which equals
+   recency of touch since a value dies in the step of its last touch).
+   Only resident vertices have nodes, so the table stays cache-sized. *)
 type lnode = { v : int; mutable prev : lnode; mutable next : lnode }
 
-type lru = { sentinel : lnode; nodes : (int, lnode) Hashtbl.t }
+type lru = {
+  sentinel : lnode; (* live residents *)
+  dead_sentinel : lnode; (* dead residents: preferred victims *)
+  nodes : (int, lnode) Hashtbl.t;
+}
 
 let lru_create () =
   let rec s = { v = -1; prev = s; next = s } in
-  { sentinel = s; nodes = Hashtbl.create 1024 }
+  let rec d = { v = -2; prev = d; next = d } in
+  { sentinel = s; dead_sentinel = d; nodes = Hashtbl.create 1024 }
 
 let unlink nd =
   nd.prev.next <- nd.next;
   nd.next.prev <- nd.prev
 
-let push_front lru nd =
-  nd.prev <- lru.sentinel;
-  nd.next <- lru.sentinel.next;
-  lru.sentinel.next.prev <- nd;
-  lru.sentinel.next <- nd
+let push_front_of sentinel nd =
+  nd.prev <- sentinel;
+  nd.next <- sentinel.next;
+  sentinel.next.prev <- nd;
+  sentinel.next <- nd
 
 let touch lru v =
   match Hashtbl.find_opt lru.nodes v with
   | Some nd ->
     unlink nd;
-    push_front lru nd
+    push_front_of lru.sentinel nd
   | None ->
     let nd = { v; prev = lru.sentinel; next = lru.sentinel } in
-    push_front lru nd;
+    push_front_of lru.sentinel nd;
     Hashtbl.add lru.nodes v nd
+
+(* Move a resident vertex to the dead list (its last use is behind
+   us): it becomes a preferred eviction victim, mirroring
+   [Schedulers.mark_dead]. *)
+let mark_dead lru v =
+  match Hashtbl.find_opt lru.nodes v with
+  | Some nd ->
+    unlink nd;
+    push_front_of lru.dead_sentinel nd
+  | None -> ()
 
 let forget lru v =
   match Hashtbl.find_opt lru.nodes v with
@@ -76,15 +100,20 @@ let forget lru v =
     Hashtbl.remove lru.nodes v
   | None -> ()
 
-(* Least-recently-touched resident vertex that is not pinned. *)
+(* Least-recently-touched unpinned DEAD resident when one exists
+   (evicting it can never cost a reload), otherwise the
+   least-recently-touched unpinned live resident. *)
 let victim lru ~pinned =
-  let rec walk nd =
-    if nd == lru.sentinel then
-      failwith "Stream_exec: cache too small (everything pinned)"
-    else if Bits.mem pinned nd.v then walk nd.prev
+  let rec walk sentinel nd fallback =
+    if nd == sentinel then
+      match fallback with
+      | Some (s, n) -> walk s n None
+      | None -> failwith "Stream_exec: cache too small (everything pinned)"
+    else if Bits.mem pinned nd.v then walk sentinel nd.prev fallback
     else nd.v
   in
-  walk lru.sentinel.prev
+  walk lru.dead_sentinel lru.dead_sentinel.prev
+    (Some (lru.sentinel, lru.sentinel.prev))
 
 let run_lru imp ~cache_size ?(on_event = fun (_ : Trace.event) -> ()) () =
   if cache_size < 1 then invalid_arg "Stream_exec.run_lru: cache_size < 1";
@@ -99,6 +128,11 @@ let run_lru imp ~cache_size ?(on_event = fun (_ : Trace.event) -> ()) () =
   let lru = lru_create () in
   let occupancy = ref 0 in
   let loads = ref 0 and stores = ref 0 and computes = ref 0 in
+  (* Spill-free invariant machinery, mirroring Schedulers.run_lru:
+     live-set size per Dataflow's liveness, plus spill detectors. *)
+  let ever_resident = Bits.create nv in
+  let live = ref 0 and maxlive = ref 0 in
+  let reloads = ref 0 and spill_stores = ref 0 in
   (* #{s in succs(w) | s >= from_}: the scheduler's remaining-uses
      counter, recovered arithmetically. *)
   let uses_from w ~from_ =
@@ -115,7 +149,8 @@ let run_lru imp ~cache_size ?(on_event = fun (_ : Trace.event) -> ()) () =
     if writeback w && not (Bits.mem in_slow w) then begin
       on_event (Trace.Store w);
       Bits.set in_slow w;
-      incr stores
+      incr stores;
+      if not (Im.is_output imp w) then incr spill_stores
     end;
     on_event (Trace.Evict w);
     Bits.clear in_cache w;
@@ -141,12 +176,15 @@ let run_lru imp ~cache_size ?(on_event = fun (_ : Trace.event) -> ()) () =
               (Printf.sprintf
                  "Stream_exec.run_lru: order step %d (vertex %d): operand %d lost"
                  (v - n_inp) v p);
+          if p < n_inp && not (Bits.mem ever_resident p) then incr live;
           Bits.set pinned p;
           ensure_room ();
           on_event (Trace.Load p);
           Bits.set in_cache p;
           incr occupancy;
           incr loads;
+          if Bits.mem ever_resident p then incr reloads;
+          Bits.set ever_resident p;
           touch lru p
         end
         else begin
@@ -157,23 +195,31 @@ let run_lru imp ~cache_size ?(on_event = fun (_ : Trace.event) -> ()) () =
     ensure_room ();
     on_event (Trace.Compute v);
     Bits.set in_cache v;
+    Bits.set ever_resident v;
     incr occupancy;
     incr computes;
+    incr live;
+    if !live > !maxlive then maxlive := !live;
     touch lru v;
     List.iter
       (fun p ->
         Bits.clear pinned p;
-        if
-          uses_from p ~from_:(v + 1) = 0
-          && (not (Im.is_output imp p))
-          && Bits.mem in_cache p
-        then begin
-          on_event (Trace.Evict p);
-          Bits.clear in_cache p;
-          decr occupancy;
-          forget lru p
+        if uses_from p ~from_:(v + 1) = 0 then begin
+          decr live;
+          if Bits.mem in_cache p then
+            if Im.is_output imp p then mark_dead lru p
+            else begin
+              on_event (Trace.Evict p);
+              Bits.clear in_cache p;
+              decr occupancy;
+              forget lru p
+            end
         end)
-      preds
+      preds;
+    if uses_from v ~from_:(v + 1) = 0 then begin
+      decr live;
+      mark_dead lru v
+    end
   done;
   Array.iter
     (fun v ->
@@ -183,6 +229,12 @@ let run_lru imp ~cache_size ?(on_event = fun (_ : Trace.event) -> ()) () =
         incr stores
       end)
     (Im.outputs imp);
+  if cache_size >= !maxlive && (!reloads > 0 || !spill_stores > 0) then
+    failwith
+      (Printf.sprintf
+         "Stream_exec.run_lru: spill-free invariant violated: cache_size=%d >= \
+          maxlive=%d yet reloads=%d spill_stores=%d"
+         cache_size !maxlive !reloads !spill_stores);
   { Trace.loads = !loads; stores = !stores; computes = !computes; recomputes = 0 }
 
 (* Materializing variant for differential tests at small n. *)

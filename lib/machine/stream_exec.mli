@@ -15,9 +15,12 @@ val run_lru :
   unit ->
   Trace.counters
 (** Execute all non-input vertices in ascending id order under LRU
-    write-back spilling. [cache_size] must exceed the maximum
-    in-degree. [on_event] sees the exact event sequence
-    [Schedulers.run_lru] would produce. *)
+    write-back spilling, with the same dead-first victim preference as
+    [Schedulers.run_lru] — so at [cache_size >= MAXLIVE] of the
+    canonical order the run is spill-free (no reload, no store of a
+    non-output; asserted, raising [Failure] if violated). [cache_size]
+    must exceed the maximum in-degree. [on_event] sees the exact event
+    sequence [Schedulers.run_lru] would produce. *)
 
 val run_lru_collect : Fmm_cdag.Implicit.t -> cache_size:int -> Schedulers.result
 (** Materialize the full trace (small n only — the differential

@@ -18,6 +18,10 @@ let event_to_string = function
   | Evict v -> Printf.sprintf "evict %d" v
   | Compute v -> Printf.sprintf "compute %d" v
 
+let iter f (t : t) = List.iter f t
+let fold f init (t : t) = List.fold_left f init t
+let length (t : t) = List.length t
+
 type counters = {
   loads : int;
   stores : int;
@@ -26,6 +30,29 @@ type counters = {
 }
 
 let io counters = counters.loads + counters.stores
+
+(* Recount a trace from its events alone. A second Compute of the same
+   vertex is a recomputation, which is the only counter that needs
+   state; consumers (the numeric executor, the tests) use this to check
+   that a scheduler's counters describe the trace it actually emitted. *)
+let count (t : t) =
+  let computed = Hashtbl.create 256 in
+  fold
+    (fun c e ->
+      match e with
+      | Load _ -> { c with loads = c.loads + 1 }
+      | Store _ -> { c with stores = c.stores + 1 }
+      | Evict _ -> c
+      | Compute v ->
+        let again = Hashtbl.mem computed v in
+        if not again then Hashtbl.add computed v ();
+        {
+          c with
+          computes = c.computes + 1;
+          recomputes = (c.recomputes + if again then 1 else 0);
+        })
+    { loads = 0; stores = 0; computes = 0; recomputes = 0 }
+    t
 
 let pp_counters fmt c =
   Format.fprintf fmt "loads=%d stores=%d io=%d computes=%d recomputes=%d"

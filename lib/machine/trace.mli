@@ -12,6 +12,13 @@ type t = event list
 
 val event_to_string : event -> string
 
+val iter : (event -> unit) -> t -> unit
+(** Consume the trace in execution order (the numeric executor's entry
+    point). *)
+
+val fold : ('a -> event -> 'a) -> 'a -> t -> 'a
+val length : t -> int
+
 type counters = {
   loads : int;
   stores : int;
@@ -21,5 +28,10 @@ type counters = {
 
 val io : counters -> int
 (** loads + stores — the model's communication cost. *)
+
+val count : t -> counters
+(** Recount a trace from its events alone (a Compute of an
+    already-computed vertex is a recomputation). For every scheduler
+    result [r], [count r.trace = r.counters]. *)
 
 val pp_counters : Format.formatter -> counters -> unit

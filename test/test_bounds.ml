@@ -100,6 +100,38 @@ let test_rectangular () =
   in
   Alcotest.(check bool) "rectangular formula" true (close v expected)
 
+(* The residual float paths in the fast bounds, pinned at 2^20-scale
+   power-of-two boundaries where `**` used to round: these are
+   equalities, not tolerance checks. *)
+let test_exact_fast_pins () =
+  (* fast_memdep: (n / sqrt M)^{log2 7} M = 7^10 * 2^20 exactly at
+     n = M = 2^20 (the float route lost the low bits of the 49-bit
+     product) *)
+  Alcotest.(check (float 0.)) "fast_memdep n=M=2^20"
+    (float_of_int (Fmm_util.Combinat.pow_int 7 10 * (1 lsl 20)))
+    (B.fast_memdep ~n:(1 lsl 20) ~m:(1 lsl 20) ~p:1 ());
+  Alcotest.(check (float 0.)) "fast_memdep n=M=2^20 P=7"
+    (float_of_int (Fmm_util.Combinat.pow_int 7 10 * (1 lsl 20)) /. 7.)
+    (B.fast_memdep ~n:(1 lsl 20) ~m:(1 lsl 20) ~p:7 ());
+  (* fast_memind: n^2 / P^{2/log2 7} = 2^40 / 2^6 at P = 7^3 (the
+     p ** (2/omega0) exponent is now decided on the integer path) *)
+  Alcotest.(check (float 0.)) "fast_memind n=2^20 P=7^3"
+    (float_of_int (1 lsl 34))
+    (B.fast_memind ~n:(1 lsl 20) ~p:343 ());
+  Alcotest.(check (float 0.)) "fast_memind n=2^20 P=7^6"
+    (float_of_int (1 lsl 28))
+    (B.fast_memind ~n:(1 lsl 20) ~p:117649 ());
+  (* omega0 = 3 delegates to the exact classical path *)
+  Alcotest.(check (float 0.)) "fast_memind omega0=3 = classical"
+    (B.classical_memind ~n:(1 lsl 20) ~p:27)
+    (B.fast_memind ~omega0:3. ~n:(1 lsl 20) ~p:27 ());
+  (* rectangular: q^t / M^{log_{m0 p0} q - 1} = 2^15 / 2^10 at
+     q = 8, m0 p0 = 4, M = 2^20 (the log-ratio exponent is exact) *)
+  Alcotest.(check (float 0.)) "rectangular 2^20 pin" 32.
+    (B.rectangular ~m0:2 ~p0:2 ~q:8 ~t:5 ~m:(1 lsl 20) ~p:1);
+  Alcotest.(check (float 0.)) "rectangular 2^20 pin P=2" 16.
+    (B.rectangular ~m0:2 ~p0:2 ~q:8 ~t:5 ~m:(1 lsl 20) ~p:2)
+
 let test_fft () =
   (* n log n / (P log M): n = 1024, M = 32, P = 1 -> 1024*10/5 = 2048 *)
   Alcotest.(check bool) "fft memdep" true (close (B.fft_memdep ~n:1024 ~m:32 ~p:1) 2048.);
@@ -187,6 +219,8 @@ let () =
           Alcotest.test_case "exact crossover" `Quick test_exact_crossover;
           Alcotest.test_case "exact memind" `Quick test_exact_memind;
           Alcotest.test_case "exact fft" `Quick test_exact_fft;
+          Alcotest.test_case "exact fast pins (2^20)" `Quick
+            test_exact_fast_pins;
           Alcotest.test_case "rectangular" `Quick test_rectangular;
           Alcotest.test_case "fft" `Quick test_fft;
           Alcotest.test_case "validation" `Quick test_param_validation;

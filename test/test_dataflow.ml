@@ -360,6 +360,59 @@ let test_spill_free_at_maxlive () =
        ("random dag", rw, non_input_topo rw);
      ])
 
+(* LRU at M = MAXLIVE must be spill-free too, now that dead residents
+   (unstored outputs past their last use) are preferred victims: io is
+   exactly compulsory inputs + outputs, with zero reloads and zero
+   non-output stores. One word less and a spill is forced — io strictly
+   grows. Checked for both the explicit-graph scheduler and the
+   streaming implicit executor (identical traces by contract). *)
+let test_lru_spill_free_boundary () =
+  List.iter
+    (fun (name, w, order) ->
+      let lv = Df.order_liveness w (Array.of_list order) in
+      let m = lv.Df.maxlive in
+      let compulsory = lv.Df.inputs_used + lv.Df.outputs_stored in
+      let at = Sch.run_lru w ~cache_size:m order in
+      Alcotest.(check int)
+        (name ^ " lru at MAXLIVE: io = inputs + outputs")
+        compulsory
+        (Tr.io at.Sch.counters);
+      Alcotest.(check int)
+        (name ^ " lru at MAXLIVE: loads = used inputs")
+        lv.Df.inputs_used at.Sch.counters.Tr.loads;
+      Alcotest.(check int)
+        (name ^ " lru at MAXLIVE: stores = outputs")
+        lv.Df.outputs_stored at.Sch.counters.Tr.stores;
+      (* one word below the boundary a spill is forced *)
+      match Sch.run_lru w ~cache_size:(m - 1) order with
+      | below ->
+        Alcotest.(check bool)
+          (name ^ " lru at MAXLIVE-1: io strictly above compulsory")
+          true
+          (Tr.io below.Sch.counters > compulsory)
+      | exception Failure _ -> (* cache below max in-degree: vacuous *) ())
+    (let tw, torder = reduction_tree 4 in
+     let rw = random_workload 5 in
+     [
+       ("strassen4", w4, dfs4);
+       ("strassen8", w8, dfs8);
+       ("tree h=4", tw, Array.to_list torder);
+       ("random dag", rw, non_input_topo rw);
+     ]);
+  (* same boundary for the streaming implicit executor *)
+  let module Im = Fmm_cdag.Implicit in
+  let module Se = Fmm_machine.Stream_exec in
+  let imp = Im.create S.strassen ~n:8 in
+  let s = Df.implicit_order_liveness imp in
+  let m = s.Df.Streamed.maxlive in
+  let compulsory = s.Df.Streamed.inputs_used + s.Df.Streamed.outputs_stored in
+  let at = Se.run_lru imp ~cache_size:m () in
+  Alcotest.(check int) "stream lru at MAXLIVE: io = inputs + outputs" compulsory
+    (Tr.io at);
+  let below = Se.run_lru imp ~cache_size:(m - 1) () in
+  Alcotest.(check bool) "stream lru at MAXLIVE-1: io strictly above" true
+    (Tr.io below > compulsory)
+
 (* --- the certifier end to end --- *)
 
 let test_certify_clean () =
@@ -713,6 +766,8 @@ let () =
             test_profile_matches_dynamic_peak;
           Alcotest.test_case "spill-free at MAXLIVE" `Quick
             test_spill_free_at_maxlive;
+          Alcotest.test_case "lru spill-free boundary (MAXLIVE vs -1)" `Quick
+            test_lru_spill_free_boundary;
           Alcotest.test_case "certifier clean + jobs-invariant" `Quick
             test_certify_clean;
         ] );

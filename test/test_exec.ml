@@ -1,0 +1,314 @@
+(* Tests for Fmm_exec: the float64 kernels (blocked vs naive, recursive
+   fast MM vs Apply's flop accounting) and the trace-interpreting
+   executor — executed results vs classical MM over Zp / Rat / float64,
+   executed counters vs the word-counting simulators (scheduler
+   counters AND an independent Cache_machine replay), execution of
+   hybrid and optimizer-found schedules, trace-legality rejection, the
+   NE1 registry experiment's --jobs byte-identity, and the fmmlab CLI's
+   degenerate-config exit-2 contract. *)
+
+module K = Fmm_exec.Kernel
+module Ex = Fmm_exec.Executor
+module A = Fmm_bilinear.Algorithm
+module S = Fmm_bilinear.Strassen
+module Cd = Fmm_cdag.Cdag
+module W = Fmm_machine.Workload
+module Ord = Fmm_machine.Orders
+module Sch = Fmm_machine.Schedulers
+module Tr = Fmm_machine.Trace
+module CM = Fmm_machine.Cache_machine
+module Prng = Fmm_util.Prng
+module Exp = Fmm_obs.Experiment
+module Sink = Fmm_obs.Sink
+module Json = Fmm_obs.Json
+
+(* --- kernels --- *)
+
+let random_mat seed n =
+  let rng = Prng.create ~seed in
+  K.random rng n
+
+let test_blocked_vs_naive () =
+  (* edge cases on purpose: below one micro-tile, below one panel, off
+     panel/micro-tile boundaries, above one panel *)
+  List.iter
+    (fun n ->
+      let a = random_mat (2 * n) n and b = random_mat ((2 * n) + 1) n in
+      let reference = K.naive_mul a b in
+      let err = K.rel_err (K.blocked_mul a b) ~reference in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d blocked ~ naive (err %.2e)" n err)
+        true (err <= 1e-13);
+      let err32 = K.rel_err (K.blocked_mul ~nb:32 a b) ~reference in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d nb=32 blocked ~ naive" n)
+        true (err32 <= 1e-13))
+    [ 1; 2; 3; 5; 8; 16; 63; 64; 65; 100; 130 ]
+
+let test_fast_mul_result () =
+  List.iter
+    (fun (alg, n, cutoff) ->
+      let a = random_mat n n and b = random_mat (n + 7) n in
+      let reference = K.naive_mul a b in
+      let c, _ = K.fast_mul ~cutoff alg a b in
+      let err = K.rel_err c ~reference in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s n=%d cutoff=%d fast ~ naive (err %.2e)"
+           (A.name alg) n cutoff err)
+        true (err <= 1e-12))
+    [
+      (S.strassen, 32, 8);
+      (S.strassen, 64, 16);
+      (S.winograd, 32, 4);
+      (S.classical_2x2, 16, 2);
+    ]
+
+(* fast_mul mirrors Apply.multiply's recursion guard and combine
+   accounting exactly, so its flop counters must equal Apply_int's for
+   the same algorithm and cutoff — the executor's arithmetic really is
+   the algorithm the CDAG encodes. *)
+let test_fast_mul_flops_vs_apply () =
+  List.iter
+    (fun (alg, n, cutoff) ->
+      let rng = Prng.create ~seed:(100 + n) in
+      let mi = Fmm_matrix.Matrix.I.random ~rng ~rows:n ~cols:n ~range:5 in
+      let mi' = Fmm_matrix.Matrix.I.random ~rng ~rows:n ~cols:n ~range:5 in
+      let _, apply = A.Apply_int.multiply ~cutoff alg mi mi' in
+      let a = random_mat n n and b = random_mat (n + 1) n in
+      let _, fl = K.fast_mul ~cutoff alg a b in
+      Alcotest.(check int)
+        (Printf.sprintf "%s n=%d cutoff=%d mults" (A.name alg) n cutoff)
+        apply.A.Apply_int.mults fl.K.mults;
+      Alcotest.(check int)
+        (Printf.sprintf "%s n=%d cutoff=%d adds" (A.name alg) n cutoff)
+        apply.A.Apply_int.adds fl.K.adds)
+    [
+      (S.strassen, 32, 8);
+      (S.strassen, 16, 1);
+      (S.winograd, 32, 4);
+      (S.classical_2x2, 16, 4);
+    ]
+
+(* --- the executor: results and counters, all backends --- *)
+
+let test_verify_all_policies () =
+  List.iter
+    (fun (alg, n, m) ->
+      List.iter
+        (fun policy ->
+          let v =
+            Ex.verify ~seed:3 ~backends:[ `F64; `Zp; `Rat; `Big ] alg ~n
+              ~cache_size:m ~policy
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s n=%d M=%d %s: all backends ok" (A.name alg) n
+               m (Ex.policy_to_string policy))
+            true (Ex.verification_ok v);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool)
+                (r.Ex.backend ^ " within fast-memory budget")
+                true
+                (r.Ex.peak_occupancy <= m))
+            v.Ex.reports)
+        Ex.all_policies)
+    [ (S.strassen, 8, 32); (S.winograd, 8, 32); (S.strassen, 16, 64) ]
+
+(* independent counter cross-check: the engine's recount must also
+   equal what Cache_machine.replay says about the same trace *)
+let test_counters_vs_cache_machine () =
+  let alg = S.strassen and n = 8 and m = 32 in
+  let cdag = Cd.build alg ~n in
+  let workn = W.of_cdag cdag in
+  List.iter
+    (fun policy ->
+      let sched = Ex.schedule cdag ~cache_size:m policy in
+      let allow_recompute = policy = Ex.Remat in
+      let replayed =
+        CM.replay { CM.cache_size = m; allow_recompute } workn
+          sched.Sch.trace
+      in
+      let r = Ex.run_backend cdag ~cache_size:m ~sched ~seed:5 `Zp in
+      Alcotest.(check bool)
+        (Ex.policy_to_string policy ^ ": executed = replayed counters")
+        true
+        (r.Ex.executed = replayed);
+      Alcotest.(check bool)
+        (Ex.policy_to_string policy ^ ": executed = scheduled counters")
+        true r.Ex.counters_ok)
+    Ex.all_policies
+
+let test_hybrid_and_optimizer_schedules () =
+  let alg = S.strassen and n = 8 and m = 32 in
+  let cdag = Cd.build alg ~n in
+  let workn = W.of_cdag cdag in
+  let order = Ord.recursive_dfs cdag in
+  (* a genuine per-value mix *)
+  let hybrid =
+    Sch.run_hybrid workn ~cache_size:m ~recompute:(fun v -> v mod 3 = 0) order
+  in
+  let vh =
+    Ex.verify_sched ~seed:9 ~backends:[ `F64; `Zp; `Rat ] cdag ~cache_size:m
+      ~policy_name:"hybrid" hybrid
+  in
+  Alcotest.(check bool) "hybrid executes clean" true (Ex.verification_ok vh);
+  (* the optimizer's best found schedule is just another trace *)
+  let module O = Fmm_opt.Optimizer in
+  let report =
+    O.optimize_cdag cdag ~cache_size:m ~beam:2 ~iters:1 ~seed:1 ~jobs:1
+  in
+  let vo =
+    Ex.verify_sched ~seed:9 ~backends:[ `F64; `Zp ] cdag ~cache_size:m
+      ~policy_name:"optimizer" report.O.best.O.result
+  in
+  Alcotest.(check bool) "optimizer schedule executes clean" true
+    (Ex.verification_ok vo)
+
+(* determinism: same seed -> byte-identical report, different seed ->
+   different operands but still clean *)
+let test_seeded_determinism () =
+  let v1 = Ex.verify ~seed:11 S.strassen ~n:8 ~cache_size:32 ~policy:Ex.Lru in
+  let v2 = Ex.verify ~seed:11 S.strassen ~n:8 ~cache_size:32 ~policy:Ex.Lru in
+  Alcotest.(check bool) "same seed, structurally equal" true (v1 = v2);
+  let v3 = Ex.verify ~seed:12 S.strassen ~n:8 ~cache_size:32 ~policy:Ex.Lru in
+  Alcotest.(check bool) "different seed still clean" true
+    (Ex.verification_ok v3)
+
+(* --- trace legality: the executor is also a checker --- *)
+
+let test_rejects_corrupt_traces () =
+  let alg = S.strassen and n = 4 and m = 16 in
+  let cdag = Cd.build alg ~n in
+  let sched = Ex.schedule cdag ~cache_size:m Ex.Lru in
+  let a = Array.init (n * n) float_of_int in
+  let b = Array.init (n * n) (fun i -> float_of_int (i + 1)) in
+  let run trace = ignore (Ex.F64.run cdag ~cache_size:m ~a ~b trace) in
+  (* the pristine trace is fine *)
+  run sched.Sch.trace;
+  let raises name trace =
+    Alcotest.(check bool) name true
+      (match run trace with
+      | () -> false
+      | exception Ex.Exec_error _ -> true)
+  in
+  (* drop the first load: some compute loses an operand *)
+  let dropped = ref false in
+  raises "missing load"
+    (List.filter
+       (fun e ->
+         match e with
+         | Tr.Load _ when not !dropped ->
+           dropped := true;
+           false
+         | _ -> true)
+       sched.Sch.trace);
+  (* drop every evict: the fast-memory arena overflows *)
+  raises "overflow"
+    (List.filter (function Tr.Evict _ -> false | _ -> true) sched.Sch.trace);
+  (* too-small word budget for the same trace *)
+  Alcotest.(check bool) "shrunk budget" true
+    (match
+       Ex.F64.run cdag ~cache_size:(m - 1) ~a ~b sched.Sch.trace
+     with
+    | _ -> false
+    | exception Ex.Exec_error _ -> true)
+
+let test_validate_config () =
+  let ok alg n = Ex.validate_config alg ~n = Ok () in
+  Alcotest.(check bool) "strassen n=8" true (ok S.strassen 8);
+  Alcotest.(check bool) "n=1 degenerate" false (ok S.strassen 1);
+  Alcotest.(check bool) "n=12 not a power" false (ok S.strassen 12);
+  Alcotest.(check bool) "rectangular base" false
+    (ok (A.classical ~n:2 ~m:2 ~k:3) 4)
+
+(* --- NE1 report byte-identity at --jobs 1 vs 4 --- *)
+
+let test_ne1_jobs_invariant () =
+  let es =
+    List.filter
+      (fun e -> Exp.id e = "NE1")
+      (Fmm_experiments.Experiments.all ())
+  in
+  Alcotest.(check int) "NE1 registered" 1 (List.length es);
+  let render outcomes =
+    Json.to_string ~indent:2
+      (Sink.report_to_json ~generator:"test_exec" ~created:0.
+         (List.map Sink.strip_volatile outcomes))
+  in
+  let seq = Fmm_experiments.Experiments.run_selected ~jobs:1 es in
+  let par = Fmm_experiments.Experiments.run_selected ~jobs:4 es in
+  Alcotest.(check string) "NE1 byte-identical at jobs 1 vs 4" (render seq)
+    (render par)
+
+(* --- the CLI's exit-2 contract for degenerate configs --- *)
+
+let fmmlab_exe =
+  (* the (deps ../bin/fmmlab.exe) in test/dune puts the freshly built
+     binary at this path relative to the test's cwd *)
+  Filename.concat (Filename.concat ".." "bin") "fmmlab.exe"
+
+let run_cli args =
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote fmmlab_exe) args
+  in
+  match Unix.system cmd with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> 255
+
+let test_cli_degenerate_exit2 () =
+  if not (Sys.file_exists fmmlab_exe) then
+    (* guard for odd cwd layouts; dune's deps make this unreachable *)
+    Alcotest.skip ()
+  else begin
+    List.iter
+      (fun args ->
+        Alcotest.(check int) ("exit 2: " ^ args) 2 (run_cli args))
+      [
+        "exec -a Strassen -n 1 -m 64";
+        "exec -a Strassen -n 12 -m 64";
+        "exec -a \"classical <2,2,3;12>\" -n 4 -m 64";
+        "exec -a Strassen -n 8 -m 32 --policy nosuch";
+        "exec -a Strassen -n 8 -m 32 --backend nosuch";
+        "census -a Strassen -n 1";
+        "census -a \"classical <2,2,3;12>\" -n 4";
+      ];
+    (* and a healthy run still exits 0 *)
+    Alcotest.(check int) "exit 0: healthy exec" 0
+      (run_cli "exec -a Strassen -n 8 -m 32 --backend zp65537")
+  end
+
+let () =
+  Alcotest.run "fmm_exec"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "blocked vs naive" `Quick test_blocked_vs_naive;
+          Alcotest.test_case "fast_mul result" `Quick test_fast_mul_result;
+          Alcotest.test_case "fast_mul flops = Apply" `Quick
+            test_fast_mul_flops_vs_apply;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "all policies x all backends" `Quick
+            test_verify_all_policies;
+          Alcotest.test_case "counters vs cache machine" `Quick
+            test_counters_vs_cache_machine;
+          Alcotest.test_case "hybrid + optimizer schedules" `Quick
+            test_hybrid_and_optimizer_schedules;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_seeded_determinism;
+          Alcotest.test_case "rejects corrupt traces" `Quick
+            test_rejects_corrupt_traces;
+          Alcotest.test_case "validate_config" `Quick test_validate_config;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "NE1 jobs-invariant" `Quick
+            test_ne1_jobs_invariant;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "degenerate configs exit 2" `Quick
+            test_cli_degenerate_exit2;
+        ] );
+    ]
