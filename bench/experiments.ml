@@ -36,6 +36,8 @@
      IC2     implicit CDAG: streaming MAXLIVE + exact bound arithmetic
      NE1     numeric executor: schedules run on real matrices vs predictions
      NE2     numeric kernels: Strassen-vs-classical float64 crossover sweep
+     HY1     hybrid CDAGs: full lint/certify/execute battery per cutoff
+     HY2     hybrid sweep: measured I/O vs De Stefani bounds, optimal cutoffs
      PERF    bechamel kernel timings
 
    Rows carry a "ratio" metric wherever the paper compares a measured
@@ -1602,6 +1604,163 @@ let _ne2 =
         "(flop ratio < 1 from n = 128: Strassen saves arithmetic as soon as \
          one recursion level is in play; the wall-clock crossover lives in \
          the ne2_*_s scalars and moves with the machine)")
+
+(* ----- HY1 / HY2: the hybrid Strassen/classical scenario family ----- *)
+
+let _hy1 =
+  define ~id:"HY1" ~title:"hybrid CDAGs - lint / certify / execute per cutoff"
+    ~doc:
+      "Build the cutoff-parameterized Strassen/classical CDAG at every \
+       cutoff of H^{16x16} and push each through the whole verification \
+       stack: structural lint, the static/dynamic certifier, the static \
+       trace checker (zero replay violations), and the numeric executor \
+       (float64 arena + Z_65537 oracle). Any failure anywhere is a broken \
+       hybrid builder, so every check is a hard gate, not a drifting \
+       ratio."
+    (fun m ->
+      let module Ex = Fmm_exec.Executor in
+      let module Ct = Fmm_analysis.Certify in
+      let module Tc = Fmm_analysis.Trace_check in
+      let module Lint = Fmm_analysis.Cdag_lint in
+      let module Diag = Fmm_analysis.Diagnostic in
+      let n = 16 and mm = 64 in
+      let section = "hybrid Strassen H^{16x16}, M = 64" in
+      List.iter
+        (fun cutoff ->
+          let c = Cd.build ~cutoff S.strassen ~n in
+          let w = Fmm_machine.Workload.of_cdag c in
+          let order = Ord.recursive_dfs c in
+          let lint_rep = Lint.lint c in
+          if not (Diag.is_clean lint_rep) then
+            failwith
+              (Printf.sprintf "HY1: cutoff %d lints dirty (%d errors)" cutoff
+                 (Diag.n_errors lint_rep));
+          let cert =
+            Obs.time m (Printf.sprintf "certify cutoff=%d" cutoff) (fun () ->
+                Ct.run ~jobs:(jobs ()) ~cdag:c ~cache_size:mm w ~order)
+          in
+          if not (Ct.certified cert) then
+            failwith (Printf.sprintf "HY1: cutoff %d fails certification" cutoff);
+          let sched = Ex.schedule c ~cache_size:mm Ex.Lru in
+          let tc = Tc.check ~cache_size:mm w sched.Sch.trace in
+          if not (Diag.is_clean tc.Tc.report) then
+            failwith
+              (Printf.sprintf "HY1: cutoff %d trace has %d replay violations"
+                 cutoff
+                 (Diag.n_errors tc.Tc.report));
+          let v =
+            Ex.verify_sched ~seed:7 ~backends:[ `F64; `Zp ] c ~cache_size:mm
+              ~policy_name:"lru" sched
+          in
+          if not (Ex.verification_ok v) then
+            failwith
+              (Printf.sprintf
+                 "HY1: cutoff %d executed result or counters diverge" cutoff);
+          let io = Tr.io sched.Sch.counters in
+          let bound = B.hybrid_memdep ~n ~m:mm ~p:1 ~cutoff () in
+          Obs.rowf m ~section
+            ~params:[ ("cutoff", i cutoff) ]
+            [
+              ("vertices", i (Cd.n_vertices c));
+              ("edges", i (Cd.n_edges c));
+              ("io", i io);
+              ("hybrid bound", f bound);
+              ("ratio", f (float_of_int io /. bound));
+              ("lint", mark (Diag.is_clean lint_rep));
+              ("certified", mark (Ct.certified cert));
+              ("violations", i (Diag.n_errors tc.Tc.report));
+              ("executed", mark (Ex.verification_ok v));
+            ])
+        [ 1; 2; 4; 8; 16 ];
+      Obs.note m
+        "(cutoff 1 is node-for-node the uniform fast CDAG, cutoff 16 the \
+         pure classical one; every intermediate cutoff passes the same \
+         battery — the hard gates fail the experiment on any divergence)")
+
+let _hy2 =
+  define ~id:"HY2" ~title:"hybrid sweep - measured I/O vs De Stefani bounds"
+    ~doc:
+      "Sweep every cutoff of hybrid Strassen H^{32x32} across fast-memory \
+       sizes: LRU I/O on the recursive order vs the hybrid \
+       memory-dependent lower bound (the gated ratios), the I/O-optimal \
+       cutoff per M, and the M-independent flop-optimal cutoff from the \
+       executor's counters — the NE2 crossover axis."
+    (fun m ->
+      let module K = Fmm_exec.Kernel in
+      let n = 32 in
+      let cutoffs = [ 1; 2; 4; 8; 16; 32 ] in
+      let mems = [ 64; 256 ] in
+      let section = "hybrid Strassen H^{32x32} sweep" in
+      (* flops are M-independent: one kernel run per cutoff *)
+      let flops =
+        List.map
+          (fun cutoff ->
+            let rng = Fmm_util.Prng.create ~seed:1 in
+            let a = K.random rng n and b = K.random rng n in
+            let _, fl = K.fast_mul ~cutoff S.strassen a b in
+            (cutoff, fl.K.adds + fl.K.mults))
+          cutoffs
+      in
+      let points =
+        List.concat_map
+          (fun mm ->
+            List.map
+              (fun cutoff ->
+                let c = Cd.build ~cutoff S.strassen ~n in
+                let w = Fmm_machine.Workload.of_cdag c in
+                let order = Ord.recursive_dfs c in
+                let io =
+                  Obs.time m
+                    (Printf.sprintf "lru M=%d cutoff=%d" mm cutoff)
+                    (fun () ->
+                      Tr.io (Sch.run_lru w ~cache_size:mm order).Sch.counters)
+                in
+                let bound = B.hybrid_memdep ~n ~m:mm ~p:1 ~cutoff () in
+                Obs.rowf m ~section
+                  ~params:[ ("M", i mm); ("cutoff", i cutoff) ]
+                  [
+                    ("io", i io);
+                    ("hybrid bound", f bound);
+                    ("ratio", f (float_of_int io /. bound));
+                    ("flops", i (List.assoc cutoff flops));
+                    ("within bound", mark (float_of_int io >= bound));
+                  ];
+                (mm, cutoff, io))
+              cutoffs)
+          mems
+      in
+      let section = "optimal cutoffs" in
+      let flop_best =
+        fst
+          (List.fold_left
+             (fun (bc, bf) (c, fl) -> if fl < bf then (c, fl) else (bc, bf))
+             (List.hd flops) (List.tl flops))
+      in
+      List.iter
+        (fun mm ->
+          let mine =
+            List.filter_map
+              (fun (m', c, io) -> if m' = mm then Some (c, io) else None)
+              points
+          in
+          let io_best, min_io =
+            List.fold_left
+              (fun (bc, bio) (c, io) -> if io < bio then (c, io) else (bc, bio))
+              (List.hd mine) (List.tl mine)
+          in
+          Obs.rowf m ~section
+            ~params:[ ("M", i mm) ]
+            [
+              ("io-optimal cutoff", i io_best);
+              ("min io", i min_io);
+              ("flop-optimal cutoff", i flop_best);
+              ("crossover P*", i (B.hybrid_crossover_p ~n ~m:mm ~cutoff:io_best ()));
+            ])
+        mems;
+      Obs.note m
+        "(the flop-optimal cutoff is M-independent — NE2's crossover axis; \
+         the I/O-optimal cutoff moves with M exactly as the hybrid bound \
+         predicts: larger caches favor deeper fast recursion)")
 
 let _perf =
   define ~id:"PERF" ~title:"kernel timings (bechamel, monotonic clock)"

@@ -7,6 +7,7 @@
      fmmlab analyze   -n 8 -m 64 [--corrupt x]  static CDAG/trace/parallel lint
      fmmlab pebble    [--red 4]                 exact pebbling studies
      fmmlab cdag      -a Strassen -n 4 [-o f]   build/export a CDAG
+     fmmlab hybrid    -n 64 --sweep [--mems 64,256,1024] [--json f]
      fmmlab optimize  -n 16 -m 64 [--beam 4] [--iters 4] [--seed 1] [--json f]
      fmmlab faults    -n 16 --fail 2 [--policy recompute,refetch] [--json f]
      fmmlab bench     [--filter T1,RC] [--json f] [--baseline f] [--jobs N]
@@ -510,20 +511,55 @@ let cdag_cmd =
 (* --- census (implicit CDAG; n = 256..1024 and beyond) --- *)
 
 (* Degenerate configurations (n = 1, rectangular or 1x1 bases, n not a
+   power of the base dimension, hybrid cutoffs outside [1, n] or not a
    power of the base dimension) have no recursive CDAG to census or
    execute; reject them up front with a diagnostic and exit code 2 —
    the same convention as unknown algorithm/policy names. *)
-let check_config alg ~n ~cmd =
-  match Fmm_exec.Executor.validate_config alg ~n with
+let check_config ?(cutoff = 1) alg ~n ~cmd =
+  match Fmm_exec.Executor.validate_config ~cutoff alg ~n with
   | Ok () -> ()
   | Error msg ->
     Printf.eprintf "fmmlab %s: unsupported configuration: %s\n" cmd msg;
     exit 2
 
+let cutoff_arg =
+  let doc =
+    "Hybrid cutoff $(docv): run the fast recursion down to $(docv) and \
+     finish with classical multiplication (1 = uniform fast CDAG). Must be \
+     a power of the base dimension, between 1 and n."
+  in
+  Arg.(value & opt int 1 & info [ "cutoff" ] ~doc ~docv:"N0")
+
 let census_cmd =
-  let run name n analyze maxlive do_lint m r_opt =
+  let run name n cutoff analyze maxlive do_lint m r_opt =
     let alg = find_algorithm name in
-    check_config alg ~n ~cmd:"census";
+    check_config ~cutoff alg ~n ~cmd:"census";
+    if cutoff > 1 then begin
+      (* The implicit (recursion-indexed) core covers the uniform
+         cutoff = 1 CDAG only; hybrid censuses go through the explicit
+         builder, whose Lemma 2.2 selections stop at the cutoff. *)
+      let cdag = Cd.build ~cutoff alg ~n in
+      Printf.printf "explicit hybrid CDAG %s H^{%dx%d} (cutoff %d)\n"
+        (A.name alg) n n cutoff;
+      List.iter (fun (k, v) -> Printf.printf "%-10s %d\n" k v) (Cd.stats cdag);
+      let n0, _, _ = A.dims alg in
+      Printf.printf "\nLemma 2.2 sub-problem selections:\n";
+      Printf.printf "%8s %8s %14s %16s %16s\n" "depth" "r" "nodes" "|V_out|"
+        "|V_inp|";
+      let rec levels d r =
+        Printf.printf "%8d %8d %14d %16d %16d\n" d r
+          (List.length (Cd.nodes_at_depth cdag ~depth:d))
+          (List.length (Cd.sub_outputs cdag ~r))
+          (List.length (Cd.sub_inputs cdag ~r));
+        if r > cutoff then levels (d + 1) (r / n0)
+      in
+      levels 0 n;
+      if analyze || maxlive || do_lint then
+        Printf.printf
+          "\n--analyze/--maxlive/--lint stream the implicit core, which is \
+           uniform-only; rerun with --cutoff 1\n"
+    end
+    else begin
     let module Im = Fmm_cdag.Implicit in
     let imp = Im.create alg ~n in
     Printf.printf "implicit CDAG %s H^{%dx%d} (%d recursion levels)\n"
@@ -591,6 +627,7 @@ let census_cmd =
         (Tr.io counters) memdep
         (float_of_int (Tr.io counters) /. memdep)
     end
+    end
   in
   let analyze_arg =
     Arg.(
@@ -619,17 +656,17 @@ let census_cmd =
           CDAG — runs at n = 256..1024 where the explicit graph cannot be \
           built")
     Term.(
-      const run $ algorithm_arg $ n_arg 256 $ analyze_arg $ maxlive_arg
-      $ lint_arg $ m_arg 4096 $ r_arg)
+      const run $ algorithm_arg $ n_arg 256 $ cutoff_arg $ analyze_arg
+      $ maxlive_arg $ lint_arg $ m_arg 4096 $ r_arg)
 
 (* --- exec (numeric execution backend) --- *)
 
 let exec_cmd =
   let module Ex = Fmm_exec.Executor in
   let module Json = Fmm_obs.Json in
-  let run name n m policy_name backend_spec seed tol json_out jobs =
+  let run name n m cutoff policy_name backend_spec seed tol json_out jobs =
     let alg = find_algorithm name in
-    check_config alg ~n ~cmd:"exec";
+    check_config ~cutoff alg ~n ~cmd:"exec";
     let policy =
       match Ex.policy_of_string policy_name with
       | Some p -> p
@@ -652,7 +689,7 @@ let exec_cmd =
       prerr_endline "no backend given";
       exit 2
     end;
-    let cdag = Cd.build alg ~n in
+    let cdag = Cd.build ~cutoff alg ~n in
     let sched = Ex.schedule cdag ~cache_size:m policy in
     let pc = sched.Sch.counters in
     (* one execution per backend on the domain pool; each backend
@@ -665,6 +702,7 @@ let exec_cmd =
     in
     Printf.printf "algorithm   %s\nn           %d\nM           %d\npolicy      %s\n"
       (A.name alg) n m policy_name;
+    if cutoff > 1 then Printf.printf "cutoff      %d (hybrid)\n" cutoff;
     Printf.printf "scheduled   loads %d, stores %d, I/O %d, computes %d (recomputed %d)\n"
       pc.Tr.loads pc.Tr.stores (Tr.io pc) pc.Tr.computes pc.Tr.recomputes;
     let t =
@@ -705,6 +743,7 @@ let exec_cmd =
             ("algorithm", Json.Str (A.name alg));
             ("n", Json.Int n);
             ("m", Json.Int m);
+            ("cutoff", Json.Int cutoff);
             ("policy", Json.Str policy_name);
             ("seed", Json.Int seed);
             ("tol", Json.Float tol);
@@ -775,8 +814,309 @@ let exec_cmd =
          "Execute a verified schedule on real matrices and check the result \
           against classical multiplication and the predicted I/O counters")
     Term.(
-      const run $ algorithm_arg $ n_arg 16 $ m_arg 512 $ policy_arg
-      $ backend_arg $ seed_arg $ tol_arg $ json_arg $ jobs_arg)
+      const run $ algorithm_arg $ n_arg 16 $ m_arg 512 $ cutoff_arg
+      $ policy_arg $ backend_arg $ seed_arg $ tol_arg $ json_arg $ jobs_arg)
+
+(* --- hybrid (cutoff-parameterized Strassen/classical family) --- *)
+
+(* One measured (M, cutoff) point of the hybrid sweep. [hp_counters] is
+   [Error msg] when no legal schedule exists at that M (a classical-leaf
+   decoder of in-degree cutoff needs cutoff + 1 resident words, so small
+   caches cannot run large cutoffs) — reported, never silently
+   dropped. *)
+type hybrid_point = {
+  hp_m : int;
+  hp_cutoff : int;
+  hp_vertices : int;
+  hp_edges : int;
+  hp_counters : (Tr.counters, string) result;
+  hp_bound : float;
+  hp_adds : int;
+  hp_mults : int;
+}
+
+let hp_io p =
+  match p.hp_counters with Ok c -> Some (Tr.io c) | Error _ -> None
+
+let hp_flops p = p.hp_adds + p.hp_mults
+
+let hybrid_cmd =
+  let module Ex = Fmm_exec.Executor in
+  let module K = Fmm_exec.Kernel in
+  let module Json = Fmm_obs.Json in
+  let run name n mems_spec m cutoff sweep policy_name json_out jobs =
+    let alg = find_algorithm name in
+    let n0, _, _ = A.dims alg in
+    check_config ~cutoff alg ~n ~cmd:"hybrid";
+    let policy =
+      match Ex.policy_of_string policy_name with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown policy %S (lru|belady|remat)\n" policy_name;
+        exit 2
+    in
+    let mems =
+      if mems_spec = "" then [ m ]
+      else
+        String.split_on_char ',' mems_spec
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map (fun s ->
+               match int_of_string_opt (String.trim s) with
+               | Some v when v > 0 -> v
+               | _ ->
+                 Printf.eprintf "fmmlab hybrid: bad memory size %S\n" s;
+                 exit 2)
+    in
+    let cutoffs =
+      if sweep then begin
+        let rec up c acc = if c > n then List.rev acc else up (c * n0) (c :: acc) in
+        up 1 []
+      end
+      else [ cutoff ]
+    in
+    (* One pool task per cutoff: the CDAG, its DFS order and the flop
+       counters are computed once and reused for every memory size —
+       only the cache simulation depends on M. Every field is
+       deterministic (schedules and flop counters are value-free, the
+       report carries no clocks) and the m-major re-grouping below is a
+       pure function of the input lists, so the output is byte-identical
+       at any --jobs. *)
+    let by_cutoff =
+      Fmm_par.Pool.map ~jobs:(max 1 jobs)
+        (fun c ->
+          let cdag = Cd.build ~cutoff:c alg ~n in
+          let work = Fmm_machine.Workload.of_cdag cdag in
+          let order = Ord.recursive_dfs cdag in
+          (* the executor's arithmetic for the same (algorithm, n,
+             cutoff) — the flop side of the NE2 crossover *)
+          let rng = Fmm_util.Prng.create ~seed:1 in
+          let a = K.random rng n in
+          let b = K.random rng n in
+          let _, fl = K.fast_mul ~cutoff:c alg a b in
+          List.map
+            (fun m ->
+              let counters =
+                match
+                  match policy with
+                  | Ex.Lru -> Sch.run_lru work ~cache_size:m order
+                  | Ex.Belady -> Sch.run_belady work ~cache_size:m order
+                  | Ex.Remat -> Sch.run_rematerialize work ~cache_size:m order
+                with
+                | s -> Ok s.Sch.counters
+                | exception Failure msg -> Error msg
+              in
+              {
+                hp_m = m;
+                hp_cutoff = c;
+                hp_vertices = Cd.n_vertices cdag;
+                hp_edges = Cd.n_edges cdag;
+                hp_counters = counters;
+                hp_bound = B.hybrid_memdep ~n ~m ~p:1 ~cutoff:c ();
+                hp_adds = fl.K.adds;
+                hp_mults = fl.K.mults;
+              })
+            mems)
+        cutoffs
+    in
+    let points =
+      let all = List.concat by_cutoff in
+      List.concat_map (fun m -> List.filter (fun p -> p.hp_m = m) all) mems
+    in
+    let t =
+      T.create
+        ~title:
+          (Printf.sprintf "hybrid %s n=%d, policy %s" (A.name alg) n
+             policy_name)
+        ~headers:
+          [ "M"; "cutoff"; "vertices"; "I/O"; "hybrid bound"; "ratio";
+            "flops" ]
+        ~aligns:[ T.Right; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+        ()
+    in
+    List.iter
+      (fun p ->
+        let io_s, ratio_s =
+          match hp_io p with
+          | Some io ->
+            ( string_of_int io,
+              Printf.sprintf "%.2f" (float_of_int io /. p.hp_bound) )
+          | None -> ("infeasible", "-")
+        in
+        T.add_row t
+          [
+            string_of_int p.hp_m; string_of_int p.hp_cutoff;
+            string_of_int p.hp_vertices; io_s;
+            Printf.sprintf "%.1f" p.hp_bound; ratio_s;
+            string_of_int (hp_flops p);
+          ])
+      points;
+    T.print t;
+    List.iter
+      (fun p ->
+        match p.hp_counters with
+        | Error msg ->
+          Printf.printf "note: M = %d, cutoff = %d infeasible: %s\n" p.hp_m
+            p.hp_cutoff msg
+        | Ok _ -> ())
+      points;
+    (* per-M optima: the I/O-optimal cutoff under the measured schedule,
+       and the flop-optimal cutoff (M-independent — NE2's crossover
+       axis) from the executor's counters *)
+    let argmin f = function
+      | [] -> None
+      | x :: rest ->
+        Some
+          (List.fold_left (fun best y -> if f y < f best then y else best) x rest)
+    in
+    let optima =
+      List.map
+        (fun m ->
+          let pts = List.filter (fun p -> p.hp_m = m) points in
+          let feasible = List.filter (fun p -> hp_io p <> None) pts in
+          let io_best =
+            argmin (fun p -> match hp_io p with Some io -> io | None -> max_int)
+              feasible
+          in
+          let flop_best = argmin hp_flops pts in
+          (m, io_best, flop_best))
+        mems
+    in
+    List.iter
+      (fun (m, io_best, flop_best) ->
+        match (io_best, flop_best) with
+        | Some pi, Some pf ->
+          Printf.printf
+            "M = %-6d I/O-optimal cutoff = %d (I/O %d); flop-optimal cutoff \
+             = %d (%d flops)\n"
+            m pi.hp_cutoff
+            (match hp_io pi with Some io -> io | None -> 0)
+            pf.hp_cutoff (hp_flops pf)
+        | _ ->
+          Printf.printf "M = %-6d no feasible schedule at any cutoff\n" m)
+      optima;
+    let ok =
+      List.for_all
+        (fun p ->
+          match hp_io p with
+          | Some io -> float_of_int io >= p.hp_bound
+          | None -> true)
+        points
+      && List.for_all (fun (_, io_best, _) -> io_best <> None) optima
+    in
+    if not ok then
+      print_endline
+        "BOUND VIOLATION: some measured I/O fell below the hybrid lower \
+         bound (or a memory size has no feasible cutoff)";
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let j =
+        Json.Obj
+          [
+            ("schema", Json.Str "fmm-hybrid/v1");
+            ("algorithm", Json.Str (A.name alg));
+            ("n", Json.Int n);
+            ("policy", Json.Str policy_name);
+            ("sweep", Json.Bool sweep);
+            ( "points",
+              Json.List
+                (List.map
+                   (fun p ->
+                     Json.Obj
+                       ([
+                          ("m", Json.Int p.hp_m);
+                          ("cutoff", Json.Int p.hp_cutoff);
+                          ("vertices", Json.Int p.hp_vertices);
+                          ("edges", Json.Int p.hp_edges);
+                        ]
+                       @ (match p.hp_counters with
+                         | Ok pc ->
+                           let io = Tr.io pc in
+                           [
+                             ("feasible", Json.Bool true);
+                             ("loads", Json.Int pc.Tr.loads);
+                             ("stores", Json.Int pc.Tr.stores);
+                             ("io", Json.Int io);
+                             ("bound_memdep", Json.Float p.hp_bound);
+                             ( "ratio",
+                               Json.Float (float_of_int io /. p.hp_bound) );
+                             ( "within_bound",
+                               Json.Bool (float_of_int io >= p.hp_bound) );
+                           ]
+                         | Error msg ->
+                           [
+                             ("feasible", Json.Bool false);
+                             ("reason", Json.Str msg);
+                             ("bound_memdep", Json.Float p.hp_bound);
+                           ])
+                       @ [
+                           ("adds", Json.Int p.hp_adds);
+                           ("mults", Json.Int p.hp_mults);
+                         ]))
+                   points) );
+            ( "optima",
+              Json.List
+                (List.filter_map
+                   (fun (m, io_best, flop_best) ->
+                     match (io_best, flop_best) with
+                     | Some pi, Some pf ->
+                       Some
+                         (Json.Obj
+                            [
+                              ("m", Json.Int m);
+                              ("io_optimal_cutoff", Json.Int pi.hp_cutoff);
+                              ( "min_io",
+                                Json.Int
+                                  (match hp_io pi with
+                                  | Some io -> io
+                                  | None -> 0) );
+                              ("flop_optimal_cutoff", Json.Int pf.hp_cutoff);
+                              ("min_flops", Json.Int (hp_flops pf));
+                            ])
+                     | _ -> None)
+                   optima) );
+            ("ok", Json.Bool ok);
+          ]
+      in
+      Json.to_file path j;
+      Printf.printf "wrote %s\n" path);
+    if not ok then exit 1
+  in
+  let mems_arg =
+    let doc =
+      "Comma-separated fast-memory sizes to sweep (overrides -m), e.g. \
+       64,256,1024."
+    in
+    Arg.(value & opt string "" & info [ "mems" ] ~doc ~docv:"M,...")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Sweep every cutoff (all powers of the base dimension from 1 to \
+             n) instead of the single --cutoff, and report the I/O-optimal \
+             cutoff per memory size.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "lru"
+      & info [ "policy" ] ~doc:"Schedule policy: lru | belady | remat"
+          ~docv:"P")
+  in
+  let json_arg =
+    let doc = "Write the (clock-free) hybrid report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "hybrid"
+       ~doc:
+         "Measure hybrid Strassen/classical CDAGs across cutoffs: schedule \
+          I/O vs De Stefani's hybrid lower bounds, plus the flop-optimal \
+          cutoff from the executor's counters")
+    Term.(
+      const run $ algorithm_arg $ n_arg 64 $ mems_arg $ m_arg 256
+      $ cutoff_arg $ sweep_arg $ policy_arg $ json_arg $ jobs_arg)
 
 (* --- fft --- *)
 
@@ -1329,5 +1669,5 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
-            cdag_cmd; census_cmd; exec_cmd; fft_cmd; parallel_cmd; search_cmd;
-            optimize_cmd; faults_cmd; bench_cmd; table1_cmd ]))
+            cdag_cmd; census_cmd; exec_cmd; hybrid_cmd; fft_cmd; parallel_cmd;
+            search_cmd; optimize_cmd; faults_cmd; bench_cmd; table1_cmd ]))

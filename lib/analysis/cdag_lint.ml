@@ -29,7 +29,7 @@ let max_row_nnz rows =
 
 let role_name = Cd.role_to_string
 
-let lint_graph ~graph ~role ~inputs ~outputs ~base () =
+let lint_graph ?(dec_leaf = 1) ~graph ~role ~inputs ~outputs ~base () =
   let c = Dg.Collector.create ~pass ~title:"CDAG lint" in
   let err ~code loc fmt = Dg.Collector.addf c Dg.Error ~code loc fmt in
   let warn ~code loc fmt = Dg.Collector.addf c Dg.Warning ~code loc fmt in
@@ -42,7 +42,10 @@ let lint_graph ~graph ~role ~inputs ~outputs ~base () =
      U/V/W sparsity (for a 2x2 base: encoders <= 4, decoders <= t). *)
   let enc_a_max = max_row_nnz (A.u_matrix base) in
   let enc_b_max = max_row_nnz (A.v_matrix base) in
-  let dec_max = max_row_nnz (A.w_matrix base) in
+  (* Hybrid instantiation of Fact 2.1: a classical leaf's decoder sums
+     the [dec_leaf] elementary products of one output entry, so the
+     decoder bound is the max of the base W sparsity and the cutoff. *)
+  let dec_max = max (max_row_nnz (A.w_matrix base)) dec_leaf in
   let is_input = Array.make n false in
   Array.iter
     (fun v -> if v >= 0 && v < n then is_input.(v) <- true)
@@ -144,8 +147,8 @@ let lint_graph ~graph ~role ~inputs ~outputs ~base () =
   Dg.Collector.report c
 
 let lint cdag =
-  lint_graph ~graph:(Cd.graph cdag) ~role:(Cd.role cdag)
-    ~inputs:(Cd.inputs cdag) ~outputs:(Cd.outputs cdag)
+  lint_graph ~dec_leaf:(Cd.cutoff cdag) ~graph:(Cd.graph cdag)
+    ~role:(Cd.role cdag) ~inputs:(Cd.inputs cdag) ~outputs:(Cd.outputs cdag)
     ~base:(Cd.base_algorithm cdag) ()
 
 (* Sampled structural lint of an implicit CDAG. A full sweep is the

@@ -11,9 +11,14 @@
     no vertex that feeds no output). *)
 
 val lint : Fmm_cdag.Cdag.t -> Diagnostic.report
-(** Lint a CDAG as built by {!Fmm_cdag.Cdag.build}. *)
+(** Lint a CDAG as built by {!Fmm_cdag.Cdag.build}, including hybrid
+    (cutoff > 1) CDAGs: the decoder in-degree bound is widened to
+    [max (W sparsity) cutoff] — the Fact 2.1 instantiation for a
+    classical leaf whose decoder sums the cutoff elementary products
+    of one output entry. *)
 
 val lint_graph :
+  ?dec_leaf:int ->
   graph:Fmm_graph.Digraph.t ->
   role:(int -> Fmm_cdag.Cdag.role) ->
   inputs:int array ->
@@ -24,7 +29,9 @@ val lint_graph :
 (** Same checks over an explicit (graph, role, inputs, outputs) view —
     the entry point for linting {e corrupted} copies of a CDAG's graph
     (the append-only {!Fmm_graph.Digraph} cannot delete edges, so
-    corruption tests rebuild the graph minus an edge). *)
+    corruption tests rebuild the graph minus an edge). [dec_leaf]
+    (default 1) is the hybrid cutoff; it widens the decoder in-degree
+    bound to [max (W sparsity) dec_leaf]. *)
 
 val lint_implicit : ?samples:int -> Fmm_cdag.Implicit.t -> Diagnostic.report
 (** Lint an implicit CDAG: global closed-form census identities plus

@@ -66,8 +66,18 @@ module Apply (R : Fmm_ring.Sig_ring.S) : sig
   (** One recursion step with a caller-supplied block multiplier. *)
 
   val multiply : ?cutoff:int -> t -> M.t -> M.t -> M.t * counters
-  (** Fully recursive multiply; falls back to classical multiplication
-      at or below [cutoff] (default 1) or on non-divisible shapes. *)
+  (** Fully recursive multiply.
+
+      {b Unified cutoff rule} (shared verbatim with
+      [Fmm_exec.Kernel.fast_mul]): a sub-problem recurses iff every
+      dimension both {e exceeds} [cutoff] (default 1) and is divisible
+      by the corresponding base dimension; otherwise the whole
+      sub-problem — including any non-divisible intermediate reached
+      mid-recursion — is multiplied classically, silently and without
+      raising. Only CDAG construction, which needs the recursion to
+      tile exactly, rejects such shapes. The shared guard makes the
+      counters differential-testable against [Kernel.fast_mul] at any
+      size. *)
 
   val multiply_one_level : t -> M.t -> M.t -> M.t * counters
 end

@@ -210,6 +210,131 @@ let crossover_p ?(omega0 = omega_strassen) ~n ~m () =
     let hi = grow 2 in
     search (hi / 2) hi
 
+(* --- hybrid fast/classical MM (De Stefani 2019, PAPERS.md) --- *)
+
+let check_cutoff ~fn ~n cutoff =
+  if cutoff < 1 || cutoff > n then
+    invalid_arg
+      (Printf.sprintf "Bounds.%s: cutoff must satisfy 1 <= cutoff <= n" fn)
+
+(** Memory-dependent bound for the hybrid algorithm that runs the fast
+    recursion down to sub-problems of size n0 = [cutoff] and finishes
+    them classically (De Stefani 2019):
+
+      Omega((n / max(sqrt M, n0))^omega0 * max(sqrt M, n0)^3 / (sqrt M * P))
+
+    When n0 <= sqrt M the classical leaves fit in fast memory and the
+    expression collapses to the uniform fast bound; when n0 > sqrt M
+    each of the (n/n0)^omega0 classical leaves pays its own classical
+    memory-dependent bound. The reductions are structural so the
+    n0-limit identities are float-exact: [cutoff = 1] (indeed any
+    cutoff with cutoff^2 <= M) returns {!fast_memdep} verbatim, and
+    [cutoff = n] returns {!classical_memdep} verbatim (the hybrid at
+    cutoff n {e is} classical MM). In between, the leaf-count factor
+    (n/n0)^omega0 takes the exact integer route of {!fast_memdep}
+    (omega0 = log2 t, power-of-two n/n0) before falling back to
+    floats. *)
+let hybrid_memdep ?(omega0 = omega_strassen) ~n ~m ~p ~cutoff () =
+  check_params ~n ~m ~p ();
+  check_cutoff ~fn:"hybrid_memdep" ~n cutoff;
+  if cutoff = n then classical_memdep ~n ~m ~p
+  else if cutoff * cutoff <= m then fast_memdep ~omega0 ~n ~m ~p ()
+  else begin
+    (* (n / cutoff)^omega0 classical leaves, each of size cutoff *)
+    let leaves =
+      match rank_of_omega0 omega0 with
+      | Some t
+        when n mod cutoff = 0
+             && Fmm_util.Combinat.is_power_of ~base:2 (n / cutoff) -> (
+        match ipow_opt t (Fmm_util.Combinat.log2_exact (n / cutoff)) with
+        | Some l -> float_of_int l
+        | None -> (float_of_int n /. float_of_int cutoff) ** omega0)
+      | _ -> (float_of_int n /. float_of_int cutoff) ** omega0
+    in
+    leaves *. classical_memdep ~n:cutoff ~m ~p
+  end
+
+(** Memory-independent bound for the hybrid algorithm: the larger of
+    the classical bound over the (n/n0)^omega0 leaves,
+    (leaves / P)^{2/3} n0^2, and the fast bound n^2 / P^{2/omega0} for
+    the encoder/decoder part. [cutoff = 1] returns {!fast_memind}
+    verbatim; at [cutoff = n] the leaf factor is exactly 1 and
+    [Float.max] selects {!classical_memind} (the fast term is
+    pointwise smaller for omega0 < 3), so both n0-limit identities are
+    float-exact. The leaf factor leaves^{2/3} takes an exact integer
+    route when the leaf count is a perfect cube. *)
+let hybrid_memind ?(omega0 = omega_strassen) ~n ~p ~cutoff () =
+  check_params ~n ~m:1 ~p ();
+  check_cutoff ~fn:"hybrid_memind" ~n cutoff;
+  if cutoff = 1 then fast_memind ~omega0 ~n ~p ()
+  else begin
+    let leaves_23 =
+      (* leaves^{2/3} with leaves = (n/cutoff)^omega0 *)
+      let float_route () =
+        (float_of_int n /. float_of_int cutoff) ** (2. *. omega0 /. 3.)
+      in
+      match rank_of_omega0 omega0 with
+      | Some t
+        when n mod cutoff = 0
+             && Fmm_util.Combinat.is_power_of ~base:2 (n / cutoff) -> (
+        match ipow_opt t (Fmm_util.Combinat.log2_exact (n / cutoff)) with
+        | Some l -> (
+          match Fmm_util.Combinat.iroot_exact ~k:3 l with
+          | Some c -> float_of_int (c * c)
+          | None -> float_of_int l ** (2. /. 3.))
+        | None -> float_route ())
+      | _ -> float_route ()
+    in
+    Float.max
+      (leaves_23 *. classical_memind ~n:cutoff ~p)
+      (fast_memind ~omega0 ~n ~p ())
+  end
+
+(** Smallest P where the hybrid memory-independent bound overtakes the
+    hybrid memory-dependent one; same growing-bracket search and
+    [Invalid_argument] contract as {!crossover_p}. The n0 limits
+    delegate structurally: [cutoff = 1] to {!crossover_p} and
+    [cutoff = n] to {!classical_crossover_p} (exact integer
+    arithmetic). *)
+let hybrid_crossover_p ?(omega0 = omega_strassen) ~n ~m ~cutoff () =
+  check_params ~n ~m ~p:1 ();
+  check_cutoff ~fn:"hybrid_crossover_p" ~n cutoff;
+  if cutoff = 1 then crossover_p ~omega0 ~n ~m ()
+  else if cutoff = n then classical_crossover_p ~n ~m
+  else begin
+    let crossed p =
+      hybrid_memind ~omega0 ~n ~p ~cutoff ()
+      >= hybrid_memdep ~omega0 ~n ~m ~p ~cutoff ()
+    in
+    let no_crossover () =
+      invalid_arg
+        (Printf.sprintf
+           "Bounds.hybrid_crossover_p: memory-independent bound never \
+            overtakes the memory-dependent one (omega0 = %g, n = %d, M = \
+            %d, cutoff = %d)"
+           omega0 n m cutoff)
+    in
+    let max_hi = 1 lsl 60 in
+    let rec grow hi =
+      if crossed hi then hi
+      else if hi >= max_hi then no_crossover ()
+      else grow (2 * hi)
+    in
+    let rec search lo hi =
+      (* invariant: not (crossed lo) && crossed hi *)
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if crossed mid then search lo mid else search mid hi
+      end
+    in
+    if crossed 1 then 1
+    else begin
+      let hi = grow 2 in
+      search (hi / 2) hi
+    end
+  end
+
 (* --- row 5: rectangular fast matrix multiplication [22] --- *)
 
 (** Bound for a <m0,n0,p0; q> base case run for [t] recursion levels:

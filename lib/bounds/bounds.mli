@@ -51,6 +51,41 @@ val crossover_p : ?omega0:float -> n:int -> m:int -> unit -> int
     bracket would pass 2^60 — it raises [Invalid_argument] instead of
     returning a wrong P. *)
 
+(** {2 Hybrid fast/classical MM (De Stefani 2019, PAPERS.md)}
+
+    Bounds for the algorithm class that runs the fast recursion down to
+    sub-problems of size n0 = [cutoff] and finishes them with classical
+    MM — the class the new hybrid CDAG builder
+    ({!Fmm_cdag.Cdag.build}[ ~cutoff]) constructs. All three raise
+    [Invalid_argument] unless [1 <= cutoff <= n]. The n0-limit
+    identities are {e float-exact by construction} (structural
+    delegation, not formula evaluation): [cutoff = 1] reproduces the
+    [fast_*] bounds verbatim and [cutoff = n] the [classical_*]
+    bounds verbatim. *)
+
+val hybrid_memdep :
+  ?omega0:float -> n:int -> m:int -> p:int -> cutoff:int -> unit -> float
+(** Omega((n / max(sqrt M, n0))^{omega0} max(sqrt M, n0)^3 /
+    (sqrt M P)): the uniform fast bound while the classical leaves fit
+    in fast memory (n0^2 <= M), and (n/n0)^{omega0} copies of the
+    classical leaf bound beyond it. Exact integer leaf counts when
+    omega0 = log2 t and n/n0 is a power of two. *)
+
+val hybrid_memind :
+  ?omega0:float -> n:int -> p:int -> cutoff:int -> unit -> float
+(** max((leaves/P)^{2/3} n0^2, n^2 / P^{2/omega0}) with
+    leaves = (n/n0)^{omega0}: the classical memory-independent bound
+    over the leaves vs the fast bound for the encode/decode part.
+    Exact integer route when the leaf count is a perfect cube. *)
+
+val hybrid_crossover_p :
+  ?omega0:float -> n:int -> m:int -> cutoff:int -> unit -> int
+(** Smallest P with hybrid_memind >= hybrid_memdep; same
+    growing-bracket search and no-crossover [Invalid_argument]
+    contract as {!crossover_p}. [cutoff = 1] delegates to
+    {!crossover_p}, [cutoff = n] to the exact
+    {!classical_crossover_p}. *)
+
 (** {2 Rectangular fast MM (row 5, [22])} *)
 
 val rectangular : m0:int -> p0:int -> q:int -> t:int -> m:int -> p:int -> float

@@ -82,6 +82,7 @@ type t = {
   roles : role array;
   n : int;
   base : Fmm_bilinear.Algorithm.t;
+  cutoff : int; (* hybrid cutoff n0: fast recursion stops at r = cutoff *)
   a_inputs : int array; (* n^2 ids *)
   b_inputs : int array;
   outputs : int array; (* n^2 ids *)
@@ -94,6 +95,7 @@ let graph t = t.graph
 let role t v = t.roles.(v)
 let size t = t.n
 let base_algorithm t = t.base
+let cutoff t = t.cutoff
 let a_inputs t = t.a_inputs
 let b_inputs t = t.b_inputs
 let inputs t = Array.append t.a_inputs t.b_inputs
@@ -104,13 +106,23 @@ let n_vertices t = Fmm_graph.Digraph.n_vertices t.graph
 let n_edges t = Fmm_graph.Digraph.n_edges t.graph
 
 (** Build H^{n x n} for a square-base algorithm. [n] must be a power of
-    the base dimension. *)
-let build (alg : Fmm_bilinear.Algorithm.t) ~n =
+    the base dimension. [cutoff] is the hybrid threshold n0 of
+    De Stefani 2019: the fast recursion is expanded only while the
+    sub-problem size exceeds [cutoff]; at size [cutoff] a classical
+    triple-loop sub-CDAG is emplaced instead (one Mult per elementary
+    product a_{il} b_{lj}, one Dec per output summing its r products
+    with coefficient 1). [cutoff = 1] (the default) is exactly the
+    uniform fast CDAG; [cutoff = n] is the pure classical CDAG. *)
+let build ?(cutoff = 1) (alg : Fmm_bilinear.Algorithm.t) ~n =
   let n0, m0, k0 = Fmm_bilinear.Algorithm.dims alg in
   if n0 <> m0 || m0 <> k0 then
     invalid_arg "Cdag.build: base case must be square";
   if not (Fmm_util.Combinat.is_power_of ~base:n0 n) then
     invalid_arg "Cdag.build: n must be a power of the base dimension";
+  if cutoff < 1 then invalid_arg "Cdag.build: cutoff must be >= 1";
+  if cutoff > n then invalid_arg "Cdag.build: cutoff must be <= n";
+  if not (Fmm_util.Combinat.is_power_of ~base:n0 cutoff) then
+    invalid_arg "Cdag.build: cutoff must be a power of the base dimension";
   let t_rank = Fmm_bilinear.Algorithm.rank alg in
   let u = Fmm_bilinear.Algorithm.u_matrix alg in
   let v = Fmm_bilinear.Algorithm.v_matrix alg in
@@ -138,6 +150,41 @@ let build (alg : Fmm_bilinear.Algorithm.t) ~n =
       Fmm_graph.Digraph.add_edge g b_in.(0) m;
       let node =
         { r; depth; a_in; b_in; out = [| m |]; subtree_lo; subtree_hi = m }
+      in
+      nodes := node :: !nodes;
+      node
+    end
+    else if r <= cutoff then begin
+      (* Classical triple-loop leaf (the hybrid base case): the block
+         product is the plain bilinear form c_{ij} = sum_l a_{il}
+         b_{lj}. Allocation order — the r Mult vertices of an output
+         followed by its Dec — is topological, which the recursive DFS
+         relies on when replaying a leaf as an id range. *)
+      let out = Array.make (r * r) (-1) in
+      for i = 0 to r - 1 do
+        for j = 0 to r - 1 do
+          let prods =
+            Array.init r (fun l ->
+                let m = new_vertex Mult in
+                Fmm_graph.Digraph.add_edge g a_in.((i * r) + l) m;
+                Fmm_graph.Digraph.add_edge g b_in.((l * r) + j) m;
+                m)
+          in
+          let vtx = new_vertex Dec in
+          Array.iter (fun m -> add_weighted_edge m vtx 1) prods;
+          out.((i * r) + j) <- vtx
+        done
+      done;
+      let node =
+        {
+          r;
+          depth;
+          a_in;
+          b_in;
+          out;
+          subtree_lo;
+          subtree_hi = Fmm_graph.Digraph.n_vertices g - 1;
+        }
       in
       nodes := node :: !nodes;
       node
@@ -215,6 +262,7 @@ let build (alg : Fmm_bilinear.Algorithm.t) ~n =
     roles = Fmm_util.Vec.to_array roles;
     n;
     base = alg;
+    cutoff;
     a_inputs;
     b_inputs;
     outputs = root.out;
@@ -227,13 +275,14 @@ let build (alg : Fmm_bilinear.Algorithm.t) ~n =
     parts produced by implicit arithmetic. Trusts the caller to supply
     a well-formed CDAG (the differential tests compare the result with
     [build] field by field). *)
-let of_parts ~graph ~roles ~n ~base ~a_inputs ~b_inputs ~outputs ~nodes
-    ~coeffs =
+let of_parts ?(cutoff = 1) ~graph ~roles ~n ~base ~a_inputs ~b_inputs
+    ~outputs ~nodes ~coeffs () =
   {
     graph;
     roles;
     n;
     base;
+    cutoff;
     a_inputs;
     b_inputs;
     outputs;

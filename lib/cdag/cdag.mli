@@ -31,11 +31,19 @@ type node = {
 
 type t
 
-val build : Fmm_bilinear.Algorithm.t -> n:int -> t
+val build : ?cutoff:int -> Fmm_bilinear.Algorithm.t -> n:int -> t
 (** Build H^{n x n}. The base case must be square and [n] a power of
-    its dimension. *)
+    its dimension. [cutoff] (default 1) is the hybrid threshold n0 of
+    De Stefani 2019: the fast recursion is expanded only while the
+    sub-problem size exceeds [cutoff]; at size [cutoff] a classical
+    triple-loop sub-CDAG is emplaced (one Mult per elementary product,
+    one Dec per output summing its [cutoff] products with
+    coefficient 1). Must satisfy [1 <= cutoff <= n] with [cutoff] a
+    power of the base dimension. [cutoff = 1] is node-for-node the
+    uniform fast CDAG; [cutoff = n] is the pure classical CDAG. *)
 
 val of_parts :
+  ?cutoff:int ->
   graph:Fmm_graph.Digraph.t ->
   roles:role array ->
   n:int ->
@@ -45,14 +53,20 @@ val of_parts :
   outputs:int array ->
   nodes:node list ->
   coeffs:(int * int, int) Hashtbl.t ->
+  unit ->
   t
 (** Bridge constructor used by [Implicit.to_explicit]; trusts the
-    caller to supply a well-formed CDAG. *)
+    caller to supply a well-formed CDAG. [cutoff] defaults to 1 (the
+    uniform fast CDAG — the only shape the implicit core emits). *)
 
 val graph : t -> Fmm_graph.Digraph.t
 val role : t -> int -> role
 val size : t -> int
 val base_algorithm : t -> Fmm_bilinear.Algorithm.t
+
+val cutoff : t -> int
+(** The hybrid cutoff this CDAG was built with (1 = uniform fast). *)
+
 val a_inputs : t -> int array
 val b_inputs : t -> int array
 val inputs : t -> int array

@@ -512,4 +512,4 @@ let to_explicit t =
   in
   build_node 0 t.root_lo 0 t.n2;
   Cdag.of_parts ~graph:g ~roles ~n:t.n ~base:t.base ~a_inputs:(a_inputs t)
-    ~b_inputs:(b_inputs t) ~outputs:(outputs t) ~nodes:!nodes ~coeffs
+    ~b_inputs:(b_inputs t) ~outputs:(outputs t) ~nodes:!nodes ~coeffs ()

@@ -349,9 +349,10 @@ module Big = Make_ring (Fmm_ring.Sig_ring.Big)
 
 (* Degenerate configurations are rejected up front with a diagnostic
    (the CLI turns this into exit code 2): n = 1 has no multiplication
-   tree, rectangular bases have no square recursive CDAG, and n must be
-   a power of the base dimension for the recursion to tile. *)
-let validate_config alg ~n =
+   tree, rectangular bases have no square recursive CDAG, and n and the
+   hybrid cutoff must be powers of the base dimension for the recursion
+   to tile. *)
+let validate_config ?(cutoff = 1) alg ~n =
   let n0, m0, k0 = Fmm_bilinear.Algorithm.dims alg in
   if n0 <> m0 || m0 <> k0 then
     Error
@@ -371,6 +372,15 @@ let validate_config alg ~n =
     if not (power n) then
       Error
         (Printf.sprintf "n = %d is not a power of the base dimension %d" n n0)
+    else if cutoff < 1 then
+      Error
+        (Printf.sprintf "cutoff = %d is degenerate: need cutoff >= 1" cutoff)
+    else if cutoff > n then
+      Error (Printf.sprintf "cutoff = %d exceeds n = %d" cutoff n)
+    else if not (power cutoff) then
+      Error
+        (Printf.sprintf "cutoff = %d is not a power of the base dimension %d"
+           cutoff n0)
     else Ok ()
   end
 
@@ -515,13 +525,14 @@ let verify_sched ?(seed = 0) ?(tol = 1e-9) ?(backends = [ `F64; `Zp ]) cdag
       List.map (fun k -> run_backend ~tol cdag ~cache_size ~sched ~seed k) backends;
   }
 
-(* Build the CDAG, run the policy's scheduler, execute and check. *)
-let verify ?(seed = 0) ?(tol = 1e-9) ?(backends = [ `F64; `Zp ]) alg ~n ~cache_size
-    ~policy =
-  (match validate_config alg ~n with
+(* Build the (possibly hybrid) CDAG, run the policy's scheduler,
+   execute and check. *)
+let verify ?(seed = 0) ?(tol = 1e-9) ?(backends = [ `F64; `Zp ]) ?(cutoff = 1)
+    alg ~n ~cache_size ~policy =
+  (match validate_config ~cutoff alg ~n with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Executor.verify: " ^ msg));
-  let cdag = Cdag.build alg ~n in
+  let cdag = Cdag.build ~cutoff alg ~n in
   let sched = schedule cdag ~cache_size policy in
   verify_sched ~seed ~tol ~backends cdag ~cache_size
     ~policy_name:(policy_to_string policy) sched

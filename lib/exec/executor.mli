@@ -105,10 +105,13 @@ module Q : module type of Make_ring (Fmm_ring.Rat.Field)
 module Big : module type of Make_ring (Fmm_ring.Sig_ring.Big)
 
 val validate_config :
-  Fmm_bilinear.Algorithm.t -> n:int -> (unit, string) result
+  ?cutoff:int -> Fmm_bilinear.Algorithm.t -> n:int -> (unit, string) result
 (** Reject degenerate executor/census configurations with a diagnostic:
-    rectangular base cases, 1 x 1 bases, n < 2, and n not a power of
-    the base dimension. The fmmlab CLI maps [Error] to exit code 2. *)
+    rectangular base cases, 1 x 1 bases, n < 2, n not a power of the
+    base dimension, and — for hybrid configurations — [cutoff < 1],
+    [cutoff > n], or [cutoff] not a power of the base dimension
+    ([cutoff] defaults to 1, the uniform fast CDAG, which is always
+    accepted). The fmmlab CLI maps [Error] to exit code 2. *)
 
 type policy = Lru | Belady | Remat
 
@@ -179,10 +182,12 @@ val verify :
   ?seed:int ->
   ?tol:float ->
   ?backends:backend_kind list ->
+  ?cutoff:int ->
   Fmm_bilinear.Algorithm.t ->
   n:int ->
   cache_size:int ->
   policy:policy ->
   verification
-(** Build the CDAG, schedule under [policy], execute and check. Raises
-    [Invalid_argument] on configurations {!validate_config} rejects. *)
+(** Build the CDAG (hybrid when [cutoff > 1]), schedule under [policy],
+    execute and check. Raises [Invalid_argument] on configurations
+    {!validate_config} rejects. *)

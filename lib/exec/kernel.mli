@@ -64,7 +64,18 @@ val classical_flops : int -> flops
 val fast_mul :
   ?cutoff:int -> ?nb:int -> Fmm_bilinear.Algorithm.t -> mat -> mat -> mat * flops
 (** Recursive fast multiplication over a square-base bilinear
-    algorithm, switching to [blocked_mul] at or below [cutoff] (or on
-    non-divisible sizes — the same guard as [Apply.multiply], so the
-    returned flop counters are exactly [Apply]'s for the same
-    [cutoff]). Raises [Invalid_argument] on rectangular bases. *)
+    algorithm.
+
+    {b Unified cutoff rule} (shared verbatim with
+    {!Fmm_bilinear.Algorithm.Apply.multiply}): a sub-problem recurses
+    iff its size both {e exceeds} [cutoff] (default 1) and is divisible
+    by the base dimension; otherwise the whole sub-problem — including
+    any non-divisible intermediate reached mid-recursion — is computed
+    classically ([blocked_mul] here), silently and without raising.
+    Only CDAG construction ({!Fmm_cdag.Cdag.build} /
+    [Executor.validate_config]), which needs the recursion to tile
+    exactly, rejects sizes that are not powers of the base dimension.
+    Because the guard is shared, the returned flop counters are
+    exactly [Apply]'s for the same [cutoff] at every size, powers of
+    the base dimension or not. Raises [Invalid_argument] on
+    rectangular bases and mismatched operand sizes. *)

@@ -71,13 +71,24 @@ let recursive_dfs cdag =
           (fun (a : Cd.node) b -> compare a.Cd.a_in.(0) b.Cd.a_in.(0))
           (Hashtbl.fold (fun _ c acc -> c :: acc) seen_children [])
       in
-      List.iter
-        (fun child ->
-          Array.iter emit child.Cd.a_in;
-          Array.iter emit child.Cd.b_in;
-          visit child)
-        children;
-      Array.iter emit nd.Cd.out
+      match children with
+      | [] ->
+        (* Classical triple-loop leaf of a hybrid (cutoff > 1) CDAG: no
+           recursive children. Its subtree id range holds exactly its
+           Mult and Dec vertices, allocated in topological order (the r
+           products of an output followed by that output's decoder), so
+           replaying the range is the depth-first leaf schedule. *)
+        for v = nd.Cd.subtree_lo to nd.Cd.subtree_hi do
+          emit v
+        done
+      | children ->
+        List.iter
+          (fun child ->
+            Array.iter emit child.Cd.a_in;
+            Array.iter emit child.Cd.b_in;
+            visit child)
+          children;
+        Array.iter emit nd.Cd.out
     end
   in
   visit root;

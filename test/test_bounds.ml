@@ -157,6 +157,106 @@ let test_exact_crossover () =
   (* already crossed at P = 1 when n <= sqrt M *)
   Alcotest.(check int) "degenerate" 1 (B.classical_crossover_p ~n:8 ~m:64)
 
+(* --- the hybrid (cutoff-parameterized) bounds --- *)
+
+(* The n0-limit identities are float-EXACT (structural delegation, not
+   formula re-evaluation): cutoff = n reproduces the classical bounds
+   verbatim and cutoff = 1 the fast bounds verbatim. *)
+let test_hybrid_endpoint_identities () =
+  List.iter
+    (fun (n, m, p) ->
+      let tag = Printf.sprintf "n=%d M=%d P=%d" n m p in
+      Alcotest.(check (float 0.))
+        (tag ^ " memdep cutoff=n = classical")
+        (B.classical_memdep ~n ~m ~p)
+        (B.hybrid_memdep ~n ~m ~p ~cutoff:n ());
+      Alcotest.(check (float 0.))
+        (tag ^ " memdep cutoff=1 = fast")
+        (B.fast_memdep ~n ~m ~p ())
+        (B.hybrid_memdep ~n ~m ~p ~cutoff:1 ());
+      Alcotest.(check (float 0.))
+        (tag ^ " memind cutoff=n = classical")
+        (B.classical_memind ~n ~p)
+        (B.hybrid_memind ~n ~p ~cutoff:n ());
+      Alcotest.(check (float 0.))
+        (tag ^ " memind cutoff=1 = fast")
+        (B.fast_memind ~n ~p ())
+        (B.hybrid_memind ~n ~p ~cutoff:1 ()))
+    [
+      (64, 64, 1);
+      (64, 256, 7);
+      (256, 64, 27);
+      (1024, 4096, 343);
+      (1 lsl 20, 1 lsl 20, 49);
+    ]
+
+let test_hybrid_interpolates () =
+  (* strictly between the endpoints the memdep bound is sandwiched:
+     classical <= hybrid, and hybrid(n0) is non-increasing as the
+     cutoff falls toward the fast regime once n0 > sqrt M *)
+  let n = 1024 and m = 256 and p = 1 in
+  let at cutoff = B.hybrid_memdep ~n ~m ~p ~cutoff () in
+  Alcotest.(check bool) "n0 <= sqrt M collapses to fast" true
+    (at 16 = B.fast_memdep ~n ~m ~p ());
+  Alcotest.(check bool) "n0 = 32 above fast" true
+    (at 32 >= B.fast_memdep ~n ~m ~p ());
+  Alcotest.(check bool) "monotone 32 <= 64" true (at 32 <= at 64);
+  Alcotest.(check bool) "monotone 64 <= 128" true (at 64 <= at 128);
+  Alcotest.(check bool) "hybrid <= classical at every n0 > sqrt M" true
+    (List.for_all (fun c -> at c <= B.classical_memdep ~n ~m ~p) [ 32; 64; 128 ])
+
+let test_hybrid_crossover () =
+  (* endpoint delegation is exact *)
+  Alcotest.(check int) "cutoff=1 = crossover_p"
+    (B.crossover_p ~n:1024 ~m:256 ())
+    (B.hybrid_crossover_p ~n:1024 ~m:256 ~cutoff:1 ());
+  Alcotest.(check int) "cutoff=n = classical_crossover_p"
+    (B.classical_crossover_p ~n:1024 ~m:256)
+    (B.hybrid_crossover_p ~n:1024 ~m:256 ~cutoff:1024 ());
+  (* interior: P* really is the crossing point *)
+  let n = 1024 and m = 256 and cutoff = 64 in
+  let pstar = B.hybrid_crossover_p ~n ~m ~cutoff () in
+  Alcotest.(check bool) "at pstar" true
+    (B.hybrid_memind ~n ~p:pstar ~cutoff ()
+    >= B.hybrid_memdep ~n ~m ~p:pstar ~cutoff ());
+  Alcotest.(check bool) "below pstar" true
+    (pstar = 1
+    || B.hybrid_memind ~n ~p:(pstar - 1) ~cutoff ()
+       < B.hybrid_memdep ~n ~m ~p:(pstar - 1) ~cutoff ())
+
+let test_hybrid_edge_raises () =
+  (* the no-crossover contract at the hybrid edge carries the cutoff in
+     its diagnostic. In the interior the classical-leaf memind term
+     decays only as P^{-2/3}, so a crossing always exists
+     mathematically — the total-search contract fires when the bracket
+     would pass 2^60, here with (n/n0)^{omega0} ~ 7^23 leaves against
+     M = 4. *)
+  Alcotest.check_raises "bracket past 2^60 raises, names the cutoff"
+    (Invalid_argument
+       (Printf.sprintf
+          "Bounds.hybrid_crossover_p: memory-independent bound never \
+           overtakes the memory-dependent one (omega0 = %g, n = %d, M = %d, \
+           cutoff = %d)"
+          (log 7. /. log 2.) (1 lsl 25) 4 4))
+    (fun () -> ignore (B.hybrid_crossover_p ~n:(1 lsl 25) ~m:4 ~cutoff:4 ()));
+  (* and the cutoff-range contract on all three entry points *)
+  List.iter
+    (fun (fn, f) ->
+      Alcotest.check_raises (fn ^ " cutoff=0")
+        (Invalid_argument
+           (Printf.sprintf "Bounds.%s: cutoff must satisfy 1 <= cutoff <= n" fn))
+        (fun () -> ignore (f 0));
+      Alcotest.check_raises (fn ^ " cutoff>n")
+        (Invalid_argument
+           (Printf.sprintf "Bounds.%s: cutoff must satisfy 1 <= cutoff <= n" fn))
+        (fun () -> ignore (f 128)))
+    [
+      ("hybrid_memdep", fun c -> B.hybrid_memdep ~n:64 ~m:16 ~p:1 ~cutoff:c ());
+      ("hybrid_memind", fun c -> B.hybrid_memind ~n:64 ~p:1 ~cutoff:c ());
+      ( "hybrid_crossover_p",
+        fun c -> float_of_int (B.hybrid_crossover_p ~n:64 ~m:16 ~cutoff:c ()) );
+    ]
+
 let test_exact_memind () =
   (* perfect-cube P takes the integer-root path: 27^{2/3} = 9 exactly *)
   Alcotest.(check (float 0.)) "p=27" (4096. /. 9.)
@@ -224,6 +324,14 @@ let () =
           Alcotest.test_case "rectangular" `Quick test_rectangular;
           Alcotest.test_case "fft" `Quick test_fft;
           Alcotest.test_case "validation" `Quick test_param_validation;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "endpoint identities exact" `Quick
+            test_hybrid_endpoint_identities;
+          Alcotest.test_case "interpolation" `Quick test_hybrid_interpolates;
+          Alcotest.test_case "crossover" `Quick test_hybrid_crossover;
+          Alcotest.test_case "edge raises" `Quick test_hybrid_edge_raises;
         ] );
       ( "table",
         [

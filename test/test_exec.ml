@@ -61,6 +61,12 @@ let test_fast_mul_result () =
       (S.strassen, 64, 16);
       (S.winograd, 32, 4);
       (S.classical_2x2, 16, 2);
+      (* not powers of the base dimension: the unified cutoff rule
+         falls back to classical multiplication mid-recursion instead
+         of raising *)
+      (S.strassen, 12, 1);
+      (S.strassen, 9, 1);
+      (S.winograd, 24, 2);
     ]
 
 (* fast_mul mirrors Apply.multiply's recursion guard and combine
@@ -87,6 +93,11 @@ let test_fast_mul_flops_vs_apply () =
       (S.strassen, 16, 1);
       (S.winograd, 32, 4);
       (S.classical_2x2, 16, 4);
+      (* the two implementations must agree on the classical fallback
+         at sizes that are not powers of the base dimension too *)
+      (S.strassen, 12, 1);
+      (S.strassen, 9, 1);
+      (S.winograd, 24, 2);
     ]
 
 (* --- the executor: results and counters, all backends --- *)
@@ -214,12 +225,18 @@ let test_rejects_corrupt_traces () =
     | exception Ex.Exec_error _ -> true)
 
 let test_validate_config () =
-  let ok alg n = Ex.validate_config alg ~n = Ok () in
+  let ok ?cutoff alg n = Ex.validate_config ?cutoff alg ~n = Ok () in
   Alcotest.(check bool) "strassen n=8" true (ok S.strassen 8);
   Alcotest.(check bool) "n=1 degenerate" false (ok S.strassen 1);
   Alcotest.(check bool) "n=12 not a power" false (ok S.strassen 12);
   Alcotest.(check bool) "rectangular base" false
-    (ok (A.classical ~n:2 ~m:2 ~k:3) 4)
+    (ok (A.classical ~n:2 ~m:2 ~k:3) 4);
+  (* the hybrid cutoff contract *)
+  Alcotest.(check bool) "cutoff=4 ok" true (ok ~cutoff:4 S.strassen 8);
+  Alcotest.(check bool) "cutoff=n ok" true (ok ~cutoff:8 S.strassen 8);
+  Alcotest.(check bool) "cutoff=0 degenerate" false (ok ~cutoff:0 S.strassen 8);
+  Alcotest.(check bool) "cutoff>n" false (ok ~cutoff:16 S.strassen 8);
+  Alcotest.(check bool) "cutoff not a power" false (ok ~cutoff:3 S.strassen 8)
 
 (* --- NE1 report byte-identity at --jobs 1 vs 4 --- *)
 
@@ -271,10 +288,22 @@ let test_cli_degenerate_exit2 () =
         "exec -a Strassen -n 8 -m 32 --backend nosuch";
         "census -a Strassen -n 1";
         "census -a \"classical <2,2,3;12>\" -n 4";
+        (* hybrid cutoff contract: 0, > n and non-powers of the base
+           dimension are degenerate for CDAG-building commands *)
+        "exec -a Strassen -n 8 -m 32 --cutoff 0";
+        "exec -a Strassen -n 8 -m 32 --cutoff 16";
+        "exec -a Strassen -n 8 -m 32 --cutoff 3";
+        "census -a Strassen -n 8 --cutoff 3";
+        "census -a Strassen -n 8 --cutoff 16";
+        "hybrid -a Strassen -n 8 -m 64 --cutoff 3";
       ];
-    (* and a healthy run still exits 0 *)
+    (* and healthy runs still exit 0 *)
     Alcotest.(check int) "exit 0: healthy exec" 0
-      (run_cli "exec -a Strassen -n 8 -m 32 --backend zp65537")
+      (run_cli "exec -a Strassen -n 8 -m 32 --backend zp65537");
+    Alcotest.(check int) "exit 0: healthy hybrid exec" 0
+      (run_cli "exec -a Strassen -n 8 -m 32 --cutoff 4 --backend zp65537");
+    Alcotest.(check int) "exit 0: healthy hybrid census" 0
+      (run_cli "census -a Strassen -n 8 --cutoff 4")
   end
 
 let () =

@@ -1,0 +1,278 @@
+(* Tests for the hybrid (cutoff-parameterized) Strassen/classical CDAG
+   family: cutoff = 1 is node-for-node the uniform fast CDAG, cutoff = n
+   the pure classical one; every hybrid CDAG evaluates to A.B, lints
+   clean, yields a valid recursive DFS order, and its schedules replay
+   cleanly through the cache machine, the static trace checker and the
+   numeric executor. *)
+
+module Cd = Fmm_cdag.Cdag
+module A = Fmm_bilinear.Algorithm
+module S = Fmm_bilinear.Strassen
+module D = Fmm_graph.Digraph
+module W = Fmm_machine.Workload
+module Ord = Fmm_machine.Orders
+module Cm = Fmm_machine.Cache_machine
+module Tc = Fmm_analysis.Trace_check
+module Lint = Fmm_analysis.Cdag_lint
+module Diag = Fmm_analysis.Diagnostic
+module Ex = Fmm_exec.Executor
+module MQ = Fmm_matrix.Matrix.Q
+module Q = Fmm_ring.Rat
+module P = Fmm_util.Prng
+module C = Fmm_util.Combinat
+
+let assoc name l = List.assoc name l
+
+(* the (algorithm, n) grid most tests sweep; cutoffs are all powers of
+   the base dimension up to n *)
+let grid =
+  [
+    (S.strassen, 8);
+    (S.winograd, 4);
+    (Option.get (S.find "classical <3,3,3;27>"), 9);
+  ]
+
+let all_cutoffs alg n =
+  let n0, _, _ = A.dims alg in
+  let rec up c acc = if c > n then List.rev acc else up (c * n0) (c :: acc) in
+  up 1 []
+
+(* --- n0-limit structure --- *)
+
+let test_cutoff_1_is_fast_builder () =
+  (* node-for-node identity with the uniform builder: same vertex
+     count, same role at every id, same in-neighbors, same edge
+     coefficients, same recursion-node list. *)
+  List.iter
+    (fun (alg, n) ->
+      let fast = Cd.build alg ~n in
+      let hy = Cd.build ~cutoff:1 alg ~n in
+      Alcotest.(check int) "vertices" (Cd.n_vertices fast) (Cd.n_vertices hy);
+      Alcotest.(check int) "edges" (Cd.n_edges fast) (Cd.n_edges hy);
+      Alcotest.(check int) "cutoff recorded" 1 (Cd.cutoff hy);
+      for v = 0 to Cd.n_vertices fast - 1 do
+        if Cd.role fast v <> Cd.role hy v then
+          Alcotest.failf "role mismatch at vertex %d" v;
+        let ins g = List.sort compare (D.in_neighbors (Cd.graph g) v) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "in-neighbors of %d" v)
+          (ins fast) (ins hy);
+        List.iter
+          (fun u ->
+            if Cd.edge_coeff fast u v <> Cd.edge_coeff hy u v then
+              Alcotest.failf "coefficient mismatch on edge %d -> %d" u v)
+          (ins fast)
+      done;
+      if Cd.nodes fast <> Cd.nodes hy then
+        Alcotest.failf "%s n=%d: recursion-node lists differ" (A.name alg) n)
+    grid
+
+let test_cutoff_n_is_classical_census () =
+  (* cutoff = n: no encoders, n^3 Mults, n^2 single-level decoders. *)
+  List.iter
+    (fun (alg, n) ->
+      let cd = Cd.build ~cutoff:n alg ~n in
+      let s = Cd.stats cd in
+      Alcotest.(check int) "enc_a" 0 (assoc "enc_a" s);
+      Alcotest.(check int) "enc_b" 0 (assoc "enc_b" s);
+      Alcotest.(check int) "mult" (n * n * n) (assoc "mult" s);
+      Alcotest.(check int) "dec" (n * n) (assoc "dec" s);
+      Alcotest.(check int) "inputs" (2 * n * n) (assoc "inputs" s);
+      (* 2 operand edges per Mult + n products into each of n^2 Decs *)
+      Alcotest.(check int) "edges" (3 * n * n * n) (assoc "edges" s);
+      Alcotest.(check int) "cutoff recorded" n (Cd.cutoff cd))
+    grid
+
+let test_lemma_2_2_truncated () =
+  (* recursion nodes exist only for r in [cutoff, n]; where they exist
+     the Lemma 2.2 censuses are those of the uniform CDAG. *)
+  let n = 16 in
+  List.iter
+    (fun cutoff ->
+      let cd = Cd.build ~cutoff S.strassen ~n in
+      let l = C.log2_exact n in
+      for j = 0 to l do
+        let r = C.pow_int 2 j in
+        let expected_nodes =
+          if r >= cutoff then C.pow_int 7 (l - j) else 0
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "cutoff=%d r=%d nodes" cutoff r)
+          expected_nodes
+          (List.length (Cd.sub_nodes cd ~r));
+        if r >= cutoff then
+          Alcotest.(check int)
+            (Printf.sprintf "cutoff=%d r=%d outputs" cutoff r)
+            (C.pow_int 7 (l - j) * r * r)
+            (List.length (Cd.sub_outputs cd ~r))
+      done)
+    [ 1; 2; 4; 8; 16 ]
+
+let test_build_rejects_bad_cutoffs () =
+  Alcotest.check_raises "cutoff 0"
+    (Invalid_argument "Cdag.build: cutoff must be >= 1") (fun () ->
+      ignore (Cd.build ~cutoff:0 S.strassen ~n:8));
+  Alcotest.check_raises "cutoff > n"
+    (Invalid_argument "Cdag.build: cutoff must be <= n") (fun () ->
+      ignore (Cd.build ~cutoff:16 S.strassen ~n:8));
+  Alcotest.check_raises "cutoff not a power"
+    (Invalid_argument
+       "Cdag.build: cutoff must be a power of the base dimension") (fun () ->
+      ignore (Cd.build ~cutoff:3 S.strassen ~n:8))
+
+(* --- semantics: every hybrid CDAG still computes A.B --- *)
+
+let test_eval_all_cutoffs () =
+  List.iter
+    (fun (alg, n) ->
+      List.iter
+        (fun cutoff ->
+          let rng = P.create ~seed:(100 * n + cutoff) in
+          let a = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+          let b = MQ.random ~rng ~rows:n ~cols:n ~range:9 in
+          let cd = Cd.build ~cutoff alg ~n in
+          let got = Cd.Eval_q.run cd (MQ.vec_of a) (MQ.vec_of b) in
+          let expected = MQ.vec_of (MQ.mul a b) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s n=%d cutoff=%d evaluates to A.B" (A.name alg)
+               n cutoff)
+            true
+            (Array.for_all2 Q.equal expected got))
+        (all_cutoffs alg n))
+    grid
+
+(* --- analyses: lint, DFS order, replay --- *)
+
+let test_hybrid_lints_clean () =
+  List.iter
+    (fun (alg, n) ->
+      List.iter
+        (fun cutoff ->
+          let cd = Cd.build ~cutoff alg ~n in
+          let rep = Lint.lint cd in
+          if not (Diag.is_clean rep) then
+            Alcotest.failf "%s n=%d cutoff=%d lint: %d errors, %d warnings"
+              (A.name alg) n cutoff (Diag.n_errors rep) (Diag.n_warnings rep))
+        (all_cutoffs alg n))
+    grid
+
+let test_recursive_dfs_valid () =
+  List.iter
+    (fun (alg, n) ->
+      List.iter
+        (fun cutoff ->
+          let cd = Cd.build ~cutoff alg ~n in
+          let w = W.of_cdag cd in
+          let order = Ord.recursive_dfs cd in
+          Alcotest.(check int)
+            (Printf.sprintf "order covers all non-input vertices (cutoff %d)"
+               cutoff)
+            (Cd.n_vertices cd - (2 * n * n))
+            (List.length order);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s n=%d cutoff=%d DFS order valid" (A.name alg)
+               n cutoff)
+            true (W.is_valid_order w order))
+        (all_cutoffs alg n))
+    grid
+
+let test_schedules_replay_clean () =
+  (* every policy's trace on a hybrid CDAG replays through the dynamic
+     cache machine with identical counters and passes the static trace
+     checker with zero violations *)
+  let n = 8 in
+  List.iter
+    (fun cutoff ->
+      let cd = Cd.build ~cutoff S.strassen ~n in
+      let w = W.of_cdag cd in
+      let m = 2 * n * n in
+      List.iter
+        (fun policy ->
+          let sched = Ex.schedule cd ~cache_size:m policy in
+          let name =
+            Printf.sprintf "cutoff=%d policy=%s" cutoff
+              (Ex.policy_to_string policy)
+          in
+          let replayed =
+            Cm.replay
+              { Cm.cache_size = m; allow_recompute = true }
+              w sched.Fmm_machine.Schedulers.trace
+          in
+          if replayed <> sched.Fmm_machine.Schedulers.counters then
+            Alcotest.failf "%s: replay counters differ from scheduler's" name;
+          let res =
+            Tc.check ~cache_size:m w sched.Fmm_machine.Schedulers.trace
+          in
+          if not (Diag.is_clean res.Tc.report) then
+            Alcotest.failf "%s: static checker found %d errors" name
+              (Diag.n_errors res.Tc.report))
+        Ex.all_policies)
+    [ 1; 2; 4; 8 ]
+
+(* --- numeric execution --- *)
+
+let test_verify_hybrid_strassen_16 () =
+  (* the acceptance case: hybrid Strassen at n = 16, float64 plus one
+     exact ring, all policies via verify's default Lru *)
+  let v =
+    Ex.verify ~seed:7 ~backends:[ `F64; `Zp ] ~cutoff:4 S.strassen ~n:16
+      ~cache_size:512 ~policy:Ex.Lru
+  in
+  Alcotest.(check bool) "hybrid Strassen 16 verification" true
+    (Ex.verification_ok v);
+  List.iter
+    (fun (r : Ex.backend_report) ->
+      Alcotest.(check bool) (r.Ex.backend ^ " result") true r.Ex.result_ok;
+      Alcotest.(check bool) (r.Ex.backend ^ " counters") true r.Ex.counters_ok)
+    v.Ex.reports
+
+let test_verify_sched_all_cutoffs () =
+  (* verify_sched consumes hybrid CDAGs unchanged: executed counters
+     equal the scheduler's prediction at every cutoff *)
+  let n = 8 in
+  List.iter
+    (fun cutoff ->
+      let cd = Cd.build ~cutoff S.strassen ~n in
+      let m = 2 * n * n in
+      let sched = Ex.schedule cd ~cache_size:m Ex.Lru in
+      let v =
+        Ex.verify_sched ~seed:11 ~backends:[ `F64; `Zp ] cd ~cache_size:m
+          ~policy_name:"lru" sched
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "verify_sched cutoff=%d" cutoff)
+        true (Ex.verification_ok v))
+    [ 1; 2; 4; 8 ]
+
+let () =
+  Alcotest.run "fmm_hybrid"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "cutoff=1 = fast builder" `Quick
+            test_cutoff_1_is_fast_builder;
+          Alcotest.test_case "cutoff=n classical census" `Quick
+            test_cutoff_n_is_classical_census;
+          Alcotest.test_case "Lemma 2.2 truncated" `Quick
+            test_lemma_2_2_truncated;
+          Alcotest.test_case "rejects bad cutoffs" `Quick
+            test_build_rejects_bad_cutoffs;
+        ] );
+      ( "semantics",
+        [ Alcotest.test_case "A.B at every cutoff" `Quick test_eval_all_cutoffs ] );
+      ( "analyses",
+        [
+          Alcotest.test_case "lint clean" `Quick test_hybrid_lints_clean;
+          Alcotest.test_case "recursive DFS valid" `Quick
+            test_recursive_dfs_valid;
+          Alcotest.test_case "schedules replay clean" `Quick
+            test_schedules_replay_clean;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "verify hybrid Strassen 16" `Quick
+            test_verify_hybrid_strassen_16;
+          Alcotest.test_case "verify_sched all cutoffs" `Quick
+            test_verify_sched_all_cutoffs;
+        ] );
+    ]
