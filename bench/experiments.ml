@@ -38,6 +38,8 @@
      NE2     numeric kernels: Strassen-vs-classical float64 crossover sweep
      HY1     hybrid CDAGs: full lint/certify/execute battery per cutoff
      HY2     hybrid sweep: measured I/O vs De Stefani bounds, optimal cutoffs
+     CS1     COSMA generator smoke: split vs BFS on Strassen n = 16 + grid search
+     CS2     COSMA acceptance: splits vs BFS across (P, M), registry gate, faults
      PERF    bechamel kernel timings
 
    Rows carry a "ratio" metric wherever the paper compares a measured
@@ -565,9 +567,9 @@ let _th1par =
             ~params:[ ("n", i n); ("P", i r.PE.procs) ]
             [
               ("total words", i r.PE.total_words);
-              ("max words/proc", f r.PE.max_words);
+              ("max words/proc", i r.PE.max_words);
               ("bound", f bound);
-              ("ratio", f (r.PE.max_words /. bound));
+              ("ratio", f (float_of_int r.PE.max_words /. bound));
             ])
         [ (8, 1); (16, 1); (16, 2); (32, 1); (32, 2) ];
       Obs.note mreg "(ratio stable in n at fixed P: the executed communication scales";
@@ -1333,7 +1335,7 @@ let _ft2 =
             ~params:[ ("policy", s (Sim.policy_name policy)) ]
             [
               ("total words", i r.Sim.total_words);
-              ("max words/proc", f r.Sim.max_words);
+              ("max words/proc", i r.Sim.max_words);
               ("recovery words", i r.Sim.recovery_words);
               ("replication words", i r.Sim.replication_words);
               ("recomputed", i r.Sim.recomputed);
@@ -1370,7 +1372,7 @@ let _ft3 =
             ~params:[ ("failures", i fail) ]
             [
               ("total words", i r.Sim.total_words);
-              ("max words/proc", f r.Sim.max_words);
+              ("max words/proc", i r.Sim.max_words);
               ("recovery words", i r.Sim.recovery_words);
               ("recomputed", i r.Sim.recomputed);
               ("ratio", f r.Sim.overhead_total);
@@ -1380,6 +1382,205 @@ let _ft3 =
         [ 0; 1; 2; 4; 8 ];
       Obs.note m
         "(fail = 0 is the parity row: ratio exactly 1.0 by construction)")
+
+(* ----- CS1/CS2: COSMA-style schedule generation ----- *)
+
+module G = Fmm_sched.Generator
+
+(* Replaying cleanly through the crash-aware log checker is a
+   correctness invariant of every generated assignment, not a
+   measurement: a dirty replay fails the experiment. *)
+let cs_validate ~id ~what w ~procs ~assignment =
+  let replay = G.validate w ~procs ~assignment in
+  let errs =
+    Fmm_analysis.Diagnostic.n_errors replay.Fmm_analysis.Par_check.report
+  in
+  if errs <> 0 || replay.Fmm_analysis.Par_check.lost_outputs <> 0 then
+    failwith
+      (Printf.sprintf
+         "%s: %s replays dirty on P = %d: %d replay errors, %d lost outputs" id
+         what procs errs replay.Fmm_analysis.Par_check.lost_outputs)
+
+(* Smallest BFS depth whose t^depth subtrees cover P processors — the
+   baseline partition every generated split is gated against. *)
+let bfs_depth ~rank ~procs =
+  let rec go d pw = if pw >= procs then d else go (d + 1) (pw * rank) in
+  go 0 1
+
+let _cs1 =
+  define ~id:"CS1" ~title:"COSMA generator smoke - split vs BFS, Strassen n = 16"
+    ~doc:
+      "The per-commit smoke for lib/sched: split the recursive-DFS \
+       order of Strassen n = 16 across P = 7, replay-validate the \
+       assignment, and gate its measured census against the depth-1 \
+       BFS partition (the generated split must not communicate more). \
+       Also runs the (p1, p2, p3) grid search on the pure classical \
+       n = 8 CDAG. Gate violations fail the experiment; the ratio rows \
+       (total words vs P times the Theorem 4.1 bound) are \
+       baseline-gated."
+    (fun m ->
+      let n = 16 and procs = 7 in
+      let c = cdag S.strassen n in
+      let w = work S.strassen n in
+      let split =
+        G.split_order w ~procs (Array.of_list (dfs_order S.strassen n))
+      in
+      cs_validate ~id:"CS1" ~what:"generated split" w ~procs
+        ~assignment:split.G.assignment;
+      if split.G.crossing <> (PE.run w ~procs ~assignment:split.G.assignment).PE.total_words
+      then failwith "CS1: split census disagrees with Par_exec.run";
+      let bfs = PE.bfs_assignment c ~depth:(bfs_depth ~rank:7 ~procs) ~procs in
+      let rb = PE.run w ~procs ~assignment:bfs in
+      let rg = PE.run w ~procs ~assignment:split.G.assignment in
+      if rg.PE.total_words > rb.PE.total_words then
+        failwith
+          (Printf.sprintf "CS1: generated split loses to BFS (%d > %d words)"
+             rg.PE.total_words rb.PE.total_words);
+      let bound = G.memind_bound c ~procs in
+      let tot_bound = float_of_int procs *. bound in
+      let section = "split vs BFS (Strassen n = 16, P = 7, M = inf)" in
+      List.iter
+        (fun (name, r) ->
+          Obs.rowf m ~section
+            ~params:[ ("schedule", s name) ]
+            [
+              ("total words", i r.PE.total_words);
+              ("max words/proc", i r.PE.max_words);
+              ("ratio", f (float_of_int r.PE.total_words /. tot_bound));
+              ("gate", mark (r.PE.total_words <= rb.PE.total_words));
+            ])
+        [ ("bfs depth 1", rb); ("generated split", rg) ];
+      (* the exact-integer grid search on the classical iteration cube *)
+      let nc = 8 in
+      let cl = Cd.build S.strassen ~n:nc ~cutoff:nc in
+      let wl = Fmm_machine.Workload.of_cdag cl in
+      let (g1, g2, g3), cost, rm, asg = G.grid_search cl ~procs:8 in
+      cs_validate ~id:"CS1" ~what:"grid assignment" wl ~procs:8 ~assignment:asg;
+      Obs.rowf m ~section:"grid search (classical n = 8, P = 8)"
+        ~params:[ ("grid", s (Printf.sprintf "%dx%dx%d" g1 g2 g3)) ]
+        [
+          ("model words/proc", f cost.Par.words_per_proc);
+          ("rounds", i cost.Par.rounds);
+          ("measured total", i rm.PE.total_words);
+          ("max words/proc", i rm.PE.max_words);
+        ])
+
+let _cs2 =
+  define ~id:"CS2"
+    ~title:"COSMA acceptance - generated splits vs BFS across (P, M)"
+    ~doc:
+      "The issue's acceptance sweep. Strassen n in {16, 32} on P in \
+       {7, 49}, executed unlimited and under M in {64, 256, 1024} \
+       local words: the generated split must communicate no more total \
+       words than the BFS partition at the same (P, M) — a violation \
+       fails the experiment, and every assignment must replay cleanly. \
+       Then the Theorem 4.1 gate across every square registry \
+       algorithm (measured traffic vs the memory-independent bound, \
+       ratio >= 1), and the fault-injection overhead of a generated \
+       schedule under the refetch-owner policy."
+    (fun m ->
+      List.iter
+        (fun n ->
+          let c = cdag S.strassen n in
+          let w = work S.strassen n in
+          let order = Array.of_list (dfs_order S.strassen n) in
+          List.iter
+            (fun procs ->
+              let split = G.split_order w ~procs order in
+              cs_validate ~id:"CS2" ~what:"generated split" w ~procs
+                ~assignment:split.G.assignment;
+              let bfs =
+                PE.bfs_assignment c ~depth:(bfs_depth ~rank:7 ~procs) ~procs
+              in
+              let tot_bound =
+                float_of_int procs *. G.memind_bound c ~procs
+              in
+              let section = Printf.sprintf "Strassen n = %d, P = %d" n procs in
+              List.iter
+                (fun mem ->
+                  let run asg =
+                    if mem = max_int then PE.run w ~procs ~assignment:asg
+                    else
+                      PE.run_limited w ~procs ~assignment:asg ~local_memory:mem
+                  in
+                  let rb = run bfs in
+                  let rg = run split.G.assignment in
+                  if rg.PE.total_words > rb.PE.total_words then
+                    failwith
+                      (Printf.sprintf
+                         "CS2: generated split loses to BFS at n = %d, P = %d, \
+                          M = %s (%d > %d words)"
+                         n procs
+                         (if mem = max_int then "inf" else string_of_int mem)
+                         rg.PE.total_words rb.PE.total_words);
+                  Obs.incr m "gate_checks";
+                  Obs.rowf m ~section
+                    ~params:[ ("M", if mem = max_int then s "inf" else i mem) ]
+                    [
+                      ("bfs total", i rb.PE.total_words);
+                      ("gen total", i rg.PE.total_words);
+                      ("bfs vs bound", f (float_of_int rb.PE.total_words /. tot_bound));
+                      ("ratio", f (float_of_int rg.PE.total_words /. tot_bound));
+                      ("gate", mark (rg.PE.total_words <= rb.PE.total_words));
+                    ])
+                [ max_int; 64; 256; 1024 ])
+            [ 7; 49 ])
+        [ 16; 32 ];
+      (* Theorem 4.1 gate: on every square registry algorithm the
+         generated split's measured traffic must sit above the
+         memory-independent bound — the bound is a floor, so a ratio
+         below 1 would mean the census (or the bound) is wrong. *)
+      let section = "Theorem 4.1 gate (square registry algorithms)" in
+      List.iter
+        (fun alg ->
+          let n0, m0, k0 = A.dims alg in
+          if n0 = m0 && m0 = k0 then begin
+            let n = n0 * n0 in
+            if Cd.n_vertices (cdag alg n) <= 60_000 then begin
+              let c = cdag alg n in
+              let w = work alg n in
+              let procs = A.rank alg in
+              let split =
+                G.split_order w ~procs (Array.of_list (dfs_order alg n))
+              in
+              cs_validate ~id:"CS2" ~what:(A.name alg ^ " split") w ~procs
+                ~assignment:split.G.assignment;
+              let r = PE.run w ~procs ~assignment:split.G.assignment in
+              let bound = G.memind_bound c ~procs in
+              Obs.rowf m ~section
+                ~params:
+                  [ ("algorithm", s (A.name alg)); ("n", i n); ("P", i procs) ]
+                [
+                  ("max words/proc", i r.PE.max_words);
+                  ("Thm 4.1 bound", f bound);
+                  ("ratio", f (float_of_int r.PE.max_words /. bound));
+                  ("gate", mark (float_of_int r.PE.max_words >= bound -. 1e-9));
+                ]
+            end
+          end)
+        S.registry;
+      (* fault overhead of a generated schedule: the issue asks for the
+         recovery ratios of at least one generated assignment *)
+      let c16 = cdag S.strassen 16 in
+      let w16 = work S.strassen 16 in
+      let split16 =
+        G.split_order w16 ~procs:7 (Array.of_list (dfs_order S.strassen 16))
+      in
+      let bound16 = G.memind_bound c16 ~procs:7 in
+      List.iter
+        (fun fail ->
+          let r =
+            fault_run ~id:"CS2" w16 ~procs:7 ~assignment:split16.G.assignment
+              ~policy:Sim.Refetch_owner ~fail ~seed:7 ~bound:bound16
+          in
+          Obs.rowf m ~section:"fault overhead (generated split, refetch-owner)"
+            ~params:[ ("failures", i fail) ]
+            [
+              ("total words", i r.Sim.total_words);
+              ("recovery words", i r.Sim.recovery_words);
+              ("ratio", f r.Sim.overhead_total);
+            ])
+        [ 0; 1; 2 ])
 
 (* ----- PERF: bechamel timings ----- *)
 

@@ -1151,9 +1151,9 @@ let parallel_cmd =
     let bound = B.fast_memind ~n ~p:r.PE.procs () in
     Printf.printf "P = %d processors (BFS partition at depth %d)\n" r.PE.procs depth;
     Printf.printf "total words moved:   %d\n" r.PE.total_words;
-    Printf.printf "max words per proc:  %.0f\n" r.PE.max_words;
+    Printf.printf "max words per proc:  %d\n" r.PE.max_words;
     Printf.printf "memind bound:        %.1f   (ratio %.2f)\n" bound
-      (r.PE.max_words /. bound)
+      (float_of_int r.PE.max_words /. bound)
   in
   let depth_arg =
     Arg.(value & opt int 1 & info [ "depth" ] ~doc:"BFS partition depth (P = 7^depth)")
@@ -1515,7 +1515,7 @@ let faults_cmd =
           [
             Sim.policy_name r.Sim.policy;
             string_of_int r.Sim.total_words;
-            Printf.sprintf "%.0f" r.Sim.max_words;
+            string_of_int r.Sim.max_words;
             string_of_int r.Sim.recovery_words;
             string_of_int r.Sim.replication_words;
             string_of_int r.Sim.recomputed;
@@ -1563,7 +1563,7 @@ let faults_cmd =
                                     ])
                                 r.Sim.failures) );
                          ("total_words", Json.Int r.Sim.total_words);
-                         ("max_words", Json.Float r.Sim.max_words);
+                         ("max_words", Json.Int r.Sim.max_words);
                          ("recovery_words", Json.Int r.Sim.recovery_words);
                          ( "replication_words",
                            Json.Int r.Sim.replication_words );
@@ -1626,6 +1626,284 @@ let faults_cmd =
       const run $ algorithm_arg $ n_arg 16 $ depth_arg $ p_arg 0 $ policy_arg
       $ fail_arg $ seed_arg $ json_arg $ jobs_arg)
 
+(* --- cosma --- *)
+
+let cosma_cmd =
+  let module PE = Fmm_machine.Par_exec in
+  let module G = Fmm_sched.Generator in
+  let module Json = Fmm_obs.Json in
+  let module Pc = Fmm_analysis.Par_check in
+  let module Sim = Fmm_fault.Sim in
+  let run name n procs order_name mem_spec rounds grid fail seed json_out jobs
+      =
+    let alg = find_algorithm name in
+    if procs < 1 then begin
+      prerr_endline "P must be >= 1";
+      exit 2
+    end;
+    let cdag = Cd.build alg ~n in
+    let work = Fmm_machine.Workload.of_cdag cdag in
+    let order =
+      match order_name with
+      | "dfs" -> Fmm_machine.Orders.recursive_dfs cdag
+      | "naive" -> Fmm_machine.Orders.naive_topo cdag
+      | s ->
+        Printf.eprintf "unknown order %S; known: dfs, naive\n" s;
+        exit 2
+    in
+    let mems =
+      String.split_on_char ',' mem_spec
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt (String.trim s) with
+             | Some m when m > 0 -> m
+             | _ ->
+               Printf.eprintf "bad memory size %S\n" s;
+               exit 2)
+    in
+    let split = G.split_order ~rounds work ~procs (Array.of_list order) in
+    let depth =
+      let t = A.rank alg in
+      let rec go d subtrees =
+        if subtrees >= procs then d else go (d + 1) (subtrees * t)
+      in
+      go 0 1
+    in
+    let bfs_asg = PE.bfs_assignment cdag ~depth ~procs in
+    let bound = G.memind_bound cdag ~procs in
+    let replay = G.validate work ~procs ~assignment:split.G.assignment in
+    let replay_errs =
+      Fmm_analysis.Diagnostic.n_errors replay.Pc.report + replay.Pc.lost_outputs
+    in
+    (* one executor run per (schedule, memory) cell on the domain pool;
+       the executor is pure in its arguments, so the report is
+       byte-identical at any --jobs *)
+    let cells =
+      List.concat_map
+        (fun m -> [ (`Bfs, m); (`Gen, m) ])
+        (max_int :: mems)
+    in
+    let rows =
+      Fmm_par.Pool.map ~jobs:(max 1 jobs)
+        (fun (tag, m) ->
+          let assignment =
+            match tag with `Bfs -> bfs_asg | `Gen -> split.G.assignment
+          in
+          let r =
+            if m = max_int then PE.run work ~procs ~assignment
+            else PE.run_limited work ~procs ~assignment ~local_memory:m
+          in
+          (tag, m, r))
+        cells
+    in
+    Printf.printf "workload    %s n=%d, P = %d (BFS depth %d)\n" (A.name alg) n
+      procs depth;
+    Printf.printf "order       %s (%d vertices), %d boundary-search rounds\n"
+      order_name (Array.length split.G.order) rounds;
+    Printf.printf "Thm 4.1     n^2 / P^(2/omega0) = %.1f words/proc\n" bound;
+    Printf.printf "replay      %s\n"
+      (if replay_errs = 0 then "clean"
+       else Printf.sprintf "%d ERRORS" replay_errs);
+    let t =
+      T.create ~title:"BFS deal vs generated contiguous split"
+        ~headers:
+          [ "schedule"; "M"; "total"; "max/proc"; "vs Thm 4.1" ]
+        ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right ] ()
+    in
+    let gate_ok = ref (replay_errs = 0) in
+    let bfs_total = Hashtbl.create 8 in
+    List.iter
+      (fun (tag, m, (r : PE.result)) ->
+        (match tag with
+        | `Bfs -> Hashtbl.replace bfs_total m r.PE.total_words
+        | `Gen ->
+          (* the acceptance gate: at the same (P, M) the generated
+             schedule never communicates more than the BFS deal *)
+          if r.PE.total_words > Hashtbl.find bfs_total m then gate_ok := false);
+        T.add_row t
+          [
+            (match tag with `Bfs -> "bfs" | `Gen -> "generated");
+            (if m = max_int then "inf" else string_of_int m);
+            string_of_int r.PE.total_words;
+            string_of_int r.PE.max_words;
+            Printf.sprintf "%.2f" (float_of_int r.PE.max_words /. bound);
+          ])
+      rows;
+    T.print t;
+    let fault =
+      if fail <= 0 then None
+      else begin
+        let r =
+          Sim.simulate work ~procs ~assignment:split.G.assignment
+            ~policy:Sim.Refetch_owner ~fail ~seed ~bound ()
+        in
+        let rep = Sim.check work r in
+        let errs =
+          Fmm_analysis.Diagnostic.n_errors rep.Pc.report + rep.Pc.lost_outputs
+        in
+        if errs > 0 then gate_ok := false;
+        Printf.printf
+          "faults      refetch under %d crash(es): overhead %.3f, replay %s\n"
+          fail r.Sim.overhead_total
+          (if errs = 0 then "clean" else Printf.sprintf "%d ERRORS" errs);
+        Some (r, errs)
+      end
+    in
+    let grid_part =
+      if not grid then None
+      else begin
+        (* the classical end of the hybrid family under the same P:
+           exact-integer (p1, p2, p3) bricks, measured-argmin *)
+        let classical = Cd.build alg ~n ~cutoff:n in
+        let wc = Fmm_machine.Workload.of_cdag classical in
+        let (p1, p2, p3), cost, r, asg = G.grid_search classical ~procs in
+        let rep = G.validate wc ~procs ~assignment:asg in
+        let errs =
+          Fmm_analysis.Diagnostic.n_errors rep.Pc.report + rep.Pc.lost_outputs
+        in
+        if errs > 0 then gate_ok := false;
+        Printf.printf
+          "grid        best (p1,p2,p3) = (%d,%d,%d): %d words measured, %.0f \
+           modeled/proc, replay %s\n"
+          p1 p2 p3 r.PE.total_words
+          cost.Fmm_machine.Par_model.words_per_proc
+          (if errs = 0 then "clean" else Printf.sprintf "%d ERRORS" errs);
+        Some ((p1, p2, p3), cost, r, errs)
+      end
+    in
+    Printf.printf "gate        %s\n" (if !gate_ok then "ok" else "FAIL");
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      (* no wall clocks: a fixed configuration serializes
+         byte-identically at any --jobs *)
+      let j =
+        Json.Obj
+          [
+            ("schema", Json.Str "fmm-cosma/v1");
+            ("algorithm", Json.Str (A.name alg));
+            ("n", Json.Int n);
+            ("procs", Json.Int procs);
+            ("order", Json.Str order_name);
+            ("rounds", Json.Int rounds);
+            ("bfs_depth", Json.Int depth);
+            ("bound", Json.Float bound);
+            ("crossing", Json.Int split.G.crossing);
+            ( "cuts",
+              Json.List
+                (Array.to_list (Array.map (fun c -> Json.Int c) split.G.cuts))
+            );
+            ("replay_errors", Json.Int replay_errs);
+            ("gate_ok", Json.Bool !gate_ok);
+            ( "rows",
+              Json.List
+                (List.map
+                   (fun (tag, m, (r : PE.result)) ->
+                     Json.Obj
+                       [
+                         ( "schedule",
+                           Json.Str
+                             (match tag with
+                             | `Bfs -> "bfs"
+                             | `Gen -> "generated") );
+                         ( "memory",
+                           if m = max_int then Json.Null else Json.Int m );
+                         ("total_words", Json.Int r.PE.total_words);
+                         ("max_words", Json.Int r.PE.max_words);
+                         ( "bound_ratio",
+                           Json.Float (float_of_int r.PE.max_words /. bound) );
+                       ])
+                   rows) );
+            ( "fault",
+              match fault with
+              | None -> Json.Null
+              | Some (r, errs) ->
+                Json.Obj
+                  [
+                    ("policy", Json.Str (Sim.policy_name r.Sim.policy));
+                    ("fail", Json.Int fail);
+                    ("seed", Json.Int seed);
+                    ("total_words", Json.Int r.Sim.total_words);
+                    ("max_words", Json.Int r.Sim.max_words);
+                    ("overhead_total", Json.Float r.Sim.overhead_total);
+                    ("overhead_max", Json.Float r.Sim.overhead_max);
+                    ("replay_errors", Json.Int errs);
+                  ] );
+            ( "grid",
+              match grid_part with
+              | None -> Json.Null
+              | Some ((p1, p2, p3), cost, r, errs) ->
+                Json.Obj
+                  [
+                    ( "grid",
+                      Json.List [ Json.Int p1; Json.Int p2; Json.Int p3 ] );
+                    ( "model_words_per_proc",
+                      Json.Float cost.Fmm_machine.Par_model.words_per_proc );
+                    ("total_words", Json.Int r.PE.total_words);
+                    ("max_words", Json.Int r.PE.max_words);
+                    ("replay_errors", Json.Int errs);
+                  ] );
+          ]
+      in
+      Json.to_file path j;
+      Printf.printf "wrote %s\n" path);
+    if not !gate_ok then exit 1
+  in
+  let order_arg =
+    Arg.(
+      value & opt string "dfs"
+      & info [ "order" ] ~doc:"Sequential order to split: dfs or naive."
+          ~docv:"ORD")
+  in
+  let memory_arg =
+    Arg.(
+      value
+      & opt string "64,256,1024"
+      & info [ "memory" ]
+          ~doc:
+            "Comma-separated local-memory sizes for the limited-memory sweep \
+             (an unlimited row is always included)."
+          ~docv:"M,...")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~doc:"Boundary local-search rounds" ~docv:"R")
+  in
+  let grid_arg =
+    Arg.(
+      value & flag
+      & info [ "grid" ]
+          ~doc:
+            "Also search (p1,p2,p3) grids on the classical (cutoff = n) CDAG.")
+  in
+  let fail_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fail" ]
+          ~doc:
+            "Crash the generated schedule this many times under the refetch \
+             policy (0 = skip)."
+          ~docv:"K")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Failure-schedule PRNG seed" ~docv:"S")
+  in
+  let json_arg =
+    let doc = "Write the report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "cosma"
+       ~doc:
+         "Generate a COSMA-style communication-minimizing schedule (contiguous \
+          split of a sequential order) and race it against the BFS deal")
+    Term.(
+      const run $ algorithm_arg $ n_arg 16 $ p_arg 7 $ order_arg $ memory_arg
+      $ rounds_arg $ grid_arg $ fail_arg $ seed_arg $ json_arg $ jobs_arg)
+
 (* --- table1 --- *)
 
 let table1_cmd =
@@ -1670,4 +1948,5 @@ let () =
        (Cmd.group info
           [ bounds_cmd; verify_cmd; simulate_cmd; analyze_cmd; pebble_cmd;
             cdag_cmd; census_cmd; exec_cmd; hybrid_cmd; fft_cmd; parallel_cmd;
-            search_cmd; optimize_cmd; faults_cmd; bench_cmd; table1_cmd ]))
+            search_cmd; optimize_cmd; faults_cmd; cosma_cmd; bench_cmd;
+            table1_cmd ]))

@@ -27,7 +27,7 @@ let () =
 
   let base = PE.run work ~procs ~assignment in
   Printf.printf "H^{%dx%d} on P = %d (BFS depth %d)\n" n n procs depth;
-  Printf.printf "fault-free: %d words total, %.0f max/proc (Thm 1.1 memind %.1f)\n\n"
+  Printf.printf "fault-free: %d words total, %d max/proc (Thm 1.1 memind %.1f)\n\n"
     base.PE.total_words base.PE.max_words bound;
 
   print_endline "=== zero failures: every policy IS the plain executor ===";

@@ -16,7 +16,8 @@ module A = Fmm_bilinear.Algorithm
 type t = {
   base : A.t;
   n : int;
-  levels : int; (* L: n = n0^L *)
+  levels : int; (* L: n = cutoff * n0^L *)
+  cutoff : int; (* hybrid leaf size c: classical triple-loop leaves at r = c *)
   n0 : int;
   m0 : int;
   k0 : int;
@@ -24,7 +25,7 @@ type t = {
   u : int array array;
   v : int array array;
   w : int array array;
-  size_at : int array; (* size_at.(d) = n / n0^d, d in 0..L *)
+  size_at : int array; (* size_at.(d) = n / n0^d, d in 0..L; size_at.(L) = cutoff *)
   sub_size : int array; (* S(size_at.(d)): vertex count of a depth-d subtree *)
   chunk : int array; (* per-child chunk 2 h^2 + S(h) at depth d, d < L *)
   dec_off : int array; (* t_rank * chunk.(d): decoder block offset, d < L *)
@@ -40,20 +41,28 @@ let nnz_matrix m =
       Array.fold_left (fun k c -> if c <> 0 then k + 1 else k) acc row)
     0 m
 
-let create (alg : A.t) ~n =
+let create ?(cutoff = 1) (alg : A.t) ~n =
   let n0, m0, k0 = A.dims alg in
   if n0 <> m0 || m0 <> k0 then
     invalid_arg "Implicit.create: base case must be square";
   if not (Fmm_util.Combinat.is_power_of ~base:n0 n) then
     invalid_arg "Implicit.create: n must be a power of the base dimension";
+  if cutoff < 1 then invalid_arg "Implicit.create: cutoff must be >= 1";
+  if cutoff > n then invalid_arg "Implicit.create: cutoff must be <= n";
+  if not (Fmm_util.Combinat.is_power_of ~base:n0 cutoff) then
+    invalid_arg "Implicit.create: cutoff must be a power of the base dimension";
   let t_rank = A.rank alg in
   let u = A.u_matrix alg and v = A.v_matrix alg and w = A.w_matrix alg in
   let levels =
-    let rec go l r = if r = 1 then l else go (l + 1) (r / n0) in
+    let rec go l r = if r = cutoff then l else go (l + 1) (r / n0) in
     go 0 n
   in
   let size_at = Array.init (levels + 1) (fun d -> n / Fmm_util.Combinat.pow_int n0 d) in
-  let sub_size = Array.make (levels + 1) 1 in
+  (* a leaf subtree is one Mult (cutoff 1) or a classical triple-loop
+     block: per output (i, j), cutoff Mults then one Dec — c^2 (c + 1)
+     vertices allocated in that interleaved order *)
+  let leaf_size = if cutoff = 1 then 1 else cutoff * cutoff * (cutoff + 1) in
+  let sub_size = Array.make (levels + 1) leaf_size in
   let chunk = Array.make (max levels 1) 0 in
   let dec_off = Array.make (max levels 1) 0 in
   for d = levels - 1 downto 0 do
@@ -64,12 +73,15 @@ let create (alg : A.t) ~n =
   done;
   let n2 = n * n in
   let nv = (2 * n2) + sub_size.(0) in
+  (* E(leaf) = 2 for a Mult leaf; 3 c^3 for a classical leaf (2 operand
+     edges per Mult, c weighted edges per Dec) *)
+  let leaf_edges = if cutoff = 1 then 2 else 3 * cutoff * cutoff * cutoff in
   let ne =
-    if levels = 0 then 2
+    if levels = 0 then leaf_edges
     else begin
       let per_node = nnz_matrix u + nnz_matrix v + nnz_matrix w in
-      let e = ref 2 in
-      (* E(r) = h^2 (nnz U + nnz V + nnz W) + t E(h), E(1) = 2 *)
+      let e = ref leaf_edges in
+      (* E(r) = h^2 (nnz U + nnz V + nnz W) + t E(h) *)
       for d = levels - 1 downto 0 do
         let h = size_at.(d + 1) in
         e := (h * h * per_node) + (t_rank * !e)
@@ -81,6 +93,7 @@ let create (alg : A.t) ~n =
     base = alg;
     n;
     levels;
+    cutoff;
     n0;
     m0;
     k0;
@@ -98,7 +111,14 @@ let create (alg : A.t) ~n =
     ne;
   }
 
-let of_cdag cdag = create (Cdag.base_algorithm cdag) ~n:(Cdag.size cdag)
+(* the cutoff must travel with the view: dropping it silently re-read a
+   hybrid CDAG as the uniform fast one, so every id past the first
+   classical leaf decoded wrong (the PR 10 differential test pins this) *)
+let of_cdag cdag =
+  create ~cutoff:(Cdag.cutoff cdag) (Cdag.base_algorithm cdag)
+    ~n:(Cdag.size cdag)
+
+let cutoff t = t.cutoff
 let size t = t.n
 let base_algorithm t = t.base
 let levels t = t.levels
@@ -110,9 +130,15 @@ let b_inputs t = Array.init t.n2 (fun i -> t.n2 + i)
 let is_input t id = id >= 0 && id < 2 * t.n2
 
 let is_output t id =
-  (* the root's out vertices are the last n^2 allocated ids (the out
-     ARRAY is a permutation of them, but as a set they are the tail) *)
-  id >= t.nv - t.n2 && id < t.nv
+  if t.levels = 0 && t.cutoff > 1 then
+    (* pure classical CDAG: the root IS a classical leaf, whose out
+       vertices (the Decs) are interleaved with the Mults *)
+    id >= t.root_lo && id < t.nv
+    && (id - t.root_lo) mod (t.cutoff + 1) = t.cutoff
+  else
+    (* the root's out vertices are the last n^2 allocated ids (the out
+       ARRAY is a permutation of them, but as a set they are the tail) *)
+    id >= t.nv - t.n2 && id < t.nv
 
 (* --- id decoding --- *)
 
@@ -131,6 +157,8 @@ type loc =
   | L_enc of bool * ctx * int * int * int (* a-side?, creating node, tau, i, j *)
   | L_mult of ctx
   | L_dec of ctx * int * int * int * int (* node, p, q, i, j *)
+  | L_lmult of ctx * int * int * int (* classical-leaf Mult: node, i, j, l *)
+  | L_ldec of ctx * int * int (* classical-leaf Dec: node, i, j *)
 
 let decode t id =
   if id < 0 || id >= t.nv then
@@ -140,7 +168,17 @@ let decode t id =
   else begin
     let rec go d lo a_base b_base p_lo tau_in =
       let ctx = { d; lo; a_base; b_base; p_lo; tau_in } in
-      if d = t.levels then L_mult ctx
+      if d = t.levels then begin
+        if t.cutoff = 1 then L_mult ctx
+        else begin
+          (* classical leaf: output (i, j)'s c Mults then its Dec *)
+          let c = t.cutoff in
+          let rel = id - lo in
+          let opos = rel / (c + 1) and within = rel mod (c + 1) in
+          let i = opos / c and j = opos mod c in
+          if within < c then L_lmult (ctx, i, j, within) else L_ldec (ctx, i, j)
+        end
+      end
       else begin
         let rel = id - lo in
         if rel >= t.dec_off.(d) then begin
@@ -178,12 +216,13 @@ let role t id =
   | L_inp_b i -> Cdag.Input_b i
   | L_enc (true, _, _, _, _) -> Cdag.Enc_a
   | L_enc (false, _, _, _, _) -> Cdag.Enc_b
-  | L_mult _ -> Cdag.Mult
-  | L_dec _ -> Cdag.Dec
+  | L_mult _ | L_lmult _ -> Cdag.Mult
+  | L_dec _ | L_ldec _ -> Cdag.Dec
 
 (* id of out-array entry [pos] (row-major) of the node at (d, lo) *)
 let out_entry_id t ~d ~lo pos =
-  if d = t.levels then lo
+  if d = t.levels then
+    if t.cutoff = 1 then lo else lo + (pos * (t.cutoff + 1)) + t.cutoff
   else begin
     let r = t.size_at.(d) and h = t.size_at.(d + 1) in
     let row = pos / r and col = pos mod r in
@@ -200,6 +239,17 @@ let iter_preds t id ~f =
   | L_mult ctx ->
     f ctx.a_base None;
     f ctx.b_base None
+  | L_lmult (ctx, i, j, l) ->
+    (* a_{il} then b_{lj}, the explicit builder's operand order *)
+    let c = t.cutoff in
+    f (ctx.a_base + (i * c) + l) None;
+    f (ctx.b_base + (l * c) + j) None
+  | L_ldec (ctx, i, j) ->
+    let c = t.cutoff in
+    let base = ctx.lo + ((((i * c) + j) * (c + 1))) in
+    for l = 0 to c - 1 do
+      f (base + l) (Some 1)
+    done
   | L_enc (is_a, ctx, tau, i, j) ->
     let r = t.size_at.(ctx.d) and h = t.size_at.(ctx.d + 1) in
     let rows = if is_a then t.u else t.v in
@@ -244,7 +294,27 @@ let edge_coeff t src dst =
    nonzero coefficient at this entry's base-case block — or the Mult
    itself at a leaf *)
 let iter_operand_succs t ~is_a ~d ~lo pos ~f =
-  if d = t.levels then f lo
+  if d = t.levels then begin
+    if t.cutoff = 1 then f lo
+    else begin
+      (* classical leaf: a-entry (i, l) feeds Mult (i, j, l) for every
+         j; b-entry (l, j) feeds Mult (i, j, l) for every i — ascending
+         consumer id either way, the builder's insertion order *)
+      let c = t.cutoff in
+      if is_a then begin
+        let i = pos / c and l = pos mod c in
+        for j = 0 to c - 1 do
+          f (lo + (((i * c) + j) * (c + 1)) + l)
+        done
+      end
+      else begin
+        let l = pos / c and j = pos mod c in
+        for i = 0 to c - 1 do
+          f (lo + (((i * c) + j) * (c + 1)) + l)
+        done
+      end
+    end
+  end
   else begin
     let r = t.size_at.(d) and h = t.size_at.(d + 1) in
     let row = pos / r and col = pos mod r in
@@ -285,6 +355,13 @@ let iter_succs t id ~f =
     let child_lo = ctx.lo + (tau * t.chunk.(ctx.d)) + (2 * h * h) in
     iter_operand_succs t ~is_a ~d:(ctx.d + 1) ~lo:child_lo ((i * h) + j) ~f
   | L_mult ctx -> iter_out_succs t ~d:ctx.d ~p_lo:ctx.p_lo ~tau_in:ctx.tau_in 0 ~f
+  | L_lmult (ctx, i, j, _) ->
+    (* sole consumer: the leaf Dec of output (i, j) *)
+    let c = t.cutoff in
+    f (ctx.lo + (((i * c) + j) * (c + 1)) + c)
+  | L_ldec (ctx, i, j) ->
+    iter_out_succs t ~d:ctx.d ~p_lo:ctx.p_lo ~tau_in:ctx.tau_in
+      ((i * t.cutoff) + j) ~f
   | L_dec (ctx, p, q, i, j) ->
     let r = t.size_at.(ctx.d) and h = t.size_at.(ctx.d + 1) in
     let pos = (((p * h) + i) * r) + ((q * h) + j) in
@@ -409,6 +486,7 @@ let is_sub_output t ~r id =
   match decode t id with
   | L_mult _ -> r = 1
   | L_dec (ctx, _, _, _, _) -> t.size_at.(ctx.d) = r
+  | L_ldec (ctx, _, _) -> t.size_at.(ctx.d) = r
   | _ -> false
 
 (* --- censuses --- *)
@@ -421,14 +499,18 @@ let stats t =
     enc_each := !enc_each + (pow t.t_rank (d + 1) * h * h);
     dec := !dec + (pow t.t_rank d * r * r)
   done;
+  let leaves = pow t.t_rank t.levels in
+  let c = t.cutoff in
+  let mult = leaves * (if c = 1 then 1 else c * c * c) in
+  let dec = !dec + if c = 1 then 0 else leaves * c * c in
   [
     ("vertices", t.nv);
     ("edges", t.ne);
     ("inputs", 2 * t.n2);
     ("enc_a", !enc_each);
     ("enc_b", !enc_each);
-    ("mult", pow t.t_rank t.levels);
-    ("dec", !dec);
+    ("mult", mult);
+    ("dec", dec);
     ("outputs", t.n2);
   ]
 
@@ -511,5 +593,6 @@ let to_explicit t =
     nodes := node :: !nodes
   in
   build_node 0 t.root_lo 0 t.n2;
-  Cdag.of_parts ~graph:g ~roles ~n:t.n ~base:t.base ~a_inputs:(a_inputs t)
+  Cdag.of_parts ~cutoff:t.cutoff ~graph:g ~roles ~n:t.n ~base:t.base
+    ~a_inputs:(a_inputs t)
     ~b_inputs:(b_inputs t) ~outputs:(outputs t) ~nodes:!nodes ~coeffs ()

@@ -35,12 +35,22 @@
 
 type t
 
-val create : Fmm_bilinear.Algorithm.t -> n:int -> t
+val create : ?cutoff:int -> Fmm_bilinear.Algorithm.t -> n:int -> t
 (** Same preconditions as [Cdag.build]: square base, [n] a power of the
-    base dimension. O(log n) time and space. *)
+    base dimension, [cutoff] a power of the base dimension in [1, n].
+    O(log n) time and space. With [cutoff = c > 1] the fast recursion
+    stops at size-c nodes and each leaf is the classical triple-loop
+    sub-CDAG of [Cdag.build ~cutoff]: per output (i, j) in row-major
+    order, c Mult vertices (l = 0..c-1, operands a_{il}, b_{lj}) then
+    one Dec summing them with coefficient 1 — c^2 (c + 1) ids per leaf
+    in that interleaved allocation order. *)
 
 val of_cdag : Cdag.t -> t
-(** The implicit view of an explicitly built CDAG (same base, same n). *)
+(** The implicit view of an explicitly built CDAG (same base, same n,
+    same hybrid cutoff). *)
+
+val cutoff : t -> int
+(** The hybrid leaf size (1 = uniform fast CDAG). *)
 
 val size : t -> int
 val base_algorithm : t -> Fmm_bilinear.Algorithm.t

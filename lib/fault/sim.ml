@@ -55,12 +55,12 @@ type report = {
   sent : int array;
   received : int array;
   total_words : int;
-  max_words : float;
+  max_words : int;
   replication_words : int;
   recovery_words : int;
   recomputed : int;
   baseline_total : int;
-  baseline_max : float;
+  baseline_max : int;
   overhead_total : float;
   overhead_max : float;
   bound : float option;
@@ -247,14 +247,15 @@ let run (work : W.t) ~procs ~assignment ~policy ~failures ?bound ?(seed = 0) ()
     sent;
     received;
     total_words = !total;
-    max_words = float_of_int !max_words;
+    max_words = !max_words;
     replication_words = !replication_words;
     recovery_words = !recovery_words;
     recomputed = !recomputed;
     baseline_total;
     baseline_max;
     overhead_total = ratio (float_of_int !total) (float_of_int baseline_total);
-    overhead_max = ratio (float_of_int !max_words) baseline_max;
+    overhead_max =
+      ratio (float_of_int !max_words) (float_of_int baseline_max);
     bound;
     bound_ratio = Option.map (fun b -> float_of_int !max_words /. b) bound;
     log = List.rev !log;

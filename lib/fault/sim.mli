@@ -61,7 +61,7 @@ type report = {
   sent : int array;
   received : int array;
   total_words : int;
-  max_words : float;  (** max over processors of sent + received *)
+  max_words : int;  (** max over processors of sent + received *)
   replication_words : int;
       (** proactive replica pushes (only nonzero under [Replicate k],
           k > 1) *)
@@ -71,7 +71,7 @@ type report = {
           re-deriving a lost value *)
   recomputed : int;  (** vertices re-derived after a crash *)
   baseline_total : int;  (** fault-free {!Fmm_machine.Par_exec.run} *)
-  baseline_max : float;
+  baseline_max : int;
   overhead_total : float;
       (** [total_words / baseline_total] (1.0 when both are 0) *)
   overhead_max : float;

@@ -17,7 +17,7 @@ type result = {
   sent : int array; (* words sent per processor *)
   received : int array;
   total_words : int; (* total transfers (= sum sent = sum received) *)
-  max_words : float; (* max over processors of (sent + received) *)
+  max_words : int; (* max over processors of (sent + received) *)
 }
 
 (** Execute a workload under [assignment] (vertex -> processor).
@@ -81,13 +81,7 @@ let run (work : Workload.t) ~procs ~assignment =
   for p = 0 to procs - 1 do
     max_words := max !max_words (sent.(p) + received.(p))
   done;
-  {
-    procs;
-    sent;
-    received;
-    total_words = !total;
-    max_words = float_of_int !max_words;
-  }
+  { procs; sent; received; total_words = !total; max_words = !max_words }
 
 (** The full parallel model of Section II-B: each processor has a local
     memory of [local_memory] words managed LRU; a received or computed
@@ -168,13 +162,7 @@ let run_limited (work : Workload.t) ~procs ~assignment ~local_memory =
   for p = 0 to procs - 1 do
     max_words := max !max_words (sent.(p) + received.(p))
   done;
-  {
-    procs;
-    sent;
-    received;
-    total_words = !total;
-    max_words = float_of_int !max_words;
-  }
+  { procs; sent; received; total_words = !total; max_words = !max_words }
 
 (* --- assignments --- *)
 

@@ -11,7 +11,7 @@ type result = {
   sent : int array;
   received : int array;
   total_words : int;
-  max_words : float;  (** max over processors of sent + received *)
+  max_words : int;  (** max over processors of sent + received *)
 }
 
 val run : Workload.t -> procs:int -> assignment:int array -> result

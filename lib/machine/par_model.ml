@@ -87,6 +87,43 @@ let classical_3d ~n ~p =
       rounds = 2 + c;
     }
 
+(** COSMA-style (p1, p2, p3) decomposition of the classical n^3
+    iteration cube: p1 splits the rows of C, p2 its columns, p3 the
+    summation dimension. Each processor holds one A brick of
+    ceil(n/p1) * ceil(n/p3) words, one B brick of
+    ceil(n/p3) * ceil(n/p2), and produces one C partial of
+    ceil(n/p1) * ceil(n/p2) that is reduced across the p3 layers —
+    all tile sizes are exact integer ceilings, never float roots.
+    A grid whose factors do not multiply back to p is degenerate
+    (processors would idle or overlap) and is rejected outright. *)
+let grid_3d ~n ~p (p1, p2, p3) =
+  if p1 < 1 || p2 < 1 || p3 < 1 then
+    invalid_arg
+      (Printf.sprintf "Par_model.grid_3d: grid (%d, %d, %d) has a factor < 1"
+         p1 p2 p3);
+  if p1 * p2 * p3 <> p then
+    invalid_arg
+      (Printf.sprintf
+         "Par_model.grid_3d: degenerate grid (%d, %d, %d): product %d <> P = %d"
+         p1 p2 p3 (p1 * p2 * p3) p);
+  let ceil_div a b = (a + b - 1) / b in
+  let bi = ceil_div n p1 and bj = ceil_div n p2 and bl = ceil_div n p3 in
+  let a_tile = bi * bl and b_tile = bl * bj and c_tile = bi * bj in
+  (* receive the A and B bricks; if the reduction dimension is split,
+     the C partial is sent and the reduced tile received back. *)
+  let c_words = if p3 > 1 then 2 * c_tile else c_tile in
+  let words = float_of_int (a_tile + b_tile + c_words) in
+  let flops = 2.0 *. float_of_int (bi * bj) *. float_of_int n in
+  {
+    algorithm = Printf.sprintf "grid-3d-%dx%dx%d" p1 p2 p3;
+    n;
+    p;
+    m = None;
+    words_per_proc = words;
+    flops_per_proc = flops;
+    rounds = (if p3 > 1 then 3 else 2);
+  }
+
 type caps_step = BFS | DFS
 
 (** CAPS-style parallel Strassen. At problem size [n] on [p] procs with

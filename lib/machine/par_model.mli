@@ -26,6 +26,16 @@ val classical_3d : n:int -> p:int -> cost
     Raises [Invalid_argument] unless P is a perfect cube (exact integer
     cube root, same contract as {!cannon_2d}) with P^{2/3} | n^2. *)
 
+val grid_3d : n:int -> p:int -> int * int * int -> cost
+(** COSMA-style (p1, p2, p3) decomposition of the classical n^3
+    iteration cube. Per-processor traffic is the exact brick footprint:
+    one ceil(n/p1) x ceil(n/p3) A brick, one ceil(n/p3) x ceil(n/p2)
+    B brick, and the ceil(n/p1) x ceil(n/p2) C partial (counted twice
+    when p3 > 1, for the cross-layer reduction). Raises
+    [Invalid_argument] with a diagnostic naming the offending factors
+    when p1 * p2 * p3 <> p or any factor is < 1 — a degenerate grid is
+    an error, never silently re-tiled. *)
+
 type caps_step = BFS | DFS
 
 val caps : n:int -> p:int -> m:int -> cost * caps_step list

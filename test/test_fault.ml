@@ -21,6 +21,7 @@ module Sim = Fmm_fault.Sim
 module Dg = Fmm_analysis.Diagnostic
 module Pc = Fmm_analysis.Par_check
 module Pool = Fmm_par.Pool
+module G = Fmm_sched.Generator
 
 let cdag16 = Cd.build S.strassen ~n:16
 let w16 = W.of_cdag cdag16
@@ -53,7 +54,7 @@ let test_zero_failures_parity () =
       Alcotest.(check int) (name ^ " total = run") base.PE.total_words r.Sim.total_words;
       Alcotest.(check int)
         (name ^ " total = run_limited") lim.PE.total_words r.Sim.total_words;
-      Alcotest.(check (float 0.)) (name ^ " max = run") base.PE.max_words r.Sim.max_words;
+      Alcotest.(check int) (name ^ " max = run") base.PE.max_words r.Sim.max_words;
       Alcotest.(check int) (name ^ " no recovery traffic") 0 r.Sim.recovery_words;
       Alcotest.(check int) (name ^ " nothing recomputed") 0 r.Sim.recomputed;
       Alcotest.(check (float 0.)) (name ^ " overhead 1.0") 1.0 r.Sim.overhead_total)
@@ -128,6 +129,46 @@ let test_deep_partition_valid () =
       ignore (valid_replay name w r))
     all_policies
 
+let test_generated_assignments_valid () =
+  (* the recovery machinery (in particular Refetch_owner's ascending
+     smallest-id surviving-holder scan) must stay deterministic and
+     replay-clean on generated assignments — contiguous order splits
+     and (p1, p2, p3) grids — whose ownership is neither BFS-shaped nor
+     contiguous in vertex id *)
+  let split =
+    G.split_order w16 ~procs:7
+      (Array.of_list (Fmm_machine.Orders.recursive_dfs cdag16))
+  in
+  let classical = Cd.build S.strassen ~n:8 ~cutoff:8 in
+  let wc = W.of_cdag classical in
+  let _, _, _, grid_asg = G.grid_search classical ~procs:8 in
+  List.iter
+    (fun (tag, w, procs, assignment) ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun fail ->
+              let name =
+                Printf.sprintf "%s %s fail=%d" tag (Sim.policy_name policy)
+                  fail
+              in
+              let r =
+                Sim.simulate w ~procs ~assignment ~policy ~fail ~seed:11 ()
+              in
+              ignore (valid_replay name w r);
+              (* byte-identical repeat: the whole report is a pure
+                 function of (workload, assignment, policy, fail, seed) *)
+              let r2 =
+                Sim.simulate w ~procs ~assignment ~policy ~fail ~seed:11 ()
+              in
+              Alcotest.(check bool) (name ^ " deterministic") true (r = r2))
+            [ 1; 2; 4 ])
+        all_policies)
+    [
+      ("split", w16, 7, split.G.assignment);
+      ("grid", wc, 8, grid_asg);
+    ]
+
 let test_bound_ratio () =
   let procs = 7 in
   let w, assignment = setup ~depth:1 ~procs in
@@ -138,7 +179,8 @@ let test_bound_ratio () =
   in
   (match r.Sim.bound_ratio with
   | None -> Alcotest.fail "bound_ratio missing"
-  | Some x -> Alcotest.(check (float 1e-9)) "ratio" (r.Sim.max_words /. bound) x);
+  | Some x ->
+    Alcotest.(check (float 1e-9)) "ratio" (float_of_int r.Sim.max_words /. bound) x);
   let r0 =
     Sim.simulate w ~procs ~assignment ~policy:Sim.Recompute_local ~fail:2
       ~seed:5 ()
@@ -304,6 +346,8 @@ let () =
           Alcotest.test_case "recovered runs valid" `Quick
             test_recovered_runs_valid;
           Alcotest.test_case "depth-2 partition" `Quick test_deep_partition_valid;
+          Alcotest.test_case "generated assignments" `Quick
+            test_generated_assignments_valid;
           Alcotest.test_case "bound ratio" `Quick test_bound_ratio;
         ] );
       ( "determinism",

@@ -45,17 +45,36 @@ let square_cases =
       end)
     S.registry
 
+(* Hybrid (cutoff > 1) variants of the feasible cases: every cutoff
+   that is a power of the base dimension in (1, n]. *)
+let hybrid_cases =
+  List.concat_map
+    (fun (alg, n) ->
+      if n <= 1 then []
+      else begin
+        let n0, _, _ = A.dims alg in
+        let rec cuts c acc = if c > n then List.rev acc else cuts (c * n0) (c :: acc) in
+        cuts n0 []
+        |> List.filter_map (fun c ->
+               if Im.n_vertices (Im.create ~cutoff:c alg ~n) <= 130_000 then
+                 Some (alg, n, c)
+               else None)
+      end)
+    square_cases
+
 let check = Alcotest.check
 let int_l = Alcotest.(list int)
 
-let case_name alg n = Printf.sprintf "%s n=%d" (A.name alg) n
+let case_name ?(cutoff = 1) alg n =
+  if cutoff = 1 then Printf.sprintf "%s n=%d" (A.name alg) n
+  else Printf.sprintf "%s n=%d cutoff=%d" (A.name alg) n cutoff
 
 (* --- full structural equality against the explicit builder --- *)
 
-let check_structure alg n =
-  let name = case_name alg n in
-  let cd = Cd.build alg ~n in
-  let imp = Im.create alg ~n in
+let check_structure ?cutoff alg n =
+  let name = case_name ?cutoff alg n in
+  let cd = Cd.build ?cutoff alg ~n in
+  let imp = Im.create ?cutoff alg ~n in
   let nv = Cd.n_vertices cd in
   check Alcotest.int (name ^ " n_vertices") nv (Im.n_vertices imp);
   check Alcotest.int (name ^ " n_edges") (Cd.n_edges cd) (Im.n_edges imp);
@@ -110,10 +129,11 @@ let test_structure () =
 
 (* --- to_explicit reconstructs the builder's Cdag.t exactly --- *)
 
-let check_to_explicit alg n =
-  let name = case_name alg n in
-  let cd = Cd.build alg ~n in
-  let cd2 = Im.to_explicit (Im.create alg ~n) in
+let check_to_explicit ?cutoff alg n =
+  let name = case_name ?cutoff alg n in
+  let cd = Cd.build ?cutoff alg ~n in
+  let cd2 = Im.to_explicit (Im.create ?cutoff alg ~n) in
+  check Alcotest.int (name ^ " cutoff") (Cd.cutoff cd) (Cd.cutoff cd2);
   check
     Alcotest.(list (pair string int))
     (name ^ " stats") (Cd.stats cd) (Cd.stats cd2);
@@ -142,10 +162,10 @@ let test_to_explicit () =
 
 (* --- recursion nodes and sub-problem selection (Lemma 2.2) --- *)
 
-let check_nodes alg n =
-  let name = case_name alg n in
-  let cd = Cd.build alg ~n in
-  let imp = Im.create alg ~n in
+let check_nodes ?cutoff alg n =
+  let name = case_name ?cutoff alg n in
+  let cd = Cd.build ?cutoff alg ~n in
+  let imp = Im.create ?cutoff alg ~n in
   let n0, _, _ = A.dims alg in
   let levels = Im.levels imp in
   for depth = 0 to levels do
@@ -214,9 +234,36 @@ let check_nodes alg n =
       each_r (r * n0)
     end
   in
-  if n > 1 then each_r 1
+  (* valid sub-problem sizes start at the hybrid leaf size *)
+  if n > 1 then each_r (Cd.cutoff cd)
 
 let test_nodes () = List.iter (fun (alg, n) -> check_nodes alg n) square_cases
+
+(* --- hybrid (cutoff > 1) CDAGs: the classical base sub-CDAGs of PR 9
+   must decode identically through the implicit offset tables --- *)
+
+let test_hybrid_structure () =
+  List.iter (fun (alg, n, c) -> check_structure ~cutoff:c alg n) hybrid_cases
+
+let test_hybrid_to_explicit () =
+  List.iter (fun (alg, n, c) -> check_to_explicit ~cutoff:c alg n) hybrid_cases
+
+let test_hybrid_nodes () =
+  List.iter (fun (alg, n, c) -> check_nodes ~cutoff:c alg n) hybrid_cases
+
+let test_of_cdag_keeps_cutoff () =
+  (* regression: of_cdag used to drop the hybrid cutoff, silently
+     re-reading every hybrid CDAG as the uniform fast one *)
+  List.iter
+    (fun (alg, n, c) ->
+      let cd = Cd.build ~cutoff:c alg ~n in
+      let imp = Im.of_cdag cd in
+      check Alcotest.int (case_name ~cutoff:c alg n ^ " of_cdag cutoff") c
+        (Im.cutoff imp);
+      check Alcotest.int
+        (case_name ~cutoff:c alg n ^ " of_cdag vertices")
+        (Cd.n_vertices cd) (Im.n_vertices imp))
+    hybrid_cases
 
 (* --- seeded random sub-problem / adjacency queries --- *)
 
@@ -414,6 +461,28 @@ let test_bfs_assignment () =
       ((strassen, 16), 2, 3);
     ]
 
+let test_bfs_assignment_hybrid () =
+  (* entry-for-entry agreement on hybrid CDAGs over registry x cutoffs,
+     at every recursion depth the hybrid tree still has *)
+  List.iter
+    (fun (alg, n, c) ->
+      let cd = Cd.build ~cutoff:c alg ~n in
+      let imp = Im.of_cdag cd in
+      for depth = 0 to Im.levels imp do
+        List.iter
+          (fun procs ->
+            let name =
+              Printf.sprintf "%s depth=%d procs=%d"
+                (case_name ~cutoff:c alg n)
+                depth procs
+            in
+            let e = Pe.bfs_assignment cd ~depth ~procs in
+            let i = Pe.bfs_assignment_implicit imp ~depth ~procs in
+            check int_l name (Array.to_list e) (Array.to_list i))
+          [ 3; 7 ]
+      done)
+    hybrid_cases
+
 (* --- implicit lint is clean on well-formed CDAGs --- *)
 
 let test_lint_implicit () =
@@ -462,6 +531,16 @@ let () =
           Alcotest.test_case "nodes + Lemma 2.2" `Quick test_nodes;
           Alcotest.test_case "random queries" `Quick test_random_queries;
           Alcotest.test_case "rejections" `Quick test_rejects;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "structure" `Quick test_hybrid_structure;
+          Alcotest.test_case "to_explicit" `Quick test_hybrid_to_explicit;
+          Alcotest.test_case "nodes + Lemma 2.2" `Quick test_hybrid_nodes;
+          Alcotest.test_case "of_cdag keeps cutoff" `Quick
+            test_of_cdag_keeps_cutoff;
+          Alcotest.test_case "BFS assignment parity" `Quick
+            test_bfs_assignment_hybrid;
         ] );
       ( "streaming",
         [

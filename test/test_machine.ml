@@ -303,7 +303,7 @@ module PE = Fmm_machine.Par_exec
 let test_par_exec_sequential_is_free () =
   let r = PE.run w4 ~procs:1 ~assignment:(PE.sequential_assignment w4) in
   Alcotest.(check int) "no communication on 1 proc" 0 r.PE.total_words;
-  Alcotest.(check bool) "max zero" true (r.PE.max_words = 0.)
+  Alcotest.(check int) "max zero" 0 r.PE.max_words
 
 let test_par_exec_conservation () =
   (* sum sent = sum received = total *)
@@ -337,9 +337,9 @@ let test_par_exec_vs_memind_bound () =
       let r = PE.strassen_bfs_experiment c ~depth in
       let bound = B.fast_memind ~n ~p:r.PE.procs () in
       Alcotest.(check bool)
-        (Printf.sprintf "n=%d P=%d: %.0f >= %.1f" n r.PE.procs r.PE.max_words bound)
+        (Printf.sprintf "n=%d P=%d: %d >= %.1f" n r.PE.procs r.PE.max_words bound)
         true
-        (r.PE.max_words >= bound))
+        (float_of_int r.PE.max_words >= bound))
     [ (8, 1); (16, 1); (16, 2) ]
 
 let test_par_exec_strong_scaling () =
@@ -417,7 +417,7 @@ let test_par_exec_limited_counters_exact () =
       Alcotest.(check (array int)) "sent agrees" a.PE.sent b.PE.sent;
       Alcotest.(check (array int)) "received agrees" a.PE.received b.PE.received;
       Alcotest.(check int) "total agrees" a.PE.total_words b.PE.total_words;
-      Alcotest.(check (float 0.)) "max words agrees" a.PE.max_words b.PE.max_words)
+      Alcotest.(check int) "max words agrees" a.PE.max_words b.PE.max_words)
     [ (cdag4, 1, 7); (cdag8, 1, 7); (cdag8, 2, 49); (cdag8, 2, 5) ]
 
 let test_par_exec_census_reference () =
@@ -899,6 +899,50 @@ let test_parallel_grid_boundaries () =
     [ 26; 28 ];
   Alcotest.(check int) "3d p=27 accepted" 27 (Par.classical_3d ~n:36 ~p:27).Par.p
 
+let test_grid_3d () =
+  (* exact brick footprints, ceil-divided — never float-rounded *)
+  let c = Par.grid_3d ~n:64 ~p:8 (2, 2, 2) in
+  (* bricks 32x32 everywhere; C partial counted twice (p3 > 1) *)
+  Alcotest.(check bool) "cubic grid words" true (c.Par.words_per_proc = 4096.);
+  let c1 = Par.grid_3d ~n:64 ~p:4 (2, 2, 1) in
+  (* p3 = 1: no reduction round, C counted once: 2048 + 2048 + 1024 *)
+  Alcotest.(check bool) "flat grid words" true (c1.Par.words_per_proc = 5120.);
+  Alcotest.(check int) "flat grid rounds" 2 c1.Par.rounds;
+  (* non-dividing n: tiles are ceilings, 4*5 + 5*5 + 2*4*5 = 85 *)
+  let cc = Par.grid_3d ~n:10 ~p:12 (3, 2, 2) in
+  Alcotest.(check bool) "ceil tiles" true (cc.Par.words_per_proc = 85.)
+
+let test_grid_3d_rejects_degenerate () =
+  Alcotest.check_raises "product mismatch"
+    (Invalid_argument
+       "Par_model.grid_3d: degenerate grid (2, 2, 3): product 12 <> P = 8")
+    (fun () -> ignore (Par.grid_3d ~n:64 ~p:8 (2, 2, 3)));
+  Alcotest.check_raises "zero factor"
+    (Invalid_argument "Par_model.grid_3d: grid (0, 4, 2) has a factor < 1")
+    (fun () -> ignore (Par.grid_3d ~n:64 ~p:8 (0, 4, 2)))
+
+let test_caps_schedule_boundaries () =
+  (* pin the exact (BFS, DFS) counts at the decision boundaries of the
+     caps recursion — the memory threshold for a BFS step at size n on
+     p procs is exactly 21 (n/2)^2 / p words *)
+  let sched n p m = Par.caps_schedule ~n ~p ~m in
+  Alcotest.(check (pair int int)) "p=1: no parallel steps" (0, 0)
+    (sched 64 1 max_int);
+  Alcotest.(check (pair int int)) "p=8 never divisible by 7" (0, 6)
+    (sched 64 8 max_int);
+  Alcotest.(check (pair int int)) "ample memory, p=49: all BFS" (2, 0)
+    (sched 64 49 max_int);
+  (* n=64, p=7: threshold is 21 * 32^2 / 7 = 3072 words exactly *)
+  Alcotest.(check (pair int int)) "at threshold: BFS" (1, 0) (sched 64 7 3072);
+  Alcotest.(check (pair int int)) "one word under: DFS then BFS" (1, 1)
+    (sched 64 7 3071);
+  (* next threshold down: 21 * 16^2 / 7 = 768 *)
+  Alcotest.(check (pair int int)) "two thresholds under" (1, 2)
+    (sched 64 7 767);
+  (* odd n falls back to the 2D-style exchange: no steps recorded *)
+  Alcotest.(check (pair int int)) "odd n fallback" (0, 0)
+    (sched 63 49 max_int)
+
 let test_caps_regimes () =
   let n = 1 lsl 10 in
   (* plentiful memory: all-BFS *)
@@ -1014,6 +1058,11 @@ let () =
         [
           Alcotest.test_case "cannon" `Quick test_cannon;
           Alcotest.test_case "3d" `Quick test_3d;
+          Alcotest.test_case "grid 3d" `Quick test_grid_3d;
+          Alcotest.test_case "grid 3d degenerate" `Quick
+            test_grid_3d_rejects_degenerate;
+          Alcotest.test_case "caps schedule boundaries" `Quick
+            test_caps_schedule_boundaries;
           Alcotest.test_case "grid boundaries" `Quick
             test_parallel_grid_boundaries;
           Alcotest.test_case "caps regimes" `Quick test_caps_regimes;

@@ -1,0 +1,254 @@
+(* The COSMA-style schedule generator (lib/sched): contiguous splits of
+   sequential orders and (p1, p2, p3) grid decompositions. Everything
+   it emits must (a) census-agree with the word-counting executor,
+   (b) replay cleanly through the crash-aware log checker, and (c) on
+   the acceptance cases communicate no more than the BFS assignment it
+   is meant to improve on. *)
+
+module A = Fmm_bilinear.Algorithm
+module S = Fmm_bilinear.Strassen
+module Cd = Fmm_cdag.Cdag
+module Im = Fmm_cdag.Implicit
+module W = Fmm_machine.Workload
+module Ord = Fmm_machine.Orders
+module Sch = Fmm_machine.Schedulers
+module PE = Fmm_machine.Par_exec
+module PM = Fmm_machine.Par_model
+module Pc = Fmm_analysis.Par_check
+module Dg = Fmm_analysis.Diagnostic
+module G = Fmm_sched.Generator
+
+let check = Alcotest.check
+let strassen = List.find (fun a -> A.name a = "Strassen") S.registry
+
+let is_square alg =
+  let n0, m0, k0 = A.dims alg in
+  n0 = m0 && m0 = k0
+
+(* small square cases across the registry: enough shapes to exercise
+   every decode path without slowing the suite *)
+let small_cases =
+  List.filter_map
+    (fun alg ->
+      if not (is_square alg) then None
+      else
+        let n0, _, _ = A.dims alg in
+        let n = n0 * n0 in
+        if Cd.n_vertices (Cd.build alg ~n) <= 60_000 then Some (alg, n) else None)
+    S.registry
+
+let contiguous name (s : G.split) =
+  check Alcotest.int (name ^ " cuts lo") 0 s.G.cuts.(0);
+  check Alcotest.int (name ^ " cuts hi") (Array.length s.G.order)
+    s.G.cuts.(s.G.procs);
+  for k = 0 to s.G.procs - 1 do
+    check Alcotest.bool (name ^ " cuts monotone") true
+      (s.G.cuts.(k) <= s.G.cuts.(k + 1));
+    for i = s.G.cuts.(k) to s.G.cuts.(k + 1) - 1 do
+      check Alcotest.int
+        (Printf.sprintf "%s part of position %d" name i)
+        k
+        s.G.assignment.(s.G.order.(i))
+    done
+  done
+
+(* the split's own census must be the executor's: same charging rule,
+   independently computed *)
+let census_parity name w (s : G.split) =
+  let r = PE.run w ~procs:s.G.procs ~assignment:s.G.assignment in
+  check Alcotest.int (name ^ " census = executor") r.PE.total_words s.G.crossing;
+  r
+
+let test_split_census_parity () =
+  List.iter
+    (fun (alg, n) ->
+      let cd = Cd.build alg ~n in
+      let w = W.of_cdag cd in
+      let order = Array.of_list (Ord.recursive_dfs cd) in
+      List.iter
+        (fun procs ->
+          let name = Printf.sprintf "%s n=%d P=%d" (A.name alg) n procs in
+          let s = G.split_order w ~procs order in
+          contiguous name s;
+          ignore (census_parity name w s);
+          Array.iter
+            (fun p ->
+              check Alcotest.bool (name ^ " owner in range") true
+                (p >= 0 && p < procs))
+            s.G.assignment)
+        [ 1; 2; 3; 7 ])
+    small_cases
+
+let test_split_single_proc_free () =
+  let cd = Cd.build strassen ~n:8 in
+  let w = W.of_cdag cd in
+  let s = G.split_order w ~procs:1 (Array.of_list (Ord.recursive_dfs cd)) in
+  check Alcotest.int "P=1 crossing" 0 s.G.crossing
+
+let test_split_validates () =
+  List.iter
+    (fun (alg, n) ->
+      let cd = Cd.build alg ~n in
+      let w = W.of_cdag cd in
+      let order = Array.of_list (Ord.recursive_dfs cd) in
+      List.iter
+        (fun procs ->
+          let name = Printf.sprintf "%s n=%d P=%d" (A.name alg) n procs in
+          let s = G.split_order w ~procs order in
+          let log = G.exec_log w ~procs ~assignment:s.G.assignment in
+          let transfers =
+            List.length
+              (List.filter (function Pc.Transfer _ -> true | _ -> false) log)
+          in
+          check Alcotest.int (name ^ " log transfers = census") s.G.crossing
+            transfers;
+          let replay = G.validate w ~procs ~assignment:s.G.assignment in
+          check Alcotest.int (name ^ " replay errors") 0
+            (Dg.n_errors replay.Pc.report);
+          check Alcotest.int (name ^ " lost outputs") 0 replay.Pc.lost_outputs)
+        [ 2; 7 ])
+    small_cases
+
+let bfs_depth ~t ~procs =
+  let rec go d subtrees = if subtrees >= procs then d else go (d + 1) (subtrees * t) in
+  go 0 1
+
+(* the acceptance seed: on Strassen the split of the cache-oblivious
+   DFS order communicates no more than the BFS subtree deal at the
+   same processor count (CS2 runs the full (P, M) sweep) *)
+let test_split_beats_bfs () =
+  List.iter
+    (fun (n, procs) ->
+      let cd = Cd.build strassen ~n in
+      let w = W.of_cdag cd in
+      let t = 7 in
+      let depth = bfs_depth ~t ~procs in
+      let bfs = PE.run w ~procs ~assignment:(PE.bfs_assignment cd ~depth ~procs) in
+      let s = G.split_order w ~procs (Array.of_list (Ord.recursive_dfs cd)) in
+      check Alcotest.bool
+        (Printf.sprintf "split <= bfs words (n=%d P=%d)" n procs)
+        true
+        (s.G.crossing <= bfs.PE.total_words))
+    [ (16, 7); (16, 49); (32, 7); (32, 49) ]
+
+let test_split_implicit_agrees () =
+  List.iter
+    (fun (n, procs) ->
+      let imp = Im.create strassen ~n in
+      let s = G.split_implicit imp ~procs in
+      let name = Printf.sprintf "implicit n=%d P=%d" n procs in
+      contiguous name s;
+      let w = W.of_cdag (Cd.build strassen ~n) in
+      ignore (census_parity name w s))
+    [ (8, 3); (8, 7); (16, 7) ]
+
+let test_of_trace_recovers_order () =
+  let cd = Cd.build strassen ~n:8 in
+  let w = W.of_cdag cd in
+  let order = Ord.recursive_dfs cd in
+  (* LRU never recomputes: the first-compute sequence is the order *)
+  let res = Sch.run_lru w ~cache_size:4096 order in
+  check
+    Alcotest.(list int)
+    "lru first-compute order" order
+    (Array.to_list (G.of_trace w res.Sch.trace));
+  (* rematerialization recomputes freely, but the first computes still
+     enumerate each vertex once, topologically *)
+  let rem = Sch.run_rematerialize w ~cache_size:64 order in
+  let o = Array.to_list (G.of_trace w rem.Sch.trace) in
+  check Alcotest.bool "remat first-compute order valid" true
+    (W.is_valid_order w o);
+  (* and the split pipeline consumes it directly *)
+  let s = G.split_order w ~procs:3 (Array.of_list o) in
+  ignore (census_parity "remat split" w s)
+
+let test_grid_candidates () =
+  let c12 = G.grid_candidates ~p:12 in
+  (* tau_3(12) = 18 ordered factor triples *)
+  check Alcotest.int "count" 18 (List.length c12);
+  List.iter
+    (fun (a, b, c) -> check Alcotest.int "product" 12 (a * b * c))
+    c12;
+  check Alcotest.bool "lex sorted" true (List.sort compare c12 = c12);
+  check
+    Alcotest.(list (triple int int int))
+    "p=4" [ (1, 1, 4); (1, 2, 2); (1, 4, 1); (2, 1, 2); (2, 2, 1); (4, 1, 1) ]
+    (G.grid_candidates ~p:4)
+
+let test_grid_assignment_rejects () =
+  let classical = Cd.build strassen ~n:8 ~cutoff:8 in
+  Alcotest.check_raises "degenerate grid"
+    (Invalid_argument
+       "Par_model.grid_3d: degenerate grid (2, 2, 3): product 12 <> P = 8")
+    (fun () ->
+      ignore (G.grid_assignment classical ~procs:8 ~grid:(2, 2, 3)));
+  let fast = Cd.build strassen ~n:8 in
+  Alcotest.check_raises "non-classical CDAG"
+    (Invalid_argument
+       "Generator.grid_assignment: CDAG must be pure classical (cutoff = n)")
+    (fun () -> ignore (G.grid_assignment fast ~procs:8 ~grid:(2, 2, 2)))
+
+let test_grid_search_measured_best () =
+  let cd = Cd.build strassen ~n:8 ~cutoff:8 in
+  let w = W.of_cdag cd in
+  let procs = 8 in
+  let ((p1, p2, p3) as grid), cost, r, asg = G.grid_search cd ~procs in
+  check Alcotest.int "grid product" procs (p1 * p2 * p3);
+  check Alcotest.int "model p" procs cost.PM.p;
+  (* the returned measurement is the returned assignment's *)
+  let r' = PE.run w ~procs ~assignment:asg in
+  check Alcotest.int "measured repro" r'.PE.total_words r.PE.total_words;
+  (* argmin over every candidate *)
+  List.iter
+    (fun g ->
+      let rg =
+        PE.run w ~procs ~assignment:(G.grid_assignment cd ~procs ~grid:g)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "best <= (%d,%d,%d)" p1 p2 p3)
+        true
+        (r.PE.total_words <= rg.PE.total_words))
+    (G.grid_candidates ~p:procs);
+  ignore grid;
+  (* and it replays cleanly *)
+  let replay = G.validate w ~procs ~assignment:asg in
+  check Alcotest.int "grid replay errors" 0 (Dg.n_errors replay.Pc.report);
+  check Alcotest.int "grid lost outputs" 0 replay.Pc.lost_outputs
+
+let test_memind_bound () =
+  let cd = Cd.build strassen ~n:16 in
+  let b = G.memind_bound cd ~procs:7 in
+  (* n^2 / P^{2/omega0} with the algorithm's own omega0 *)
+  let expect =
+    256.0 /. (7.0 ** (2.0 /. A.omega0 strassen))
+  in
+  check Alcotest.bool "bound value" true (abs_float (b -. expect) < 1e-9);
+  (* measured traffic respects it on the acceptance shapes *)
+  let w = W.of_cdag cd in
+  let s = G.split_order w ~procs:7 (Array.of_list (Ord.recursive_dfs cd)) in
+  let r = PE.run w ~procs:7 ~assignment:s.G.assignment in
+  check Alcotest.bool "max words >= bound" true (float_of_int r.PE.max_words >= b)
+
+let () =
+  Alcotest.run "fmm_sched"
+    [
+      ( "split",
+        [
+          Alcotest.test_case "census parity" `Quick test_split_census_parity;
+          Alcotest.test_case "P=1 free" `Quick test_split_single_proc_free;
+          Alcotest.test_case "replay valid" `Quick test_split_validates;
+          Alcotest.test_case "beats BFS" `Quick test_split_beats_bfs;
+          Alcotest.test_case "implicit streamed" `Quick
+            test_split_implicit_agrees;
+          Alcotest.test_case "of_trace" `Quick test_of_trace_recovers_order;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "candidates" `Quick test_grid_candidates;
+          Alcotest.test_case "rejections" `Quick test_grid_assignment_rejects;
+          Alcotest.test_case "measured best" `Quick
+            test_grid_search_measured_best;
+        ] );
+      ( "bounds",
+        [ Alcotest.test_case "theorem 4.1 gate" `Quick test_memind_bound ] );
+    ]
